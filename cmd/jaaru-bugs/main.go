@@ -1,0 +1,127 @@
+// Command jaaru-bugs regenerates the paper's bug tables: Figure 12 (bugs
+// found in PMDK), Figure 13 (bugs found in RECIPE), and the cause columns of
+// Figures 15 and 16, by running the model checker over the seeded buggy
+// variants of every benchmark.
+//
+// Usage:
+//
+//	jaaru-bugs [-suite pmdk|recipe|all] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jaaru/internal/core"
+	"jaaru/internal/pmdk"
+	"jaaru/internal/recipe"
+	"jaaru/internal/report"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "which suite to run: pmdk, recipe or all")
+	verbose := flag.Bool("v", false, "print every bug manifestation and flagged load")
+	flag.Parse()
+
+	ok := true
+	if *suite == "pmdk" || *suite == "all" {
+		ok = runPMDK(*verbose) && ok
+		fmt.Println()
+	}
+	if *suite == "recipe" || *suite == "all" {
+		ok = runRECIPE(*verbose) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func symptom(res *core.Result) string {
+	if len(res.Bugs) == 0 {
+		return "NOT DETECTED"
+	}
+	b := res.Bugs[0]
+	switch b.Type {
+	case core.BugIllegalAccess:
+		return "Illegal memory access / segmentation fault"
+	case core.BugAssertion:
+		return "Assertion failure"
+	case core.BugInfiniteLoop:
+		return "Getting stuck in an infinite loop"
+	default:
+		return b.Message
+	}
+}
+
+func runPMDK(verbose bool) bool {
+	tbl := report.New("Figure 12 — Bugs found in PMDK (★ = new bug)",
+		"#", "Benchmark", "Paper symptom", "Detected", "ExecsToBug")
+	tbl.AlignRight(0, 4)
+	allFound := true
+	var results []*core.Result
+	for _, bc := range pmdk.BugCases() {
+		res := core.New(bc.Program(), core.Options{
+			FlagMultiRF:    true,
+			StopAtFirstBug: true,
+		}).Run()
+		results = append(results, res)
+		name := bc.Benchmark
+		if bc.New {
+			name += "★"
+		}
+		detected := symptom(res)
+		if !res.Buggy() {
+			allFound = false
+		}
+		tbl.Row(bc.ID, name, bc.Symptom, detected, res.Executions)
+	}
+	tbl.Footnote("paper: 7 bugs, 6 new; only bug #2 was previously reported (XFDetector)")
+	tbl.Render(os.Stdout)
+	if verbose {
+		dumpDetails(results)
+	}
+	return allFound
+}
+
+func runRECIPE(verbose bool) bool {
+	tbl := report.New("Figure 13/15 — Bugs found in RECIPE (★ = new bug)",
+		"#", "Benchmark", "Type of bug", "Cause of bug (Fig. 15)", "Detected", "ExecsToBug")
+	tbl.AlignRight(0, 5)
+	allFound := true
+	var results []*core.Result
+	for _, bc := range recipe.BugCases() {
+		res := core.New(bc.Program(), core.Options{
+			FlagMultiRF:    true,
+			MaxSteps:       20_000,
+			StopAtFirstBug: true,
+		}).Run()
+		results = append(results, res)
+		name := bc.Benchmark
+		if bc.New {
+			name += "★"
+		}
+		if !res.Buggy() {
+			allFound = false
+		}
+		tbl.Row(bc.ID, name, bc.Type, bc.Cause, symptom(res), res.Executions)
+	}
+	tbl.Footnote("paper: 18 bugs, 12 new; Jaaru found bugs in every RECIPE program")
+	tbl.Render(os.Stdout)
+	if verbose {
+		dumpDetails(results)
+	}
+	return allFound
+}
+
+func dumpDetails(results []*core.Result) {
+	for _, res := range results {
+		fmt.Printf("\n== %s\n", res.Program)
+		for _, b := range res.Bugs {
+			fmt.Printf("  bug: %v\n       choices: %s\n", b, b.Choices)
+		}
+		for _, m := range res.MultiRF {
+			fmt.Printf("  multi-rf: %v\n", m)
+		}
+	}
+}

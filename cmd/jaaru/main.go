@@ -1,0 +1,209 @@
+// Command jaaru runs the model checker over any registered benchmark and
+// prints the exploration summary: executions, failure points, bugs, and
+// (with -multirf) the loads flagged as able to read multiple stores.
+//
+// Usage:
+//
+//	jaaru -list
+//	jaaru [-buggy] [-n N] [-multirf] [-failures K] [-trace] <benchmark>
+//
+// Benchmarks: the six RECIPE structures (cceh, fastfair, part, bwtree,
+// clht, masstree), the five PMDK examples (btree, ctree, rbtree,
+// hashmap_atomic, hashmap_tx), and the paper's running examples (figure2,
+// figure4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"jaaru/internal/core"
+	"jaaru/internal/netsim"
+	"jaaru/internal/pmdk"
+	"jaaru/internal/recipe"
+)
+
+type benchmark struct {
+	name  string
+	doc   string
+	build func(n int, buggy bool) core.Program
+}
+
+func benchmarks() []benchmark {
+	return []benchmark{
+		{"figure2", "the paper's Figure 2/3 running example", func(int, bool) core.Program {
+			return core.Program{
+				Name: "figure2",
+				Run: func(c *core.Context) {
+					x, y := c.Root(), c.Root().Add(8)
+					c.Store64(y, 1)
+					c.Store64(x, 2)
+					c.Clflush(x, 8)
+					c.Store64(y, 3)
+					c.Store64(x, 4)
+					c.Store64(y, 5)
+					c.Store64(x, 6)
+				},
+				Recover: func(c *core.Context) {
+					x := c.Load64(c.Root())
+					y := c.Load64(c.Root().Add(8))
+					fmt.Printf("  post-failure state: x=%d y=%d\n", x, y)
+				},
+			}
+		}},
+		{"figure4", "the paper's Figure 4 commit-store example", func(int, bool) core.Program {
+			return core.Program{
+				Name: "figure4",
+				Run: func(c *core.Context) {
+					tmp := c.AllocLine(8)
+					c.Store64(tmp, 0xD0D0)
+					c.Clflush(tmp, 8)
+					c.StorePtr(c.Root(), tmp)
+					c.Clflush(c.Root(), 8)
+				},
+				Recover: func(c *core.Context) {
+					child := c.LoadPtr(c.Root())
+					if child != 0 {
+						fmt.Printf("  readChild: data=%#x\n", c.Load64(child))
+					} else {
+						fmt.Println("  readChild: null (not committed)")
+					}
+				},
+			}
+		}},
+		{"cceh", "RECIPE CCEH (extendible hashing)", func(n int, buggy bool) core.Program {
+			return recipe.CCEHWorkload(n, recipe.CCEHBugs{NoSegmentFlush: buggy})
+		}},
+		{"fastfair", "RECIPE FAST_FAIR (B-link tree)", func(n int, buggy bool) core.Program {
+			return recipe.FastFairWorkload(n, recipe.FFBugs{NoHeaderFlush: buggy})
+		}},
+		{"part", "RECIPE P-ART (radix tree)", func(n int, buggy bool) core.Program {
+			return recipe.ARTWorkload(n, recipe.ARTBugs{NoRootNodeFlush: buggy})
+		}},
+		{"bwtree", "RECIPE P-BwTree (delta chains + GC)", func(n int, buggy bool) core.Program {
+			return recipe.BwTreeWorkload(n, recipe.BwTreeBugs{GCReversedLink: buggy})
+		}},
+		{"clht", "RECIPE P-CLHT (cache-line hash table)", func(n int, buggy bool) core.Program {
+			return recipe.CLHTWorkload(n, recipe.CLHTBugs{NoLockReset: buggy})
+		}},
+		{"masstree", "RECIPE P-Masstree (COW B+tree)", func(n int, buggy bool) core.Program {
+			return recipe.MasstreeWorkload(n, recipe.MasstreeBugs{FlushObjectNotPointer: buggy})
+		}},
+		{"btree", "PMDK btree_map (transactional B-tree)", func(n int, buggy bool) core.Program {
+			return pmdk.BTreeWorkload(n, pmdk.CreateBugs{}, pmdk.BTreeBugs{NoNodeFlush: buggy})
+		}},
+		{"ctree", "PMDK ctree_map (crit-bit tree)", func(n int, buggy bool) core.Program {
+			return pmdk.CTreeWorkload(n, pmdk.CTreeBugs{Tx: pmdk.TxBugs{CountBeforeEntry: buggy}})
+		}},
+		{"rbtree", "PMDK rbtree_map (red-black tree)", func(n int, buggy bool) core.Program {
+			return pmdk.RBTreeWorkload(n, pmdk.RBTreeBugs{Tx: pmdk.TxBugs{SkipAdd: buggy}})
+		}},
+		{"hashmap_atomic", "PMDK hashmap_atomic", func(n int, buggy bool) core.Program {
+			return pmdk.HashmapAtomicWorkload(n,
+				pmdk.HashmapAtomicBugs{Heap: pmdk.HeapBugs{NoHeaderFlush: buggy}})
+		}},
+		{"hashmap_tx", "PMDK hashmap_tx (transactional)", func(n int, buggy bool) core.Program {
+			return pmdk.HashmapTXWorkload(n,
+				pmdk.HashmapTXBugs{Tx: pmdk.TxBugs{NoEntryFlush: buggy}})
+		}},
+		{"pmserver", "exactly-once PM key-value server over a replayed client trace", func(n int, buggy bool) core.Program {
+			trace := netsim.Trace{}
+			for i := 0; i < n; i++ {
+				trace = append(trace,
+					netsim.Request{Op: netsim.OpSet, Key: uint64(i%3 + 1), Val: uint64(i * 10)},
+					netsim.Request{Op: netsim.OpAdd, Key: uint64(i%3 + 1), Val: 1})
+			}
+			return netsim.Program("pmserver", trace, netsim.ServerBugs{SeqOutsideTx: buggy})
+		}},
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	buggy := flag.Bool("buggy", false, "run the seeded-bug variant")
+	n := flag.Int("n", 6, "workload size (inserted keys)")
+	failures := flag.Int("failures", 1, "maximum failures per scenario")
+	multirf := flag.Bool("multirf", false, "flag loads that can read multiple stores")
+	perf := flag.Bool("perfissues", false, "flag redundant flushes and fences")
+	random := flag.Bool("random", false, "use the seeded random thread scheduler")
+	seed := flag.Int64("seed", 0, "seed for -random and the EvictRandom policy")
+	trace := flag.Bool("trace", false, "attach operation traces to bug reports")
+	witness := flag.Bool("witness", false, "replay the first bug and print its full annotated witness")
+	flag.Parse()
+
+	bms := benchmarks()
+	if *list || flag.NArg() != 1 {
+		fmt.Println("benchmarks:")
+		sort.Slice(bms, func(i, j int) bool { return bms[i].name < bms[j].name })
+		for _, b := range bms {
+			fmt.Printf("  %-15s %s\n", b.name, b.doc)
+		}
+		if !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	name := flag.Arg(0)
+	var chosen *benchmark
+	for i := range bms {
+		if bms[i].name == name {
+			chosen = &bms[i]
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", name)
+		os.Exit(2)
+	}
+
+	opts := core.Options{
+		MaxFailures:     *failures,
+		FlagMultiRF:     *multirf,
+		FlagPerfIssues:  *perf,
+		RandomScheduler: *random,
+		Seed:            *seed,
+		MaxSteps:        100_000,
+	}
+	if *trace {
+		opts.TraceLen = 128
+	}
+	prog := chosen.build(*n, *buggy)
+	res := core.New(prog, opts).Run()
+
+	fmt.Printf("\n%s: %d executions, %d scenarios, %d failure points, %d steps, %v\n",
+		res.Program, res.Executions, res.Scenarios, res.FailurePoints, res.Steps,
+		res.Duration.Round(1e6))
+	fmt.Printf("choice points: %d failure decisions, %d read-from (max %d candidates)\n",
+		res.FailDecisionPoints, res.RFChoicePoints, res.MaxRFCandidates)
+	if !res.Complete {
+		fmt.Println("exploration truncated (caps reached)")
+	}
+	if res.Buggy() {
+		fmt.Printf("\n%d distinct bug(s):\n", len(res.Bugs))
+		for _, b := range res.Bugs {
+			fmt.Printf("  %v\n    choices: %s\n", b, b.Choices)
+			if *trace {
+				for _, op := range b.Trace {
+					fmt.Printf("      %v\n", op)
+				}
+			}
+		}
+	} else {
+		fmt.Println("no bugs found")
+	}
+	for _, m := range res.MultiRF {
+		fmt.Printf("multi-rf %v\n", m)
+	}
+	for _, p := range res.PerfIssues {
+		fmt.Printf("perf %v\n", p)
+	}
+	if *witness && res.Buggy() {
+		fmt.Println()
+		fmt.Print(core.FormatWitness(prog, opts, res.Bugs[0]))
+	}
+	if res.Buggy() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// RECIPE bug hunt: model-check the CCEH hash index exactly as the paper's
+// evaluation does — run the seeded buggy variant (a missing flush in the
+// constructor), watch Jaaru find the bug, then run the fixed variant and
+// watch it explore the whole state space clean.
+//
+// Run with:
+//
+//	go run ./examples/recipe
+package main
+
+import (
+	"fmt"
+
+	"jaaru"
+	"jaaru/internal/recipe"
+)
+
+func main() {
+	fmt.Println("== CCEH with a missing flush in the constructor (CCEH-2) ==")
+	buggy := recipe.CCEHWorkload(4, recipe.CCEHBugs{NoDirArrayFlush: true})
+	res := jaaru.Check(buggy, jaaru.Options{FlagMultiRF: true, StopAtFirstBug: true})
+	for _, b := range res.Bugs {
+		fmt.Printf("  found: %v\n  replay choices: %s\n", b, b.Choices)
+	}
+	for _, m := range res.MultiRF {
+		fmt.Printf("  flagged load: %v\n", m)
+	}
+
+	fmt.Println("\n== CCEH with the flush in place ==")
+	fixed := recipe.CCEHWorkload(4, recipe.CCEHBugs{})
+	res = jaaru.Check(fixed, jaaru.Options{})
+	fmt.Printf("  %d executions, %d failure points, bugs: %d, complete: %v\n",
+		res.Executions, res.FailurePoints, len(res.Bugs), res.Complete)
+}

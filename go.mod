@@ -1,0 +1,3 @@
+module jaaru
+
+go 1.22

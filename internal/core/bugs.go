@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"jaaru/internal/pmem"
+)
+
+// BugType classifies the visible manifestations Jaaru detects (§5.1: "Bugs
+// that Jaaru can identify must have some visible manifestation — either a
+// crash, e.g., segmentation fault, or an assertion failure").
+type BugType int
+
+const (
+	// BugAssertion is a failed Context.Assert — the program's own sanity
+	// check fired.
+	BugAssertion BugType = iota
+	// BugIllegalAccess is a load or store outside allocated pool memory —
+	// the analog of a segmentation fault.
+	BugIllegalAccess
+	// BugInfiniteLoop is an execution exceeding the step budget — the
+	// paper's "getting stuck in an infinite loop" symptom.
+	BugInfiniteLoop
+	// BugExplicit is an unconditional Context.Bug report.
+	BugExplicit
+)
+
+func (t BugType) String() string {
+	switch t {
+	case BugAssertion:
+		return "assertion failure"
+	case BugIllegalAccess:
+		return "illegal memory access"
+	case BugInfiniteLoop:
+		return "infinite loop"
+	case BugExplicit:
+		return "bug"
+	default:
+		return fmt.Sprintf("BugType(%d)", int(t))
+	}
+}
+
+// BugReport describes one distinct bug manifestation discovered during
+// exploration. Distinctness is keyed on (type, message): the paper groups
+// failure injection points leading to the same symptom as one bug.
+type BugReport struct {
+	Type    BugType
+	Message string
+	// Execution is the index in the failure scenario (0 = pre-failure) of
+	// the execution in which the bug manifested.
+	Execution int
+	// Scenario is the index of the first scenario exhibiting the bug.
+	Scenario int
+	// Count is the number of scenarios exhibiting this (type, message).
+	Count int
+	// Trace holds the last operations before the manifestation, if
+	// tracing is enabled.
+	Trace []TraceOp
+	// Choices describes the nondeterministic decisions of the scenario
+	// (failure points taken and read-from selections), sufficient to
+	// replay the buggy execution.
+	Choices string
+
+	// replay is the recorded choice vector used by Checker.Replay.
+	replay []choicePoint
+}
+
+func (b *BugReport) String() string {
+	return fmt.Sprintf("%v: %s (execution %d, first scenario %d, seen %d×)",
+		b.Type, b.Message, b.Execution, b.Scenario, b.Count)
+}
+
+func (b *BugReport) key() string { return fmt.Sprintf("%d|%s", b.Type, b.Message) }
+
+// MultiRF records a load that could read from more than one pre-failure
+// store — the paper's debugging support for locating missing flushes: "a
+// missing flush instruction effectively increases the number of pre-failure
+// stores that a post-failure load may read from."
+type MultiRF struct {
+	// Loc is the guest source location of the load.
+	Loc string
+	// Addr is the first byte address with multiple candidates.
+	Addr pmem.Addr
+	// Candidates is the maximum number of candidate stores observed.
+	Candidates int
+	// Values are example candidate values (exec, σ, val) formatted for
+	// display.
+	Values []string
+	// Count is the number of loads flagged at this location.
+	Count int
+}
+
+func (m *MultiRF) String() string {
+	return fmt.Sprintf("load at %s of %v may read %d stores: %s (seen %d×)",
+		m.Loc, m.Addr, m.Candidates, strings.Join(m.Values, ", "), m.Count)
+}
+
+// guestFault is the panic payload used to unwind a guest execution when it
+// hits a bug; the engine converts it into a BugReport.
+type guestFault struct {
+	typ BugType
+	msg string
+}
+
+// crashSignal is the panic payload that unwinds guest executions when a
+// power failure is injected.
+type crashSignal struct{}
+
+// engineError is the panic payload for internal invariant violations (e.g.
+// nondeterministic replay). These are never expected and indicate a checker
+// bug, so they propagate to the caller.
+type engineError struct{ msg string }
+
+func (e engineError) Error() string { return "jaaru internal error: " + e.msg }

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"jaaru/internal/pmalloc"
+	"jaaru/internal/pmem"
+	"jaaru/internal/tso"
+)
+
+// Checker explores every failure behaviour of a guest Program. It is not
+// safe for concurrent use; create one Checker per checked program.
+type Checker struct {
+	prog Program
+	opts Options
+
+	// Exploration-level state.
+	chooser    *chooser
+	scenarios  int
+	execsPost  int // post-failure executions explored (fork-equivalent units)
+	fpointsPre int // eligible failure points in the pre-failure execution (incl. end)
+	totalSteps int64
+	bugs       []*BugReport
+	bugIndex   map[string]*BugReport
+	multiRF    map[string]*MultiRF
+	truncated  bool
+
+	// Scenario-level state (reset by resetScenario).
+	seq        pmem.Seq
+	stack      *pmem.Stack
+	alloc      *pmalloc.Allocator
+	sched      *scheduler
+	rng        *rand.Rand
+	trace      *traceRing
+	lastStore  map[pmem.Addr]pmem.Seq // newest store per line, current execution
+	perfIssues map[string]*PerfIssue
+	fpCount    int  // eligible failure points seen in the current pre-failure execution
+	dirty      bool // stores evicted since the last considered failure point
+	preDone    bool // pre-failure execution ran to completion in this scenario
+	steps      int  // ops in the current execution
+	observers  []func(pmem.Addr, pmem.Candidate)
+	snapshot   func(fpIndex int) // Yat instrumentation hook
+
+	// bugEndedSegment distinguishes "segment completed normally" from
+	// "segment ended by a recorded bug" across the runSegment boundary.
+	bugEndedSegment bool
+
+	// rfScratch is reused across loadByte calls to avoid allocating a
+	// candidate slice per pre-failure load byte.
+	rfScratch []pmem.Candidate
+	// maxRF is the largest candidate set any load byte presented.
+	maxRF int
+}
+
+// New returns a checker for prog with the given options.
+func New(prog Program, opts Options) *Checker {
+	o := opts.withDefaults()
+	if prog.Run == nil {
+		panic(engineError{"program has no Run function"})
+	}
+	if prog.Recover == nil {
+		o.MaxFailures = 0
+	}
+	c := &Checker{
+		prog:       prog,
+		opts:       o,
+		chooser:    &chooser{},
+		bugIndex:   make(map[string]*BugReport),
+		multiRF:    make(map[string]*MultiRF),
+		alloc:      pmalloc.New(PoolBase, o.PoolSize),
+		sched:      newScheduler(),
+		lastStore:  make(map[pmem.Addr]pmem.Seq),
+		perfIssues: make(map[string]*PerfIssue),
+	}
+	if o.TraceLen > 0 {
+		c.trace = newTraceRing(o.TraceLen)
+	}
+	return c
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Program string
+	// Scenarios is the number of distinct failure scenarios explored.
+	Scenarios int
+	// Executions is the fork-equivalent execution count reported by the
+	// paper (Figure 14, "JExec."): one shared pre-failure execution plus
+	// one per post-failure execution explored.
+	Executions int
+	// FailurePoints counts the eligible failure injection points of the
+	// pre-failure execution, including the end-of-run point (Figure 14,
+	// "FPoints").
+	FailurePoints int
+	// Steps is the total number of guest operations simulated.
+	Steps int64
+	// Duration is the wall-clock exploration time (Figure 14, "JTime").
+	Duration time.Duration
+	// Bugs are the distinct bugs found, in discovery order.
+	Bugs []*BugReport
+	// MultiRF lists flagged loads (debugging support), sorted by location.
+	MultiRF []*MultiRF
+	// PerfIssues lists redundant flushes/fences (with FlagPerfIssues),
+	// sorted by location.
+	PerfIssues []*PerfIssue
+	// RFChoicePoints counts the distinct read-from choice points explored
+	// (loads with more than one candidate store).
+	RFChoicePoints int
+	// FailDecisionPoints counts the distinct failure-injection decision
+	// points explored.
+	FailDecisionPoints int
+	// MaxRFCandidates is the largest read-from candidate set any load byte
+	// presented — a direct measure of how many stores a load could read
+	// (the missing-flush signature).
+	MaxRFCandidates int
+	// Complete reports whether the state space was fully explored (false
+	// when MaxScenarios or MaxBugs truncated exploration).
+	Complete bool
+}
+
+// Buggy reports whether any bug was found.
+func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
+
+// Run explores the program's failure behaviours to completion (or until a
+// configured cap) and returns the aggregated result.
+func (c *Checker) Run() *Result {
+	start := time.Now()
+	complete := true
+	for {
+		c.scenarios++
+		c.runScenario()
+		if c.opts.StopAtFirstBug && len(c.bugs) > 0 {
+			complete = false
+			break
+		}
+		if len(c.bugs) >= c.opts.MaxBugs {
+			complete = false
+			break
+		}
+		if c.scenarios >= c.opts.MaxScenarios {
+			complete = false
+			break
+		}
+		if !c.chooser.advance() {
+			break
+		}
+	}
+	mrf := make([]*MultiRF, 0, len(c.multiRF))
+	for _, m := range c.multiRF {
+		mrf = append(mrf, m)
+	}
+	sort.Slice(mrf, func(i, j int) bool { return mrf[i].Loc < mrf[j].Loc })
+	perf := make([]*PerfIssue, 0, len(c.perfIssues))
+	for _, p := range c.perfIssues {
+		perf = append(perf, p)
+	}
+	sort.Slice(perf, func(i, j int) bool {
+		if perf[i].Loc != perf[j].Loc {
+			return perf[i].Loc < perf[j].Loc
+		}
+		return perf[i].Kind < perf[j].Kind
+	})
+	return &Result{
+		Program:            c.prog.Name,
+		Scenarios:          c.scenarios,
+		Executions:         1 + c.execsPost,
+		FailurePoints:      c.fpointsPre,
+		Steps:              c.totalSteps,
+		Duration:           time.Since(start),
+		Bugs:               c.bugs,
+		MultiRF:            mrf,
+		PerfIssues:         perf,
+		RFChoicePoints:     c.chooser.newPoints[chooseReadFrom],
+		FailDecisionPoints: c.chooser.newPoints[chooseFail],
+		MaxRFCandidates:    c.maxRF,
+		Complete:           complete && !c.truncated,
+	}
+}
+
+// Execute runs fn once against a fresh pool with no failure injection —
+// used for direct (non-exploring) execution of guest code in tests and
+// benchmarks. It returns the bug encountered, if any.
+func Execute(name string, fn func(*Context), opts Options) *Result {
+	ck := New(Program{Name: name, Run: fn}, opts)
+	return ck.Run()
+}
+
+// ---- Scenario engine ----------------------------------------------------
+
+func (c *Checker) resetScenario() {
+	c.seq = 0
+	c.stack = pmem.NewStack()
+	c.alloc.Reset()
+	if _, ok := c.alloc.Alloc(RootSize, 1); !ok {
+		panic(engineError{"pool smaller than root area"})
+	}
+	c.chooser.begin()
+	if c.opts.Eviction == EvictRandom || c.opts.RandomScheduler {
+		c.rng = rand.New(rand.NewSource(c.opts.Seed))
+	}
+	c.fpCount = 0
+	c.preDone = false
+	clear(c.lastStore)
+	if c.trace != nil {
+		c.trace.reset()
+	}
+}
+
+// pushExecution starts a new execution after an injected failure.
+func (c *Checker) pushExecution() {
+	c.stack.Push()
+	clear(c.lastStore)
+}
+
+// runScenario executes one complete failure scenario: the pre-failure
+// execution up to an injected (or end-of-run) failure, then recovery
+// executions until one completes without a further failure.
+func (c *Checker) runScenario() {
+	c.resetScenario()
+
+	crashed := c.runSegment(c.prog.Run)
+	if c.preDone {
+		fp := c.fpCount
+		if c.opts.MaxFailures > 0 {
+			fp++ // the end-of-run failure point
+		}
+		if fp > c.fpointsPre {
+			c.fpointsPre = fp
+		}
+	}
+	if !crashed {
+		// Segment ended due to a bug, or there is nothing to recover.
+		if c.opts.MaxFailures == 0 || c.prog.Recover == nil || c.bugEndedSegment {
+			c.bugEndedSegment = false
+			return
+		}
+		// Mandatory end-of-run failure: the paper's third failure point in
+		// the Figure 4 walkthrough ("at the end of the execution").
+		if c.snapshot != nil {
+			c.snapshot(-1)
+		}
+	}
+	for depth := 0; ; depth++ {
+		if depth > c.opts.MaxFailures {
+			panic(engineError{"recovery depth exceeded MaxFailures"})
+		}
+		c.pushExecution()
+		c.execsPost++
+		crashed = c.runSegment(c.prog.Recover)
+		if !crashed {
+			c.bugEndedSegment = false
+			return
+		}
+	}
+}
+
+// runSegment executes one guest execution (pre-failure Run or a recovery).
+// It returns true if the segment ended with an injected power failure, and
+// false if it completed normally or was ended by a bug (recorded via
+// c.bugEndedSegment).
+func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
+	var schedRNG *rand.Rand
+	if c.opts.RandomScheduler {
+		schedRNG = c.rng
+	}
+	main := c.sched.reset(c.opts.SBCapacity, schedRNG)
+	c.steps = 0
+	c.dirty = false
+
+	defer func() {
+		// Always tear down child goroutines before leaving the segment.
+		fault, unexpected := c.sched.shutdown()
+		r := recover()
+		switch v := r.(type) {
+		case nil:
+		case crashSignal:
+			crashed = true
+		case guestFault:
+			if fault == nil {
+				fault = &v
+			}
+		default:
+			panic(r) // engineError or a genuine Go bug: propagate
+		}
+		if unexpected != nil {
+			panic(unexpected)
+		}
+		if fault != nil {
+			c.recordBug(*fault)
+			crashed = false
+		}
+	}()
+
+	ctx := &Context{ck: c, th: main}
+	fn(ctx)
+	c.joinAll(main)
+	c.quiesce(main)
+	if c.stack.Top().ID == 0 {
+		c.preDone = true
+	}
+	return false
+}
+
+// joinAll waits for any guest threads the program left running.
+func (c *Checker) joinAll(main *thread) {
+	for {
+		var pending *thread
+		c.sched.mu.Lock()
+		for _, t := range c.sched.threads {
+			if t != main && !t.done {
+				pending = t
+				break
+			}
+		}
+		c.sched.mu.Unlock()
+		if pending == nil {
+			return
+		}
+		c.sched.join(main, pending)
+	}
+}
+
+// quiesce drains every thread's store and flush buffers, as happens when a
+// program runs to completion. Failure points encountered during the drain
+// remain eligible.
+func (c *Checker) quiesce(main *thread) {
+	c.sched.mu.Lock()
+	threads := append([]*thread(nil), c.sched.threads...)
+	c.sched.mu.Unlock()
+	for _, t := range threads {
+		t.ts.Mfence(c)
+	}
+	_ = main
+}
+
+// ---- tso.Storage implementation ------------------------------------------
+
+// NextSeq increments and returns the global sequence counter σcurr.
+func (c *Checker) NextSeq() pmem.Seq { c.seq++; return c.seq }
+
+// CurSeq returns σcurr without incrementing.
+func (c *Checker) CurSeq() pmem.Seq { return c.seq }
+
+// ApplyStore writes a store's bytes into the current execution's cache
+// queues at sequence s.
+func (c *Checker) ApplyStore(addr pmem.Addr, size int, val uint64, s pmem.Seq) {
+	e := c.stack.Top()
+	for i := 0; i < size; i++ {
+		e.Append(addr+pmem.Addr(i), byte(val>>(8*uint(i))), s)
+	}
+	e.EvictedStores += size
+	c.dirty = true
+	if c.opts.FlagPerfIssues {
+		pmem.Lines(addr, uint64(size), func(line pmem.Addr) {
+			c.lastStore[line] = s
+		})
+	}
+}
+
+// ApplyCLFlush pins the line's most-recent-writeback lower bound to s.
+func (c *Checker) ApplyCLFlush(addr pmem.Addr, s pmem.Seq) {
+	c.stack.Top().CacheLine(addr).RaiseBegin(s)
+}
+
+// ApplyWriteback applies a buffered clflushopt writeback ordered at or
+// after s.
+func (c *Checker) ApplyWriteback(addr pmem.Addr, s pmem.Seq) {
+	c.stack.Top().CacheLine(addr).RaiseBegin(s)
+}
+
+// SFenceEffect feeds the performance-issue detector.
+func (c *Checker) SFenceEffect(pendingWritebacks int, loc string) {
+	if pendingWritebacks == 0 {
+		c.notePerfFence(loc)
+	}
+}
+
+// BeforeFlushEffect is the failure-injection hook (§4, "Injecting
+// failures"): invoked immediately before a flush operation takes effect.
+// Points with no stores evicted since the last considered point are skipped.
+func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc string) {
+	c.notePerfFlush(addr, loc)
+	if c.opts.MaxFailures == 0 || c.stack.Depth() > c.opts.MaxFailures {
+		return
+	}
+	if !c.dirty {
+		return
+	}
+	if c.stack.Top().ID == 0 {
+		c.fpCount++
+	}
+	fpIndex := c.fpCount - 1
+	c.dirty = false
+	if c.snapshot != nil {
+		c.snapshot(fpIndex)
+	}
+	if c.chooser.choose(chooseFail, 2) == 1 {
+		c.sched.initiateCrash()
+		panic(crashSignal{})
+	}
+}
+
+// ---- Load path (Figures 9 & 10) ------------------------------------------
+
+// loadByte resolves one byte of a load: store-buffer bypass, then the
+// current execution's cache, then the lazily enumerated pre-failure
+// candidates with constraint refinement.
+func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
+	if v, ok := t.ts.Lookup(a); ok {
+		return v
+	}
+	if bs, ok := c.stack.Top().Newest(a); ok {
+		return bs.Val
+	}
+	c.rfScratch = c.stack.ReadPreFailureInto(a, c.rfScratch[:0])
+	cands := c.rfScratch
+	idx := 0
+	if len(cands) > 1 {
+		if len(cands) > c.maxRF {
+			c.maxRF = len(cands)
+		}
+		if c.opts.FlagMultiRF {
+			c.flagMultiRF(a, cands)
+		}
+		idx = c.chooser.choose(chooseReadFrom, len(cands))
+	}
+	chosen := cands[idx]
+	c.stack.DoRead(a, chosen)
+	for _, ob := range c.observers {
+		ob(a, chosen)
+	}
+	return chosen.Val
+}
+
+func (c *Checker) flagMultiRF(a pmem.Addr, cands []pmem.Candidate) {
+	loc := guestLocation()
+	key := loc
+	m, ok := c.multiRF[key]
+	if !ok {
+		m = &MultiRF{Loc: loc, Addr: a}
+		for _, cd := range cands {
+			m.Values = append(m.Values,
+				fmt.Sprintf("exec%d σ=%v val=%#x", cd.Exec, cd.Seq, cd.Val))
+			if len(m.Values) == 8 {
+				break
+			}
+		}
+		c.multiRF[key] = m
+	}
+	if len(cands) > m.Candidates {
+		m.Candidates = len(cands)
+	}
+	m.Count++
+}
+
+// ---- Bug recording --------------------------------------------------------
+
+func (c *Checker) recordBug(f guestFault) {
+	c.bugEndedSegment = true
+	b := &BugReport{
+		Type:      f.typ,
+		Message:   f.msg,
+		Execution: c.stack.Top().ID,
+		Scenario:  c.scenarios - 1,
+		Count:     1,
+		Choices:   c.chooser.describe(),
+		replay:    append([]choicePoint(nil), c.chooser.points...),
+	}
+	if existing, ok := c.bugIndex[b.key()]; ok {
+		existing.Count++
+		return
+	}
+	if c.trace != nil {
+		b.Trace = c.trace.snapshot()
+	}
+	c.bugIndex[b.key()] = b
+	c.bugs = append(c.bugs, b)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// choiceKind labels the two sources of nondeterminism the checker explores:
+// whether to inject a failure at an eligible failure point, and which
+// pre-failure store a post-failure load byte reads from.
+type choiceKind uint8
+
+const (
+	chooseFail choiceKind = iota
+	chooseReadFrom
+	chooseEvict
+)
+
+func (k choiceKind) String() string {
+	switch k {
+	case chooseFail:
+		return "fail"
+	case chooseReadFrom:
+		return "rf"
+	case chooseEvict:
+		return "evict"
+	default:
+		return "?"
+	}
+}
+
+// choicePoint is one recorded nondeterministic decision.
+type choicePoint struct {
+	kind choiceKind
+	n    int // number of options
+	idx  int // option currently being explored
+}
+
+// chooser is the replay-based exploration engine's choice stack. A scenario
+// run consults it at every nondeterministic point: within the recorded
+// prefix it replays, beyond it it appends new points taking option 0.
+// advance moves depth-first to the next unexplored branch.
+type chooser struct {
+	points []choicePoint
+	cursor int
+
+	// newPoints counts distinct choice points discovered, by kind —
+	// exploration statistics for Result.
+	newPoints [3]int
+}
+
+// begin resets the replay cursor for a fresh scenario run.
+func (ch *chooser) begin() { ch.cursor = 0 }
+
+// choose returns the option index for the next nondeterministic point, which
+// must present the same kind and option count on replay.
+func (ch *chooser) choose(kind choiceKind, n int) int {
+	if n <= 0 {
+		panic(engineError{fmt.Sprintf("choice with %d options", n)})
+	}
+	if ch.cursor < len(ch.points) {
+		p := ch.points[ch.cursor]
+		if p.kind != kind || p.n != n {
+			panic(engineError{fmt.Sprintf(
+				"nondeterministic replay: recorded %v/%d, got %v/%d at %d",
+				p.kind, p.n, kind, n, ch.cursor)})
+		}
+		ch.cursor++
+		return p.idx
+	}
+	ch.points = append(ch.points, choicePoint{kind: kind, n: n})
+	ch.cursor++
+	ch.newPoints[kind]++
+	return 0
+}
+
+// advance backtracks depth-first: exhausted trailing points are popped, the
+// deepest unexhausted point advances to its next option. It reports false
+// when the whole space has been explored.
+func (ch *chooser) advance() bool {
+	for len(ch.points) > 0 {
+		top := &ch.points[len(ch.points)-1]
+		if top.idx+1 < top.n {
+			top.idx++
+			return true
+		}
+		ch.points = ch.points[:len(ch.points)-1]
+	}
+	return false
+}
+
+// describe renders the decisions of the current scenario for bug reports,
+// e.g. "fail@3 rf[2/4] rf[0/2]" — failed at the 4th eligible failure point,
+// then picked candidates 2-of-4 and 0-of-2.
+func (ch *chooser) describe() string {
+	var b strings.Builder
+	failIdx := 0
+	for _, p := range ch.points {
+		switch p.kind {
+		case chooseFail:
+			if p.idx == 1 {
+				fmt.Fprintf(&b, "fail@%d ", failIdx)
+			}
+			failIdx++
+		case chooseReadFrom:
+			fmt.Fprintf(&b, "rf[%d/%d] ", p.idx, p.n)
+		case chooseEvict:
+			if p.idx == 1 {
+				b.WriteString("evict ")
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

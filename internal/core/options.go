@@ -1,0 +1,149 @@
+// Package core implements the Jaaru model checking algorithm (§4 of the
+// paper): guest programs issue stores, loads, cache flushes and fences
+// against a simulated persistent-memory pool; the checker injects power
+// failures immediately before flush operations and lazily explores, via
+// constraint refinement over per-cache-line writeback intervals, every
+// distinct assignment of pre-failure stores to post-failure loads.
+package core
+
+import "jaaru/internal/pmem"
+
+// EvictionPolicy controls when store-buffer entries drain to the cache. The
+// paper's artifact notes this nondeterminism is not explored exhaustively;
+// the policy is fixed per checker run and deterministic under replay.
+type EvictionPolicy int
+
+const (
+	// EvictEager drains the store buffer after every operation: stores
+	// take effect in the cache immediately. This is the default — the
+	// persistency nondeterminism (which cache lines reached persistent
+	// memory) is still explored in full.
+	EvictEager EvictionPolicy = iota
+	// EvictAtFences drains the store buffer only at fences, locked RMW
+	// instructions, or when the buffer reaches SBCapacity. This exposes
+	// TSO store-buffering behaviours (a thread's stores invisible to
+	// others) in addition to persistency nondeterminism.
+	EvictAtFences
+	// EvictRandom drains a pseudo-random number of entries after each
+	// operation, seeded by Options.Seed; deterministic under replay.
+	EvictRandom
+	// EvictExplore makes store-buffer eviction a model-checking choice
+	// point, exactly as in the paper's Explore algorithm (Figure 11,
+	// lines 4–8: "choose to evict"). Every TSO-visible buffering
+	// behaviour is then explored exhaustively — at a cost exponential in
+	// program length, so this policy is intended for litmus-scale
+	// programs.
+	EvictExplore
+)
+
+// Options configures a Checker. The zero value is usable: defaults are
+// filled in by New.
+type Options struct {
+	// PoolSize is the size in bytes of the simulated persistent-memory
+	// pool (default 16 MiB). The first RootSize bytes form the root area
+	// returned by Context.Root.
+	PoolSize uint64
+
+	// MaxFailures bounds the number of power failures per scenario — the
+	// depth of the execution stack minus one (default 1: a pre-failure
+	// and one post-failure execution, as in the paper's experiments).
+	// A negative value disables failure injection entirely (direct
+	// execution); a nil Program.Recover does the same.
+	MaxFailures int
+
+	// MaxSteps bounds the operations of a single execution; exceeding it
+	// reports a BugInfiniteLoop (the paper's "stuck in an infinite loop"
+	// symptom). Default 1 << 20.
+	MaxSteps int
+
+	// MaxScenarios caps exploration (default 1 << 20 scenarios).
+	MaxScenarios int
+
+	// Eviction selects the store-buffer drain policy.
+	Eviction EvictionPolicy
+
+	// SBCapacity bounds the store buffer under EvictAtFences (default 64
+	// entries; 0 keeps the default).
+	SBCapacity int
+
+	// Seed seeds EvictRandom and the random scheduler.
+	Seed int64
+
+	// RandomScheduler interleaves guest threads with a schedule drawn from
+	// Seed instead of round-robin — the paper's proposed use of Jaaru as a
+	// concurrency-bug fuzzer (§4, Discussion). Deterministic per seed.
+	RandomScheduler bool
+
+	// FlagMultiRF enables the paper's debugging support: every load that
+	// may read from more than one store is recorded with its candidate
+	// stores (§4, "Debugging support").
+	FlagMultiRF bool
+
+	// FlagPerfIssues enables performance-bug detection — the extension
+	// the paper proposes in §5.1: redundant cache-line flushes (the line
+	// had nothing unflushed) and redundant sfences (an empty flush
+	// buffer), the issue classes Pmemcheck and Agamotto report.
+	FlagPerfIssues bool
+
+	// TraceLen keeps a ring buffer of the last TraceLen operations per
+	// scenario for bug reports (default 64; negative disables tracing).
+	TraceLen int
+
+	// StopAtFirstBug aborts exploration at the first bug found.
+	StopAtFirstBug bool
+
+	// MaxBugs caps distinct recorded bugs (default 64).
+	MaxBugs int
+}
+
+// RootSize is the size of the root area at the start of the pool, always
+// addressable and reachable by recovery code via Context.Root.
+const RootSize = 4096
+
+// PoolBase is the base address of the simulated pool. It is nonzero so that
+// address 0 acts as a null pointer.
+const PoolBase = pmem.Addr(0x1000_0000)
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize == 0 {
+		o.PoolSize = 16 << 20
+	}
+	if o.PoolSize < RootSize {
+		o.PoolSize = RootSize
+	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 1
+	}
+	if o.MaxFailures < 0 {
+		o.MaxFailures = 0
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	if o.MaxScenarios == 0 {
+		o.MaxScenarios = 1 << 20
+	}
+	if o.SBCapacity == 0 {
+		o.SBCapacity = 64
+	}
+	if o.TraceLen == 0 {
+		o.TraceLen = 64
+	}
+	if o.TraceLen < 0 {
+		o.TraceLen = 0
+	}
+	if o.MaxBugs == 0 {
+		o.MaxBugs = 64
+	}
+	return o
+}
+
+// Program is a guest program checked by Jaaru. Run is the pre-failure
+// execution; Recover is executed after each injected failure (and again
+// after failures injected into recovery, up to MaxFailures). A nil Recover
+// disables failure injection: the program is executed once, directly.
+type Program struct {
+	Name    string
+	Run     func(*Context)
+	Recover func(*Context)
+}

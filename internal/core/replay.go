@@ -1,0 +1,24 @@
+package core
+
+// Replay support: a BugReport records the scenario's complete choice
+// vector, so the exact buggy execution can be re-run — with full tracing —
+// long after exploration finished. This rounds out the paper's debugging
+// support ("Jaaru prints out the load..., each of the stores, their
+// locations in the trace"): first explore cheaply, then replay the one
+// scenario that matters with maximal instrumentation.
+
+// Replay re-executes the failure scenario that first manifested bug b for
+// prog, with tracing forced on, and returns the complete operation trace
+// of that scenario (all executions, pre-failure and recovery). The program
+// and options must match the original exploration, or the recorded choices
+// will not line up and Replay panics with a nondeterministic-replay error.
+func Replay(prog Program, opts Options, b *BugReport) []TraceOp {
+	o := opts.withDefaults()
+	o.TraceLen = 1 << 16
+	o.MaxScenarios = 1
+	c := New(prog, o)
+	c.chooser.points = append([]choicePoint(nil), b.replay...)
+	c.scenarios = 1
+	c.runScenario()
+	return c.trace.snapshot()
+}

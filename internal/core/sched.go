@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"jaaru/internal/tso"
+)
+
+// thread is one guest thread. Thread 0 runs on the engine goroutine; spawned
+// threads run on their own goroutines, but the turn-taking scheduler ensures
+// exactly one guest thread executes at any moment, so all checker state is
+// accessed with mutual exclusion (turn handoffs synchronize via the
+// scheduler's mutex and condition variable).
+type thread struct {
+	id     int
+	ts     *tso.ThreadState
+	done   bool
+	joinOn *thread // non-nil while blocked in Join
+	parked bool    // a goroutine is waiting for this thread's turn
+}
+
+// scheduler interleaves guest threads deterministically: round-robin, one
+// operation per turn. Jaaru controls the concurrent schedule but does not
+// exhaustively explore schedules (§4, Discussion).
+type scheduler struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	threads    []*thread
+	cur        int        // id of the thread whose turn it is
+	childAlive int        // spawned goroutines still running
+	rng        *rand.Rand // nil = round-robin; else seeded random schedule
+	crashed    bool
+	fault      *guestFault // first guest fault raised on a child thread
+	unexpected any         // non-guest panic from a child (propagated)
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// reset prepares the scheduler for a fresh execution with a single main
+// thread using the given store-buffer capacity. A non-nil rng selects the
+// seeded random schedule (used to fuzz for concurrency bugs, §4
+// Discussion); nil selects deterministic round-robin. It must not be
+// called while child goroutines are alive.
+func (s *scheduler) reset(sbCapacity int, rng *rand.Rand) *thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.childAlive != 0 {
+		panic(engineError{"scheduler reset with live child threads"})
+	}
+	main := &thread{id: 0, ts: tso.NewThreadState(sbCapacity)}
+	s.threads = []*thread{main}
+	s.cur = 0
+	s.rng = rng
+	s.crashed = false
+	s.fault = nil
+	s.unexpected = nil
+	return main
+}
+
+// runnable reports whether t can be given a turn.
+func runnable(t *thread) bool {
+	return !t.done && (t.joinOn == nil || t.joinOn.done)
+}
+
+// nextRunnable returns the id of the next runnable thread strictly after
+// `after` in round-robin order (wrapping), or -1 if none.
+func (s *scheduler) nextRunnable(after int) int {
+	n := len(s.threads)
+	for i := 1; i <= n; i++ {
+		t := s.threads[(after+i)%n]
+		if runnable(t) {
+			return t.id
+		}
+	}
+	return -1
+}
+
+// checkCrash panics with crashSignal if a failure has been initiated.
+// Callers hold s.mu; the panic unwinds through their deferred unlock.
+func (s *scheduler) checkCrash() {
+	if s.crashed {
+		panic(crashSignal{})
+	}
+}
+
+// yield hands the turn to the next runnable thread and blocks until it is
+// t's turn again (or a crash unwinds it). With a single thread it is a crash
+// check only.
+func (s *scheduler) yield(t *thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkCrash()
+	if len(s.threads) == 1 {
+		return
+	}
+	var next int
+	if s.rng != nil {
+		next = s.pickRandom()
+	} else {
+		next = s.nextRunnable(t.id)
+	}
+	if next == t.id || next == -1 {
+		return
+	}
+	s.cur = next
+	s.cond.Broadcast()
+	s.park(t)
+	for s.cur != t.id {
+		s.cond.Wait()
+		s.checkCrash()
+	}
+	t.parked = false
+}
+
+// park marks t as waiting for its turn, diagnosing the guest error of
+// sharing one Context across Spawned threads (two goroutines waiting for
+// the same thread identity would otherwise deadlock the turn handoff).
+func (s *scheduler) park(t *thread) {
+	if t.parked {
+		panic(guestFault{typ: BugExplicit,
+			msg: "Context shared across guest threads: rebind data structure handles per thread"})
+	}
+	t.parked = true
+}
+
+// waitTurn blocks a freshly spawned thread until its first turn.
+func (s *scheduler) waitTurn(t *thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.park(t)
+	for s.cur != t.id {
+		s.cond.Wait()
+		s.checkCrash()
+	}
+	t.parked = false
+}
+
+// pickRandom returns a uniformly random runnable thread id (the current
+// thread included, giving it bursts), or -1 if none.
+func (s *scheduler) pickRandom() int {
+	var runnableIDs []int
+	for _, t := range s.threads {
+		if runnable(t) {
+			runnableIDs = append(runnableIDs, t.id)
+		}
+	}
+	if len(runnableIDs) == 0 {
+		return -1
+	}
+	return runnableIDs[s.rng.Intn(len(runnableIDs))]
+}
+
+// spawn registers a new guest thread and returns it. The caller launches the
+// trampoline goroutine.
+func (s *scheduler) spawn(sbCapacity int) *thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &thread{id: len(s.threads), ts: tso.NewThreadState(sbCapacity)}
+	s.threads = append(s.threads, t)
+	s.childAlive++
+	return t
+}
+
+// finish marks t done and hands the turn onward. Called by the trampoline
+// while holding the turn.
+func (s *scheduler) finish(t *thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.done = true
+	if next := s.nextRunnable(t.id); next != -1 {
+		s.cur = next
+	}
+	s.cond.Broadcast()
+}
+
+// childExited decrements the live-goroutine count (trampoline teardown,
+// whether by normal finish, crash, or fault).
+func (s *scheduler) childExited() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.childAlive--
+	s.cond.Broadcast()
+}
+
+// join blocks t until target completes.
+func (s *scheduler) join(t, target *thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t == target {
+		panic(guestFault{typ: BugExplicit, msg: "thread joined itself"})
+	}
+	for !target.done {
+		s.checkCrash()
+		t.joinOn = target
+		next := s.nextRunnable(t.id)
+		if next == -1 || next == t.id {
+			t.joinOn = nil
+			panic(guestFault{typ: BugExplicit, msg: "deadlock: all threads blocked in Join"})
+		}
+		s.cur = next
+		s.cond.Broadcast()
+		s.park(t)
+		for s.cur != t.id {
+			s.cond.Wait()
+			s.checkCrash()
+		}
+		t.parked = false
+		t.joinOn = nil
+	}
+}
+
+// initiateCrash marks the scenario as crashed and wakes all threads so they
+// unwind with crashSignal. Safe to call multiple times.
+func (s *scheduler) initiateCrash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+	s.cond.Broadcast()
+}
+
+// recordFault stores the first guest fault raised by a child thread and
+// initiates a crash so every other thread unwinds.
+func (s *scheduler) recordFault(f guestFault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault == nil {
+		s.fault = &f
+	}
+	s.crashed = true
+	s.cond.Broadcast()
+}
+
+// recordUnexpected stores a non-guest panic from a child thread; the engine
+// re-panics it after teardown.
+func (s *scheduler) recordUnexpected(r any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unexpected == nil {
+		s.unexpected = r
+	}
+	s.crashed = true
+	s.cond.Broadcast()
+}
+
+// shutdown initiates a crash (if one is not already in progress) and waits
+// until every child goroutine has exited, then returns any fault or
+// unexpected panic recorded by children.
+func (s *scheduler) shutdown() (*guestFault, any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = true
+	s.cond.Broadcast()
+	for s.childAlive > 0 {
+		s.cond.Wait()
+	}
+	return s.fault, s.unexpected
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"jaaru/internal/pmem"
+)
+
+// TraceOp is one recorded guest operation for bug reports.
+type TraceOp struct {
+	Thread int
+	Kind   string
+	Addr   pmem.Addr
+	Size   int
+	Val    uint64
+}
+
+func (o TraceOp) String() string {
+	switch o.Kind {
+	case "sfence", "mfence":
+		return fmt.Sprintf("T%d %s", o.Thread, o.Kind)
+	case "clflush", "clflushopt":
+		return fmt.Sprintf("T%d %s %v", o.Thread, o.Kind, o.Addr)
+	default:
+		return fmt.Sprintf("T%d %s %v/%d = %#x", o.Thread, o.Kind, o.Addr, o.Size, o.Val)
+	}
+}
+
+// traceRing keeps the last N operations of the current scenario.
+type traceRing struct {
+	buf  []TraceOp
+	next int
+	full bool
+}
+
+func newTraceRing(n int) *traceRing { return &traceRing{buf: make([]TraceOp, n)} }
+
+func (r *traceRing) reset() { r.next = 0; r.full = false }
+
+func (r *traceRing) add(op TraceOp) {
+	r.buf[r.next] = op
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// snapshot returns the recorded operations oldest-first.
+func (r *traceRing) snapshot() []TraceOp {
+	if !r.full {
+		out := make([]TraceOp, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]TraceOp, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+func (c *Checker) traceOp(threadID int, kind string, a pmem.Addr, size int, val uint64) {
+	if c.trace == nil {
+		return
+	}
+	c.trace.add(TraceOp{Thread: threadID, Kind: kind, Addr: a, Size: size, Val: val})
+}

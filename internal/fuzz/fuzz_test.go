@@ -1,0 +1,81 @@
+package fuzz
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCrossCheckBasic(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		st, err := CrossCheck(Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st.States == 0 {
+			t.Errorf("seed %d: no states observed", seed)
+		}
+	}
+}
+
+func TestCrossCheckMixedSizes(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		if _, err := CrossCheck(Config{Seed: seed, MixedSizes: true, Ops: 12}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCrossCheckWithRMW(t *testing.T) {
+	for seed := int64(200); seed < 210; seed++ {
+		if _, err := CrossCheck(Config{Seed: seed, RMW: true, Ops: 12}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCrossCheckThreeLines(t *testing.T) {
+	for seed := int64(300); seed < 306; seed++ {
+		if _, err := CrossCheck(Config{Seed: seed, Lines: 3, WordsPerLine: 1, Ops: 10}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestProgramDeterministic(t *testing.T) {
+	run := func() map[string]bool {
+		seen := make(map[string]bool)
+		st, err := CrossCheck(Config{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen["x"] = st.States > 0
+		return seen
+	}
+	_ = run()
+	s1, _ := CrossCheck(Config{Seed: 42})
+	s2, _ := CrossCheck(Config{Seed: 42})
+	if s1 != s2 {
+		t.Fatalf("non-deterministic cross-check: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestMismatchError(t *testing.T) {
+	var err error = &Mismatch{Seed: 7, LazyOnly: []string{"a"}}
+	var m *Mismatch
+	if !errors.As(err, &m) || m.Seed != 7 {
+		t.Fatal("Mismatch does not unwrap")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Ops == 0 || cfg.Lines == 0 || cfg.WordsPerLine == 0 || cfg.MaxImages == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if n := len(Config{Lines: 3, WordsPerLine: 2}.withDefaults().offsets()); n != 6 {
+		t.Fatalf("offsets = %d, want 6", n)
+	}
+}

@@ -1,0 +1,384 @@
+// Package litmus contains small programs with exactly known sets of
+// post-failure behaviours, validating the operational simulator in
+// internal/tso against the reordering constraints of the paper's Table 1
+// (the Px86sim model). Each test lists the exact set of recovery
+// observations that must be explored — no more (soundness of the
+// constraints) and no fewer (exhaustiveness of the exploration).
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"jaaru/internal/core"
+)
+
+// Test is one litmus program and its expected behaviour set.
+type Test struct {
+	Name string
+	// Doc names the Table 1 cells or §2 prose the test exercises.
+	Doc string
+	// Prog builds the program; obs receives one observation string per
+	// explored post-failure behaviour (or per pre-failure run for
+	// run-phase tests).
+	Prog func(obs func(string)) core.Program
+	// Want is the exact expected observation set, sorted.
+	Want []string
+	// Opts configures the checker (zero value = defaults).
+	Opts core.Options
+	// SkipEager excludes the test from eager cross-checking (run-phase
+	// observations or non-default eviction).
+	SkipEager bool
+}
+
+// Run explores the test's program and returns the sorted set of distinct
+// observations along with the checker result.
+func Run(tst Test) ([]string, *core.Result) {
+	seen := make(map[string]bool)
+	res := core.New(tst.Prog(func(s string) { seen[s] = true }), tst.Opts).Run()
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, res
+}
+
+// Tests returns the litmus suite.
+func Tests() []Test {
+	return []Test{
+		{
+			Name: "clflush-ordered-with-stores",
+			Doc:  "Table 1: Write→clflush ✓ and clflush→Write ✓ — clflush enters the store buffer like a store",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "clflush-ordered",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clflush(x, 8)
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			// y=1 without x=1 is impossible: the second flush cannot pass
+			// the first store.
+			Want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "clflushopt-reorders-across-other-line-store",
+			Doc:  "Table 1: clflushopt→Write ✗ and Write→clflushopt CL — a later clflush to another line can take effect while the clflushopt writeback is still pending",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "clflushopt-reorder",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clflushopt(x, 8)
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			// x=0 y=1 IS reachable: clflush(y) persisted y while the
+			// clflushopt(x) writeback waited for a fence that never came.
+			Want: []string{"x=0 y=0", "x=0 y=1", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "sfence-orders-clflushopt",
+			Doc:  "Table 1: clflushopt→sfence ✓ and sfence→Write ✓ — after an sfence the writeback precedes later flushes",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "sfence-orders",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clflushopt(x, 8)
+						c.Sfence()
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			// x=0 y=1 is now forbidden.
+			Want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "mfence-orders-clflushopt",
+			Doc:  "Table 1: clflushopt→mfence ✓",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "mfence-orders",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clflushopt(x, 8)
+						c.Mfence()
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			Want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "rmw-orders-clflushopt",
+			Doc:  "Table 1: clflushopt→RMW ✓ — locked RMW has fence semantics (§4)",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "rmw-orders",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clflushopt(x, 8)
+						c.AtomicAdd64(c.Root().Add(128), 1)
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			Want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "clflushopt-covers-same-line-stores",
+			Doc:  "Table 1: Write→clflushopt CL — a clflushopt is ordered after earlier stores to its own line",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "clflushopt-same-line",
+					Run: func(c *core.Context) {
+						a, b := c.Root(), c.Root().Add(8) // same line
+						c.Store64(a, 1)
+						c.Store64(b, 1)
+						c.Clflushopt(a, 8)
+						c.Sfence()
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("a=%d b=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(8))))
+					},
+				}
+			},
+			// Once the fence passes, both same-line stores are persistent.
+			// Before it, the cut respects store order: b=1 without a=1 is
+			// impossible.
+			Want: []string{"a=0 b=0", "a=1 b=0", "a=1 b=1"},
+		},
+		{
+			Name: "clwb-identical-to-clflushopt",
+			Doc:  "§2: clwb is semantically identical to clflushopt",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "clwb",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Clwb(x, 8)
+						c.Store64(y, 1)
+						c.Clflush(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			Want: []string{"x=0 y=0", "x=0 y=1", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "persist-idiom",
+			Doc:  "clwb+sfence (Persist) makes a range durable before the next store",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "persist",
+					Run: func(c *core.Context) {
+						x, y := c.Root(), c.Root().Add(64)
+						c.Store64(x, 1)
+						c.Persist(x, 8)
+						c.Store64(y, 1)
+						c.Persist(y, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d y=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			Want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			Name: "same-line-store-order",
+			Doc:  "stores to one line persist in store order (the Figure 2 shape)",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "same-line-order",
+					Run: func(c *core.Context) {
+						a, b := c.Root(), c.Root().Add(8)
+						c.Store64(a, 1)
+						c.Store64(b, 2)
+						c.Store64(a, 3)
+						c.Clflush(a, 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("a=%d b=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(8))))
+					},
+				}
+			},
+			// Cuts of (a=1, b=2, a=3): (0,0) (1,0) (1,2) (3,2).
+			Want: []string{"a=0 b=0", "a=1 b=0", "a=1 b=2", "a=3 b=2"},
+		},
+		{
+			Name: "cross-line-independence",
+			Doc:  "lines persist independently: without flushes, every combination of two lines' contents is reachable",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "cross-line",
+					Run: func(c *core.Context) {
+						c.Store64(c.Root(), 1)
+						c.Store64(c.Root().Add(64), 1)
+						// A store on a third line makes the end-of-run
+						// failure point eligible without constraining the
+						// first two lines.
+						c.Store64(c.Root().Add(128), 1)
+						c.Clflush(c.Root().Add(128), 8)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("a=%d b=%d", c.Load64(c.Root()), c.Load64(c.Root().Add(64))))
+					},
+				}
+			},
+			Want: []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"},
+		},
+		{
+			Name: "cas-as-commit-store",
+			Doc:  "a locked CAS serves as a commit store: its fence semantics order the prior clflushopt writeback",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "cas-commit",
+					Run: func(c *core.Context) {
+						data := c.Root().Add(64)
+						c.Store64(data, 7)
+						c.Clflushopt(data, 8)
+						// The CAS both fences the writeback and publishes.
+						c.CAS64(c.Root(), 0, 1)
+						c.Clflush(c.Root(), 8)
+					},
+					Recover: func(c *core.Context) {
+						committed := c.Load64(c.Root())
+						data := c.Load64(c.Root().Add(64))
+						obs(fmt.Sprintf("committed=%d data=%d", committed, data))
+					},
+				}
+			},
+			// committed=1 with data=0 is impossible: the RMW drained the
+			// flush buffer before its own store took effect.
+			Want: []string{"committed=0 data=0", "committed=0 data=7", "committed=1 data=7"},
+		},
+		{
+			Name: "overwrite-before-flush",
+			Doc:  "only the flushed-or-later values survive: an overwritten, never-flushed value is unreachable",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "overwrite",
+					Run: func(c *core.Context) {
+						x := c.Root()
+						c.Store64(x, 1) // overwritten before any flush
+						c.Store64(x, 2)
+						c.Clflush(x, 8)
+						c.Store64(x, 3)
+					},
+					Recover: func(c *core.Context) {
+						obs(fmt.Sprintf("x=%d", c.Load64(c.Root())))
+					},
+				}
+			},
+			// x=1 appears only for the failure point before the clflush;
+			// after it, the writeback covers x=2 and x=1 is gone forever.
+			Want: []string{"x=0", "x=1", "x=2", "x=3"},
+		},
+		{
+			Name: "store-buffering",
+			Doc:  "Table 1: Write→Read ✗ — the classic SB litmus test under delayed eviction",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "sb",
+					Run: func(c *core.Context) {
+						x := c.Alloc(8, 64)
+						y := c.Alloc(8, 64)
+						var r1, r2 uint64
+						h1 := c.Spawn(func(c *core.Context) {
+							c.Store64(x, 1)
+							r1 = c.Load64(y)
+						})
+						h2 := c.Spawn(func(c *core.Context) {
+							c.Store64(y, 1)
+							r2 = c.Load64(x)
+						})
+						h1.Join(c)
+						h2.Join(c)
+						obs(fmt.Sprintf("r1=%d r2=%d", r1, r2))
+					},
+				}
+			},
+			Want:      []string{"r1=0 r2=0"},
+			Opts:      core.Options{Eviction: core.EvictAtFences},
+			SkipEager: true,
+		},
+		{
+			Name: "store-buffer-bypass",
+			Doc:  "§2: a core observes its own buffered stores (bypassing)",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "bypass",
+					Run: func(c *core.Context) {
+						x := c.Alloc(8, 64)
+						c.Store64(x, 7)
+						obs(fmt.Sprintf("r=%d", c.Load64(x)))
+					},
+				}
+			},
+			Want:      []string{"r=7"},
+			Opts:      core.Options{Eviction: core.EvictAtFences},
+			SkipEager: true,
+		},
+		{
+			Name: "mfence-makes-stores-visible",
+			Doc:  "Table 1: mfence→Read ✓ — after mfence another thread observes the store",
+			Prog: func(obs func(string)) core.Program {
+				return core.Program{
+					Name: "mfence-visible",
+					Run: func(c *core.Context) {
+						x := c.Alloc(8, 64)
+						done := c.Alloc(8, 64)
+						h := c.Spawn(func(c *core.Context) {
+							c.Store64(x, 1)
+							c.Mfence()
+							c.Store64(done, 1)
+							c.Mfence()
+						})
+						// Spin until the flag is visible, then x must be too.
+						for c.Load64(done) == 0 {
+						}
+						obs(fmt.Sprintf("x=%d", c.Load64(x)))
+						h.Join(c)
+					},
+				}
+			},
+			Want:      []string{"x=1"},
+			Opts:      core.Options{Eviction: core.EvictAtFences},
+			SkipEager: true,
+		},
+	}
+}

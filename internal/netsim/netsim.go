@@ -1,0 +1,150 @@
+// Package netsim is a deterministic network substrate for model checking
+// server programs. The paper's key limitation (§5) is that programs such as
+// Redis and Memcached "interact with the outside world and [their]
+// non-determinism from the network would require deterministic replay for a
+// model checker to work"; it suggests integrating "with existing
+// record-and-replay debugging frameworks to lift this limitation". This
+// package is that integration in miniature: client interactions are
+// recorded as a Trace, and a Conn replays them to the guest server
+// identically in every explored execution, so the only nondeterminism left
+// is the persistency nondeterminism Jaaru explores.
+package netsim
+
+import "fmt"
+
+// Op is a client request operation.
+type Op int
+
+const (
+	// OpSet stores a key.
+	OpSet Op = iota
+	// OpGet reads a key.
+	OpGet
+	// OpDel removes a key.
+	OpDel
+	// OpAdd increments a key's value (non-idempotent: the operation that
+	// exposes missing exactly-once bookkeeping across failures).
+	OpAdd
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSet:
+		return "SET"
+	case OpGet:
+		return "GET"
+	case OpDel:
+		return "DEL"
+	case OpAdd:
+		return "ADD"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request is one recorded client request.
+type Request struct {
+	Op  Op
+	Key uint64
+	Val uint64
+}
+
+func (r Request) String() string {
+	switch r.Op {
+	case OpSet:
+		return fmt.Sprintf("%v %d=%d", r.Op, r.Key, r.Val)
+	case OpAdd:
+		return fmt.Sprintf("%v %d+=%d", r.Op, r.Key, r.Val)
+	default:
+		return fmt.Sprintf("%v %d", r.Op, r.Key)
+	}
+}
+
+// Response is the server's answer to one request.
+type Response struct {
+	OK  bool
+	Val uint64
+}
+
+// Trace is a recorded client session.
+type Trace []Request
+
+// Conn replays a Trace to a guest server, one request per Recv, starting
+// at a given sequence number — the replay side of record-and-replay. The
+// response log is volatile, like a socket buffer: it does not survive a
+// simulated power failure.
+type Conn struct {
+	trace     Trace
+	next      int
+	responses []Response
+}
+
+// NewConn opens a replay connection delivering trace[from:].
+func NewConn(trace Trace, from uint64) *Conn {
+	n := int(from)
+	if n > len(trace) {
+		n = len(trace)
+	}
+	return &Conn{trace: trace, next: n}
+}
+
+// Recv delivers the next recorded request; ok is false at end of trace.
+// Seq is the request's position in the full trace, used by exactly-once
+// servers to deduplicate replayed requests across failures.
+func (c *Conn) Recv() (req Request, seq uint64, ok bool) {
+	if c.next >= len(c.trace) {
+		return Request{}, 0, false
+	}
+	req = c.trace[c.next]
+	seq = uint64(c.next)
+	c.next++
+	return req, seq, true
+}
+
+// Send records a response (volatile).
+func (c *Conn) Send(r Response) { c.responses = append(c.responses, r) }
+
+// Responses returns the responses sent so far on this connection.
+func (c *Conn) Responses() []Response { return c.responses }
+
+// Merge interleaves several recorded client sessions round-robin into the
+// single total order the server observed — the record side of checking a
+// multi-client server: the merged trace replays identically in every
+// explored execution.
+func Merge(traces ...Trace) Trace {
+	var out Trace
+	idx := make([]int, len(traces))
+	for {
+		progress := false
+		for i, tr := range traces {
+			if idx[i] < len(tr) {
+				out = append(out, tr[idx[i]])
+				idx[i]++
+				progress = true
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// Expected computes the key-value map a correct server holds after
+// applying exactly trace[:n].
+func (t Trace) Expected(n uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for i, r := range t {
+		if uint64(i) >= n {
+			break
+		}
+		switch r.Op {
+		case OpSet:
+			m[r.Key] = r.Val
+		case OpDel:
+			delete(m, r.Key)
+		case OpAdd:
+			m[r.Key] += r.Val
+		}
+	}
+	return m
+}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+func trace1() Trace {
+	return Trace{
+		{Op: OpSet, Key: 1, Val: 10},
+		{Op: OpSet, Key: 2, Val: 20},
+		{Op: OpAdd, Key: 1, Val: 5},
+		{Op: OpGet, Key: 2},
+		{Op: OpDel, Key: 2},
+		{Op: OpAdd, Key: 3, Val: 7},
+		{Op: OpSet, Key: 1, Val: 99},
+	}
+}
+
+func TestConnReplay(t *testing.T) {
+	tr := trace1()
+	conn := NewConn(tr, 2)
+	req, seq, ok := conn.Recv()
+	if !ok || seq != 2 || req.Op != OpAdd {
+		t.Fatalf("Recv = %v %d %v", req, seq, ok)
+	}
+	n := 1
+	for {
+		if _, _, ok := conn.Recv(); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(tr)-2 {
+		t.Errorf("replayed %d requests, want %d", n, len(tr)-2)
+	}
+	conn.Send(Response{OK: true, Val: 7})
+	if r := conn.Responses(); len(r) != 1 || r[0].Val != 7 {
+		t.Errorf("responses = %v", r)
+	}
+}
+
+func TestTraceExpected(t *testing.T) {
+	tr := trace1()
+	full := tr.Expected(uint64(len(tr)))
+	if full[1] != 99 || full[3] != 7 {
+		t.Errorf("Expected(full) = %v", full)
+	}
+	if _, ok := full[2]; ok {
+		t.Error("deleted key survived in Expected")
+	}
+	mid := tr.Expected(3)
+	if mid[1] != 15 || mid[2] != 20 {
+		t.Errorf("Expected(3) = %v", mid)
+	}
+	if len(tr.Expected(0)) != 0 {
+		t.Error("Expected(0) not empty")
+	}
+}
+
+func TestServerDirect(t *testing.T) {
+	res := core.Execute("kvserver-direct", func(c *core.Context) {
+		tr := trace1()
+		s := StartServer(c, 4, ServerBugs{})
+		conn := NewConn(tr, 0)
+		s.Serve(conn)
+		s.CheckAgainst(tr.Expected(uint64(len(tr))))
+		// GET responses reflect the state at their position in the trace.
+		resp := conn.Responses()
+		if len(resp) != len(tr) {
+			t.Fatalf("%d responses for %d requests", len(resp), len(tr))
+		}
+		if !resp[3].OK || resp[3].Val != 20 {
+			t.Errorf("GET 2 response = %+v", resp[3])
+		}
+	}, core.Options{})
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs[0])
+	}
+}
+
+// The exactly-once server must survive a failure at every point of the
+// trace: the recovered store matches the applied prefix, and resuming the
+// replay converges to the full trace — including the non-idempotent ADDs.
+func TestServerExactlyOnceUnderFailures(t *testing.T) {
+	res := core.New(Program("kvserver", trace1(), ServerBugs{}), core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v\nchoices: %s", res.Bugs[0], res.Bugs[0].Choices)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	if res.FailurePoints < 10 {
+		t.Errorf("only %d failure points", res.FailurePoints)
+	}
+}
+
+// With the applied counter committed outside the mutation's transaction, a
+// crash between the two replays a request — the ADDs make it visible.
+func TestServerSeqOutsideTxBug(t *testing.T) {
+	res := core.New(Program("kvserver-buggy", trace1(), ServerBugs{SeqOutsideTx: true}),
+		core.Options{StopAtFirstBug: true}).Run()
+	if !res.Buggy() {
+		t.Fatal("split-transaction replay bug not detected")
+	}
+	if res.Bugs[0].Type != core.BugAssertion {
+		t.Errorf("manifestation = %v", res.Bugs[0])
+	}
+}
+
+// Multi-failure: the server must stay exactly-once across repeated crashes
+// (a failure during the recovery replay itself).
+func TestServerExactlyOnceTwoFailures(t *testing.T) {
+	short := Trace{
+		{Op: OpAdd, Key: 1, Val: 1},
+		{Op: OpAdd, Key: 1, Val: 2},
+		{Op: OpAdd, Key: 1, Val: 4},
+	}
+	res := core.New(Program("kvserver-2f", short, ServerBugs{}),
+		core.Options{MaxFailures: 2}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v\nchoices: %s", res.Bugs[0], res.Bugs[0].Choices)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	a := Trace{{Op: OpSet, Key: 1, Val: 1}, {Op: OpSet, Key: 1, Val: 2}}
+	b := Trace{{Op: OpSet, Key: 2, Val: 9}}
+	m := Merge(a, b)
+	if len(m) != 3 || m[0].Key != 1 || m[1].Key != 2 || m[2].Val != 2 {
+		t.Fatalf("Merge = %v", m)
+	}
+	if len(Merge()) != 0 {
+		t.Error("empty merge not empty")
+	}
+}
+
+// A two-client session, merged and checked under failures.
+func TestServerTwoClientsUnderFailures(t *testing.T) {
+	client1 := Trace{
+		{Op: OpSet, Key: 1, Val: 100},
+		{Op: OpAdd, Key: 1, Val: 11},
+	}
+	client2 := Trace{
+		{Op: OpSet, Key: 2, Val: 200},
+		{Op: OpDel, Key: 1},
+	}
+	res := core.New(Program("kvserver-2c", Merge(client1, client2), ServerBugs{}),
+		core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v", res.Bugs[0])
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}

@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"jaaru/internal/core"
+	"jaaru/internal/pmdk"
+)
+
+// KVServer is a persistent-memory key-value server — a Memcached-style
+// program of the kind the paper could not check without deterministic
+// replay. Every mutation commits together with the request's sequence
+// number in one undo transaction, so replaying the recorded trace after a
+// failure is exactly-once: recovery reads the applied counter and resumes
+// from the first unapplied request.
+//
+// The seeded bug (SeqOutsideTx) updates the counter in a separate
+// transaction after the mutation — a crash in between replays the request,
+// which the non-idempotent ADD operation turns into a visible corruption.
+
+const (
+	kvStateSize   = 16 // applied (8), dir ptr (8)
+	kvNodeSize    = 24 // key, val, next
+	kvDirSize     = 8  // nBuckets, then the bucket array
+	kvNodeOffKey  = 0
+	kvNodeOffVal  = 8
+	kvNodeOffNext = 16
+)
+
+// ServerBugs selects seeded server bugs.
+type ServerBugs struct {
+	// SeqOutsideTx commits the applied-sequence update in its own
+	// transaction after the mutation's: a crash between the two replays
+	// the request on recovery.
+	SeqOutsideTx bool
+}
+
+// KVServer is bound to one guest context and one pool.
+type KVServer struct {
+	c        *core.Context
+	p        *pmdk.Pool
+	state    core.Addr
+	dir      core.Addr
+	nBuckets uint64
+	bugs     ServerBugs
+}
+
+// StartServer creates the pool and the server state.
+func StartServer(c *core.Context, nBuckets uint64, bugs ServerBugs) *KVServer {
+	p := pmdk.Create(c, 4<<20, pmdk.CreateBugs{})
+	dir := p.PAlloc(kvDirSize+8*nBuckets, pmdk.HeapBugs{})
+	c.Store64(dir, nBuckets)
+	c.Persist(dir, kvDirSize+8*nBuckets)
+	state := p.PAlloc(kvStateSize, pmdk.HeapBugs{})
+	c.Store64(state, 0) // applied = 0
+	c.StorePtr(state.Add(8), dir)
+	c.Persist(state, kvStateSize)
+	p.SetRootObj(state) // commit store
+	return &KVServer{c: c, p: p, state: state, dir: dir, nBuckets: nBuckets, bugs: bugs}
+}
+
+// RecoverServer re-opens the pool after a failure; ok is false when the
+// server never finished starting.
+func RecoverServer(c *core.Context, bugs ServerBugs) (*KVServer, bool) {
+	p, ok := pmdk.Open(c)
+	if !ok {
+		return nil, false
+	}
+	p.TxRecover()
+	state := p.RootObj()
+	if state == 0 {
+		return nil, false
+	}
+	dir := c.LoadPtr(state.Add(8))
+	return &KVServer{
+		c: c, p: p, state: state, dir: dir,
+		nBuckets: c.Load64(dir), bugs: bugs,
+	}, true
+}
+
+// Applied returns the sequence number of the first unapplied request.
+func (s *KVServer) Applied() uint64 { return s.c.Load64(s.state) }
+
+func (s *KVServer) bucket(key uint64) core.Addr {
+	h := key * 0x9E3779B97F4A7C15 >> 32
+	return s.dir.Add(kvDirSize + 8*(h%s.nBuckets))
+}
+
+// find returns the link holding the node for key (or the chain tail link).
+func (s *KVServer) find(key uint64) (link core.Addr, node core.Addr) {
+	c := s.c
+	link = s.bucket(key)
+	for {
+		node = c.LoadPtr(link)
+		if node == 0 || c.Load64(node.Add(kvNodeOffKey)) == key {
+			return link, node
+		}
+		link = node.Add(kvNodeOffNext)
+	}
+}
+
+// bumpApplied logs and advances the applied counter within tx.
+func (s *KVServer) bumpApplied(tx *pmdk.Tx, seq uint64) {
+	tx.Add(s.state, 8)
+	s.c.Store64(s.state, seq+1)
+}
+
+// Serve drains the connection, applying each request exactly once.
+func (s *KVServer) Serve(conn *Conn) {
+	c := s.c
+	for {
+		req, seq, ok := conn.Recv()
+		if !ok {
+			return
+		}
+		c.Assert(seq == s.Applied(), "server resumed at seq %d, applied is %d", seq, s.Applied())
+		switch req.Op {
+		case OpGet:
+			_, node := s.find(req.Key)
+			tx := s.p.TxBegin(pmdk.TxBugs{})
+			s.bumpApplied(tx, seq)
+			tx.Commit()
+			if node == 0 {
+				conn.Send(Response{OK: false})
+			} else {
+				conn.Send(Response{OK: true, Val: c.Load64(node.Add(kvNodeOffVal))})
+			}
+		case OpSet:
+			s.mutate(seq, req.Key, func(tx *pmdk.Tx, valAddr core.Addr) {
+				c.Store64(valAddr, req.Val)
+			})
+			conn.Send(Response{OK: true})
+		case OpAdd:
+			s.mutate(seq, req.Key, func(tx *pmdk.Tx, valAddr core.Addr) {
+				c.Store64(valAddr, c.Load64(valAddr)+req.Val)
+			})
+			conn.Send(Response{OK: true})
+		case OpDel:
+			link, node := s.find(req.Key)
+			tx := s.p.TxBegin(pmdk.TxBugs{})
+			if node != 0 {
+				tx.Add(link, 8)
+				c.StorePtr(link, c.LoadPtr(node.Add(kvNodeOffNext)))
+			}
+			if s.bugs.SeqOutsideTx {
+				tx.Commit()
+				s.commitSeqSeparately(seq)
+			} else {
+				s.bumpApplied(tx, seq)
+				tx.Commit()
+			}
+			conn.Send(Response{OK: node != 0})
+		}
+	}
+}
+
+// mutate applies an update to key's value slot (creating the node if
+// needed) atomically with the applied counter — unless the seeded bug
+// splits them.
+func (s *KVServer) mutate(seq, key uint64, apply func(tx *pmdk.Tx, valAddr core.Addr)) {
+	c := s.c
+	link, node := s.find(key)
+	tx := s.p.TxBegin(pmdk.TxBugs{})
+	if node == 0 {
+		node = s.p.PAlloc(kvNodeSize, pmdk.HeapBugs{})
+		c.Store64(node.Add(kvNodeOffKey), key)
+		c.Persist(node, kvNodeSize)
+		tx.Add(link, 8)
+		c.StorePtr(link, node)
+	}
+	tx.Add(node.Add(kvNodeOffVal), 8)
+	apply(tx, node.Add(kvNodeOffVal))
+	if s.bugs.SeqOutsideTx {
+		tx.Commit()
+		s.commitSeqSeparately(seq)
+		return
+	}
+	s.bumpApplied(tx, seq)
+	tx.Commit()
+}
+
+// commitSeqSeparately is the seeded bug: the applied counter commits in its
+// own later transaction.
+func (s *KVServer) commitSeqSeparately(seq uint64) {
+	tx := s.p.TxBegin(pmdk.TxBugs{})
+	s.bumpApplied(tx, seq)
+	tx.Commit()
+}
+
+// CheckAgainst asserts the store's contents equal the expected map.
+func (s *KVServer) CheckAgainst(want map[uint64]uint64) {
+	c := s.c
+	total := 0
+	for b := uint64(0); b < s.nBuckets; b++ {
+		node := c.LoadPtr(s.dir.Add(kvDirSize + 8*b))
+		steps := 0
+		for node != 0 {
+			c.Assert(steps < 1<<12, "kvserver: chain cycle in bucket %d", b)
+			steps++
+			k := c.Load64(node.Add(kvNodeOffKey))
+			v := c.Load64(node.Add(kvNodeOffVal))
+			wv, ok := want[k]
+			c.Assert(ok, "kvserver: key %d should not exist", k)
+			c.Assert(v == wv, "kvserver: key %d has value %d, want %d", k, v, wv)
+			total++
+			node = c.LoadPtr(node.Add(kvNodeOffNext))
+		}
+	}
+	c.Assert(total == len(want), "kvserver: %d keys stored, want %d", total, len(want))
+}
+
+// Program builds a checkable server program: the pre-failure execution
+// starts the server and serves the trace; recovery resumes serving the
+// unapplied suffix and validates the final store against the trace's
+// expected contents.
+func Program(name string, trace Trace, bugs ServerBugs) core.Program {
+	return core.Program{
+		Name: name,
+		Run: func(c *core.Context) {
+			s := StartServer(c, 4, bugs)
+			conn := NewConn(trace, 0)
+			s.Serve(conn)
+			s.CheckAgainst(trace.Expected(uint64(len(trace))))
+		},
+		Recover: func(c *core.Context) {
+			s, ok := RecoverServer(c, bugs)
+			if !ok {
+				return
+			}
+			applied := s.Applied()
+			c.Assert(applied <= uint64(len(trace)), "applied %d beyond trace", applied)
+			// The store must reflect exactly the applied prefix...
+			s.CheckAgainst(trace.Expected(applied))
+			// ...and resuming the replay must converge to the full trace.
+			s.Serve(NewConn(trace, applied))
+			s.CheckAgainst(trace.Expected(uint64(len(trace))))
+		},
+	}
+}

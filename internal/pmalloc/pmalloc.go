@@ -1,0 +1,77 @@
+// Package pmalloc provides the scenario-level persistent-memory allocator
+// used by the model checker's guest API. It is a monotonic bump allocator:
+// addresses handed out survive simulated power failures (the pool region is
+// the same across the executions of a failure scenario) and are never reused
+// within a scenario, so post-failure allocations cannot alias pre-failure
+// data. The checker resets the allocator between scenarios.
+//
+// Allocations are zero-initialized, matching the semantics of a freshly
+// created, zeroed persistent-memory pool. Persistent allocators with
+// recoverable metadata (such as the mini-PMDK heap) are built on top of this
+// one inside guest programs, where their metadata is itself subject to
+// crash-consistency checking.
+package pmalloc
+
+import "jaaru/internal/pmem"
+
+// Allocator is a monotonic bump allocator over [base, base+size).
+type Allocator struct {
+	base  pmem.Addr
+	next  pmem.Addr
+	limit pmem.Addr
+}
+
+// New returns an allocator over the pool region [base, base+size).
+func New(base pmem.Addr, size uint64) *Allocator {
+	return &Allocator{base: base, next: base, limit: base.Add(size)}
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two;
+// 0 or 1 mean byte alignment). It reports failure when the pool is
+// exhausted. A zero size allocates one byte so that every allocation has a
+// distinct address.
+func (a *Allocator) Alloc(size, align uint64) (pmem.Addr, bool) {
+	if size == 0 {
+		size = 1
+	}
+	if align > 1 {
+		mask := pmem.Addr(align - 1)
+		a.next = (a.next + mask) &^ mask
+	}
+	if a.next < a.base || a.next.Add(size) > a.limit || a.next.Add(size) < a.next {
+		return 0, false
+	}
+	addr := a.next
+	a.next = a.next.Add(size)
+	return addr, true
+}
+
+// Reset returns the allocator to its initial state (a fresh scenario).
+func (a *Allocator) Reset() { a.next = a.base }
+
+// Grow raises the high-water mark to at least `to` (clamped to the pool
+// limit), marking [base, to) allocated. Used to replay an allocation state
+// captured from another run.
+func (a *Allocator) Grow(to pmem.Addr) {
+	if to > a.limit {
+		to = a.limit
+	}
+	if to > a.next {
+		a.next = to
+	}
+}
+
+// Base returns the start of the pool region.
+func (a *Allocator) Base() pmem.Addr { return a.base }
+
+// Limit returns the exclusive end of the pool region.
+func (a *Allocator) Limit() pmem.Addr { return a.limit }
+
+// HighWater returns the exclusive end of the allocated region.
+func (a *Allocator) HighWater() pmem.Addr { return a.next }
+
+// InBounds reports whether [addr, addr+size) lies entirely within allocated
+// memory.
+func (a *Allocator) InBounds(addr pmem.Addr, size uint64) bool {
+	return addr >= a.base && addr.Add(size) <= a.next && addr.Add(size) >= addr
+}

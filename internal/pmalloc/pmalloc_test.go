@@ -1,0 +1,139 @@
+package pmalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jaaru/internal/pmem"
+)
+
+func TestAllocBasic(t *testing.T) {
+	a := New(0x10000, 4096)
+	p1, ok := a.Alloc(16, 8)
+	if !ok || p1 != 0x10000 {
+		t.Fatalf("first alloc = %v, %v", p1, ok)
+	}
+	p2, ok := a.Alloc(16, 8)
+	if !ok || p2 != 0x10010 {
+		t.Fatalf("second alloc = %v, %v", p2, ok)
+	}
+	if !a.InBounds(p1, 32) {
+		t.Error("allocated range reported out of bounds")
+	}
+	if a.InBounds(p2, 17) {
+		t.Error("range past high water reported in bounds")
+	}
+	if a.InBounds(0x0ffff, 1) {
+		t.Error("range below base reported in bounds")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := New(0x10000, 4096)
+	if _, ok := a.Alloc(3, 0); !ok {
+		t.Fatal("alloc failed")
+	}
+	p, ok := a.Alloc(8, 64)
+	if !ok || p.LineOffset() != 0 {
+		t.Fatalf("line-aligned alloc = %v", p)
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	a := New(0x10000, 4096)
+	p1, _ := a.Alloc(0, 1)
+	p2, _ := a.Alloc(0, 1)
+	if p1 == p2 {
+		t.Error("zero-size allocations aliased")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	a := New(0x10000, 64)
+	if _, ok := a.Alloc(64, 1); !ok {
+		t.Fatal("exact-fit alloc failed")
+	}
+	if _, ok := a.Alloc(1, 1); ok {
+		t.Fatal("alloc past limit succeeded")
+	}
+	a.Reset()
+	if _, ok := a.Alloc(64, 1); !ok {
+		t.Fatal("alloc after reset failed")
+	}
+}
+
+func TestAllocDeterministic(t *testing.T) {
+	run := func() []pmem.Addr {
+		a := New(0x10000, 1<<20)
+		var out []pmem.Addr
+		for i := uint64(1); i < 50; i++ {
+			p, _ := a.Alloc(i*3%40+1, 1<<(i%7))
+			out = append(out, p)
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("allocation %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestAllocProperty(t *testing.T) {
+	// Allocations never overlap and are always aligned.
+	f := func(sizes []uint16, alignBits []uint8) bool {
+		a := New(0x10000, 1<<24)
+		type rng struct{ lo, hi pmem.Addr }
+		var prev []rng
+		for i, sz := range sizes {
+			if i >= len(alignBits) {
+				break
+			}
+			align := uint64(1) << (alignBits[i] % 8)
+			p, ok := a.Alloc(uint64(sz), align)
+			if !ok {
+				return true // pool exhausted is acceptable
+			}
+			if uint64(p)%align != 0 {
+				return false
+			}
+			size := uint64(sz)
+			if size == 0 {
+				size = 1
+			}
+			for _, r := range prev {
+				if p < r.hi && p.Add(size) > r.lo {
+					return false
+				}
+			}
+			prev = append(prev, rng{p, p.Add(size)})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowAndAccessors(t *testing.T) {
+	a := New(0x10000, 4096)
+	if a.Base() != 0x10000 || a.Limit() != 0x11000 {
+		t.Fatalf("Base/Limit = %v/%v", a.Base(), a.Limit())
+	}
+	a.Grow(0x10100)
+	if a.HighWater() != 0x10100 {
+		t.Errorf("HighWater after Grow = %v", a.HighWater())
+	}
+	a.Grow(0x10080) // must not shrink
+	if a.HighWater() != 0x10100 {
+		t.Errorf("Grow shrank the high water to %v", a.HighWater())
+	}
+	a.Grow(0x20000) // clamped to the limit
+	if a.HighWater() != a.Limit() {
+		t.Errorf("Grow past limit = %v", a.HighWater())
+	}
+	if p, ok := a.Alloc(1, 1); ok {
+		t.Errorf("allocation after exhausting Grow succeeded at %v", p)
+	}
+}

@@ -1,0 +1,296 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// BTree is the analog of PMDK's btree_map example: an order-4 B-tree with
+// (key, value) pairs in every node, made failure-atomic with undo-log
+// transactions. Figure 12's bug #1 ("Illegal memory access at
+// btree_map.c:89") is seeded by NoNodeFlush: a split links a sibling node
+// whose contents were never persisted, so post-failure traversal descends
+// through a garbage pointer.
+
+const (
+	btMaxKeys  = 3
+	btNodeSize = 96
+
+	btOffN        = 0
+	btOffLeaf     = 8
+	btOffKeys     = 16 // 3 × 8
+	btOffVals     = 40 // 3 × 8
+	btOffChildren = 64 // 4 × 8
+)
+
+// BTreeBugs selects seeded btree bugs.
+type BTreeBugs struct {
+	// NoNodeFlush skips persisting newly created nodes before they are
+	// linked into the tree — PMDK bug #1.
+	NoNodeFlush bool
+	// Tx seeds bugs in the underlying transaction layer.
+	Tx TxBugs
+	// Heap seeds bugs in the persistent allocator.
+	Heap HeapBugs
+}
+
+// BTree is a handle to the persistent B-tree rooted at the pool's root
+// object.
+type BTree struct {
+	p    *Pool
+	bugs BTreeBugs
+}
+
+// NewBTree binds a B-tree handle to a pool.
+func NewBTree(p *Pool, bugs BTreeBugs) *BTree { return &BTree{p: p, bugs: bugs} }
+
+func (t *BTree) c() *core.Context { return t.p.c }
+
+func (t *BTree) newNode(leaf bool) core.Addr {
+	n := t.p.PAlloc(btNodeSize, t.bugs.Heap)
+	if leaf {
+		t.c().Store64(n.Add(btOffLeaf), 1)
+	}
+	return n
+}
+
+// persistNew persists a freshly initialized node (before linking). The
+// NoNodeFlush bug omits it.
+func (t *BTree) persistNew(n core.Addr) {
+	if !t.bugs.NoNodeFlush {
+		t.c().Persist(n, btNodeSize)
+	}
+}
+
+func (t *BTree) nKeys(n core.Addr) uint64 { return t.c().Load64(n.Add(btOffN)) }
+func (t *BTree) isLeaf(n core.Addr) bool  { return t.c().Load64(n.Add(btOffLeaf)) != 0 }
+func (t *BTree) key(n core.Addr, i uint64) uint64 {
+	return t.c().Load64(n.Add(btOffKeys + 8*i))
+}
+func (t *BTree) val(n core.Addr, i uint64) uint64 {
+	return t.c().Load64(n.Add(btOffVals + 8*i))
+}
+func (t *BTree) child(n core.Addr, i uint64) core.Addr {
+	return t.c().LoadPtr(n.Add(btOffChildren + 8*i))
+}
+
+// txAddNode logs a whole node (two undo entries: the 64-byte limit).
+func (t *BTree) txAddNode(tx *Tx, n core.Addr) {
+	tx.AddSkippable(n, 64)
+	tx.AddSkippable(n.Add(64), btNodeSize-64)
+}
+
+// Insert adds or updates a key failure-atomically.
+func (t *BTree) Insert(key, value uint64) {
+	c := t.c()
+	tx := t.p.TxBegin(t.bugs.Tx)
+	root := t.p.RootObj()
+	if root == 0 {
+		leaf := t.newNode(true)
+		c.Store64(leaf.Add(btOffKeys), key)
+		c.Store64(leaf.Add(btOffVals), value)
+		c.Store64(leaf.Add(btOffN), 1)
+		t.persistNew(leaf)
+		tx.Add(t.p.RootObjAddr(), 8)
+		c.StorePtr(t.p.RootObjAddr(), leaf)
+		tx.Commit()
+		return
+	}
+	if t.nKeys(root) == btMaxKeys {
+		nr := t.newNode(false)
+		c.StorePtr(nr.Add(btOffChildren), root)
+		t.persistNew(nr)
+		t.splitChild(tx, nr, 0)
+		tx.Add(t.p.RootObjAddr(), 8)
+		c.StorePtr(t.p.RootObjAddr(), nr)
+		root = nr
+	}
+	t.insertNonFull(tx, root, key, value)
+	tx.Commit()
+}
+
+// splitChild splits the full child at index i of parent, moving the median
+// pair up into parent.
+func (t *BTree) splitChild(tx *Tx, parent core.Addr, i uint64) {
+	c := t.c()
+	child := t.child(parent, i)
+	leaf := t.isLeaf(child)
+
+	sib := t.newNode(leaf)
+	// The right key (index 2) moves to the sibling.
+	c.Store64(sib.Add(btOffKeys), t.key(child, 2))
+	c.Store64(sib.Add(btOffVals), t.val(child, 2))
+	if !leaf {
+		c.StorePtr(sib.Add(btOffChildren), t.child(child, 2))
+		c.StorePtr(sib.Add(btOffChildren+8), t.child(child, 3))
+	}
+	c.Store64(sib.Add(btOffN), 1)
+	t.persistNew(sib)
+
+	midKey, midVal := t.key(child, 1), t.val(child, 1)
+
+	t.txAddNode(tx, parent)
+	n := t.nKeys(parent)
+	for j := n; j > i; j-- {
+		c.Store64(parent.Add(btOffKeys+8*j), t.key(parent, j-1))
+		c.Store64(parent.Add(btOffVals+8*j), t.val(parent, j-1))
+	}
+	for j := n + 1; j > i+1; j-- {
+		c.StorePtr(parent.Add(btOffChildren+8*j), t.child(parent, j-1))
+	}
+	c.Store64(parent.Add(btOffKeys+8*i), midKey)
+	c.Store64(parent.Add(btOffVals+8*i), midVal)
+	c.StorePtr(parent.Add(btOffChildren+8*(i+1)), sib)
+	c.Store64(parent.Add(btOffN), n+1)
+
+	// Truncate the child to its left key.
+	tx.AddSkippable(child.Add(btOffN), 8)
+	c.Store64(child.Add(btOffN), 1)
+}
+
+func (t *BTree) insertNonFull(tx *Tx, node core.Addr, key, value uint64) {
+	c := t.c()
+	for {
+		n := t.nKeys(node)
+		// Existing key anywhere in this node: update in place.
+		for i := uint64(0); i < n; i++ {
+			if t.key(node, i) == key {
+				tx.Add(node.Add(btOffVals+8*i), 8)
+				c.Store64(node.Add(btOffVals+8*i), value)
+				return
+			}
+		}
+		if t.isLeaf(node) {
+			t.txAddNode(tx, node)
+			i := n
+			for i > 0 && t.key(node, i-1) > key {
+				c.Store64(node.Add(btOffKeys+8*i), t.key(node, i-1))
+				c.Store64(node.Add(btOffVals+8*i), t.val(node, i-1))
+				i--
+			}
+			c.Store64(node.Add(btOffKeys+8*i), key)
+			c.Store64(node.Add(btOffVals+8*i), value)
+			c.Store64(node.Add(btOffN), n+1)
+			return
+		}
+		i := uint64(0)
+		for i < n && key > t.key(node, i) {
+			i++
+		}
+		childAddr := t.child(node, i)
+		if t.nKeys(childAddr) == btMaxKeys {
+			t.splitChild(tx, node, i)
+			if key == t.key(node, i) {
+				tx.Add(node.Add(btOffVals+8*i), 8)
+				c.Store64(node.Add(btOffVals+8*i), value)
+				return
+			}
+			if key > t.key(node, i) {
+				i++
+			}
+			childAddr = t.child(node, i)
+		}
+		node = childAddr
+	}
+}
+
+// Lookup returns the value stored for key.
+func (t *BTree) Lookup(key uint64) (uint64, bool) {
+	node := t.p.RootObj()
+	for node != 0 {
+		n := t.nKeys(node)
+		i := uint64(0)
+		for i < n && key > t.key(node, i) {
+			i++
+		}
+		if i < n && t.key(node, i) == key {
+			v := t.val(node, i)
+			if v == btTombstone {
+				return 0, false
+			}
+			return v, true
+		}
+		if t.isLeaf(node) {
+			return 0, false
+		}
+		node = t.child(node, i)
+	}
+	return 0, false
+}
+
+// Check walks the whole tree validating structural invariants — the
+// recovery-time sanity pass. Corrupt nodes manifest as the paper's
+// btree_map.c:89 symptoms (assertion or a wild child dereference).
+func (t *BTree) Check() int {
+	root := t.p.RootObj()
+	if root == 0 {
+		return 0
+	}
+	return t.checkNode(root, 0, ^uint64(0), 0)
+}
+
+func (t *BTree) checkNode(node core.Addr, lo, hi uint64, depth int) int {
+	c := t.c()
+	c.Assert(depth < 32, "btree_map.c:89: tree depth exceeds 32 (cycle?)")
+	n := t.nKeys(node)
+	leafWord := c.Load64(node.Add(btOffLeaf))
+	c.Assert(n >= 1 && n <= btMaxKeys, "btree_map.c:89: node %v has %d keys", node, n)
+	c.Assert(leafWord <= 1, "btree_map.c:89: node %v has leaf flag %d", node, leafWord)
+	count := 0
+	prev := lo
+	for i := uint64(0); i < n; i++ {
+		k := t.key(node, i)
+		c.Assert(k >= prev && k < hi, "btree_map.c:89: key %d out of order in node %v", k, node)
+		prev = k + 1
+		if t.val(node, i) != btTombstone {
+			count++
+		}
+	}
+	if leafWord == 0 {
+		for i := uint64(0); i <= n; i++ {
+			childLo, childHi := lo, hi
+			if i > 0 {
+				childLo = t.key(node, i-1) + 1
+			}
+			if i < n {
+				childHi = t.key(node, i)
+			}
+			// A garbage pointer is dereferenced, like btree_map.c:89.
+			count += t.checkNode(t.child(node, i), childLo, childHi, depth+1)
+		}
+	}
+	return count
+}
+
+// btTombstone marks a deleted value. Deletion is "lazy", as in several PM
+// tree designs: the key stays in place and its value slot is overwritten —
+// a single logged 8-byte write, trivially failure-atomic — and a later
+// Insert of the same key revives it. The sentinel restricts user values to
+// anything but ^uint64(0).
+const btTombstone = ^uint64(0)
+
+// Delete removes a key failure-atomically, reporting whether it was
+// present.
+func (t *BTree) Delete(key uint64) bool {
+	c := t.c()
+	node := t.p.RootObj()
+	for node != 0 {
+		n := t.nKeys(node)
+		i := uint64(0)
+		for i < n && key > t.key(node, i) {
+			i++
+		}
+		if i < n && t.key(node, i) == key {
+			if t.val(node, i) == btTombstone {
+				return false
+			}
+			tx := t.p.TxBegin(t.bugs.Tx)
+			tx.Add(node.Add(btOffVals+8*i), 8)
+			c.Store64(node.Add(btOffVals+8*i), btTombstone)
+			tx.Commit()
+			return true
+		}
+		if t.isLeaf(node) {
+			return false
+		}
+		node = t.child(node, i)
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+package pmdk
+
+import (
+	"jaaru/internal/core"
+)
+
+// This file defines the checkable workload programs for each PMDK example
+// structure and the registry of seeded bugs reproducing Figures 12 and 16.
+
+// workloadKeys is the insertion order used by all PMDK workloads: scrambled
+// so trees split and rotate.
+var workloadKeys = []uint64{50, 20, 80, 10, 90, 30, 70, 40, 60}
+
+func keysN(n int) []uint64 {
+	if n > len(workloadKeys) {
+		n = len(workloadKeys)
+	}
+	return workloadKeys[:n]
+}
+
+const workloadHeap = 64 << 10
+
+// checkPrefix validates the committed-prefix property: sequential
+// transactional inserts commit in order, so the recovered key set must be a
+// prefix of the insertion order, and the structure's total count must equal
+// the prefix length.
+func checkPrefix(c *core.Context, keys []uint64, total int,
+	lookup func(uint64) (uint64, bool)) {
+	prefix := 0
+	for i, k := range keys {
+		v, ok := lookup(k)
+		if !ok {
+			break
+		}
+		c.Assert(v == k*10, "recovered value %d for key %d", v, k)
+		prefix = i + 1
+	}
+	for _, k := range keys[prefix:] {
+		_, ok := lookup(k)
+		c.Assert(!ok, "key %d present but an earlier insert is missing", k)
+	}
+	c.Assert(total == prefix, "structure holds %d keys, committed prefix is %d", total, prefix)
+}
+
+// BTreeWorkload inserts n keys into a B-tree and validates the committed
+// prefix on recovery.
+func BTreeWorkload(n int, create CreateBugs, bugs BTreeBugs) core.Program {
+	keys := keysN(n)
+	return core.Program{
+		Name: "pmdk/btree",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, create)
+			t := NewBTree(p, bugs)
+			for _, k := range keys {
+				t.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			p.TxRecover()
+			t := NewBTree(p, BTreeBugs{})
+			checkPrefix(c, keys, t.Check(), t.Lookup)
+		},
+	}
+}
+
+// CTreeWorkload inserts n keys into a crit-bit tree and validates the
+// committed prefix on recovery.
+func CTreeWorkload(n int, bugs CTreeBugs) core.Program {
+	keys := keysN(n)
+	return core.Program{
+		Name: "pmdk/ctree",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, CreateBugs{})
+			t := NewCTree(p, bugs)
+			for _, k := range keys {
+				t.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			p.TxRecover()
+			t := NewCTree(p, CTreeBugs{})
+			checkPrefix(c, keys, t.Check(), t.Lookup)
+		},
+	}
+}
+
+// RBTreeWorkload inserts n keys into a red-black tree and validates the
+// committed prefix on recovery.
+func RBTreeWorkload(n int, bugs RBTreeBugs) core.Program {
+	return RBTreeWorkloadKeys(keysN(n), bugs)
+}
+
+// RBTreeWorkloadKeys is RBTreeWorkload with an explicit insertion order
+// (ascending keys force rotations on nearly every insert).
+func RBTreeWorkloadKeys(keys []uint64, bugs RBTreeBugs) core.Program {
+	return core.Program{
+		Name: "pmdk/rbtree",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, CreateBugs{})
+			t := NewRBTree(p, bugs)
+			for _, k := range keys {
+				t.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			p.TxRecover()
+			t := NewRBTree(p, RBTreeBugs{})
+			checkPrefix(c, keys, t.Check(), t.Lookup)
+		},
+	}
+}
+
+// HashmapAtomicWorkload inserts n keys, then on recovery validates the
+// chains, inserts one more key and validates again — the post-failure
+// insert exposes lost allocator metadata (bug #5).
+func HashmapAtomicWorkload(n int, bugs HashmapAtomicBugs) core.Program {
+	keys := keysN(n)
+	const nBuckets = 8
+	const extraKey = 1234
+	return core.Program{
+		Name: "pmdk/hashmap_atomic",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, CreateBugs{})
+			h := CreateHashmapAtomic(p, nBuckets, bugs)
+			for _, k := range keys {
+				h.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			h := OpenHashmapAtomic(p, HashmapAtomicBugs{Heap: bugs.Heap})
+			if h.dir() == 0 {
+				return // crashed before the directory was committed
+			}
+			h.Check()
+			for _, k := range keys {
+				if v, found := h.Lookup(k); found {
+					c.Assert(v == k*10, "recovered value %d for key %d", v, k)
+				}
+			}
+			// Continue the workload after recovery.
+			h.Insert(extraKey, extraKey*10)
+			h.Check()
+			v, found := h.Lookup(extraKey)
+			c.Assert(found && v == extraKey*10, "post-recovery insert lost")
+		},
+	}
+}
+
+// HashmapTXWorkload inserts n keys transactionally and validates chains and
+// the persistent count on recovery.
+func HashmapTXWorkload(n int, bugs HashmapTXBugs) core.Program {
+	keys := keysN(n)
+	const nBuckets = 8
+	return core.Program{
+		Name: "pmdk/hashmap_tx",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, CreateBugs{})
+			h := CreateHashmapTX(p, nBuckets, bugs)
+			for _, k := range keys {
+				h.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			p.TxRecover()
+			h := OpenHashmapTX(p, HashmapTXBugs{})
+			if p.RootObj() == 0 {
+				return
+			}
+			total := h.Check()
+			found := 0
+			for _, k := range keys {
+				if v, okk := h.Lookup(k); okk {
+					c.Assert(v == k*10, "recovered value %d for key %d", v, k)
+					found++
+				}
+			}
+			c.Assert(found == total, "lookup found %d of %d chained nodes", found, total)
+		},
+	}
+}
+
+// BugCase is one row of Figure 12 (and the matching row of Figure 16).
+type BugCase struct {
+	ID        int
+	Benchmark string
+	// Symptom is the paper's symptom column.
+	Symptom string
+	// New marks bugs the paper reports as new (starred in Figure 12).
+	New bool
+	// Program builds the seeded workload.
+	Program func() core.Program
+	// Expect are the acceptable manifestation types.
+	Expect []core.BugType
+	// Label is the source-location label expected in at least one bug
+	// message (empty = any).
+	Label string
+}
+
+// BugCases returns the PMDK bug registry reproducing Figure 12.
+func BugCases() []BugCase {
+	return []BugCase{
+		{
+			ID: 1, Benchmark: "Btree", New: true,
+			Symptom: "Illegal memory access at btree_map.c:89",
+			Program: func() core.Program {
+				return BTreeWorkload(7, CreateBugs{}, BTreeBugs{NoNodeFlush: true})
+			},
+			Expect: []core.BugType{core.BugIllegalAccess, core.BugAssertion},
+			Label:  "btree_map.c:89",
+		},
+		{
+			ID: 2, Benchmark: "Btree", New: false,
+			Symptom: "Failed to open pool error",
+			Program: func() core.Program {
+				return BTreeWorkload(3, CreateBugs{MisorderedHeader: true}, BTreeBugs{})
+			},
+			Expect: []core.BugType{core.BugExplicit},
+			Label:  "Failed to open pool",
+		},
+		{
+			ID: 3, Benchmark: "Hashmap_atomic", New: true,
+			Symptom: "Assertion failure at heap.c:533",
+			Program: func() core.Program {
+				return HashmapAtomicWorkload(5, HashmapAtomicBugs{Heap: HeapBugs{NoHeaderFlush: true}})
+			},
+			Expect: []core.BugType{core.BugAssertion},
+			Label:  "heap.c:533",
+		},
+		{
+			ID: 4, Benchmark: "CTree", New: true,
+			Symptom: "Assertion failure at obj.c:1523",
+			Program: func() core.Program {
+				return CTreeWorkload(6, CTreeBugs{Tx: TxBugs{CountBeforeEntry: true}})
+			},
+			Expect: []core.BugType{core.BugAssertion, core.BugIllegalAccess},
+			Label:  "obj.c:1523",
+		},
+		{
+			ID: 5, Benchmark: "Hashmap_atomic", New: true,
+			Symptom: "Assertion failure at pmalloc.c:270",
+			Program: func() core.Program {
+				return HashmapAtomicWorkload(5, HashmapAtomicBugs{Heap: HeapBugs{NoBumpFlush: true}})
+			},
+			Expect: []core.BugType{core.BugAssertion},
+			Label:  "pmalloc.c:270",
+		},
+		{
+			ID: 6, Benchmark: "Hashmap_tx", New: true,
+			Symptom: "Illegal memory access at obj.c:1528",
+			Program: func() core.Program {
+				return HashmapTXWorkload(5, HashmapTXBugs{Tx: TxBugs{NoEntryFlush: true}})
+			},
+			Expect: []core.BugType{core.BugIllegalAccess, core.BugAssertion},
+			Label:  "",
+		},
+		{
+			ID: 7, Benchmark: "RBTree", New: true,
+			Symptom: "Illegal memory access at rbtree_map.c:137",
+			Program: func() core.Program {
+				// Ascending keys force a rotation on nearly every insert.
+				return RBTreeWorkloadKeys([]uint64{1, 2, 3, 4, 5, 6},
+					RBTreeBugs{Tx: TxBugs{SkipAdd: true}})
+			},
+			Expect: []core.BugType{core.BugAssertion, core.BugIllegalAccess},
+			Label:  "rbtree_map.c:137",
+		},
+	}
+}
+
+// FixedPrograms returns the crash-consistent variants of the PMDK example
+// structures, which the checker must explore without finding bugs.
+func FixedPrograms(n int) []core.Program {
+	return []core.Program{
+		BTreeWorkload(n, CreateBugs{}, BTreeBugs{}),
+		CTreeWorkload(n, CTreeBugs{}),
+		RBTreeWorkload(n, RBTreeBugs{}),
+		HashmapAtomicWorkload(n, HashmapAtomicBugs{}),
+		HashmapTXWorkload(n, HashmapTXBugs{}),
+		SkiplistWorkload(n, SkiplistBugs{}),
+	}
+}

@@ -1,0 +1,176 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// CTree is the analog of PMDK's ctree_map example: a crit-bit tree whose
+// internal nodes test one bit of the key. Bit indices strictly decrease
+// along every path. All mutations are transactional; Figure 12's bug #4
+// ("Assertion failure at obj.c:1523") is seeded through the transaction
+// layer's CountBeforeEntry knob.
+
+const (
+	ctNodeSize = 32
+
+	ctOffKind = 0  // 1 = leaf, 2 = internal
+	ctOffA    = 8  // leaf: key;   internal: bit index
+	ctOffB    = 16 // leaf: value; internal: child 0
+	ctOffC    = 24 // leaf: —;     internal: child 1
+
+	ctLeaf     = 1
+	ctInternal = 2
+)
+
+// CTreeBugs selects seeded crit-bit tree bugs.
+type CTreeBugs struct {
+	// NoNodeFlush skips persisting new nodes before linking.
+	NoNodeFlush bool
+	// Tx seeds bugs in the transaction layer.
+	Tx TxBugs
+	// Heap seeds bugs in the persistent allocator.
+	Heap HeapBugs
+}
+
+// CTree is a handle to the persistent crit-bit tree rooted at the pool's
+// root object.
+type CTree struct {
+	p    *Pool
+	bugs CTreeBugs
+}
+
+// NewCTree binds a crit-bit tree handle to a pool.
+func NewCTree(p *Pool, bugs CTreeBugs) *CTree { return &CTree{p: p, bugs: bugs} }
+
+func (t *CTree) c() *core.Context { return t.p.c }
+
+func (t *CTree) newLeaf(key, value uint64) core.Addr {
+	c := t.c()
+	n := t.p.PAlloc(ctNodeSize, t.bugs.Heap)
+	c.Store64(n.Add(ctOffKind), ctLeaf)
+	c.Store64(n.Add(ctOffA), key)
+	c.Store64(n.Add(ctOffB), value)
+	if !t.bugs.NoNodeFlush {
+		c.Persist(n, ctNodeSize)
+	}
+	return n
+}
+
+func (t *CTree) kind(n core.Addr) uint64 { return t.c().Load64(n.Add(ctOffKind)) }
+
+// Insert adds or updates a key failure-atomically.
+func (t *CTree) Insert(key, value uint64) {
+	c := t.c()
+	tx := t.p.TxBegin(t.bugs.Tx)
+	root := t.p.RootObj()
+	if root == 0 {
+		leaf := t.newLeaf(key, value)
+		tx.Add(t.p.RootObjAddr(), 8)
+		c.StorePtr(t.p.RootObjAddr(), leaf)
+		tx.Commit()
+		return
+	}
+
+	// Walk to the leaf this key would reach.
+	node := root
+	for t.kind(node) == ctInternal {
+		bit := c.Load64(node.Add(ctOffA))
+		if key>>bit&1 == 0 {
+			node = c.LoadPtr(node.Add(ctOffB))
+		} else {
+			node = c.LoadPtr(node.Add(ctOffC))
+		}
+	}
+	leafKey := c.Load64(node.Add(ctOffA))
+	if leafKey == key {
+		tx.Add(node.Add(ctOffB), 8)
+		c.Store64(node.Add(ctOffB), value)
+		tx.Commit()
+		return
+	}
+
+	// Highest differing bit decides where the new internal node goes.
+	diff := uint64(63)
+	for (leafKey^key)>>diff&1 == 0 {
+		diff--
+	}
+
+	newLeaf := t.newLeaf(key, value)
+	inner := t.p.PAlloc(ctNodeSize, t.bugs.Heap)
+	c.Store64(inner.Add(ctOffKind), ctInternal)
+	c.Store64(inner.Add(ctOffA), diff)
+
+	// Descend again to the link where bit indices stop dominating diff.
+	linkAddr := t.p.RootObjAddr()
+	node = root
+	for t.kind(node) == ctInternal && c.Load64(node.Add(ctOffA)) > diff {
+		bit := c.Load64(node.Add(ctOffA))
+		if key>>bit&1 == 0 {
+			linkAddr = node.Add(ctOffB)
+		} else {
+			linkAddr = node.Add(ctOffC)
+		}
+		node = c.LoadPtr(linkAddr)
+	}
+	if key>>diff&1 == 0 {
+		c.StorePtr(inner.Add(ctOffB), newLeaf)
+		c.StorePtr(inner.Add(ctOffC), node)
+	} else {
+		c.StorePtr(inner.Add(ctOffB), node)
+		c.StorePtr(inner.Add(ctOffC), newLeaf)
+	}
+	if !t.bugs.NoNodeFlush {
+		c.Persist(inner, ctNodeSize)
+	}
+	tx.AddSkippable(linkAddr, 8)
+	c.StorePtr(linkAddr, inner)
+	tx.Commit()
+}
+
+// Lookup returns the value stored for key.
+func (t *CTree) Lookup(key uint64) (uint64, bool) {
+	c := t.c()
+	node := t.p.RootObj()
+	if node == 0 {
+		return 0, false
+	}
+	for t.kind(node) == ctInternal {
+		bit := c.Load64(node.Add(ctOffA))
+		if key>>bit&1 == 0 {
+			node = c.LoadPtr(node.Add(ctOffB))
+		} else {
+			node = c.LoadPtr(node.Add(ctOffC))
+		}
+	}
+	if c.Load64(node.Add(ctOffA)) == key {
+		return c.Load64(node.Add(ctOffB)), true
+	}
+	return 0, false
+}
+
+// Check walks the tree validating crit-bit invariants and returns the leaf
+// count.
+func (t *CTree) Check() int {
+	root := t.p.RootObj()
+	if root == 0 {
+		return 0
+	}
+	return t.checkNode(root, 64, 0)
+}
+
+func (t *CTree) checkNode(node core.Addr, parentBit uint64, depth int) int {
+	c := t.c()
+	c.Assert(depth < 70, "ctree_map.c:103: tree depth exceeds key width (cycle?)")
+	switch t.kind(node) {
+	case ctLeaf:
+		return 1
+	case ctInternal:
+		bit := c.Load64(node.Add(ctOffA))
+		c.Assert(bit < parentBit, "ctree_map.c:103: bit index %d under parent bit %d", bit, parentBit)
+		l := c.LoadPtr(node.Add(ctOffB))
+		r := c.LoadPtr(node.Add(ctOffC))
+		c.Assert(l != 0 && r != 0, "ctree_map.c:103: internal node %v has a null child", node)
+		return t.checkNode(l, bit, depth+1) + t.checkNode(r, bit, depth+1)
+	default:
+		c.Assert(false, "ctree_map.c:103: node %v has invalid kind %d", node, t.kind(node))
+		return 0
+	}
+}

@@ -1,0 +1,256 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// Hashmap analogs of PMDK's hashmap_atomic and hashmap_tx examples. Both
+// share the layout: a bucket directory in the persistent heap, chains of
+// nodes {key, value, next}. hashmap_atomic relies on commit stores
+// (prepend + persisted head pointer); hashmap_tx wraps mutations in undo
+// transactions.
+
+const (
+	hmNodeSize = 24
+	hmOffKey   = 0
+	hmOffVal   = 8
+	hmOffNext  = 16
+
+	// Directory header: nBuckets (8), count (8), then the bucket array.
+	hmOffNBuckets = 0
+	hmOffCount    = 8
+	hmOffBuckets  = 16
+)
+
+func hmHash(key, nBuckets uint64) uint64 {
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x % nBuckets
+}
+
+// HashmapAtomicBugs selects seeded hashmap_atomic bugs.
+type HashmapAtomicBugs struct {
+	// Heap seeds allocator bugs: NoHeaderFlush is PMDK bug #3
+	// ("Assertion failure at heap.c:533"); NoBumpFlush is PMDK bug #5
+	// ("Assertion failure at pmalloc.c:270").
+	Heap HeapBugs
+	// NoNodeFlush skips persisting a node before its bucket head commit
+	// store.
+	NoNodeFlush bool
+	// NoDirFlush skips persisting the bucket directory at creation.
+	NoDirFlush bool
+}
+
+// HashmapAtomic is the commit-store-based persistent hashmap.
+type HashmapAtomic struct {
+	p    *Pool
+	bugs HashmapAtomicBugs
+}
+
+// CreateHashmapAtomic allocates and installs the bucket directory.
+func CreateHashmapAtomic(p *Pool, nBuckets uint64, bugs HashmapAtomicBugs) *HashmapAtomic {
+	c := p.c
+	dir := p.PAlloc(hmOffBuckets+8*nBuckets, bugs.Heap)
+	c.Store64(dir.Add(hmOffNBuckets), nBuckets)
+	c.Store64(dir.Add(hmOffCount), 0)
+	if !bugs.NoDirFlush {
+		c.Persist(dir, hmOffBuckets+8*nBuckets)
+	}
+	p.SetRootObj(dir)
+	return &HashmapAtomic{p: p, bugs: bugs}
+}
+
+// OpenHashmapAtomic binds to an existing directory.
+func OpenHashmapAtomic(p *Pool, bugs HashmapAtomicBugs) *HashmapAtomic {
+	return &HashmapAtomic{p: p, bugs: bugs}
+}
+
+func (h *HashmapAtomic) dir() core.Addr { return h.p.RootObj() }
+
+// Insert prepends a node to its bucket chain (or updates an existing key
+// in place — a duplicate node would resurface with a stale value once the
+// newer one is deleted). The bucket head update is the commit store; the
+// count is best-effort (recomputed by Check).
+func (h *HashmapAtomic) Insert(key, value uint64) {
+	c := h.p.c
+	dir := h.dir()
+	n := c.Load64(dir.Add(hmOffNBuckets))
+	c.Assert(n != 0, "hashmap_atomic.c:132: directory has zero buckets")
+	bucket := dir.Add(hmOffBuckets + 8*hmHash(key, n))
+
+	for cur := c.LoadPtr(bucket); cur != 0; cur = c.LoadPtr(cur.Add(hmOffNext)) {
+		if c.Load64(cur.Add(hmOffKey)) == key {
+			c.Store64(cur.Add(hmOffVal), value)
+			c.Persist(cur.Add(hmOffVal), 8)
+			return
+		}
+	}
+
+	node := h.p.PAlloc(hmNodeSize, h.bugs.Heap)
+	c.Store64(node.Add(hmOffKey), key)
+	c.Store64(node.Add(hmOffVal), value)
+	c.StorePtr(node.Add(hmOffNext), c.LoadPtr(bucket))
+	if !h.bugs.NoNodeFlush {
+		c.Persist(node, hmNodeSize)
+	}
+	c.StorePtr(bucket, node) // commit store
+	c.Persist(bucket, 8)
+
+	c.Store64(dir.Add(hmOffCount), c.Load64(dir.Add(hmOffCount))+1)
+	c.Persist(dir.Add(hmOffCount), 8)
+}
+
+// Delete unlinks a key's node from its chain: the predecessor's next
+// pointer (or the bucket head) update is the single commit store, so a
+// crash leaves either the old or the new chain. The node itself leaks, as
+// in the real hashmap_atomic before its allocator reclaims it.
+func (h *HashmapAtomic) Delete(key uint64) bool {
+	c := h.p.c
+	dir := h.dir()
+	n := c.Load64(dir.Add(hmOffNBuckets))
+	if n == 0 {
+		return false
+	}
+	link := dir.Add(hmOffBuckets + 8*hmHash(key, n))
+	for {
+		node := c.LoadPtr(link)
+		if node == 0 {
+			return false
+		}
+		if c.Load64(node.Add(hmOffKey)) == key {
+			c.StorePtr(link, c.LoadPtr(node.Add(hmOffNext))) // commit store
+			c.Persist(link, 8)
+			cnt := c.Load64(dir.Add(hmOffCount))
+			if cnt > 0 {
+				c.Store64(dir.Add(hmOffCount), cnt-1)
+				c.Persist(dir.Add(hmOffCount), 8)
+			}
+			return true
+		}
+		link = node.Add(hmOffNext)
+	}
+}
+
+// Lookup returns the value stored for key.
+func (h *HashmapAtomic) Lookup(key uint64) (uint64, bool) {
+	c := h.p.c
+	dir := h.dir()
+	n := c.Load64(dir.Add(hmOffNBuckets))
+	if n == 0 {
+		return 0, false
+	}
+	node := c.LoadPtr(dir.Add(hmOffBuckets + 8*hmHash(key, n)))
+	for node != 0 {
+		if c.Load64(node.Add(hmOffKey)) == key {
+			return c.Load64(node.Add(hmOffVal)), true
+		}
+		node = c.LoadPtr(node.Add(hmOffNext))
+	}
+	return 0, false
+}
+
+// Check validates the heap and every chain: nodes must hash to their
+// bucket (an overlap caused by lost allocator metadata puts a node in the
+// wrong chain — the pmalloc.c:270 manifestation) and chains must be
+// acyclic.
+func (h *HashmapAtomic) Check() int {
+	c := h.p.c
+	h.p.HeapCheck()
+	dir := h.dir()
+	if dir == 0 {
+		return 0
+	}
+	n := c.Load64(dir.Add(hmOffNBuckets))
+	c.Assert(n > 0 && n <= 1<<20, "hashmap_atomic.c:132: bucket count %d corrupt", n)
+	total := 0
+	for b := uint64(0); b < n; b++ {
+		node := c.LoadPtr(dir.Add(hmOffBuckets + 8*b))
+		steps := 0
+		for node != 0 {
+			c.Assert(steps < 1<<16, "hashmap_atomic.c:132: chain cycle in bucket %d", b)
+			key := c.Load64(node.Add(hmOffKey))
+			c.Assert(hmHash(key, n) == b,
+				"pmalloc.c:270: node %v with key %d found in bucket %d (heap metadata lost)",
+				node, key, b)
+			total++
+			steps++
+			node = c.LoadPtr(node.Add(hmOffNext))
+		}
+	}
+	return total
+}
+
+// HashmapTXBugs selects seeded hashmap_tx bugs.
+type HashmapTXBugs struct {
+	// Tx seeds bugs in the transaction layer: NoEntryFlush is PMDK bug #6
+	// ("Illegal memory access at obj.c:1528").
+	Tx TxBugs
+	// Heap seeds allocator bugs.
+	Heap HeapBugs
+}
+
+// HashmapTX is the transactional persistent hashmap.
+type HashmapTX struct {
+	p    *Pool
+	bugs HashmapTXBugs
+}
+
+// CreateHashmapTX allocates and installs the bucket directory
+// transactionally.
+func CreateHashmapTX(p *Pool, nBuckets uint64, bugs HashmapTXBugs) *HashmapTX {
+	c := p.c
+	dir := p.PAlloc(hmOffBuckets+8*nBuckets, bugs.Heap)
+	c.Store64(dir.Add(hmOffNBuckets), nBuckets)
+	c.Persist(dir, hmOffBuckets+8*nBuckets)
+	tx := p.TxBegin(bugs.Tx)
+	tx.Add(p.RootObjAddr(), 8)
+	c.StorePtr(p.RootObjAddr(), dir)
+	tx.Commit()
+	return &HashmapTX{p: p, bugs: bugs}
+}
+
+// OpenHashmapTX binds to an existing directory.
+func OpenHashmapTX(p *Pool, bugs HashmapTXBugs) *HashmapTX {
+	return &HashmapTX{p: p, bugs: bugs}
+}
+
+// Insert adds a node to its bucket chain under a transaction.
+func (h *HashmapTX) Insert(key, value uint64) {
+	c := h.p.c
+	dir := h.p.RootObj()
+	n := c.Load64(dir.Add(hmOffNBuckets))
+	c.Assert(n != 0, "hashmap_tx.c:87: directory has zero buckets")
+	bucket := dir.Add(hmOffBuckets + 8*hmHash(key, n))
+
+	node := h.p.PAlloc(hmNodeSize, h.bugs.Heap)
+	c.Store64(node.Add(hmOffKey), key)
+	c.Store64(node.Add(hmOffVal), value)
+	c.StorePtr(node.Add(hmOffNext), c.LoadPtr(bucket))
+	c.Persist(node, hmNodeSize)
+
+	tx := h.p.TxBegin(h.bugs.Tx)
+	tx.Add(bucket, 8)
+	c.StorePtr(bucket, node)
+	tx.Add(dir.Add(hmOffCount), 8)
+	c.Store64(dir.Add(hmOffCount), c.Load64(dir.Add(hmOffCount))+1)
+	tx.Commit()
+}
+
+// Lookup returns the value stored for key.
+func (h *HashmapTX) Lookup(key uint64) (uint64, bool) {
+	return (&HashmapAtomic{p: h.p}).Lookup(key)
+}
+
+// Check validates every chain and the persistent count.
+func (h *HashmapTX) Check() int {
+	c := h.p.c
+	dir := h.p.RootObj()
+	if dir == 0 {
+		return 0
+	}
+	total := (&HashmapAtomic{p: h.p}).Check()
+	count := c.Load64(dir.Add(hmOffCount))
+	c.Assert(uint64(total) == count,
+		"hashmap_tx.c:87: persistent count %d != chained nodes %d", count, total)
+	return total
+}

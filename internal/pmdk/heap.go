@@ -1,0 +1,95 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// The persistent heap: a bump allocator whose metadata (the bump pointer
+// and per-object headers) lives in persistent memory and is validated
+// during recovery, like PMDK's palloc/heap layer. Crashing between the
+// metadata updates of a buggy allocation leaves the heap in a state the
+// recovery check rejects — the source of PMDK bugs #3 and #5 (Figure 12).
+
+const (
+	objHeaderSize = 16 // size (8) + state (8)
+
+	objStateAllocated = 0xA11C
+)
+
+// HeapBugs selects seeded allocator bugs.
+type HeapBugs struct {
+	// NoHeaderFlush skips persisting the object header before the bump
+	// pointer moves past it (PMDK bug #3: "Assertion failure at
+	// heap.c:533").
+	NoHeaderFlush bool
+	// NoBumpFlush skips persisting the bump pointer itself; a later
+	// allocation after recovery can overlap a live object (PMDK bug #5:
+	// "Assertion failure at pmalloc.c:270").
+	NoBumpFlush bool
+}
+
+// PAlloc allocates size bytes from the pool's persistent heap and returns
+// the payload address. The fixed protocol is: write the object header,
+// persist it, then move and persist the bump pointer — so the recovery walk
+// always sees a consistent prefix of headers.
+func (p *Pool) PAlloc(size uint64, bugs HeapBugs) core.Addr {
+	c := p.c
+	size = (size + 7) &^ 7
+	bump := c.LoadPtr(p.base.Add(offBump))
+	arena := c.LoadPtr(p.base.Add(offArena))
+	arenaSz := c.Load64(p.base.Add(offArenaSz))
+	c.Assert(bump != 0 && bump >= arena, "pmalloc.c:270: bump pointer %v outside arena", bump)
+	if bump.Add(objHeaderSize+size) > arena.Add(arenaSz) {
+		c.Bug("persistent heap exhausted (%d bytes requested)", size)
+	}
+	obj := bump
+	c.Store64(obj, size)
+	c.Store64(obj.Add(8), objStateAllocated)
+	if !bugs.NoHeaderFlush {
+		c.Persist(obj, objHeaderSize)
+	}
+	newBump := obj.Add(objHeaderSize + size)
+	c.StorePtr(p.base.Add(offBump), newBump)
+	if !bugs.NoBumpFlush {
+		c.Persist(p.base.Add(offBump), 8)
+	}
+	// Zero the payload: a crash between the header and bump persists can
+	// leave a reserved-but-uncommitted object to be reused after recovery,
+	// so fresh allocations must not expose stale contents.
+	payload := obj.Add(objHeaderSize)
+	for off := uint64(0); off < size; off += 8 {
+		c.Store64(payload.Add(off), 0)
+	}
+	return payload
+}
+
+// HeapCheck walks the persistent heap from the arena base to the bump
+// pointer, validating every object header — the recovery-time consistency
+// check of the heap layer. Its assertion labels match the paper's PMDK
+// symptoms.
+func (p *Pool) HeapCheck() {
+	c := p.c
+	arena := c.LoadPtr(p.base.Add(offArena))
+	arenaSz := c.Load64(p.base.Add(offArenaSz))
+	bump := c.LoadPtr(p.base.Add(offBump))
+	c.Assert(bump >= arena && bump <= arena.Add(arenaSz),
+		"pmalloc.c:270: recovered bump pointer %v outside arena [%v, %v)",
+		bump, arena, arena.Add(arenaSz))
+	cur := arena
+	for cur < bump {
+		size := c.Load64(cur)
+		state := c.Load64(cur.Add(8))
+		c.Assert(state == objStateAllocated,
+			"heap.c:533: object at %v has invalid state %#x", cur, state)
+		c.Assert(size > 0 && size%8 == 0 && cur.Add(objHeaderSize+size) <= bump,
+			"heap.c:533: object at %v has invalid size %d", cur, size)
+		cur = cur.Add(objHeaderSize + size)
+	}
+}
+
+// HeapContains reports whether a payload address lies within the allocated
+// part of the persistent heap.
+func (p *Pool) HeapContains(a core.Addr) bool {
+	c := p.c
+	arena := c.LoadPtr(p.base.Add(offArena))
+	bump := c.LoadPtr(p.base.Add(offBump))
+	return a >= arena && a < bump
+}

@@ -1,0 +1,105 @@
+package pmdk
+
+import (
+	"math/rand"
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+// Oracle tests: long randomized operation sequences against a Go map, in
+// direct execution, for each PMDK example structure.
+
+func oracleRun(t *testing.T, name string, seed int64, nOps, keySpace int,
+	build func(c *core.Context) (insert func(k, v uint64),
+		del func(k uint64) bool,
+		lookup func(k uint64) (uint64, bool))) {
+	t.Helper()
+	res := core.Execute(name, func(c *core.Context) {
+		rng := rand.New(rand.NewSource(seed))
+		insert, del, lookup := build(c)
+		oracle := make(map[uint64]uint64)
+		for i := 0; i < nOps; i++ {
+			k := uint64(rng.Intn(keySpace) + 1)
+			switch op := rng.Intn(10); {
+			case op < 6:
+				v := uint64(rng.Intn(1 << 16)) // update or insert
+				insert(k, v)
+				oracle[k] = v
+			case op < 8 && del != nil:
+				_, want := oracle[k]
+				if got := del(k); got != want {
+					t.Errorf("%s seed %d op %d: Delete(%d) = %v, want %v",
+						name, seed, i, k, got, want)
+				}
+				delete(oracle, k)
+			default:
+				v, ok := lookup(k)
+				wv, wok := oracle[k]
+				if ok != wok || (ok && v != wv) {
+					t.Errorf("%s seed %d op %d: Lookup(%d) = (%d,%v), want (%d,%v)",
+						name, seed, i, k, v, ok, wv, wok)
+				}
+			}
+		}
+		for k, wv := range oracle {
+			if v, ok := lookup(k); !ok || v != wv {
+				t.Errorf("%s seed %d final: Lookup(%d) = (%d,%v), want (%d,true)",
+					name, seed, k, v, ok, wv)
+			}
+		}
+	}, core.Options{MaxSteps: 1 << 26, PoolSize: 64 << 20})
+	if res.Buggy() {
+		t.Fatalf("%s seed %d: %v", name, seed, res.Bugs[0])
+	}
+}
+
+func TestOracleBTree(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		oracleRun(t, "btree", seed, 300, 80, func(c *core.Context) (func(k, v uint64), func(k uint64) bool, func(k uint64) (uint64, bool)) {
+			p := Create(c, 8<<20, CreateBugs{})
+			tr := NewBTree(p, BTreeBugs{})
+			return tr.Insert, tr.Delete, tr.Lookup
+		})
+	}
+}
+
+func TestOracleCTree(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		oracleRun(t, "ctree", seed, 300, 80, func(c *core.Context) (func(k, v uint64), func(k uint64) bool, func(k uint64) (uint64, bool)) {
+			p := Create(c, 8<<20, CreateBugs{})
+			tr := NewCTree(p, CTreeBugs{})
+			return tr.Insert, nil, tr.Lookup
+		})
+	}
+}
+
+func TestOracleRBTree(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		oracleRun(t, "rbtree", seed, 300, 80, func(c *core.Context) (func(k, v uint64), func(k uint64) bool, func(k uint64) (uint64, bool)) {
+			p := Create(c, 8<<20, CreateBugs{})
+			tr := NewRBTree(p, RBTreeBugs{})
+			return tr.Insert, nil, tr.Lookup
+		})
+	}
+}
+
+func TestOracleHashmapAtomic(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		oracleRun(t, "hashmap_atomic", seed, 400, 60, func(c *core.Context) (func(k, v uint64), func(k uint64) bool, func(k uint64) (uint64, bool)) {
+			p := Create(c, 8<<20, CreateBugs{})
+			h := CreateHashmapAtomic(p, 8, HashmapAtomicBugs{})
+			return h.Insert, h.Delete, h.Lookup
+		})
+	}
+}
+
+func TestOracleHashmapTX(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		oracleRun(t, "hashmap_tx", seed, 300, 60, func(c *core.Context) (func(k, v uint64), func(k uint64) bool, func(k uint64) (uint64, bool)) {
+			p := Create(c, 8<<20, CreateBugs{})
+			h := CreateHashmapTX(p, 8, HashmapTXBugs{})
+			return h.Insert, nil, h.Lookup
+		})
+	}
+}

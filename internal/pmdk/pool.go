@@ -1,0 +1,113 @@
+// Package pmdk is a from-scratch mini reproduction of the PMDK libpmemobj
+// substrate the paper evaluates (§5): a persistent-memory pool with a
+// validated header, a persistent heap with recoverable allocation metadata,
+// undo- and redo-log transactions, the five example data structures of
+// Figure 12 (btree, ctree, rbtree, hashmap_atomic, hashmap_tx), and the
+// skiplist_map example from the same suite.
+//
+// Every component exists in a Fixed variant (crash-consistent, explored
+// clean by the checker) and exposes seeded Bug knobs reproducing the seven
+// PMDK bugs of Figures 12 and 16. Symptom strings carry the paper's
+// source-location labels (e.g. "heap.c:533") so harness output lines up
+// with the published tables.
+package pmdk
+
+import (
+	"jaaru/internal/core"
+)
+
+// Pool header layout within the checker's root area.
+const (
+	offMagic   = 0x00
+	offVersion = 0x08
+	offRootObj = 0x10 // data structure root pointer
+	offArena   = 0x18 // heap arena base address
+	offArenaSz = 0x20 // heap arena size
+	offBump    = 0x28 // heap bump pointer (persistent allocation metadata)
+	offTxCount = 0x40 // undo log entry count (the tx commit store; own line)
+	offTxLog   = 0x80 // undo log entries
+
+	poolMagic   = 0xB17EBEEF
+	poolVersion = 1
+)
+
+// CreateBugs selects seeded pool-creation bugs.
+type CreateBugs struct {
+	// MisorderedHeader persists the magic before the rest of the header
+	// (PMDK bug #2, "Failed to open pool error"): a crash in between
+	// leaves a pool that passes the magic check but has a garbage header.
+	MisorderedHeader bool
+}
+
+// Pool is a handle to the mini-pmemobj pool within a Context's root area.
+type Pool struct {
+	c    *core.Context
+	base core.Addr
+}
+
+// Create formats the pool: it allocates the heap arena and persists the
+// header. The fixed variant writes the magic last, as a commit store, so a
+// half-created pool is detected gracefully by Open.
+func Create(c *core.Context, heapSize uint64, bugs CreateBugs) *Pool {
+	p := &Pool{c: c, base: c.Root()}
+	arena := c.Alloc(heapSize, 64)
+	if bugs.MisorderedHeader {
+		// BUG: commit store first, body later, nothing flushed in between.
+		c.Store64(p.base.Add(offMagic), poolMagic)
+		c.Persist(p.base.Add(offMagic), 8)
+		c.Store64(p.base.Add(offVersion), poolVersion)
+		c.StorePtr(p.base.Add(offArena), arena)
+		c.Store64(p.base.Add(offArenaSz), heapSize)
+		c.StorePtr(p.base.Add(offBump), arena)
+		c.Store64(p.base.Add(offRootObj), 0)
+		c.Store64(p.base.Add(offTxCount), 0)
+		c.Persist(p.base.Add(offVersion), offTxCount-offVersion+8)
+		return p
+	}
+	c.Store64(p.base.Add(offVersion), poolVersion)
+	c.StorePtr(p.base.Add(offArena), arena)
+	c.Store64(p.base.Add(offArenaSz), heapSize)
+	c.StorePtr(p.base.Add(offBump), arena)
+	c.Store64(p.base.Add(offRootObj), 0)
+	c.Store64(p.base.Add(offTxCount), 0)
+	c.Persist(p.base.Add(offVersion), offTxCount-offVersion+8)
+	// Commit store: the magic marks the header complete.
+	c.Store64(p.base.Add(offMagic), poolMagic)
+	c.Persist(p.base.Add(offMagic), 8)
+	return p
+}
+
+// Open validates the pool header. ok is false when the pool was never
+// (completely) created — callers treat that as an empty pool. A pool whose
+// magic persisted without the rest of its header (the misordered-creation
+// bug) fails the version check: the PMDK symptom "Failed to open pool
+// error".
+func Open(c *core.Context) (p *Pool, ok bool) {
+	p = &Pool{c: c, base: c.Root()}
+	if c.Load64(p.base.Add(offMagic)) != poolMagic {
+		return p, false
+	}
+	if v := c.Load64(p.base.Add(offVersion)); v != poolVersion {
+		c.Bug("Failed to open pool error: magic valid but version %d", v)
+	}
+	if c.LoadPtr(p.base.Add(offArena)) == 0 {
+		c.Bug("Failed to open pool error: header has no heap arena")
+	}
+	return p, true
+}
+
+// RootObj returns the persistent root-object pointer.
+func (p *Pool) RootObj() core.Addr { return p.c.LoadPtr(p.base.Add(offRootObj)) }
+
+// RootObjAddr returns the address of the root-object pointer itself, for
+// transactional updates.
+func (p *Pool) RootObjAddr() core.Addr { return p.base.Add(offRootObj) }
+
+// SetRootObj persists the root-object pointer (a commit store).
+func (p *Pool) SetRootObj(a core.Addr) {
+	p.c.StorePtr(p.base.Add(offRootObj), a)
+	p.c.Persist(p.base.Add(offRootObj), 8)
+}
+
+// Ctx returns the guest context the pool is bound to.
+func (p *Pool) Ctx() *core.Context { return p.c }

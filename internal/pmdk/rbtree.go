@@ -1,0 +1,280 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// RBTree is the analog of PMDK's rbtree_map example: a red-black tree with
+// parent pointers, made failure-atomic with undo transactions. Figure 12's
+// bug #7 ("Illegal memory access at rbtree_map.c:137" / Figure 16's
+// "Assertion failure at tx.c:1678") is seeded with Tx.SkipAdd applied to
+// the rotation updates: a crash mid-insert leaves a partially persisted
+// rotation that the recovery walk rejects.
+
+const (
+	rbNodeSize = 48
+
+	rbOffKey    = 0
+	rbOffVal    = 8
+	rbOffLeft   = 16
+	rbOffRight  = 24
+	rbOffParent = 32
+	rbOffColor  = 40
+
+	rbBlack = 0
+	rbRed   = 1
+)
+
+// RBTreeBugs selects seeded red-black tree bugs.
+type RBTreeBugs struct {
+	// Tx seeds transaction bugs; SkipAdd drops the undo entries of
+	// rotation pointer updates (bug #7).
+	Tx TxBugs
+	// Heap seeds allocator bugs.
+	Heap HeapBugs
+	// NoNodeFlush skips persisting new nodes before linking.
+	NoNodeFlush bool
+}
+
+// RBTree is a handle to the persistent red-black tree rooted at the pool's
+// root object.
+type RBTree struct {
+	p    *Pool
+	bugs RBTreeBugs
+}
+
+// NewRBTree binds a red-black tree handle to a pool.
+func NewRBTree(p *Pool, bugs RBTreeBugs) *RBTree { return &RBTree{p: p, bugs: bugs} }
+
+func (t *RBTree) c() *core.Context { return t.p.c }
+
+func (t *RBTree) get(n core.Addr, off uint64) uint64    { return t.c().Load64(n.Add(off)) }
+func (t *RBTree) ptr(n core.Addr, off uint64) core.Addr { return t.c().LoadPtr(n.Add(off)) }
+
+// set performs a fully logged field update.
+func (t *RBTree) set(tx *Tx, n core.Addr, off uint64, v uint64) {
+	tx.Add(n.Add(off), 8)
+	t.c().Store64(n.Add(off), v)
+}
+
+// setRot performs a rotation field update whose undo entry is dropped by
+// the SkipAdd bug.
+func (t *RBTree) setRot(tx *Tx, n core.Addr, off uint64, v uint64) {
+	tx.AddSkippable(n.Add(off), 8)
+	t.c().Store64(n.Add(off), v)
+}
+
+func (t *RBTree) root() core.Addr { return t.p.RootObj() }
+
+func (t *RBTree) setRootPtr(tx *Tx, n core.Addr) {
+	tx.Add(t.p.RootObjAddr(), 8)
+	t.c().StorePtr(t.p.RootObjAddr(), n)
+}
+
+func (t *RBTree) color(n core.Addr) uint64 {
+	if n == 0 {
+		return rbBlack
+	}
+	return t.get(n, rbOffColor)
+}
+
+// rotateLeft rotates n's right child above it.
+func (t *RBTree) rotateLeft(tx *Tx, n core.Addr) {
+	r := t.ptr(n, rbOffRight)
+	rl := t.ptr(r, rbOffLeft)
+	parent := t.ptr(n, rbOffParent)
+
+	t.setRot(tx, n, rbOffRight, uint64(rl))
+	if rl != 0 {
+		t.setRot(tx, rl, rbOffParent, uint64(n))
+	}
+	t.setRot(tx, r, rbOffParent, uint64(parent))
+	if parent == 0 {
+		t.setRootPtr(tx, r)
+	} else if t.ptr(parent, rbOffLeft) == n {
+		t.setRot(tx, parent, rbOffLeft, uint64(r))
+	} else {
+		t.setRot(tx, parent, rbOffRight, uint64(r))
+	}
+	t.setRot(tx, r, rbOffLeft, uint64(n))
+	t.setRot(tx, n, rbOffParent, uint64(r))
+}
+
+// rotateRight is the mirror of rotateLeft.
+func (t *RBTree) rotateRight(tx *Tx, n core.Addr) {
+	l := t.ptr(n, rbOffLeft)
+	lr := t.ptr(l, rbOffRight)
+	parent := t.ptr(n, rbOffParent)
+
+	t.setRot(tx, n, rbOffLeft, uint64(lr))
+	if lr != 0 {
+		t.setRot(tx, lr, rbOffParent, uint64(n))
+	}
+	t.setRot(tx, l, rbOffParent, uint64(parent))
+	if parent == 0 {
+		t.setRootPtr(tx, l)
+	} else if t.ptr(parent, rbOffLeft) == n {
+		t.setRot(tx, parent, rbOffLeft, uint64(l))
+	} else {
+		t.setRot(tx, parent, rbOffRight, uint64(l))
+	}
+	t.setRot(tx, l, rbOffRight, uint64(n))
+	t.setRot(tx, n, rbOffParent, uint64(l))
+}
+
+// Insert adds or updates a key failure-atomically.
+func (t *RBTree) Insert(key, value uint64) {
+	c := t.c()
+	tx := t.p.TxBegin(t.bugs.Tx)
+
+	// BST descent.
+	var parent core.Addr
+	node := t.root()
+	for node != 0 {
+		k := t.get(node, rbOffKey)
+		if k == key {
+			t.set(tx, node, rbOffVal, value)
+			tx.Commit()
+			return
+		}
+		parent = node
+		if key < k {
+			node = t.ptr(node, rbOffLeft)
+		} else {
+			node = t.ptr(node, rbOffRight)
+		}
+	}
+
+	n := t.p.PAlloc(rbNodeSize, t.bugs.Heap)
+	c.Store64(n.Add(rbOffKey), key)
+	c.Store64(n.Add(rbOffVal), value)
+	c.Store64(n.Add(rbOffParent), uint64(parent))
+	c.Store64(n.Add(rbOffColor), rbRed)
+	if !t.bugs.NoNodeFlush {
+		c.Persist(n, rbNodeSize)
+	}
+
+	if parent == 0 {
+		t.setRootPtr(tx, n)
+	} else if key < t.get(parent, rbOffKey) {
+		t.set(tx, parent, rbOffLeft, uint64(n))
+	} else {
+		t.set(tx, parent, rbOffRight, uint64(n))
+	}
+
+	// Fixup.
+	z := n
+	for {
+		p := t.ptr(z, rbOffParent)
+		if p == 0 || t.color(p) == rbBlack {
+			break
+		}
+		g := t.ptr(p, rbOffParent)
+		if g == 0 {
+			break
+		}
+		if p == t.ptr(g, rbOffLeft) {
+			u := t.ptr(g, rbOffRight)
+			if t.color(u) == rbRed {
+				t.set(tx, p, rbOffColor, rbBlack)
+				t.set(tx, u, rbOffColor, rbBlack)
+				t.set(tx, g, rbOffColor, rbRed)
+				z = g
+				continue
+			}
+			if z == t.ptr(p, rbOffRight) {
+				z = p
+				t.rotateLeft(tx, z)
+				p = t.ptr(z, rbOffParent)
+			}
+			t.set(tx, p, rbOffColor, rbBlack)
+			t.set(tx, g, rbOffColor, rbRed)
+			t.rotateRight(tx, g)
+		} else {
+			u := t.ptr(g, rbOffLeft)
+			if t.color(u) == rbRed {
+				t.set(tx, p, rbOffColor, rbBlack)
+				t.set(tx, u, rbOffColor, rbBlack)
+				t.set(tx, g, rbOffColor, rbRed)
+				z = g
+				continue
+			}
+			if z == t.ptr(p, rbOffLeft) {
+				z = p
+				t.rotateRight(tx, z)
+				p = t.ptr(z, rbOffParent)
+			}
+			t.set(tx, p, rbOffColor, rbBlack)
+			t.set(tx, g, rbOffColor, rbRed)
+			t.rotateLeft(tx, g)
+		}
+	}
+	root := t.root()
+	if t.color(root) != rbBlack {
+		t.set(tx, root, rbOffColor, rbBlack)
+	}
+	tx.Commit()
+}
+
+// Lookup returns the value stored for key.
+func (t *RBTree) Lookup(key uint64) (uint64, bool) {
+	node := t.root()
+	for node != 0 {
+		k := t.get(node, rbOffKey)
+		if k == key {
+			return t.get(node, rbOffVal), true
+		}
+		if key < k {
+			node = t.ptr(node, rbOffLeft)
+		} else {
+			node = t.ptr(node, rbOffRight)
+		}
+	}
+	return 0, false
+}
+
+// Check validates the red-black invariants (BST order, parent links, no
+// red-red edge, equal black heights) and returns the node count.
+func (t *RBTree) Check() int {
+	root := t.root()
+	if root == 0 {
+		return 0
+	}
+	c := t.c()
+	c.Assert(t.ptr(root, rbOffParent) == 0, "rbtree_map.c:137: root has a parent")
+	c.Assert(t.color(root) == rbBlack, "rbtree_map.c:137: root is red")
+	count, _ := t.checkNode(root, 0, ^uint64(0), 0)
+	return count
+}
+
+func (t *RBTree) checkNode(node core.Addr, lo, hi uint64, depth int) (count, blackHeight int) {
+	c := t.c()
+	c.Assert(depth < 64, "rbtree_map.c:137: depth exceeds 64 (cycle?)")
+	k := t.get(node, rbOffKey)
+	c.Assert(k >= lo && k < hi, "rbtree_map.c:137: key %d violates BST order", k)
+	col := t.get(node, rbOffColor)
+	c.Assert(col == rbRed || col == rbBlack, "rbtree_map.c:137: node %v has color %d", node, col)
+	l, r := t.ptr(node, rbOffLeft), t.ptr(node, rbOffRight)
+	count, blackHeight = 1, 0
+	var lh, rh int
+	if l != 0 {
+		c.Assert(t.ptr(l, rbOffParent) == node,
+			"rbtree_map.c:137: left child of %v has wrong parent", node)
+		c.Assert(!(col == rbRed && t.color(l) == rbRed), "rbtree_map.c:137: red-red edge")
+		var lc int
+		lc, lh = t.checkNode(l, lo, k, depth+1)
+		count += lc
+	}
+	if r != 0 {
+		c.Assert(t.ptr(r, rbOffParent) == node,
+			"rbtree_map.c:137: right child of %v has wrong parent", node)
+		c.Assert(!(col == rbRed && t.color(r) == rbRed), "rbtree_map.c:137: red-red edge")
+		var rc int
+		rc, rh = t.checkNode(r, k+1, hi, depth+1)
+		count += rc
+	}
+	c.Assert(lh == rh, "rbtree_map.c:137: black height mismatch %d vs %d under %v", lh, rh, node)
+	blackHeight = lh
+	if col == rbBlack {
+		blackHeight++
+	}
+	return count, blackHeight
+}

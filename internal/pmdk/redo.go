@@ -1,0 +1,96 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// Redo-log transactions — the second libpmemobj logging strategy. Where
+// the undo log captures OLD values before mutation (and rolls back on
+// recovery), the redo log stages NEW values away from the data and applies
+// them forward:
+//
+//  1. RedoSet(addr, val): append ⟨addr, newVal⟩ to the log (no data write).
+//  2. RedoCommit: persist the staged entries, then persist the entry count
+//     (the commit store), then apply the entries to the data in place,
+//     persist the data, and clear the count.
+//
+// Recovery (RedoRecover) rolls FORWARD: a nonzero persisted count means
+// the transaction committed, so its entries are (re)applied — application
+// is idempotent. A crash before the count persisted leaves the data
+// untouched.
+//
+// The redo log shares the root-area log region with the undo log; a pool
+// uses one style at a time (as libpmemobj lanes do).
+
+const redoEntrySize = 16 // addr (8), value (8) — 64-bit granularity
+
+// RedoTx is an open redo transaction.
+type RedoTx struct {
+	p       *Pool
+	staged  []txRange // addresses staged, for the apply pass
+	applied bool
+}
+
+// RedoBegin opens a redo transaction. Any committed-but-unapplied log must
+// have been recovered first.
+func (p *Pool) RedoBegin() *RedoTx {
+	c := p.c
+	c.Assert(c.Load64(p.base.Add(offTxCount)) == 0,
+		"redo.c:88: transaction started with a committed, unapplied redo log")
+	return &RedoTx{p: p}
+}
+
+// Set stages a 64-bit write. The data location is not touched until commit.
+func (t *RedoTx) Set(addr core.Addr, val uint64) {
+	c := t.p.c
+	c.Assert(!t.applied, "redo.c:88: Set after commit")
+	n := uint64(len(t.staged))
+	c.Assert(n < txMaxEntry, "redo log full (%d entries)", n)
+	entry := t.p.base.Add(offTxLog + n*redoEntrySize)
+	c.StorePtr(entry, addr)
+	c.Store64(entry.Add(8), val)
+	t.staged = append(t.staged, txRange{addr: addr, size: 8})
+}
+
+// Commit persists the staged entries, publishes them with the count commit
+// store, applies them to the data, and retires the log.
+func (t *RedoTx) Commit() {
+	c := t.p.c
+	n := uint64(len(t.staged))
+	if n == 0 {
+		return
+	}
+	c.Persist(t.p.base.Add(offTxLog), n*redoEntrySize)
+	c.Store64(t.p.base.Add(offTxCount), n) // commit store
+	c.Persist(t.p.base.Add(offTxCount), 8)
+	t.p.redoApply()
+	t.applied = true
+}
+
+// redoApply replays the committed log onto the data and clears the count.
+// Idempotent: safe to re-run from any crash point.
+func (p *Pool) redoApply() {
+	c := p.c
+	n := c.Load64(p.base.Add(offTxCount))
+	for i := uint64(0); i < n; i++ {
+		entry := p.base.Add(offTxLog + i*redoEntrySize)
+		addr := c.LoadPtr(entry)
+		val := c.Load64(entry.Add(8))
+		// A garbage address here means the entries were not persisted
+		// before the count — dereferenced exactly as libpmemobj would.
+		c.Store64(addr, val)
+		c.Persist(addr, 8)
+	}
+	c.Store64(p.base.Add(offTxCount), 0)
+	c.Persist(p.base.Add(offTxCount), 8)
+}
+
+// RedoRecover rolls a committed redo log forward. Called by recovery paths
+// of redo-style pools before the structure is used.
+func (p *Pool) RedoRecover() {
+	c := p.c
+	n := c.Load64(p.base.Add(offTxCount))
+	if n == 0 {
+		return
+	}
+	c.Assert(n <= txMaxEntry, "redo.c:88: redo log count %d corrupt", n)
+	p.redoApply()
+}

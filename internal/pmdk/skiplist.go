@@ -1,0 +1,215 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// Skiplist is the analog of PMDK's skiplist_map example: a skip list whose
+// node towers are linked level by level inside one undo transaction. The
+// paper's Figure 12 found no skiplist bug, but the program is part of the
+// PMDK example suite the evaluation ran over ("All programs in the PMDK
+// library have been used"), so the fixed variant belongs in the checked
+// set; a NoNodeFlush knob is provided for negative tests.
+
+const (
+	slMaxLevel = 4
+	slNodeSize = 16 + 8*slMaxLevel // key, val, next[slMaxLevel]
+
+	slOffKey  = 0
+	slOffVal  = 8
+	slOffNext = 16
+)
+
+// SkiplistBugs selects seeded skiplist bugs.
+type SkiplistBugs struct {
+	// NoNodeFlush skips persisting new nodes before linking them.
+	NoNodeFlush bool
+	// Tx seeds bugs in the transaction layer.
+	Tx TxBugs
+	// Heap seeds bugs in the persistent allocator.
+	Heap HeapBugs
+}
+
+// Skiplist is a handle to the persistent skip list; the head tower is the
+// pool's root object.
+type Skiplist struct {
+	p    *Pool
+	bugs SkiplistBugs
+	// lcg drives tower heights. Volatile: replays re-run the same insert
+	// sequence, so heights are deterministic per scenario.
+	lcg uint64
+}
+
+// NewSkiplist creates (or rebinds to) the skip list. The head tower is
+// created on first use, committed through the root object pointer.
+func NewSkiplist(p *Pool, bugs SkiplistBugs) *Skiplist {
+	s := &Skiplist{p: p, bugs: bugs, lcg: 0x2545F4914F6CDD1D}
+	c := p.c
+	if p.RootObj() == 0 {
+		head := p.PAlloc(slNodeSize, bugs.Heap)
+		c.Persist(head, slNodeSize) // zero tower: every level ends here
+		tx := p.TxBegin(bugs.Tx)
+		tx.Add(p.RootObjAddr(), 8)
+		c.StorePtr(p.RootObjAddr(), head)
+		tx.Commit()
+	}
+	return s
+}
+
+func (s *Skiplist) c() *core.Context { return s.p.c }
+
+func (s *Skiplist) head() core.Addr { return s.p.RootObj() }
+
+func (s *Skiplist) next(n core.Addr, lvl int) core.Addr {
+	return s.c().LoadPtr(n.Add(slOffNext + 8*uint64(lvl)))
+}
+
+// randLevel draws a tower height in [1, slMaxLevel] with p=1/2 decay.
+func (s *Skiplist) randLevel() int {
+	s.lcg = s.lcg*6364136223846793005 + 1442695040888963407
+	lvl := 1
+	for x := s.lcg >> 33; lvl < slMaxLevel && x&1 == 1; x >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPreds locates, per level, the last node with key < target.
+func (s *Skiplist) findPreds(key uint64) (preds [slMaxLevel]core.Addr, found core.Addr) {
+	c := s.c()
+	n := s.head()
+	for lvl := slMaxLevel - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := s.next(n, lvl)
+			if nxt == 0 || c.Load64(nxt.Add(slOffKey)) >= key {
+				break
+			}
+			n = nxt
+		}
+		preds[lvl] = n
+	}
+	if nxt := s.next(preds[0], 0); nxt != 0 && c.Load64(nxt.Add(slOffKey)) == key {
+		found = nxt
+	}
+	return preds, found
+}
+
+// Insert adds or updates a key failure-atomically: the whole tower links in
+// one transaction.
+func (s *Skiplist) Insert(key, value uint64) {
+	c := s.c()
+	c.Assert(key != 0, "skiplist_map.c: key 0 is reserved for the head")
+	preds, found := s.findPreds(key)
+	if found != 0 {
+		tx := s.p.TxBegin(s.bugs.Tx)
+		tx.Add(found.Add(slOffVal), 8)
+		c.Store64(found.Add(slOffVal), value)
+		tx.Commit()
+		return
+	}
+
+	lvl := s.randLevel()
+	node := s.p.PAlloc(slNodeSize, s.bugs.Heap)
+	c.Store64(node.Add(slOffKey), key)
+	c.Store64(node.Add(slOffVal), value)
+	for l := 0; l < lvl; l++ {
+		c.StorePtr(node.Add(slOffNext+8*uint64(l)), s.next(preds[l], l))
+	}
+	if !s.bugs.NoNodeFlush {
+		c.Persist(node, slNodeSize)
+	}
+	tx := s.p.TxBegin(s.bugs.Tx)
+	for l := 0; l < lvl; l++ {
+		link := preds[l].Add(slOffNext + 8*uint64(l))
+		tx.AddSkippable(link, 8)
+		c.StorePtr(link, node)
+	}
+	tx.Commit()
+}
+
+// Delete unlinks a key's whole tower in one transaction, reporting whether
+// it was present.
+func (s *Skiplist) Delete(key uint64) bool {
+	c := s.c()
+	preds, found := s.findPreds(key)
+	if found == 0 {
+		return false
+	}
+	tx := s.p.TxBegin(s.bugs.Tx)
+	for l := 0; l < slMaxLevel; l++ {
+		link := preds[l].Add(slOffNext + 8*uint64(l))
+		if c.LoadPtr(link) == found {
+			tx.AddSkippable(link, 8)
+			c.StorePtr(link, s.next(found, l))
+		}
+	}
+	tx.Commit()
+	return true
+}
+
+// Lookup returns the value stored for key.
+func (s *Skiplist) Lookup(key uint64) (uint64, bool) {
+	_, found := s.findPreds(key)
+	if found == 0 {
+		return 0, false
+	}
+	return s.c().Load64(found.Add(slOffVal)), true
+}
+
+// Check validates the skip list: level 0 is strictly ordered, and every
+// higher level is a subsequence of level 0. Returns the key count.
+func (s *Skiplist) Check() int {
+	c := s.c()
+	head := s.head()
+	// Level 0: ordered, collect the set.
+	onBase := make(map[core.Addr]bool)
+	total := 0
+	prev := uint64(0)
+	steps := 0
+	for n := s.next(head, 0); n != 0; n = s.next(n, 0) {
+		c.Assert(steps < 1<<16, "skiplist_map.c: level-0 cycle")
+		steps++
+		k := c.Load64(n.Add(slOffKey))
+		c.Assert(k > prev, "skiplist_map.c: keys out of order (%d after %d)", k, prev)
+		prev = k
+		onBase[n] = true
+		total++
+	}
+	for lvl := 1; lvl < slMaxLevel; lvl++ {
+		steps = 0
+		prev = 0
+		for n := s.next(head, lvl); n != 0; n = s.next(n, lvl) {
+			c.Assert(steps < 1<<16, "skiplist_map.c: level-%d cycle", lvl)
+			steps++
+			c.Assert(onBase[n], "skiplist_map.c: node %v on level %d but not level 0", n, lvl)
+			k := c.Load64(n.Add(slOffKey))
+			c.Assert(k > prev, "skiplist_map.c: level-%d keys out of order", lvl)
+			prev = k
+		}
+	}
+	return total
+}
+
+// SkiplistWorkload inserts n keys (with one delete) and validates the
+// committed prefix on recovery, like the other transactional PMDK
+// workloads.
+func SkiplistWorkload(n int, bugs SkiplistBugs) core.Program {
+	keys := keysN(n)
+	return core.Program{
+		Name: "pmdk/skiplist",
+		Run: func(c *core.Context) {
+			p := Create(c, workloadHeap, CreateBugs{})
+			s := NewSkiplist(p, bugs)
+			for _, k := range keys {
+				s.Insert(k, k*10)
+			}
+		},
+		Recover: func(c *core.Context) {
+			p, ok := Open(c)
+			if !ok {
+				return
+			}
+			p.TxRecover()
+			s := NewSkiplist(p, SkiplistBugs{})
+			checkPrefix(c, keys, s.Check(), s.Lookup)
+		},
+	}
+}

@@ -1,0 +1,151 @@
+package pmdk
+
+import "jaaru/internal/core"
+
+// Undo-log transactions, modelled on libpmemobj's tx layer. The protocol:
+//
+//  1. TxAdd(addr, size): append an undo entry holding the range's current
+//     contents, persist the entry, then persist the incremented entry count
+//     (the entry's commit store).
+//  2. Mutate the added ranges freely with plain stores.
+//  3. TxCommit: persist every added range's new contents, then persist an
+//     entry count of zero (the transaction's commit store).
+//
+// Recovery (TxRecover) rolls back: if the entry count is nonzero the
+// transaction did not commit, so entries are applied newest-first and the
+// count is cleared. Rollback is idempotent, so crashes during recovery are
+// harmless.
+//
+// The log lives inside the pool's root area: entryCount at offTxCount and
+// fixed-size entries from offTxLog.
+
+const (
+	txEntrySize = 16 + txDataMax // addr (8) + size (8) + data
+	txDataMax   = 64
+	txMaxEntry  = (core.RootSize - offTxLog) / txEntrySize
+)
+
+// TxBugs selects seeded transaction bugs.
+type TxBugs struct {
+	// NoEntryFlush skips persisting undo entries' contents (while still
+	// persisting the entry count) — PMDK bug #6, "Illegal memory access
+	// at obj.c:1528": a crash rolls back through a garbage entry address.
+	NoEntryFlush bool
+	// CountBeforeEntry persists the incremented entry count before the
+	// entry's contents — PMDK bug #4, "Assertion failure at obj.c:1523":
+	// a crash leaves the count pointing past a garbage entry.
+	CountBeforeEntry bool
+	// CommitClearsLogFirst clears the entry count before the mutated data
+	// is persisted: a crash loses both the undo information and part of
+	// the new state (an atomicity violation).
+	CommitClearsLogFirst bool
+	// SkipAdd omits the undo entry for one of the mutated ranges — the
+	// atomicity violation pattern (partially completed updates survive).
+	SkipAdd bool
+}
+
+// Tx is an open transaction on a pool.
+type Tx struct {
+	p     *Pool
+	bugs  TxBugs
+	added []txRange
+}
+
+type txRange struct {
+	addr core.Addr
+	size uint64
+}
+
+// TxBegin opens a transaction. The entry count must be zero: recovery runs
+// TxRecover before any new transaction starts.
+func (p *Pool) TxBegin(bugs TxBugs) *Tx {
+	c := p.c
+	c.Assert(c.Load64(p.base.Add(offTxCount)) == 0,
+		"tx.c:1678: transaction started with a dirty undo log")
+	return &Tx{p: p, bugs: bugs}
+}
+
+// Add records the current contents of [addr, addr+size) in the undo log so
+// the range can be mutated failure-atomically. size is limited to 64 bytes
+// per entry; larger ranges are split by the caller.
+func (t *Tx) Add(addr core.Addr, size uint64) {
+	c := t.p.c
+	c.Assert(size > 0 && size <= txDataMax, "obj.c:1523: undo entry size %d invalid", size)
+	n := c.Load64(t.p.base.Add(offTxCount))
+	c.Assert(n < txMaxEntry, "undo log full (%d entries)", n)
+	entry := t.p.base.Add(offTxLog + n*txEntrySize)
+	if t.bugs.CountBeforeEntry {
+		// BUG: the count is committed before the entry exists.
+		c.Store64(t.p.base.Add(offTxCount), n+1)
+		c.Persist(t.p.base.Add(offTxCount), 8)
+	}
+	c.StorePtr(entry, addr)
+	c.Store64(entry.Add(8), size)
+	for i := uint64(0); i < size; i++ {
+		c.Store8(entry.Add(16+i), c.Load8(addr.Add(i)))
+	}
+	if !t.bugs.NoEntryFlush {
+		c.Persist(entry, 16+size)
+	}
+	if !t.bugs.CountBeforeEntry {
+		c.Store64(t.p.base.Add(offTxCount), n+1)
+		c.Persist(t.p.base.Add(offTxCount), 8)
+	}
+	t.added = append(t.added, txRange{addr: addr, size: size})
+}
+
+// AddSkippable is Add, except that a transaction seeded with the SkipAdd
+// bug silently omits the entry — the atomicity-violation pattern.
+func (t *Tx) AddSkippable(addr core.Addr, size uint64) {
+	if t.bugs.SkipAdd {
+		t.added = append(t.added, txRange{addr: addr, size: size})
+		return
+	}
+	t.Add(addr, size)
+}
+
+// Commit makes the transaction's mutations durable: persist the new data,
+// then clear the entry count.
+func (t *Tx) Commit() {
+	c := t.p.c
+	if t.bugs.CommitClearsLogFirst {
+		// BUG: the commit store precedes the data flushes.
+		c.Store64(t.p.base.Add(offTxCount), 0)
+		c.Persist(t.p.base.Add(offTxCount), 8)
+		for _, r := range t.added {
+			c.Persist(r.addr, r.size)
+		}
+		return
+	}
+	for _, r := range t.added {
+		c.Persist(r.addr, r.size)
+	}
+	c.Store64(t.p.base.Add(offTxCount), 0)
+	c.Persist(t.p.base.Add(offTxCount), 8)
+}
+
+// TxRecover rolls back an uncommitted transaction. Called by every
+// recovery path before the structure is used.
+func (p *Pool) TxRecover() {
+	c := p.c
+	n := c.Load64(p.base.Add(offTxCount))
+	if n == 0 {
+		return
+	}
+	c.Assert(n <= txMaxEntry, "obj.c:1523: undo log count %d corrupt", n)
+	for i := n; i > 0; i-- {
+		entry := p.base.Add(offTxLog + (i-1)*txEntrySize)
+		addr := c.LoadPtr(entry)
+		size := c.Load64(entry.Add(8))
+		c.Assert(size > 0 && size <= txDataMax,
+			"obj.c:1523: undo entry %d has corrupt size %d", i-1, size)
+		// A corrupt address is dereferenced just like libpmemobj would —
+		// the "Illegal memory access at obj.c:1528" symptom.
+		for b := uint64(0); b < size; b++ {
+			c.Store8(addr.Add(b), c.Load8(entry.Add(16+b)))
+		}
+		c.Persist(addr, size)
+	}
+	c.Store64(p.base.Add(offTxCount), 0)
+	c.Persist(p.base.Add(offTxCount), 8)
+}

@@ -1,0 +1,73 @@
+// Package pmem models the persistent-memory substrate used by the Jaaru
+// model checker: a byte-addressable address space divided into 64-byte cache
+// lines, per-byte store queues recording every value ever written to the
+// cache together with a global sequence number, and per-cache-line intervals
+// bounding the time at which each line was most recently written back to
+// persistent storage.
+//
+// The notation follows Section 4 of the paper: an execution e has a map
+// e.queue(addr) from addresses to sequences of ⟨val, σ⟩ tuples and a map
+// e.getcacheline(addr) from addresses to the interval in which the line was
+// most recently flushed. A failure scenario is a stack of executions.
+package pmem
+
+import "fmt"
+
+// CacheLineSize is the size of a cache line in bytes. Flush instructions
+// (clflush, clflushopt, clwb) operate at this granularity.
+const CacheLineSize = 64
+
+// Addr is a byte address in the simulated persistent memory pool.
+// Address 0 is reserved as the null address.
+type Addr uint64
+
+// Line returns the base address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ (CacheLineSize - 1) }
+
+// LineOffset returns the offset of a within its cache line.
+func (a Addr) LineOffset() uint64 { return uint64(a) & (CacheLineSize - 1) }
+
+// Add returns the address n bytes past a.
+func (a Addr) Add(n uint64) Addr { return a + Addr(n) }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Lines calls fn once for each cache line overlapped by [a, a+size).
+// A zero size touches no lines.
+func Lines(a Addr, size uint64, fn func(line Addr)) {
+	if size == 0 {
+		return
+	}
+	first := a.Line()
+	last := (a + Addr(size) - 1).Line()
+	for l := first; ; l += CacheLineSize {
+		fn(l)
+		if l == last {
+			return
+		}
+	}
+}
+
+// LineCount reports how many cache lines [a, a+size) overlaps.
+func LineCount(a Addr, size uint64) int {
+	n := 0
+	Lines(a, size, func(Addr) { n++ })
+	return n
+}
+
+// Seq is a global sequence number σ assigned to stores, clflush and sfence
+// instructions in the order they take effect in the cache. Sequence numbers
+// define the total store order of x86-TSO; they are never reset within a
+// failure scenario, so numbers are comparable across executions.
+type Seq uint64
+
+// SeqInf is the upper bound used for intervals that are unbounded on the
+// right ("the line may have been written back at any later time").
+const SeqInf = ^Seq(0)
+
+func (s Seq) String() string {
+	if s == SeqInf {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", uint64(s))
+}

@@ -1,0 +1,206 @@
+package pmem
+
+import "slices"
+
+// ByteStore is one entry of a per-byte store queue: the value written to the
+// cache at sequence number Seq. Multi-byte stores enqueue one ByteStore per
+// byte, all sharing the same sequence number ("mixed size accesses", §4).
+type ByteStore struct {
+	Val byte
+	Seq Seq
+}
+
+// Execution records everything one execution of a failure scenario wrote to
+// the cache: per-byte store queues in cache order, and per-cache-line
+// intervals bounding the most recent writeback to persistent memory.
+//
+// Execution 0 is the pre-failure execution; each injected failure pushes a
+// fresh execution onto the scenario's Stack.
+type Execution struct {
+	// ID is the index of this execution in its Stack.
+	ID int
+
+	queues map[Addr][]ByteStore
+	lines  map[Addr]*Interval
+
+	// EvictedStores counts store entries that took effect in the cache
+	// during this execution (used for failure-point eligibility and for
+	// the Yat state-count accounting).
+	EvictedStores int
+}
+
+// NewExecution returns an empty execution record with the given stack index.
+func NewExecution(id int) *Execution {
+	return &Execution{
+		ID:     id,
+		queues: make(map[Addr][]ByteStore),
+		lines:  make(map[Addr]*Interval),
+	}
+}
+
+// Append records that value v was written to byte address a at sequence s.
+// Sequence numbers must be appended in increasing order.
+func (e *Execution) Append(a Addr, v byte, s Seq) {
+	e.queues[a] = append(e.queues[a], ByteStore{Val: v, Seq: s})
+}
+
+// Queue returns the store queue for byte address a, oldest first.
+func (e *Execution) Queue(a Addr) []ByteStore { return e.queues[a] }
+
+// Newest returns the most recent store to byte address a in this execution.
+func (e *Execution) Newest(a Addr) (ByteStore, bool) {
+	q := e.queues[a]
+	if len(q) == 0 {
+		return ByteStore{}, false
+	}
+	return q[len(q)-1], true
+}
+
+// First returns the oldest store to byte address a in this execution.
+func (e *Execution) First(a Addr) (ByteStore, bool) {
+	q := e.queues[a]
+	if len(q) == 0 {
+		return ByteStore{}, false
+	}
+	return q[0], true
+}
+
+// CacheLine returns the writeback interval for the line containing a,
+// creating the unconstrained interval [0, ∞) on first use. This is the
+// paper's e.getcacheline(addr).
+func (e *Execution) CacheLine(a Addr) *Interval {
+	line := a.Line()
+	iv, ok := e.lines[line]
+	if !ok {
+		iv = &Interval{Begin: 0, End: SeqInf}
+		e.lines[line] = iv
+	}
+	return iv
+}
+
+// LineKnown reports whether a writeback interval has been materialized for
+// the line containing a (i.e. the line was flushed or refined).
+func (e *Execution) LineKnown(a Addr) bool {
+	_, ok := e.lines[a.Line()]
+	return ok
+}
+
+// Candidates computes, for a post-failure load of byte address a, the set of
+// stores from this execution the load may read from, following lines 8–13 of
+// the ReadPreFailure algorithm (Figure 9):
+//
+//	set = { ⟨val, σ⟩ | σ < cl.End ∧ (σ ≤ cl.Begin ⇒ no later store σ' ≤ cl.Begin) }
+//
+// i.e. every store inside the writeback window (cl.Begin, cl.End) plus the
+// newest store at or before cl.Begin (which is the value guaranteed persisted
+// by the last flush). settled reports whether a store with σ ≤ cl.Begin
+// exists; if not, the line's pre-execution contents may have survived and the
+// caller must recurse into the previous execution.
+//
+// Candidates are returned newest-first so that exploration visits the most
+// recently written value first (matching the commit-store discussion in §3.2,
+// where the first execution explored reads the commit store's value).
+func (e *Execution) Candidates(a Addr) (set []ByteStore, settled bool) {
+	cl := e.CacheLine(a)
+	q := e.queues[a]
+	for i := len(q) - 1; i >= 0; i-- {
+		bs := q[i]
+		if bs.Seq >= cl.End {
+			continue
+		}
+		set = append(set, bs)
+		if bs.Seq <= cl.Begin {
+			// Newest store at or before Begin: guaranteed persisted;
+			// earlier stores (and earlier executions) are unreachable.
+			return set, true
+		}
+	}
+	return set, false
+}
+
+// appendCandidates is Candidates appending tagged entries into a reused
+// buffer (the allocation-free path used by the checker's load handling).
+func (e *Execution) appendCandidates(a Addr, out []Candidate) ([]Candidate, bool) {
+	cl := e.CacheLine(a)
+	q := e.queues[a]
+	for i := len(q) - 1; i >= 0; i-- {
+		bs := q[i]
+		if bs.Seq >= cl.End {
+			continue
+		}
+		out = append(out, Candidate{Exec: e.ID, ByteStore: bs})
+		if bs.Seq <= cl.Begin {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// DirtyStores reports how many stores to the line containing a happened after
+// the line's current lower writeback bound — the number of distinct
+// post-failure states an eager checker such as Yat must consider for this
+// line is DirtyStores+1. Counting walks every byte of the line.
+func (e *Execution) DirtyStores(line Addr) int {
+	cl := e.CacheLine(line)
+	n := 0
+	for off := Addr(0); off < CacheLineSize; off++ {
+		for _, bs := range e.queues[line+off] {
+			if bs.Seq > cl.Begin {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DirtyLines returns, in sorted order, the base addresses of all lines that
+// have at least one store after their lower writeback bound.
+func (e *Execution) DirtyLines() []Addr {
+	seen := make(map[Addr]bool)
+	var out []Addr
+	for a, q := range e.queues {
+		line := a.Line()
+		if seen[line] {
+			continue
+		}
+		cl := e.CacheLine(line)
+		for _, bs := range q {
+			if bs.Seq > cl.Begin {
+				seen[line] = true
+				out = append(out, line)
+				break
+			}
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+// TouchedLines returns, in sorted order, the base addresses of all lines
+// written during this execution.
+func (e *Execution) TouchedLines() []Addr {
+	seen := make(map[Addr]bool)
+	var out []Addr
+	for a := range e.queues {
+		line := a.Line()
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+// TouchedAddrs returns every byte address written during this execution, in
+// sorted order.
+func (e *Execution) TouchedAddrs() []Addr {
+	out := make([]Addr, 0, len(e.queues))
+	for a := range e.queues {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+func sortAddrs(s []Addr) { slices.Sort(s) }

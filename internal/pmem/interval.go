@@ -1,0 +1,48 @@
+package pmem
+
+import "fmt"
+
+// Interval bounds the time at which a cache line was most recently written
+// back to persistent memory within one execution. The line's last writeback
+// happened at some σ with Begin ≤ σ < End (Begin inclusive because a clflush
+// at σ pins the last writeback to be no earlier than σ; End exclusive because
+// observing a load that returns the value of store σ_k proves the writeback
+// happened before the next store σ_{k+1}).
+//
+// A fresh line starts with the vacuous interval [0, ∞): it may have been
+// written back at any time, or never (equivalent to "written back at time 0",
+// before any store of this execution).
+type Interval struct {
+	Begin Seq // lower bound: set by clflush / clflushopt writeback effects
+	End   Seq // exclusive upper bound: refined by post-failure observations
+}
+
+// NewInterval returns the unconstrained interval [0, ∞).
+func NewInterval() Interval { return Interval{Begin: 0, End: SeqInf} }
+
+// RaiseBegin raises the lower bound to at least s (a flush effect at s).
+func (iv *Interval) RaiseBegin(s Seq) {
+	if s > iv.Begin {
+		iv.Begin = s
+	}
+}
+
+// LowerEnd lowers the exclusive upper bound to at most s (a refinement from
+// an observed load).
+func (iv *Interval) LowerEnd(s Seq) {
+	if s < iv.End {
+		iv.End = s
+	}
+}
+
+// Contains reports whether σ lies within [Begin, End).
+func (iv Interval) Contains(s Seq) bool { return s >= iv.Begin && s < iv.End }
+
+// Empty reports whether the interval has become contradictory. A correct
+// exploration never produces an empty interval: refinements are only applied
+// for read-from choices that BuildMayReadFrom computed as consistent.
+func (iv Interval) Empty() bool { return iv.End <= iv.Begin }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%v, %v)", iv.Begin, iv.End)
+}

@@ -1,0 +1,119 @@
+package pmem
+
+// Stack is the sequence of executions comprising one failure scenario
+// (the paper's exec). Execution 0 is the pre-failure execution; each
+// injected failure pushes a fresh execution.
+type Stack struct {
+	execs []*Execution
+}
+
+// NewStack returns a stack containing only the pre-failure execution.
+func NewStack() *Stack {
+	return &Stack{execs: []*Execution{NewExecution(0)}}
+}
+
+// Top returns the current (most recent) execution.
+func (s *Stack) Top() *Execution { return s.execs[len(s.execs)-1] }
+
+// Prev returns the execution immediately preceding e, or nil if e is the
+// oldest execution.
+func (s *Stack) Prev(e *Execution) *Execution {
+	if e.ID == 0 {
+		return nil
+	}
+	return s.execs[e.ID-1]
+}
+
+// Push starts a new execution (a failure occurred) and returns it.
+func (s *Stack) Push() *Execution {
+	e := NewExecution(len(s.execs))
+	s.execs = append(s.execs, e)
+	return e
+}
+
+// Depth reports how many executions the scenario contains so far.
+func (s *Stack) Depth() int { return len(s.execs) }
+
+// At returns the execution with stack index id.
+func (s *Stack) At(id int) *Execution { return s.execs[id] }
+
+// Candidate is one store a post-failure load may read from: the execution
+// that performed it, and the ⟨val, σ⟩ tuple. Exec == -1 denotes the initial
+// contents of the pool (zero) from before the first execution.
+type Candidate struct {
+	Exec int
+	ByteStore
+}
+
+// InitialExec is the pseudo execution ID of the pool's initial (zeroed)
+// contents.
+const InitialExec = -1
+
+// ReadPreFailure computes the set of stores from executions preceding the
+// current one that a load of byte address a may read from (Figure 9,
+// ReadPreFailure). It walks the stack from the execution below the top
+// downward, collecting each execution's candidates, and stops at the first
+// execution with a store guaranteed persisted (σ ≤ cl.Begin). If no
+// execution settles the search, the pool's initial zero byte is appended as
+// a final candidate.
+//
+// Candidates are ordered newest execution first, and newest store first
+// within an execution.
+func (s *Stack) ReadPreFailure(a Addr) []Candidate {
+	return s.ReadPreFailureInto(a, nil)
+}
+
+// ReadPreFailureInto is ReadPreFailure appending into a caller-provided
+// buffer (typically a reused scratch slice) to avoid per-load allocation.
+func (s *Stack) ReadPreFailureInto(a Addr, out []Candidate) []Candidate {
+	for id := s.Top().ID - 1; id >= 0; id-- {
+		e := s.execs[id]
+		var settled bool
+		out, settled = e.appendCandidates(a, out)
+		if settled {
+			return out
+		}
+	}
+	return append(out, Candidate{Exec: InitialExec, ByteStore: ByteStore{Val: 0, Seq: 0}})
+}
+
+// DoRead refines the most-recent-writeback intervals of previous executions
+// after the model checker selects candidate c for a load of byte address a
+// (Figure 10, DoRead / UpdateRanges). If the chosen store is from the current
+// execution there is nothing to refine.
+func (s *Stack) DoRead(a Addr, c Candidate) {
+	top := s.Top()
+	if c.Exec == top.ID {
+		return
+	}
+	s.updateRanges(top.ID-1, a, c)
+}
+
+func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
+	if execID < 0 {
+		return
+	}
+	ec := s.execs[execID]
+	if c.Exec != execID {
+		// The load read from an earlier execution, so execution ec cannot
+		// have written this line back after its first store to a (otherwise
+		// the load would have observed ec's value or a later one).
+		if first, ok := ec.First(a); ok {
+			ec.CacheLine(a).LowerEnd(first.Seq)
+		}
+		s.updateRanges(execID-1, a, c)
+		return
+	}
+	// The load read store ⟨val, σ⟩ of execution ec: the line was written
+	// back at or after σ and before the next store to a.
+	cl := ec.CacheLine(a)
+	cl.RaiseBegin(c.Seq)
+	next := SeqInf
+	for _, bs := range ec.Queue(a) {
+		if bs.Seq > c.Seq {
+			next = bs.Seq
+			break
+		}
+	}
+	cl.LowerEnd(next)
+}

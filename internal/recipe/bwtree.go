@@ -1,0 +1,343 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// P-BwTree analog: a Bw-tree — nodes are addressed through a mapping table
+// of PIDs, updates prepend delta records to a PID's chain with a single
+// pointer commit, and long chains are consolidated into fresh base nodes.
+// Retired nodes go to an epoch garbage list in persistent memory.
+//
+// The paper found five P-BwTree bugs (Figure 13): a GC atomicity violation
+// (BW-1) and missing flushes of the GC metadata pointer (BW-2), the GC
+// metadata itself (BW-3), the AllocationMeta constructor (BW-4) and the
+// BwTree constructor (BW-5). All manifest as segmentation faults
+// (Figure 15).
+
+const (
+	bwTypeBase  = 1
+	bwTypeDelta = 2
+
+	// Base node: type, count, gcNext, keys[16], vals[16].
+	bwBaseSlots = 16
+	bwBaseSize  = 24 + bwBaseSlots*16
+	bwOffCount  = 8
+	bwOffGCNext = 16
+	bwOffKeys   = 24
+	bwOffVals   = 24 + bwBaseSlots*8
+
+	// Delta record: type, key, val, next, gcNext.
+	bwDeltaSize    = 40
+	bwDeltaOffKey  = 8
+	bwDeltaOffVal  = 16
+	bwDeltaOffNext = 24
+	bwDeltaOffGC   = 32
+
+	// Mapping table (the AllocationMeta): capacity, used, entriesPtr.
+	bwMapSize       = 24
+	bwMapOffCap     = 0
+	bwMapOffUsed    = 8
+	bwMapOffEntries = 16
+
+	// GC metadata: head (sentinel-terminated), retired count.
+	bwGCSize    = 16
+	bwGCOffHead = 0
+	bwGCOffN    = 8
+
+	// The GC list terminator: distinguishable from both null (which means
+	// "pointer never persisted") and real node addresses.
+	bwGCSentinel = core.Addr(0x5EA15EA15EA10000)
+
+	// Tree metadata in the pool root area. The two pointers live on
+	// separate cache lines so that persisting one cannot incidentally
+	// flush the other.
+	bwOffMap = 0  // mapping table pointer
+	bwOffGC  = 64 // GC metadata pointer
+
+	bwConsolidateAt = 4 // chain length triggering consolidation
+	bwRootPID       = 0
+)
+
+// BwTreeBugs selects the seeded P-BwTree bugs.
+type BwTreeBugs struct {
+	// GCReversedLink retires nodes head-first (BW-1): the head commit can
+	// persist before the node's own next link, leaving a GC chain that
+	// dereferences null — the GC atomicity violation.
+	GCReversedLink bool
+	// NoGCPtrFlush skips persisting the GC metadata pointer (BW-2).
+	NoGCPtrFlush bool
+	// NoGCMetaFlush skips persisting the GC metadata contents (BW-3): the
+	// head recovers as null instead of the sentinel.
+	NoGCMetaFlush bool
+	// NoMapMetaFlush skips persisting the mapping table's entries pointer
+	// (BW-4, AllocationMeta constructor).
+	NoMapMetaFlush bool
+	// NoRootEntryFlush skips persisting the root PID's mapping entry
+	// (BW-5, BwTree constructor).
+	NoRootEntryFlush bool
+}
+
+// BwTree is a handle to the tree.
+type BwTree struct {
+	c    *core.Context
+	meta core.Addr
+	bugs BwTreeBugs
+}
+
+// CreateBwTree builds the mapping table, the GC metadata and an empty root
+// base node at PID 0.
+func CreateBwTree(c *core.Context, bugs BwTreeBugs) *BwTree {
+	t := &BwTree{c: c, meta: c.Root(), bugs: bugs}
+
+	entries := c.AllocLine(8 * 64)
+	m := c.AllocLine(bwMapSize)
+	c.Store64(m.Add(bwMapOffCap), 64)
+	c.Store64(m.Add(bwMapOffUsed), 1) // PID 0: the root
+	c.StorePtr(m.Add(bwMapOffEntries), entries)
+	if !bugs.NoMapMetaFlush {
+		c.Persist(m, bwMapSize)
+	}
+
+	root := t.newBase()
+	c.Store64(root, bwTypeBase)
+	c.Persist(root, bwBaseSize)
+	c.StorePtr(entries, root)
+	if !bugs.NoRootEntryFlush {
+		c.Persist(entries, 8)
+	}
+
+	gc := c.AllocLine(bwGCSize)
+	c.StorePtr(gc.Add(bwGCOffHead), bwGCSentinel)
+	c.Store64(gc.Add(bwGCOffN), 0)
+	if !bugs.NoGCMetaFlush {
+		c.Persist(gc, bwGCSize)
+	}
+
+	// The GC pointer is stored (and, in the fixed variant, persisted)
+	// before the map pointer: opening gates on the map pointer, so a
+	// recovered pool with a map always has its GC metadata.
+	c.StorePtr(t.meta.Add(bwOffGC), gc)
+	if !bugs.NoGCPtrFlush {
+		c.Persist(t.meta.Add(bwOffGC), 8)
+	}
+	c.StorePtr(t.meta.Add(bwOffMap), m) // commit store
+	c.Persist(t.meta.Add(bwOffMap), 8)
+	return t
+}
+
+// OpenBwTree binds to a recovered tree.
+func OpenBwTree(c *core.Context, bugs BwTreeBugs) (*BwTree, bool) {
+	t := &BwTree{c: c, meta: c.Root(), bugs: bugs}
+	return t, c.LoadPtr(t.meta.Add(bwOffMap)) != 0
+}
+
+// newBase allocates a base node and writes its complete (zero) image.
+func (t *BwTree) newBase() core.Addr {
+	n := t.c.AllocLine(bwBaseSize)
+	for w := uint64(0); w < bwBaseSize/8; w++ {
+		t.c.Store64(n.Add(8*w), 0)
+	}
+	return n
+}
+
+// WithContext rebinds the handle to another guest thread's context
+// (handles are bound to one thread; see core.Context).
+func (t *BwTree) WithContext(c *core.Context) *BwTree {
+	return &BwTree{c: c, meta: t.meta, bugs: t.bugs}
+}
+
+func (t *BwTree) mapping() core.Addr { return t.c.LoadPtr(t.meta.Add(bwOffMap)) }
+
+func (t *BwTree) entrySlot(pid uint64) core.Addr {
+	c := t.c
+	m := t.mapping()
+	entries := c.LoadPtr(m.Add(bwMapOffEntries))
+	return entries.Add(8 * pid)
+}
+
+// Insert prepends a delta record to the root PID's chain; long chains are
+// consolidated.
+func (t *BwTree) Insert(key, value uint64) {
+	c := t.c
+	c.Assert(key != 0, "P-BwTree: key 0 is reserved")
+	slot := t.entrySlot(bwRootPID)
+	head := c.LoadPtr(slot)
+
+	d := c.AllocLine(bwDeltaSize)
+	c.Store64(d, bwTypeDelta)
+	c.Store64(d.Add(bwDeltaOffKey), key)
+	c.Store64(d.Add(bwDeltaOffVal), value)
+	c.StorePtr(d.Add(bwDeltaOffNext), head)
+	c.Persist(d, bwDeltaSize)
+	c.StorePtr(slot, d) // commit store
+	c.Persist(slot, 8)
+
+	if t.chainLen(d) > bwConsolidateAt {
+		t.consolidate()
+	}
+}
+
+func (t *BwTree) chainLen(n core.Addr) int {
+	c := t.c
+	length := 0
+	for c.Load64(n) == bwTypeDelta {
+		length++
+		n = c.LoadPtr(n.Add(bwDeltaOffNext))
+	}
+	return length
+}
+
+// consolidate folds the root PID's delta chain into a fresh base node and
+// retires the old chain to the GC list.
+func (t *BwTree) consolidate() {
+	c := t.c
+	slot := t.entrySlot(bwRootPID)
+	oldHead := c.LoadPtr(slot)
+
+	// Collect the chain's view: newest delta wins, then the base.
+	type kv struct{ k, v uint64 }
+	var pairs []kv
+	seen := make(map[uint64]bool)
+	n := oldHead
+	for c.Load64(n) == bwTypeDelta {
+		k := c.Load64(n.Add(bwDeltaOffKey))
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, kv{k, c.Load64(n.Add(bwDeltaOffVal))})
+		}
+		n = c.LoadPtr(n.Add(bwDeltaOffNext))
+	}
+	base := n
+	cnt := c.Load64(base.Add(bwOffCount))
+	for i := uint64(0); i < cnt; i++ {
+		k := c.Load64(base.Add(bwOffKeys + 8*i))
+		if !seen[k] {
+			seen[k] = true
+			pairs = append(pairs, kv{k, c.Load64(base.Add(bwOffVals + 8*i))})
+		}
+	}
+	c.Assert(len(pairs) <= bwBaseSlots, "P-BwTree: consolidation overflow (%d pairs)", len(pairs))
+
+	nb := t.newBase()
+	c.Store64(nb, bwTypeBase)
+	c.Store64(nb.Add(bwOffCount), uint64(len(pairs)))
+	for i, pr := range pairs {
+		c.Store64(nb.Add(bwOffKeys+8*uint64(i)), pr.k)
+		c.Store64(nb.Add(bwOffVals+8*uint64(i)), pr.v)
+	}
+	c.Persist(nb, bwBaseSize)
+	c.StorePtr(slot, nb) // commit store
+	c.Persist(slot, 8)
+
+	// Retire the old chain (deltas and the old base).
+	n = oldHead
+	for c.Load64(n) == bwTypeDelta {
+		next := c.LoadPtr(n.Add(bwDeltaOffNext))
+		t.retire(n, bwDeltaOffGC)
+		n = next
+	}
+	t.retire(n, bwOffGCNext)
+}
+
+// retire pushes a node onto the GC list. The fixed order is node.gcNext
+// first (persisted), then the head commit store — so the list is always
+// walkable.
+func (t *BwTree) retire(n core.Addr, gcOff uint64) {
+	c := t.c
+	gc := c.LoadPtr(t.meta.Add(bwOffGC))
+	head := c.LoadPtr(gc.Add(bwGCOffHead))
+	if t.bugs.GCReversedLink {
+		// BUG (BW-1): the head commit can persist before the node's link.
+		c.StorePtr(gc.Add(bwGCOffHead), n)
+		c.Persist(gc.Add(bwGCOffHead), 8)
+		c.StorePtr(n.Add(gcOff), head)
+		c.Persist(n.Add(gcOff), 8)
+	} else {
+		c.StorePtr(n.Add(gcOff), head)
+		c.Persist(n.Add(gcOff), 8)
+		c.StorePtr(gc.Add(bwGCOffHead), n) // commit store
+		c.Persist(gc.Add(bwGCOffHead), 8)
+	}
+	c.Store64(gc.Add(bwGCOffN), c.Load64(gc.Add(bwGCOffN))+1)
+	c.Persist(gc.Add(bwGCOffN), 8)
+}
+
+// Lookup returns the value stored for key (newest delta wins).
+func (t *BwTree) Lookup(key uint64) (uint64, bool) {
+	c := t.c
+	n := c.LoadPtr(t.entrySlot(bwRootPID))
+	for c.Load64(n) == bwTypeDelta {
+		if c.Load64(n.Add(bwDeltaOffKey)) == key {
+			return c.Load64(n.Add(bwDeltaOffVal)), true
+		}
+		n = c.LoadPtr(n.Add(bwDeltaOffNext))
+	}
+	cnt := c.Load64(n.Add(bwOffCount))
+	for i := uint64(0); i < cnt; i++ {
+		if c.Load64(n.Add(bwOffKeys+8*i)) == key {
+			return c.Load64(n.Add(bwOffVals + 8*i)), true
+		}
+	}
+	return 0, false
+}
+
+// Check validates the mapping table, walks the root chain and the GC list —
+// dereferencing them exactly as the recovery epoch manager does — and
+// returns the number of live keys.
+func (t *BwTree) Check(valueOf func(uint64) uint64) int {
+	c := t.c
+	m := t.mapping()
+	used := c.Load64(m.Add(bwMapOffUsed))
+	capacity := c.Load64(m.Add(bwMapOffCap))
+	c.Assert(used >= 1 && used <= capacity,
+		"P-BwTree check: mapping table used %d of %d", used, capacity)
+
+	// Live chain.
+	total := 0
+	seen := make(map[uint64]bool)
+	n := c.LoadPtr(t.entrySlot(bwRootPID))
+	steps := 0
+	for c.Load64(n) == bwTypeDelta {
+		c.Assert(steps < 1<<12, "P-BwTree check: delta chain cycle")
+		steps++
+		k := c.Load64(n.Add(bwDeltaOffKey))
+		if !seen[k] {
+			seen[k] = true
+			v := c.Load64(n.Add(bwDeltaOffVal))
+			c.Assert(v == valueOf(k), "P-BwTree check: key %d has value %d", k, v)
+			total++
+		}
+		n = c.LoadPtr(n.Add(bwDeltaOffNext))
+	}
+	c.Assert(c.Load64(n) == bwTypeBase, "P-BwTree check: chain tail %v is not a base node", n)
+	cnt := c.Load64(n.Add(bwOffCount))
+	c.Assert(cnt <= bwBaseSlots, "P-BwTree check: base count %d corrupt", cnt)
+	for i := uint64(0); i < cnt; i++ {
+		k := c.Load64(n.Add(bwOffKeys + 8*i))
+		if !seen[k] {
+			seen[k] = true
+			v := c.Load64(n.Add(bwOffVals + 8*i))
+			c.Assert(v == valueOf(k), "P-BwTree check: key %d has value %d", k, v)
+			total++
+		}
+	}
+
+	// GC list: the epoch manager walks it on recovery to reclaim retired
+	// nodes. A broken link is dereferenced, as the real code would.
+	gc := c.LoadPtr(t.meta.Add(bwOffGC))
+	cur := c.LoadPtr(gc.Add(bwGCOffHead))
+	steps = 0
+	for cur != bwGCSentinel {
+		c.Assert(steps < 1<<12, "P-BwTree check: GC list cycle")
+		steps++
+		typ := c.Load64(cur)
+		switch typ {
+		case bwTypeDelta:
+			cur = c.LoadPtr(cur.Add(bwDeltaOffGC))
+		case bwTypeBase:
+			cur = c.LoadPtr(cur.Add(bwOffGCNext))
+		default:
+			c.Assert(false, "P-BwTree check: GC node %v has type %d", cur, typ)
+		}
+	}
+	return total
+}

@@ -1,0 +1,361 @@
+// Package recipe contains from-scratch Go analogs of the six RECIPE
+// persistent-memory index structures the paper evaluates (§5, Figures 13
+// and 15): CCEH, FAST_FAIR, P-ART, P-BwTree, P-CLHT and P-Masstree. Each
+// structure has a crash-consistent Fixed variant (explored clean by the
+// checker, used for the Figure 14 performance table) and seeded Bug knobs
+// reproducing the 18 RECIPE bugs — primarily missing flushes in
+// constructors, plus the non-persistent-epoch, lock-persistency and GC
+// atomicity bugs the paper highlights.
+package recipe
+
+import "jaaru/internal/core"
+
+// CCEH: cacheline-conscious extendible hashing. A directory of segment
+// pointers indexed by the top globalDepth hash bits; each segment carries
+// its local depth and pattern so that readers can detect directory/segment
+// mismatches (the in-progress-split protocol). The paper found three
+// missing-flush bugs in the CCEH constructor (CCEH-1..3, Figure 13).
+
+const (
+	ccehSlots    = 16 // (key, value) pairs per segment
+	ccehSegSize  = 16 + ccehSlots*16
+	ccehOffDepth = 0 // segment local depth
+	ccehOffPat   = 8 // segment pattern (its directory prefix)
+	ccehOffPairs = 16
+
+	// Directory object: the globalDepth word has its own cache line; the
+	// segment-pointer array starts on the next line (a real CCEH directory
+	// spans many lines, which is exactly why its flushes can be missed).
+	ccehDirDepth = 0
+	ccehDirPtrs  = 64
+
+	// Initial global depth: 16 directory entries over two segments.
+	ccehInitDepth = 4
+)
+
+// ccehTombstone marks a deleted slot: probes continue past it (unlike an
+// empty slot) and inserts may reuse it.
+const ccehTombstone = ^uint64(0)
+
+// CCEHBugs selects the seeded CCEH constructor bugs.
+type CCEHBugs struct {
+	// NoSegmentFlush skips persisting the initial segments' headers
+	// (CCEH-1): the recovered pattern disagrees with the directory and
+	// the lookup retry loop never terminates — "stuck in an infinite
+	// loop" (Figure 15).
+	NoSegmentFlush bool
+	// NoDirArrayFlush skips persisting the directory's segment pointers
+	// (CCEH-2): recovery dereferences a null segment — segmentation
+	// fault.
+	NoDirArrayFlush bool
+	// NoDirEntryFlush skips persisting only the second half of the
+	// directory (CCEH-3): keys hashing there dereference a null segment —
+	// segmentation fault.
+	NoDirEntryFlush bool
+}
+
+// CCEH is a handle to the hash table; the directory pointer lives at the
+// pool root.
+type CCEH struct {
+	c    *core.Context
+	root core.Addr // holds the directory pointer
+	bugs CCEHBugs
+}
+
+// CreateCCEH builds the initial table: two segments behind a 16-entry
+// directory (global depth 4).
+func CreateCCEH(c *core.Context, bugs CCEHBugs) *CCEH {
+	h := &CCEH{c: c, root: c.Root(), bugs: bugs}
+
+	seg0 := h.newSegment(1, 0)
+	seg1 := h.newSegment(1, 1)
+	if !bugs.NoSegmentFlush {
+		c.Persist(seg0, ccehSegSize)
+		c.Persist(seg1, ccehSegSize)
+	}
+
+	size := uint64(1) << ccehInitDepth
+	dir := c.AllocLine(ccehDirPtrs + size*8)
+	c.Store64(dir.Add(ccehDirDepth), ccehInitDepth)
+	for i := uint64(0); i < size; i++ {
+		seg := seg0
+		if i >= size/2 {
+			seg = seg1
+		}
+		c.StorePtr(dir.Add(ccehDirPtrs+8*i), seg)
+	}
+	switch {
+	case bugs.NoDirArrayFlush:
+		// BUG: only the depth word's line is persisted.
+		c.Persist(dir.Add(ccehDirDepth), 8)
+	case bugs.NoDirEntryFlush:
+		// BUG: only the first line of the pointer array is persisted.
+		c.Persist(dir, ccehDirPtrs+8)
+	default:
+		c.Persist(dir, ccehDirPtrs+size*8)
+	}
+
+	// Commit store: the root directory pointer.
+	c.StorePtr(h.root, dir)
+	c.Persist(h.root, 8)
+	return h
+}
+
+// OpenCCEH binds to a recovered table; it reports ok=false when the root
+// pointer never persisted (crash before the constructor's commit).
+func OpenCCEH(c *core.Context) (*CCEH, bool) {
+	h := &CCEH{c: c, root: c.Root()}
+	return h, c.LoadPtr(h.root) != 0
+}
+
+// WithContext rebinds the handle to another guest thread's context
+// (handles are bound to one thread; see core.Context).
+func (h *CCEH) WithContext(c *core.Context) *CCEH {
+	return &CCEH{c: c, root: h.root, bugs: h.bugs}
+}
+
+// newSegment writes a complete segment image (header and zeroed slots),
+// unflushed — flushing is the caller's responsibility.
+func (h *CCEH) newSegment(depth, pattern uint64) core.Addr {
+	c := h.c
+	seg := c.AllocLine(ccehSegSize)
+	c.Store64(seg.Add(ccehOffDepth), depth)
+	c.Store64(seg.Add(ccehOffPat), pattern)
+	for i := uint64(0); i < ccehSlots; i++ {
+		c.Store64(seg.Add(ccehOffPairs+i*16), 0)
+		c.Store64(seg.Add(ccehOffPairs+i*16+8), 0)
+	}
+	return seg
+}
+
+func ccehHash(key uint64) uint64 {
+	x := key * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	return x
+}
+
+// segment resolves the segment for a key, retrying on directory/segment
+// pattern mismatches as the real CCEH lookup does. With segment headers
+// lost (CCEH-1), the mismatch never resolves — the infinite loop the paper
+// reports.
+func (h *CCEH) segment(key uint64) (seg core.Addr, hash uint64) {
+	c := h.c
+	hash = ccehHash(key)
+	for {
+		dir := c.LoadPtr(h.root)
+		g := c.Load64(dir.Add(ccehDirDepth))
+		idx := hash >> (64 - g)
+		seg = c.LoadPtr(dir.Add(ccehDirPtrs + 8*idx))
+		local := c.Load64(seg.Add(ccehOffDepth))
+		pattern := c.Load64(seg.Add(ccehOffPat))
+		if local <= g && local > 0 && pattern == idx>>(g-local) {
+			return seg, hash
+		}
+		// Inconsistent view (split in progress): retry from the directory.
+	}
+}
+
+// Insert stores a pair. The slot protocol is value first (persisted), then
+// key as the commit store (persisted). Tombstoned slots are reused; a full
+// segment triggers a split.
+func (h *CCEH) Insert(key, value uint64) {
+	c := h.c
+	c.Assert(key != 0 && key != ccehTombstone, "CCEH: reserved key")
+	for {
+		seg, hash := h.segment(key)
+		slotBase := seg.Add(ccehOffPairs)
+		start := hash % ccehSlots
+		var target core.Addr
+	scan:
+		for probe := uint64(0); probe < ccehSlots; probe++ {
+			slot := slotBase.Add(((start + probe) % ccehSlots) * 16)
+			switch k := c.Load64(slot); k {
+			case key:
+				c.Store64(slot.Add(8), value)
+				c.Persist(slot.Add(8), 8)
+				return
+			case ccehTombstone:
+				if target == 0 {
+					target = slot
+				}
+			case 0:
+				if target == 0 {
+					target = slot
+				}
+				break scan // the key cannot exist past an empty slot
+			}
+		}
+		if target != 0 {
+			c.Store64(target.Add(8), value)
+			c.Persist(target.Add(8), 8)
+			c.Store64(target, key) // commit store
+			c.Persist(target, 8)
+			return
+		}
+		h.split(seg)
+	}
+}
+
+// split doubles a full segment into two rehashed copies and installs a new
+// directory with the redirected entries. The directory swap is a single
+// commit store on the root pointer, so a crash anywhere leaves either the
+// complete old view or the complete new view — the old segment keeps its
+// pairs and the old directory is never modified.
+func (h *CCEH) split(seg core.Addr) {
+	c := h.c
+	dir := c.LoadPtr(h.root)
+	g := c.Load64(dir.Add(ccehDirDepth))
+	local := c.Load64(seg.Add(ccehOffDepth))
+	pattern := c.Load64(seg.Add(ccehOffPat))
+	if local == g {
+		h.doubleDirectory(dir, g)
+		// Re-resolve against the doubled directory.
+		dir = c.LoadPtr(h.root)
+		g = c.Load64(dir.Add(ccehDirDepth))
+	}
+
+	newDepth := local + 1
+	s0 := h.newSegment(newDepth, pattern<<1)
+	s1 := h.newSegment(newDepth, pattern<<1|1)
+	for i := uint64(0); i < ccehSlots; i++ {
+		slot := seg.Add(ccehOffPairs + i*16)
+		k := c.Load64(slot)
+		if k == 0 || k == ccehTombstone {
+			continue
+		}
+		v := c.Load64(slot.Add(8))
+		hash := ccehHash(k)
+		target := s0
+		if hash>>(64-newDepth)&1 == 1 {
+			target = s1
+		}
+		tslot := hash % ccehSlots
+		for p := uint64(0); ; p++ {
+			c.Assert(p < ccehSlots, "CCEH split: rehashed segment overflow")
+			sl := target.Add(ccehOffPairs + (tslot+p)%ccehSlots*16)
+			if c.Load64(sl) == 0 {
+				c.Store64(sl.Add(8), v)
+				c.Store64(sl, k)
+				break
+			}
+		}
+	}
+	c.Persist(s0, ccehSegSize)
+	c.Persist(s1, ccehSegSize)
+
+	// Build the redirected directory and swap it in with one commit store.
+	size := uint64(1) << g
+	nd := c.AllocLine(ccehDirPtrs + size*8)
+	c.Store64(nd.Add(ccehDirDepth), g)
+	span := uint64(1) << (g - local)
+	first := pattern << (g - local)
+	for idx := uint64(0); idx < size; idx++ {
+		target := c.LoadPtr(dir.Add(ccehDirPtrs + 8*idx))
+		if idx >= first && idx < first+span {
+			target = s0
+			if idx>>(g-newDepth)&1 == 1 {
+				target = s1
+			}
+		}
+		c.StorePtr(nd.Add(ccehDirPtrs+8*idx), target)
+	}
+	c.Persist(nd, ccehDirPtrs+size*8)
+	c.StorePtr(h.root, nd) // commit store
+	c.Persist(h.root, 8)
+}
+
+// doubleDirectory installs a directory of twice the size; the old directory
+// stays valid until the root pointer commit.
+func (h *CCEH) doubleDirectory(dir core.Addr, g uint64) {
+	c := h.c
+	size := uint64(1) << g
+	nd := c.AllocLine(ccehDirPtrs + 2*size*8)
+	c.Store64(nd.Add(ccehDirDepth), g+1)
+	for i := uint64(0); i < size; i++ {
+		seg := c.LoadPtr(dir.Add(ccehDirPtrs + 8*i))
+		c.StorePtr(nd.Add(ccehDirPtrs+16*i), seg)
+		c.StorePtr(nd.Add(ccehDirPtrs+16*i+8), seg)
+	}
+	c.Persist(nd, ccehDirPtrs+2*size*8)
+	c.StorePtr(h.root, nd) // commit store
+	c.Persist(h.root, 8)
+}
+
+// Delete removes a key; clearing the key slot is the commit store (the
+// value slot is left stale, invisible behind the zero key).
+func (h *CCEH) Delete(key uint64) bool {
+	c := h.c
+	seg, hash := h.segment(key)
+	slotBase := seg.Add(ccehOffPairs)
+	start := hash % ccehSlots
+	for probe := uint64(0); probe < ccehSlots; probe++ {
+		slot := slotBase.Add(((start + probe) % ccehSlots) * 16)
+		k := c.Load64(slot)
+		if k == key {
+			c.Store64(slot, ccehTombstone) // commit store
+			c.Persist(slot, 8)
+			return true
+		}
+		if k == 0 {
+			return false
+		}
+	}
+	return false
+}
+
+// Lookup returns the value stored for key.
+func (h *CCEH) Lookup(key uint64) (uint64, bool) {
+	c := h.c
+	seg, hash := h.segment(key)
+	slotBase := seg.Add(ccehOffPairs)
+	start := hash % ccehSlots
+	for probe := uint64(0); probe < ccehSlots; probe++ {
+		slot := slotBase.Add(((start + probe) % ccehSlots) * 16)
+		k := c.Load64(slot)
+		if k == key {
+			return c.Load64(slot.Add(8)), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		// Tombstones and other keys: keep probing.
+	}
+	return 0, false
+}
+
+// Check validates the directory and every reachable segment: patterns match
+// directory indices and committed keys carry their committed values.
+func (h *CCEH) Check(valueOf func(uint64) uint64) int {
+	c := h.c
+	dir := c.LoadPtr(h.root)
+	if dir == 0 {
+		return 0
+	}
+	g := c.Load64(dir.Add(ccehDirDepth))
+	c.Assert(g >= 1 && g <= 20, "CCEH check: global depth %d corrupt", g)
+	seen := make(map[core.Addr]bool)
+	total := 0
+	for idx := uint64(0); idx < 1<<g; idx++ {
+		seg := c.LoadPtr(dir.Add(ccehDirPtrs + 8*idx))
+		local := c.Load64(seg.Add(ccehOffDepth))
+		pattern := c.Load64(seg.Add(ccehOffPat))
+		c.Assert(local >= 1 && local <= g, "CCEH check: segment %v local depth %d", seg, local)
+		c.Assert(pattern == idx>>(g-local), "CCEH check: segment %v pattern %d at index %d",
+			seg, pattern, idx)
+		if seen[seg] {
+			continue
+		}
+		seen[seg] = true
+		for i := uint64(0); i < ccehSlots; i++ {
+			slot := seg.Add(ccehOffPairs + i*16)
+			k := c.Load64(slot)
+			if k == 0 || k == ccehTombstone {
+				continue
+			}
+			v := c.Load64(slot.Add(8))
+			c.Assert(v == valueOf(k), "CCEH check: key %d has value %d", k, v)
+			total++
+		}
+	}
+	return total
+}

@@ -1,0 +1,269 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// P-CLHT analog: a cache-line hash table — every bucket is exactly one
+// cache line holding a lock word, three (key, value) pairs and an overflow
+// chain pointer. Insertion commits by storing the key after its value has
+// persisted; the bucket lock word shares the bucket's cache line, so every
+// commit flush makes the held lock durable too — which is why recovery must
+// reinitialize locks.
+//
+// The paper found three P-CLHT bugs (Figure 13): missing flushes in the
+// clht constructor (CLHT-1) and for the hashtable object (CLHT-2), both
+// illegal memory accesses, and a missing flush for the hashtable array
+// whose lock words recover held (CLHT-3) — an infinite loop (Figure 15).
+
+const (
+	clhtBucketSlots = 3
+	clhtBucketSize  = 64
+
+	clhtOffLock = 0
+	clhtOffKeys = 8  // 3 × 8
+	clhtOffVals = 32 // 3 × 8
+	clhtOffNext = 56 // overflow chain
+
+	// clht root object: {htPtr}.
+	clhtRootSize = 8
+	// hashtable object: {nBuckets, bucketsPtr}.
+	clhtHTSize = 16
+)
+
+// CLHTBugs selects the seeded P-CLHT bugs.
+type CLHTBugs struct {
+	// NoRootStructFlush skips persisting the clht root structure
+	// (CLHT-1): its hashtable pointer recovers null — illegal access.
+	NoRootStructFlush bool
+	// NoHTObjectFlush skips persisting the hashtable object (CLHT-2):
+	// the bucket-array pointer recovers null — illegal access.
+	NoHTObjectFlush bool
+	// NoLockReset makes recovery trust the recovered bucket lock words
+	// (CLHT-3): commits flushed the whole bucket line, locks included, so
+	// a post-failure insert spins forever — infinite loop.
+	NoLockReset bool
+}
+
+// CLHT is a handle to the hash table.
+type CLHT struct {
+	c    *core.Context
+	meta core.Addr
+	bugs CLHTBugs
+}
+
+// CreateCLHT builds the table with nBuckets one-line buckets.
+func CreateCLHT(c *core.Context, nBuckets uint64, bugs CLHTBugs) *CLHT {
+	t := &CLHT{c: c, meta: c.Root(), bugs: bugs}
+
+	// The constructor writes every word of the bucket array (as the C++
+	// clht constructor does) before flushing it: the failure point right
+	// before this Persist is where an eager checker faces 9^(words/8)
+	// post-failure states, while recovery — gated on the root commit —
+	// never reads them.
+	buckets := c.AllocLine(nBuckets * clhtBucketSize)
+	for w := uint64(0); w < nBuckets*clhtBucketSize/8; w++ {
+		c.Store64(buckets.Add(8*w), 0)
+	}
+	c.Persist(buckets, nBuckets*clhtBucketSize)
+
+	ht := c.AllocLine(clhtHTSize)
+	c.Store64(ht, nBuckets)
+	c.StorePtr(ht.Add(8), buckets)
+	if !bugs.NoHTObjectFlush {
+		c.Persist(ht, clhtHTSize)
+	}
+
+	rootStruct := c.AllocLine(clhtRootSize)
+	c.StorePtr(rootStruct, ht)
+	if !bugs.NoRootStructFlush {
+		c.Persist(rootStruct, clhtRootSize)
+	}
+
+	c.StorePtr(t.meta, rootStruct) // commit store
+	c.Persist(t.meta, 8)
+	return t
+}
+
+// WithContext rebinds the table handle to another guest thread's context:
+// a handle is bound to one thread, so sharing a CLHT across Spawned threads
+// requires each thread to rebind (like acquiring a per-thread descriptor).
+func (t *CLHT) WithContext(c *core.Context) *CLHT {
+	return &CLHT{c: c, meta: t.meta, bugs: t.bugs}
+}
+
+// OpenCLHT binds to a recovered table. The fixed recovery walks the bucket
+// array and reinitializes every lock word (the RECIPE fix); the NoLockReset
+// bug trusts the recovered, possibly-held locks.
+func OpenCLHT(c *core.Context, bugs CLHTBugs) (*CLHT, bool) {
+	t := &CLHT{c: c, meta: c.Root(), bugs: bugs}
+	rootStruct := c.LoadPtr(t.meta)
+	if rootStruct == 0 {
+		return t, false
+	}
+	if !bugs.NoLockReset {
+		ht := c.LoadPtr(rootStruct)
+		n := c.Load64(ht)
+		buckets := c.LoadPtr(ht.Add(8))
+		for b := uint64(0); b < n; b++ {
+			bucket := buckets.Add(b * clhtBucketSize)
+			steps := 0
+			for bucket != 0 {
+				c.Store64(bucket.Add(clhtOffLock), 0)
+				bucket = c.LoadPtr(bucket.Add(clhtOffNext))
+				steps++
+				c.Assert(steps < 1<<16, "P-CLHT recovery: overflow chain cycle")
+			}
+		}
+	}
+	return t, true
+}
+
+func (t *CLHT) table() (buckets core.Addr, n uint64) {
+	c := t.c
+	rootStruct := c.LoadPtr(t.meta)
+	ht := c.LoadPtr(rootStruct)
+	n = c.Load64(ht)
+	buckets = c.LoadPtr(ht.Add(8))
+	return buckets, n
+}
+
+func (t *CLHT) lockBucket(bucket core.Addr) {
+	c := t.c
+	// Spin until the bucket lock is free. With NoLockReset, a lock made
+	// durable by a commit flush of its own cache line never frees.
+	for !c.CAS64(bucket.Add(clhtOffLock), 0, 1) {
+	}
+}
+
+func (t *CLHT) unlockBucket(bucket core.Addr) {
+	// Plain store: lock state is meant to be volatile, but it shares the
+	// bucket's cache line with the committed slots.
+	t.c.Store64(bucket.Add(clhtOffLock), 0)
+}
+
+// Insert stores a pair: value persisted first, key as the commit store.
+func (t *CLHT) Insert(key, value uint64) {
+	c := t.c
+	c.Assert(key != 0, "P-CLHT: key 0 is reserved")
+	buckets, n := t.table()
+	c.Assert(n != 0, "P-CLHT: hashtable has zero buckets")
+	first := buckets.Add(hmix(key) % n * clhtBucketSize)
+	t.lockBucket(first)
+	defer t.unlockBucket(first)
+
+	// Pass 1 — like the real clht_put: scan the whole chain for the key
+	// (update in place), remembering the first free slot and the chain
+	// tail. Inserting at an early free slot while the key lives in a later
+	// chained bucket would create a duplicate whose stale value resurfaces
+	// after a delete.
+	var free, tail core.Addr
+	for bucket := first; bucket != 0; bucket = c.LoadPtr(bucket.Add(clhtOffNext)) {
+		for i := uint64(0); i < clhtBucketSlots; i++ {
+			kAddr := bucket.Add(clhtOffKeys + 8*i)
+			switch c.Load64(kAddr) {
+			case key:
+				c.Store64(bucket.Add(clhtOffVals+8*i), value)
+				c.Persist(bucket.Add(clhtOffVals+8*i), 8)
+				return
+			case 0:
+				if free == 0 {
+					free = kAddr
+				}
+			}
+		}
+		tail = bucket
+	}
+
+	// Pass 2: commit into the free slot, growing the chain if needed.
+	if free == 0 {
+		nb := c.AllocLine(clhtBucketSize)
+		c.Persist(nb, clhtBucketSize)
+		c.StorePtr(tail.Add(clhtOffNext), nb) // commit store for the bucket
+		c.Persist(tail.Add(clhtOffNext), 8)
+		free = nb.Add(clhtOffKeys)
+	}
+	valAddr := free.Add(clhtOffVals - clhtOffKeys) // the slot's value word
+	c.Store64(valAddr, value)
+	c.Persist(valAddr, 8) // flushes the bucket line: lock word included
+	c.Store64(free, key)  // commit store
+	c.Persist(free, 8)
+}
+
+// Delete removes a key from its bucket chain; clearing the key slot is the
+// commit store.
+func (t *CLHT) Delete(key uint64) bool {
+	c := t.c
+	buckets, n := t.table()
+	c.Assert(n != 0, "P-CLHT: hashtable has zero buckets")
+	bucket := buckets.Add(hmix(key) % n * clhtBucketSize)
+	first := bucket
+	t.lockBucket(first)
+	defer t.unlockBucket(first)
+	for bucket != 0 {
+		for i := uint64(0); i < clhtBucketSlots; i++ {
+			kAddr := bucket.Add(clhtOffKeys + 8*i)
+			if c.Load64(kAddr) == key {
+				c.Store64(kAddr, 0) // commit store
+				c.Persist(kAddr, 8)
+				return true
+			}
+		}
+		bucket = c.LoadPtr(bucket.Add(clhtOffNext))
+	}
+	return false
+}
+
+func hmix(key uint64) uint64 {
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// Lookup returns the value stored for key.
+func (t *CLHT) Lookup(key uint64) (uint64, bool) {
+	c := t.c
+	buckets, n := t.table()
+	if n == 0 {
+		return 0, false
+	}
+	bucket := buckets.Add(hmix(key) % n * clhtBucketSize)
+	for bucket != 0 {
+		for i := uint64(0); i < clhtBucketSlots; i++ {
+			if c.Load64(bucket.Add(clhtOffKeys+8*i)) == key {
+				return c.Load64(bucket.Add(clhtOffVals + 8*i)), true
+			}
+		}
+		bucket = c.LoadPtr(bucket.Add(clhtOffNext))
+	}
+	return 0, false
+}
+
+// Check walks every bucket chain, validating committed pairs and placement,
+// and returns the number of committed keys.
+func (t *CLHT) Check(valueOf func(uint64) uint64) int {
+	c := t.c
+	buckets, n := t.table()
+	c.Assert(n > 0 && n <= 1<<20, "P-CLHT check: bucket count %d corrupt", n)
+	total := 0
+	for b := uint64(0); b < n; b++ {
+		bucket := buckets.Add(b * clhtBucketSize)
+		steps := 0
+		for bucket != 0 {
+			c.Assert(steps < 1<<16, "P-CLHT check: chain cycle in bucket %d", b)
+			steps++
+			for i := uint64(0); i < clhtBucketSlots; i++ {
+				k := c.Load64(bucket.Add(clhtOffKeys + 8*i))
+				if k == 0 {
+					continue
+				}
+				c.Assert(hmix(k)%n == b, "P-CLHT check: key %d in bucket %d", k, b)
+				v := c.Load64(bucket.Add(clhtOffVals + 8*i))
+				c.Assert(v == valueOf(k), "P-CLHT check: key %d has value %d", k, v)
+				total++
+			}
+			bucket = c.LoadPtr(bucket.Add(clhtOffNext))
+		}
+	}
+	return total
+}

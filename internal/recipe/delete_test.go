@@ -1,0 +1,129 @@
+package recipe
+
+import (
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+func TestCCEHDelete(t *testing.T) {
+	direct(t, "cceh-delete", func(c *core.Context) {
+		h := CreateCCEH(c, CCEHBugs{})
+		for i := uint64(1); i <= 20; i++ {
+			h.Insert(i, i*2)
+		}
+		for i := uint64(1); i <= 20; i += 2 {
+			if !h.Delete(i) {
+				t.Errorf("Delete(%d) = false", i)
+			}
+		}
+		if h.Delete(999) {
+			t.Error("deleted a key never inserted")
+		}
+		for i := uint64(1); i <= 20; i++ {
+			_, ok := h.Lookup(i)
+			if want := i%2 == 0; ok != want {
+				t.Errorf("Lookup(%d) = %v, want %v", i, ok, want)
+			}
+		}
+		// Deleted slots are reusable.
+		h.Insert(1, 111)
+		if v, ok := h.Lookup(1); !ok || v != 111 {
+			t.Error("re-insert after delete failed")
+		}
+	})
+}
+
+func TestCLHTDelete(t *testing.T) {
+	direct(t, "clht-delete", func(c *core.Context) {
+		h := CreateCLHT(c, 4, CLHTBugs{})
+		for i := uint64(1); i <= 20; i++ {
+			h.Insert(i, i+5)
+		}
+		for i := uint64(2); i <= 20; i += 2 {
+			if !h.Delete(i) {
+				t.Errorf("Delete(%d) = false", i)
+			}
+		}
+		if h.Delete(999) {
+			t.Error("deleted a key never inserted")
+		}
+		for i := uint64(1); i <= 20; i++ {
+			_, ok := h.Lookup(i)
+			if want := i%2 == 1; ok != want {
+				t.Errorf("Lookup(%d) = %v, want %v", i, ok, want)
+			}
+		}
+		if n := h.Check(func(k uint64) uint64 { return k + 5 }); n != 10 {
+			t.Errorf("Check counted %d keys, want 10", n)
+		}
+	})
+}
+
+// A crash anywhere in an insert/delete/re-insert workload must leave every
+// present key with a value it was committed with — the delete commit store
+// (zeroing the key slot) is atomic like the insert commit.
+func TestCCEHDeleteCrashConsistency(t *testing.T) {
+	keys := []uint64{3, 7, 11}
+	prog := core.Program{
+		Name: "cceh-delete-crash",
+		Run: func(c *core.Context) {
+			h := CreateCCEH(c, CCEHBugs{})
+			for _, k := range keys {
+				h.Insert(k, k*10+3)
+			}
+			h.Delete(7)
+			h.Insert(7, 703) // fresh value after re-insert
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCCEH(c)
+			if !ok {
+				return
+			}
+			if v, found := h.Lookup(7); found {
+				c.Assert(v == 73 || v == 703, "key 7 has value %d", v)
+			}
+			for _, k := range []uint64{3, 11} {
+				if v, found := h.Lookup(k); found {
+					c.Assert(v == k*10+3, "key %d has value %d", k, v)
+				}
+			}
+		},
+	}
+	res := core.New(prog, core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v (choices %s)", res.Bugs[0], res.Bugs[0].Choices)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}
+
+func TestCLHTDeleteCrashConsistency(t *testing.T) {
+	prog := core.Program{
+		Name: "clht-delete-crash",
+		Run: func(c *core.Context) {
+			h := CreateCLHT(c, 2, CLHTBugs{})
+			h.Insert(1, 13)
+			h.Insert(2, 23)
+			h.Delete(1)
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCLHT(c, CLHTBugs{})
+			if !ok {
+				return
+			}
+			if v, found := h.Lookup(1); found {
+				c.Assert(v == 13, "key 1 has value %d", v)
+			}
+			if v, found := h.Lookup(2); found {
+				c.Assert(v == 23, "key 2 has value %d", v)
+			}
+			h.Check(func(k uint64) uint64 { return k*10 + 3 })
+		},
+	}
+	res := core.New(prog, core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v (choices %s)", res.Bugs[0], res.Bugs[0].Choices)
+	}
+}

@@ -1,0 +1,398 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// FAST_FAIR analog: a persistent B+tree with sibling pointers (a B-link
+// tree). Like FAST_FAIR, structure modifications never need logging: a
+// split builds the right node completely, links it through the left
+// sibling pointer, prunes the left node with a single bitmap commit store,
+// and only then inserts the separator into the parent — lookups that race a
+// crash reach the right node through the sibling pointer. The paper found
+// three missing-flush constructor bugs (FAST_FAIR-1..3, Figure 13).
+
+const (
+	ffSlots    = 8
+	ffNodeSize = 192
+
+	// The header occupies the node's first cache line; the key and value
+	// arrays each fill their own line, so persisting slot contents cannot
+	// incidentally flush the header.
+	ffOffLevel    = 0  // 1 = leaf, ≥2 = internal level, 0 = invalid
+	ffOffBitmap   = 8  // slot validity commit word
+	ffOffHighKey  = 16 // fence: keys ≥ highKey live at the right sibling
+	ffOffSibling  = 24
+	ffOffLeftmost = 32 // internal: child for keys below every separator
+	ffOffKeys     = 64
+	ffOffVals     = 128 // leaf: values; internal: child pointers
+)
+
+const ffInfinity = ^uint64(0)
+
+// FFBugs selects the seeded FAST_FAIR bugs.
+type FFBugs struct {
+	// NoHeaderFlush skips persisting split-node headers (FAST_FAIR-1,
+	// "Missing flush in header constructor"): the right node's level and
+	// leftmost pointer read zero — segmentation fault.
+	NoHeaderFlush bool
+	// NoEntryFlush skips persisting slot contents before the bitmap
+	// commit (FAST_FAIR-2, "Missing flush in entry constructor").
+	NoEntryFlush bool
+	// NoRootFlush skips persisting the initial root node (FAST_FAIR-3,
+	// "Missing flush in btree constructor").
+	NoRootFlush bool
+}
+
+// FastFair is a handle to the tree; the root pointer lives at the pool
+// root.
+type FastFair struct {
+	c    *core.Context
+	root core.Addr
+	bugs FFBugs
+}
+
+// CreateFastFair builds an empty tree: one leaf as root.
+func CreateFastFair(c *core.Context, bugs FFBugs) *FastFair {
+	t := &FastFair{c: c, root: c.Root(), bugs: bugs}
+	leaf := t.newNode()
+	c.Store64(leaf.Add(ffOffLevel), 1)
+	c.Store64(leaf.Add(ffOffHighKey), ffInfinity)
+	if !bugs.NoRootFlush {
+		c.Persist(leaf, ffNodeSize)
+	}
+	c.StorePtr(t.root, leaf) // commit store
+	c.Persist(t.root, 8)
+	return t
+}
+
+// OpenFastFair binds to a recovered tree.
+func OpenFastFair(c *core.Context) (*FastFair, bool) {
+	t := &FastFair{c: c, root: c.Root()}
+	return t, c.LoadPtr(t.root) != 0
+}
+
+// WithContext rebinds the handle to another guest thread's context
+// (handles are bound to one thread; see core.Context).
+func (t *FastFair) WithContext(c *core.Context) *FastFair {
+	return &FastFair{c: c, root: t.root, bugs: t.bugs}
+}
+
+// newNode allocates a node and writes its complete (zero) image, like the
+// C++ node constructors; flushing is the caller's responsibility.
+func (t *FastFair) newNode() core.Addr {
+	n := t.c.AllocLine(ffNodeSize)
+	for w := uint64(0); w < ffNodeSize/8; w++ {
+		t.c.Store64(n.Add(8*w), 0)
+	}
+	return n
+}
+
+func (t *FastFair) level(n core.Addr) uint64   { return t.c.Load64(n.Add(ffOffLevel)) }
+func (t *FastFair) bitmap(n core.Addr) uint64  { return t.c.Load64(n.Add(ffOffBitmap)) }
+func (t *FastFair) highKey(n core.Addr) uint64 { return t.c.Load64(n.Add(ffOffHighKey)) }
+func (t *FastFair) sibling(n core.Addr) core.Addr {
+	return t.c.LoadPtr(n.Add(ffOffSibling))
+}
+func (t *FastFair) key(n core.Addr, i uint64) uint64 { return t.c.Load64(n.Add(ffOffKeys + 8*i)) }
+func (t *FastFair) val(n core.Addr, i uint64) uint64 { return t.c.Load64(n.Add(ffOffVals + 8*i)) }
+
+// stepRight follows sibling pointers while the key is at or beyond the
+// node's fence.
+func (t *FastFair) stepRight(n core.Addr, key uint64) core.Addr {
+	for key >= t.highKey(n) {
+		sib := t.sibling(n)
+		if sib == 0 {
+			break
+		}
+		n = sib
+	}
+	return n
+}
+
+// childFor picks the internal node's child for a key.
+func (t *FastFair) childFor(n core.Addr, key uint64) core.Addr {
+	bm := t.bitmap(n)
+	best := core.Addr(0)
+	bestKey := uint64(0)
+	found := false
+	for i := uint64(0); i < ffSlots; i++ {
+		if bm&(1<<i) == 0 {
+			continue
+		}
+		k := t.key(n, i)
+		if k <= key && (!found || k > bestKey) {
+			found, bestKey, best = true, k, core.Addr(t.val(n, i))
+		}
+	}
+	if !found {
+		return t.c.LoadPtr(n.Add(ffOffLeftmost))
+	}
+	return best
+}
+
+// descend walks to the leaf responsible for key, recording the path of
+// internal nodes (deepest last).
+func (t *FastFair) descend(key uint64) (leaf core.Addr, path []core.Addr) {
+	n := t.c.LoadPtr(t.root)
+	for {
+		n = t.stepRight(n, key)
+		if t.level(n) == 1 {
+			return n, path
+		}
+		path = append(path, n)
+		n = t.childFor(n, key)
+	}
+}
+
+// Insert stores a pair.
+func (t *FastFair) Insert(key, value uint64) {
+	c := t.c
+	c.Assert(key != 0 && key != ffInfinity, "FAST_FAIR: reserved key")
+	leaf, path := t.descend(key)
+	t.insertInto(leaf, path, key, value)
+}
+
+func (t *FastFair) insertInto(n core.Addr, path []core.Addr, key, value uint64) {
+	c := t.c
+	bm := t.bitmap(n)
+	// Update in place.
+	for i := uint64(0); i < ffSlots; i++ {
+		if bm&(1<<i) != 0 && t.key(n, i) == key {
+			c.Store64(n.Add(ffOffVals+8*i), value)
+			c.Persist(n.Add(ffOffVals+8*i), 8)
+			return
+		}
+	}
+	// Free slot: contents first, bitmap commit second.
+	for i := uint64(0); i < ffSlots; i++ {
+		if bm&(1<<i) != 0 {
+			continue
+		}
+		c.Store64(n.Add(ffOffKeys+8*i), key)
+		c.Store64(n.Add(ffOffVals+8*i), value)
+		if !t.bugs.NoEntryFlush {
+			c.Persist(n.Add(ffOffKeys+8*i), 8)
+			c.Persist(n.Add(ffOffVals+8*i), 8)
+		}
+		c.Store64(n.Add(ffOffBitmap), bm|1<<i) // commit store
+		c.Persist(n.Add(ffOffBitmap), 8)
+		return
+	}
+	// Repair first: slots holding keys at or beyond the fence are stale
+	// copies from a split whose prune commit was lost to a crash — the
+	// authoritative copies live at the right sibling. Revalidating them
+	// would resurrect stale values, so prune them instead.
+	if clean := t.liveBitmap(n); clean != bm {
+		c.Store64(n.Add(ffOffBitmap), clean)
+		c.Persist(n.Add(ffOffBitmap), 8)
+		t.insertInto(n, path, key, value)
+		return
+	}
+	// Full: split, then retry on the proper side.
+	m, right := t.split(n, path)
+	target := n
+	if key >= m {
+		target = right
+	}
+	t.insertInto(target, path, key, value)
+}
+
+// liveBitmap returns n's bitmap restricted to keys below the fence.
+func (t *FastFair) liveBitmap(n core.Addr) uint64 {
+	bm := t.bitmap(n)
+	hi := t.highKey(n)
+	var clean uint64
+	for i := uint64(0); i < ffSlots; i++ {
+		if bm&(1<<i) != 0 && t.key(n, i) < hi {
+			clean |= 1 << i
+		}
+	}
+	return clean
+}
+
+type ffPair struct{ k, v uint64 }
+
+// split divides the full node n, returning the separator and the new right
+// node. The left node keeps operating for keys below the separator; the
+// separator is then inserted into the parent (recursively splitting).
+func (t *FastFair) split(n core.Addr, path []core.Addr) (uint64, core.Addr) {
+	c := t.c
+	var pairs []ffPair
+	for i := uint64(0); i < ffSlots; i++ {
+		pairs = append(pairs, ffPair{t.key(n, i), t.val(n, i)})
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	mid := len(pairs) / 2
+	sep := pairs[mid].k
+
+	level := t.level(n)
+	right := t.newNode()
+	c.Store64(right.Add(ffOffLevel), level)
+	c.Store64(right.Add(ffOffHighKey), t.highKey(n))
+	c.StorePtr(right.Add(ffOffSibling), t.sibling(n))
+	upper := pairs[mid:]
+	var rightBM uint64
+	if level > 1 {
+		// Internal: the separator's child becomes the right leftmost.
+		c.StorePtr(right.Add(ffOffLeftmost), core.Addr(pairs[mid].v))
+		upper = pairs[mid+1:]
+	}
+	for i, pr := range upper {
+		c.Store64(right.Add(ffOffKeys+8*uint64(i)), pr.k)
+		c.Store64(right.Add(ffOffVals+8*uint64(i)), pr.v)
+		rightBM |= 1 << uint64(i)
+	}
+	c.Store64(right.Add(ffOffBitmap), rightBM)
+	if t.bugs.NoHeaderFlush {
+		// BUG: only the slot contents are persisted.
+		c.Persist(right.Add(ffOffKeys), ffNodeSize-ffOffKeys)
+	} else {
+		c.Persist(right, ffNodeSize)
+	}
+
+	// Link, fence, prune — each step leaves a consistent tree.
+	c.StorePtr(n.Add(ffOffSibling), right)
+	c.Persist(n.Add(ffOffSibling), 8)
+	c.Store64(n.Add(ffOffHighKey), sep)
+	c.Persist(n.Add(ffOffHighKey), 8)
+	var leftBM uint64
+	for i := uint64(0); i < ffSlots; i++ {
+		if t.key(n, i) < sep {
+			leftBM |= 1 << i
+		}
+	}
+	c.Store64(n.Add(ffOffBitmap), leftBM) // commit store
+	c.Persist(n.Add(ffOffBitmap), 8)
+
+	// Separator into the parent.
+	if len(path) == 0 {
+		nr := t.newNode()
+		c.Store64(nr.Add(ffOffLevel), level+1)
+		c.Store64(nr.Add(ffOffHighKey), ffInfinity)
+		// The leftmost child is the tree's current root: if an earlier
+		// root split lost its new-root commit to a crash, the root
+		// pointer still designates the leftmost node of this level.
+		c.StorePtr(nr.Add(ffOffLeftmost), c.LoadPtr(t.root))
+		c.Store64(nr.Add(ffOffKeys), sep)
+		c.Store64(nr.Add(ffOffVals), uint64(right))
+		c.Store64(nr.Add(ffOffBitmap), 1)
+		if !t.bugs.NoHeaderFlush {
+			c.Persist(nr, ffNodeSize)
+		}
+		c.StorePtr(t.root, nr) // commit store
+		c.Persist(t.root, 8)
+		return sep, right
+	}
+	parent := path[len(path)-1]
+	parent = t.stepRight(parent, sep)
+	t.insertInto(parent, path[:len(path)-1], sep, uint64(right))
+	return sep, right
+}
+
+// Lookup returns the value stored for key.
+func (t *FastFair) Lookup(key uint64) (uint64, bool) {
+	leaf, _ := t.descend(key)
+	bm := t.bitmap(leaf)
+	for i := uint64(0); i < ffSlots; i++ {
+		if bm&(1<<i) != 0 && t.key(leaf, i) == key {
+			return t.val(leaf, i), true
+		}
+	}
+	return 0, false
+}
+
+// Scan calls fn for every committed pair with lo ≤ key < hi, in key order
+// within each leaf's authoritative range (the leaf chain is ordered by
+// fences; slots within a leaf are unsorted, so they are sorted here).
+func (t *FastFair) Scan(lo, hi uint64, fn func(k, v uint64)) {
+	c := t.c
+	leaf, _ := t.descend(lo)
+	prevFence := uint64(0)
+	for leaf != 0 {
+		fence := t.highKey(leaf)
+		bm := t.bitmap(leaf)
+		var pairs []ffPair
+		for i := uint64(0); i < ffSlots; i++ {
+			if bm&(1<<i) == 0 {
+				continue
+			}
+			k := t.key(leaf, i)
+			if k < prevFence || k >= fence || k < lo || k >= hi {
+				continue
+			}
+			pairs = append(pairs, ffPair{k, t.val(leaf, i)})
+		}
+		for i := 1; i < len(pairs); i++ {
+			for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+				pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+			}
+		}
+		for _, pr := range pairs {
+			fn(pr.k, pr.v)
+		}
+		if fence == ffInfinity || fence >= hi {
+			return
+		}
+		prevFence = fence
+		leaf = c.LoadPtr(leaf.Add(ffOffSibling))
+	}
+}
+
+// Check validates levels, fences and leaf contents, returning the number of
+// committed keys (walked along the leaf sibling chain).
+func (t *FastFair) Check(valueOf func(uint64) uint64) int {
+	c := t.c
+	root := c.LoadPtr(t.root)
+	if root == 0 {
+		return 0
+	}
+	// Descend along leftmost pointers to the first leaf.
+	n := root
+	steps := 0
+	for t.level(n) != 1 {
+		lv := t.level(n)
+		c.Assert(lv >= 2 && lv < 32, "fast_fair check: node %v has level %d", n, lv)
+		next := c.LoadPtr(n.Add(ffOffLeftmost))
+		n = next
+		steps++
+		c.Assert(steps < 64, "fast_fair check: leftmost chain too deep")
+	}
+	// Walk the leaf chain. A node's authoritative range is
+	// [prevHigh, highKey): slots outside it are stale duplicates from
+	// splits whose prune commit has not persisted — lookups never reach
+	// them (stepRight skips past this node first), so they are skipped,
+	// not flagged.
+	total := 0
+	prevHigh := uint64(0)
+	for n != 0 {
+		c.Assert(t.level(n) == 1, "fast_fair check: non-leaf %v in leaf chain", n)
+		hi := t.highKey(n)
+		c.Assert(hi >= prevHigh, "fast_fair check: fence keys decreased (%d after %d)", hi, prevHigh)
+		bm := t.bitmap(n)
+		for i := uint64(0); i < ffSlots; i++ {
+			if bm&(1<<i) == 0 {
+				continue
+			}
+			k := t.key(n, i)
+			if k >= hi || k < prevHigh {
+				continue // stale pre-split duplicate, unreachable by lookups
+			}
+			c.Assert(k != 0, "fast_fair check: committed slot with zero key in %v", n)
+			v := t.val(n, i)
+			c.Assert(v == valueOf(k), "fast_fair check: key %d has value %d", k, v)
+			total++
+		}
+		if hi == ffInfinity {
+			// Nodes beyond an infinite fence are unreachable remnants of
+			// an in-flight split (the fence-narrowing store did not
+			// persist); lookups resolve every key on this side.
+			break
+		}
+		prevHigh = hi
+		n = t.sibling(n)
+	}
+	return total
+}

@@ -1,0 +1,334 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// P-Masstree analog: a B+tree whose structure modifications are
+// copy-on-write — an insert builds new versions of every node on the
+// root-to-leaf path (persisted before linking) and commits with a single
+// root-pointer store, so the old tree stays intact across a crash.
+//
+// The paper's P-MassTree-1 bug (Figure 13) is "Flushed referenced object
+// instead of pointer": the code persists the node an entry refers to
+// instead of the node holding the new entry, so the freshly copied internal
+// node recovers as zeroes and descent dereferences a null child — the
+// illegal memory access of Figure 15.
+
+const (
+	mtTypeLeaf     = 1
+	mtTypeInternal = 2
+
+	mtSlots    = 8
+	mtNodeSize = 160
+
+	mtOffType  = 0
+	mtOffCount = 8
+	mtOffKeys  = 16             // 8 × 8
+	mtOffVals  = 16 + mtSlots*8 // leaf values
+	mtOffKids  = 16 + mtSlots*8 // internal children[0..count] (count+1 used)
+)
+
+// MasstreeBugs selects the seeded P-Masstree bugs.
+type MasstreeBugs struct {
+	// FlushObjectNotPointer persists the referenced child instead of the
+	// freshly built internal node that points to it (P-MassTree-1).
+	FlushObjectNotPointer bool
+}
+
+// Masstree is a handle to the tree; the root pointer lives at the pool
+// root.
+type Masstree struct {
+	c    *core.Context
+	meta core.Addr
+	bugs MasstreeBugs
+}
+
+// CreateMasstree builds an empty tree (a zero-count leaf).
+func CreateMasstree(c *core.Context, bugs MasstreeBugs) *Masstree {
+	t := &Masstree{c: c, meta: c.Root(), bugs: bugs}
+	leaf := newMTNode(c)
+	c.Store64(leaf.Add(mtOffType), mtTypeLeaf)
+	c.Persist(leaf, mtNodeSize)
+	c.StorePtr(t.meta, leaf) // commit store
+	c.Persist(t.meta, 8)
+	return t
+}
+
+// OpenMasstree binds to a recovered tree.
+func OpenMasstree(c *core.Context, bugs MasstreeBugs) (*Masstree, bool) {
+	t := &Masstree{c: c, meta: c.Root(), bugs: bugs}
+	return t, c.LoadPtr(t.meta) != 0
+}
+
+// WithContext rebinds the handle to another guest thread's context
+// (handles are bound to one thread; see core.Context).
+func (t *Masstree) WithContext(c *core.Context) *Masstree {
+	return &Masstree{c: c, meta: t.meta, bugs: t.bugs}
+}
+
+// newMTNode allocates a node and writes its complete (zero) image.
+func newMTNode(c *core.Context) core.Addr {
+	n := c.AllocLine(mtNodeSize)
+	for w := uint64(0); w < mtNodeSize/8; w++ {
+		c.Store64(n.Add(8*w), 0)
+	}
+	return n
+}
+
+func (t *Masstree) typeOf(n core.Addr) uint64 { return t.c.Load64(n.Add(mtOffType)) }
+func (t *Masstree) count(n core.Addr) uint64  { return t.c.Load64(n.Add(mtOffCount)) }
+func (t *Masstree) key(n core.Addr, i uint64) uint64 {
+	return t.c.Load64(n.Add(mtOffKeys + 8*i))
+}
+
+// persistNode persists a freshly built node. With the seeded bug, internal
+// nodes persist the child they reference instead of themselves.
+func (t *Masstree) persistNode(n core.Addr, referenced core.Addr) {
+	c := t.c
+	if t.bugs.FlushObjectNotPointer && referenced != 0 {
+		// BUG: flushes the referenced object instead of the node holding
+		// the pointer (redundantly — the child is already persistent).
+		c.Persist(referenced, mtNodeSize)
+		return
+	}
+	c.Persist(n, mtNodeSize)
+}
+
+// cowResult carries the replacement node(s) for one level.
+type cowResult struct {
+	left     core.Addr
+	splitKey uint64
+	right    core.Addr // 0 when no split
+}
+
+// Insert stores a pair: copy-on-write down the path, one root commit.
+func (t *Masstree) Insert(key, value uint64) {
+	c := t.c
+	c.Assert(key != 0, "P-Masstree: key 0 is reserved")
+	root := c.LoadPtr(t.meta)
+	res := t.cowInsert(root, key, value)
+	newRoot := res.left
+	if res.right != 0 {
+		nr := newMTNode(c)
+		c.Store64(nr.Add(mtOffType), mtTypeInternal)
+		c.Store64(nr.Add(mtOffCount), 1)
+		c.Store64(nr.Add(mtOffKeys), res.splitKey)
+		c.StorePtr(nr.Add(mtOffKids), res.left)
+		c.StorePtr(nr.Add(mtOffKids+8), res.right)
+		t.persistNode(nr, res.left)
+		newRoot = nr
+	}
+	c.StorePtr(t.meta, newRoot) // commit store
+	c.Persist(t.meta, 8)
+}
+
+func (t *Masstree) cowInsert(n core.Addr, key, value uint64) cowResult {
+	c := t.c
+	if t.typeOf(n) == mtTypeLeaf {
+		return t.cowLeafInsert(n, key, value)
+	}
+
+	// Internal: find the child, recurse, then build the copied node.
+	cnt := t.count(n)
+	idx := cnt
+	for i := uint64(0); i < cnt; i++ {
+		if key < t.key(n, i) {
+			idx = i
+			break
+		}
+	}
+	child := c.LoadPtr(n.Add(mtOffKids + 8*idx))
+	res := t.cowInsert(child, key, value)
+
+	// Rebuild the separator/child lists with the replacement(s).
+	var keys []uint64
+	var kids []core.Addr
+	for i := uint64(0); i <= cnt; i++ {
+		if i < cnt {
+			keys = append(keys, t.key(n, i))
+		}
+		kids = append(kids, c.LoadPtr(n.Add(mtOffKids+8*i)))
+	}
+	kids[idx] = res.left
+	if res.right != 0 {
+		keys = append(keys[:idx], append([]uint64{res.splitKey}, keys[idx:]...)...)
+		kids = append(kids[:idx+1], append([]core.Addr{res.right}, kids[idx+1:]...)...)
+	}
+
+	if uint64(len(keys)) <= mtSlots-1 {
+		nn := t.buildInternal(keys, kids, res.left)
+		return cowResult{left: nn}
+	}
+	// Split the internal node: the middle separator moves up.
+	mid := len(keys) / 2
+	sep := keys[mid]
+	left := t.buildInternal(keys[:mid], kids[:mid+1], res.left)
+	right := t.buildInternal(keys[mid+1:], kids[mid+1:], res.left)
+	return cowResult{left: left, splitKey: sep, right: right}
+}
+
+func (t *Masstree) buildInternal(keys []uint64, kids []core.Addr, referenced core.Addr) core.Addr {
+	c := t.c
+	n := newMTNode(c)
+	c.Store64(n.Add(mtOffType), mtTypeInternal)
+	c.Store64(n.Add(mtOffCount), uint64(len(keys)))
+	for i, k := range keys {
+		c.Store64(n.Add(mtOffKeys+8*uint64(i)), k)
+	}
+	for i, kid := range kids {
+		c.StorePtr(n.Add(mtOffKids+8*uint64(i)), kid)
+	}
+	t.persistNode(n, referenced)
+	return n
+}
+
+func (t *Masstree) cowLeafInsert(n core.Addr, key, value uint64) cowResult {
+	c := t.c
+	cnt := t.count(n)
+	var keys, vals []uint64
+	replaced := false
+	for i := uint64(0); i < cnt; i++ {
+		k := t.key(n, i)
+		v := c.Load64(n.Add(mtOffVals + 8*i))
+		if k == key {
+			v = value
+			replaced = true
+		}
+		if k > key && !replaced {
+			keys = append(keys, key)
+			vals = append(vals, value)
+			replaced = true
+		}
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	if !replaced {
+		keys = append(keys, key)
+		vals = append(vals, value)
+	}
+
+	if uint64(len(keys)) <= mtSlots {
+		return cowResult{left: t.buildLeaf(keys, vals)}
+	}
+	mid := len(keys) / 2
+	left := t.buildLeaf(keys[:mid], vals[:mid])
+	right := t.buildLeaf(keys[mid:], vals[mid:])
+	return cowResult{left: left, splitKey: keys[mid], right: right}
+}
+
+func (t *Masstree) buildLeaf(keys, vals []uint64) core.Addr {
+	c := t.c
+	n := newMTNode(c)
+	c.Store64(n.Add(mtOffType), mtTypeLeaf)
+	c.Store64(n.Add(mtOffCount), uint64(len(keys)))
+	for i := range keys {
+		c.Store64(n.Add(mtOffKeys+8*uint64(i)), keys[i])
+		c.Store64(n.Add(mtOffVals+8*uint64(i)), vals[i])
+	}
+	c.Persist(n, mtNodeSize)
+	return n
+}
+
+// Lookup returns the value stored for key.
+func (t *Masstree) Lookup(key uint64) (uint64, bool) {
+	c := t.c
+	n := c.LoadPtr(t.meta)
+	for {
+		if t.typeOf(n) == mtTypeLeaf {
+			cnt := t.count(n)
+			for i := uint64(0); i < cnt && i < mtSlots; i++ {
+				if t.key(n, i) == key {
+					return c.Load64(n.Add(mtOffVals + 8*i)), true
+				}
+			}
+			return 0, false
+		}
+		cnt := t.count(n)
+		idx := cnt
+		for i := uint64(0); i < cnt && i < mtSlots; i++ {
+			if key < t.key(n, i) {
+				idx = i
+				break
+			}
+		}
+		n = c.LoadPtr(n.Add(mtOffKids + 8*idx))
+	}
+}
+
+// Scan calls fn for every pair with lo ≤ key < hi, in key order.
+func (t *Masstree) Scan(lo, hi uint64, fn func(k, v uint64)) {
+	root := t.c.LoadPtr(t.meta)
+	if root != 0 {
+		t.scanNode(root, lo, hi, fn)
+	}
+}
+
+func (t *Masstree) scanNode(n core.Addr, lo, hi uint64, fn func(k, v uint64)) {
+	c := t.c
+	cnt := t.count(n)
+	if t.typeOf(n) == mtTypeLeaf {
+		for i := uint64(0); i < cnt && i < mtSlots; i++ {
+			k := t.key(n, i)
+			if k >= lo && k < hi {
+				fn(k, c.Load64(n.Add(mtOffVals+8*i)))
+			}
+		}
+		return
+	}
+	for i := uint64(0); i <= cnt; i++ {
+		// Child i covers [keys[i-1], keys[i]); prune disjoint subtrees.
+		if i > 0 && t.key(n, i-1) >= hi {
+			return
+		}
+		if i < cnt && t.key(n, i) <= lo {
+			continue
+		}
+		t.scanNode(c.LoadPtr(n.Add(mtOffKids+8*i)), lo, hi, fn)
+	}
+}
+
+// Check walks the tree validating sortedness and values, returning the key
+// count.
+func (t *Masstree) Check(valueOf func(uint64) uint64) int {
+	root := t.c.LoadPtr(t.meta)
+	if root == 0 {
+		return 0
+	}
+	return t.checkNode(root, 0, ^uint64(0), 0, valueOf)
+}
+
+func (t *Masstree) checkNode(n core.Addr, lo, hi uint64, depth int, valueOf func(uint64) uint64) int {
+	c := t.c
+	c.Assert(depth < 32, "P-Masstree check: depth exceeds 32 (cycle?)")
+	typ := t.typeOf(n)
+	cnt := t.count(n)
+	c.Assert(typ == mtTypeLeaf || typ == mtTypeInternal,
+		"P-Masstree check: node %v has type %d", n, typ)
+	if typ == mtTypeLeaf {
+		c.Assert(cnt <= mtSlots, "P-Masstree check: leaf count %d", cnt)
+		total := 0
+		prev := lo
+		for i := uint64(0); i < cnt; i++ {
+			k := t.key(n, i)
+			c.Assert(k >= prev && k < hi, "P-Masstree check: leaf key %d out of order", k)
+			prev = k + 1
+			v := c.Load64(n.Add(mtOffVals + 8*i))
+			c.Assert(v == valueOf(k), "P-Masstree check: key %d has value %d", k, v)
+			total++
+		}
+		return total
+	}
+	c.Assert(cnt >= 1 && cnt < mtSlots, "P-Masstree check: internal count %d", cnt)
+	total := 0
+	for i := uint64(0); i <= cnt; i++ {
+		clo, chi := lo, hi
+		if i > 0 {
+			clo = t.key(n, i-1)
+		}
+		if i < cnt {
+			chi = t.key(n, i)
+		}
+		kid := t.c.LoadPtr(n.Add(mtOffKids + 8*i))
+		total += t.checkNode(kid, clo, chi, depth+1, valueOf)
+	}
+	return total
+}

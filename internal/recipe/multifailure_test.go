@@ -1,0 +1,103 @@
+package recipe
+
+import (
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+// Multi-failure exploration (§4: "Jaaru can also support injecting failures
+// into a post-failure execution... This option controls the maximum depth
+// of the exec stack"): the fixed structures must stay consistent when the
+// recovery itself crashes and recovers again. P-CLHT is the interesting
+// case — its recovery both resets locks and performs an insert.
+func TestRECIPEMultiFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-failure exploration is slow")
+	}
+	progs := []core.Program{
+		CLHTWorkloadBuckets(3, 2, CLHTBugs{}),
+		CCEHWorkload(2, CCEHBugs{}),
+		MasstreeWorkload(3, MasstreeBugs{}),
+	}
+	for _, prog := range progs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			t.Parallel()
+			res := core.New(prog, core.Options{MaxFailures: 2}).Run()
+			if res.Buggy() {
+				t.Fatalf("bugs under double failure: %v\nchoices: %s",
+					res.Bugs[0], res.Bugs[0].Choices)
+			}
+			if !res.Complete {
+				t.Fatal("exploration incomplete")
+			}
+			single := core.New(prog, core.Options{MaxFailures: 1}).Run()
+			if res.Scenarios < single.Scenarios {
+				t.Errorf("depth-2 explored %d scenarios, depth-1 %d",
+					res.Scenarios, single.Scenarios)
+			}
+		})
+	}
+}
+
+// The seeded lock bug must also be detectable when the failure hits the
+// recovery: the first recovery's insert re-persists the held lock, and the
+// second recovery spins on it.
+func TestCLHTLockBugAcrossTwoFailures(t *testing.T) {
+	res := core.New(CLHTWorkloadBuckets(3, 2, CLHTBugs{NoLockReset: true}),
+		core.Options{
+			MaxFailures:    2,
+			MaxSteps:       20_000,
+			StopAtFirstBug: true,
+		}).Run()
+	if !res.Buggy() {
+		t.Fatal("lock bug not detected")
+	}
+	if res.Bugs[0].Type != core.BugInfiniteLoop {
+		t.Errorf("manifestation = %v", res.Bugs[0])
+	}
+}
+
+// Concurrency meets crash consistency: two guest threads insert disjoint
+// keys into one P-CLHT (contending on bucket locks) while failures are
+// injected at every flush; every recovered state must validate.
+func TestCLHTConcurrentInsertersUnderFailures(t *testing.T) {
+	prog := core.Program{
+		Name: "clht-concurrent",
+		Run: func(c *core.Context) {
+			h := CreateCLHT(c, 2, CLHTBugs{})
+			h1 := c.Spawn(func(c *core.Context) {
+				ht := h.WithContext(c) // handles are per guest thread
+				ht.Insert(1, valueOf(1))
+				ht.Insert(3, valueOf(3))
+			})
+			h2 := c.Spawn(func(c *core.Context) {
+				ht := h.WithContext(c)
+				ht.Insert(2, valueOf(2))
+				ht.Insert(4, valueOf(4))
+			})
+			h1.Join(c)
+			h2.Join(c)
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCLHT(c, CLHTBugs{})
+			if !ok {
+				return
+			}
+			for k := uint64(1); k <= 4; k++ {
+				if v, found := h.Lookup(k); found {
+					c.Assert(v == valueOf(k), "key %d recovered value %d", k, v)
+				}
+			}
+			h.Check(valueOf)
+		},
+	}
+	res := core.New(prog, core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v\nchoices: %s", res.Bugs[0], res.Bugs[0].Choices)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}

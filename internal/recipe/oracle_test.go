@@ -1,0 +1,151 @@
+package recipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+// Oracle tests: drive each structure with a long randomized operation
+// sequence under direct execution and compare every observable against a
+// Go map. Catches algorithmic bugs (probe chains, splits, rotations,
+// consolidation) that the short crash-consistency workloads would miss.
+
+type kvOps struct {
+	insert func(k, v uint64)
+	delete func(k uint64) bool // nil if unsupported
+	lookup func(k uint64) (uint64, bool)
+	check  func(valueOf func(uint64) uint64) int
+}
+
+func runOracle(t *testing.T, name string, seed int64, nOps int,
+	build func(c *core.Context) kvOps) {
+	t.Helper()
+	res := core.Execute(name, func(c *core.Context) {
+		rng := rand.New(rand.NewSource(seed))
+		s := build(c)
+		oracle := make(map[uint64]uint64)
+		for i := 0; i < nOps; i++ {
+			k := uint64(rng.Intn(60) + 1)
+			switch op := rng.Intn(10); {
+			case op < 6: // insert / update
+				v := uint64(rng.Intn(1 << 16))
+				s.insert(k, v)
+				oracle[k] = v
+			case op < 8 && s.delete != nil: // delete
+				_, want := oracle[k]
+				if got := s.delete(k); got != want {
+					t.Errorf("%s seed %d op %d: Delete(%d) = %v, want %v",
+						name, seed, i, k, got, want)
+				}
+				delete(oracle, k)
+			default: // lookup
+				v, ok := s.lookup(k)
+				wv, wok := oracle[k]
+				if ok != wok || (ok && v != wv) {
+					t.Errorf("%s seed %d op %d: Lookup(%d) = (%d,%v), want (%d,%v)",
+						name, seed, i, k, v, ok, wv, wok)
+				}
+			}
+		}
+		// Final sweep: every oracle key present with the right value, and
+		// the structural check agrees on the population.
+		for k, wv := range oracle {
+			v, ok := s.lookup(k)
+			if !ok || v != wv {
+				t.Errorf("%s seed %d final: Lookup(%d) = (%d,%v), want (%d,true)",
+					name, seed, k, v, ok, wv)
+			}
+		}
+		if s.check != nil {
+			n := s.check(func(k uint64) uint64 { return oracle[k] })
+			if n != len(oracle) {
+				t.Errorf("%s seed %d: Check counted %d keys, oracle has %d",
+					name, seed, n, len(oracle))
+			}
+		}
+	}, core.Options{MaxSteps: 1 << 24})
+	if res.Buggy() {
+		t.Fatalf("%s seed %d: %v", name, seed, res.Bugs[0])
+	}
+}
+
+func TestOracleCCEH(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runOracle(t, "cceh", seed, 400, func(c *core.Context) kvOps {
+			h := CreateCCEH(c, CCEHBugs{})
+			return kvOps{insert: h.Insert, delete: h.Delete, lookup: h.Lookup, check: h.Check}
+		})
+	}
+}
+
+func TestOracleFastFair(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runOracle(t, "fastfair", seed, 400, func(c *core.Context) kvOps {
+			tr := CreateFastFair(c, FFBugs{})
+			return kvOps{insert: tr.Insert, lookup: tr.Lookup, check: tr.Check}
+		})
+	}
+}
+
+func TestOracleART(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runOracle(t, "part", seed, 400, func(c *core.Context) kvOps {
+			tr := CreateART(c, ARTBugs{})
+			return kvOps{insert: tr.Insert, lookup: tr.Lookup, check: tr.Check}
+		})
+	}
+}
+
+func TestOracleBwTree(t *testing.T) {
+	// The root PID's base node holds 16 keys; the oracle key space must
+	// fit after consolidation.
+	for seed := int64(0); seed < 4; seed++ {
+		res := core.Execute("bwtree-oracle", func(c *core.Context) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := CreateBwTree(c, BwTreeBugs{})
+			oracle := make(map[uint64]uint64)
+			for i := 0; i < 200; i++ {
+				k := uint64(rng.Intn(14) + 1)
+				if rng.Intn(3) < 2 {
+					v := uint64(rng.Intn(1 << 16))
+					tr.Insert(k, v)
+					oracle[k] = v
+				} else {
+					v, ok := tr.Lookup(k)
+					wv, wok := oracle[k]
+					if ok != wok || (ok && v != wv) {
+						t.Errorf("seed %d op %d: Lookup(%d) = (%d,%v), want (%d,%v)",
+							seed, i, k, v, ok, wv, wok)
+					}
+				}
+			}
+			n := tr.Check(func(k uint64) uint64 { return oracle[k] })
+			if n != len(oracle) {
+				t.Errorf("seed %d: Check = %d, oracle %d", seed, n, len(oracle))
+			}
+		}, core.Options{MaxSteps: 1 << 24})
+		if res.Buggy() {
+			t.Fatalf("seed %d: %v", seed, res.Bugs[0])
+		}
+	}
+}
+
+func TestOracleCLHT(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runOracle(t, "clht", seed, 400, func(c *core.Context) kvOps {
+			h := CreateCLHT(c, 4, CLHTBugs{})
+			return kvOps{insert: h.Insert, delete: h.Delete, lookup: h.Lookup, check: h.Check}
+		})
+	}
+}
+
+func TestOracleMasstree(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		runOracle(t, "masstree", seed, 300, func(c *core.Context) kvOps {
+			tr := CreateMasstree(c, MasstreeBugs{})
+			return kvOps{insert: tr.Insert, lookup: tr.Lookup, check: tr.Check}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// P-ART analog: a radix tree with 4-bit span and lazy expansion (leaves are
+// installed at the shallowest free slot; colliding leaves push down through
+// freshly built internal chains committed with a single pointer store).
+// Internal nodes keep their child array behind an indirection, as ART's
+// N48/N256 layouts do.
+//
+// The paper found three P-ART bugs (Figure 13): the epoch/lock bookkeeping
+// lived in a volatile tbb vector that recovery dereferences (P-ART-1,
+// segfault; P-ART-3, infinite loop) and a missing flush in the Tree
+// constructor (P-ART-2, illegal access).
+
+const (
+	artSpan     = 4
+	artFanout   = 1 << artSpan
+	artTopShift = 60
+
+	artTypeLeaf     = 1
+	artTypeInternal = 2
+
+	// Internal node: typeWord, childrenPtr → separate child array.
+	artNodeSize = 16
+	// Leaf: typeWord, key, value.
+	artLeafSize = 24
+
+	// Tree metadata in the pool root area.
+	artOffRoot  = 0  // root internal node pointer
+	artOffLock  = 8  // the tree write lock (shares the metadata line!)
+	artOffCount = 16 // persistent size counter (persisted on every insert)
+	artOffEpoch = 24 // pointer to the epoch lock-tracking structure
+)
+
+// ARTBugs selects the seeded P-ART bugs.
+type ARTBugs struct {
+	// VolatileEpoch initializes the epoch lock-tracking vector without
+	// persisting its contents, as with a DRAM tbb vector (P-ART-1):
+	// recovery dereferences its data pointer — segmentation fault.
+	VolatileEpoch bool
+	// NoRootNodeFlush skips persisting the root node in the Tree
+	// constructor (P-ART-2): the children indirection reads null —
+	// illegal memory access.
+	NoRootNodeFlush bool
+	// NoLockReset makes recovery trust the recovered lock word instead of
+	// reinitializing it (P-ART-3, "use of non-persistent data structure
+	// for recovery"): the unlock never persisted, so recovery spins —
+	// infinite loop.
+	NoLockReset bool
+}
+
+// ART is a handle to the radix tree.
+type ART struct {
+	c    *core.Context
+	meta core.Addr
+	bugs ARTBugs
+}
+
+// CreateART builds an empty tree.
+func CreateART(c *core.Context, bugs ARTBugs) *ART {
+	t := &ART{c: c, meta: c.Root(), bugs: bugs}
+	root := t.newInternal()
+	if bugs.NoRootNodeFlush {
+		// BUG: the node (and its children indirection) is never persisted.
+	} else {
+		t.persistInternal(root)
+	}
+
+	// The epoch structure tracks held locks for recovery unlocking. The
+	// buggy variant initializes it like a volatile vector: the pointer is
+	// persisted (it lives in the flushed metadata line) but the vector's
+	// own fields never are.
+	if bugs.VolatileEpoch {
+		vec := c.AllocLine(16) // {dataPtr, size}
+		data := c.AllocLine(8 * 8)
+		c.StorePtr(vec, data)
+		c.Store64(vec.Add(8), 0)
+		// BUG: vec and data are never persisted.
+		c.StorePtr(t.meta.Add(artOffEpoch), vec)
+	}
+
+	c.StorePtr(t.meta.Add(artOffRoot), root)
+	c.Store64(t.meta.Add(artOffLock), 0)
+	c.Store64(t.meta.Add(artOffCount), 0)
+	c.Persist(t.meta, 32) // commit: the metadata line (root, lock, count, epoch)
+	return t
+}
+
+// OpenART binds to a recovered tree. The fixed recovery reinitializes the
+// lock word (locks are meaningless after a failure); the NoLockReset bug
+// instead spins on the recovered value, waiting for an owner that no longer
+// exists.
+func OpenART(c *core.Context, bugs ARTBugs) (*ART, bool) {
+	t := &ART{c: c, meta: c.Root(), bugs: bugs}
+	if c.LoadPtr(t.meta.Add(artOffRoot)) == 0 {
+		return t, false
+	}
+	if bugs.VolatileEpoch {
+		if vec := c.LoadPtr(t.meta.Add(artOffEpoch)); vec != 0 {
+			// Recovery consults the lock-tracking vector to release held
+			// locks — but the vector was volatile (P-ART-1): its data
+			// pointer never persisted and recovers as null.
+			data := c.LoadPtr(vec)
+			_ = c.Load64(data) // first tracked-lock record
+		}
+	}
+	if bugs.NoLockReset {
+		// BUG: wait for the recorded owner to release the lock (P-ART-3).
+		for c.Load64(t.meta.Add(artOffLock)) != 0 {
+		}
+	} else {
+		c.Store64(t.meta.Add(artOffLock), 0)
+	}
+	return t, true
+}
+
+// WithContext rebinds the handle to another guest thread's context
+// (handles are bound to one thread; see core.Context).
+func (t *ART) WithContext(c *core.Context) *ART {
+	return &ART{c: c, meta: t.meta, bugs: t.bugs}
+}
+
+func (t *ART) newInternal() core.Addr {
+	c := t.c
+	n := c.AllocLine(artNodeSize)
+	children := c.AllocLine(artFanout * 8)
+	for i := uint64(0); i < artFanout; i++ {
+		c.StorePtr(children.Add(8*i), 0)
+	}
+	c.Store64(n, artTypeInternal)
+	c.StorePtr(n.Add(8), children)
+	return n
+}
+
+func (t *ART) persistInternal(n core.Addr) {
+	c := t.c
+	c.Persist(c.LoadPtr(n.Add(8)), artFanout*8)
+	c.Persist(n, artNodeSize)
+}
+
+func (t *ART) newLeaf(key, value uint64) core.Addr {
+	c := t.c
+	n := c.AllocLine(artLeafSize)
+	c.Store64(n, artTypeLeaf)
+	c.Store64(n.Add(8), key)
+	c.Store64(n.Add(16), value)
+	c.Persist(n, artLeafSize)
+	return n
+}
+
+func (t *ART) typeOf(n core.Addr) uint64 { return t.c.Load64(n) }
+
+func (t *ART) childSlot(n core.Addr, idx uint64) core.Addr {
+	children := t.c.LoadPtr(n.Add(8))
+	return children.Add(8 * idx)
+}
+
+func (t *ART) lock() {
+	c := t.c
+	for !c.CAS64(t.meta.Add(artOffLock), 0, 1) {
+	}
+}
+
+func (t *ART) unlock() {
+	// Plain store, never persisted: lock state is volatile by intent, but
+	// the metadata line it shares with the size counter is flushed on
+	// every insert, so the held state can become durable.
+	t.c.Store64(t.meta.Add(artOffLock), 0)
+}
+
+// Insert stores a pair.
+func (t *ART) Insert(key, value uint64) {
+	c := t.c
+	c.Assert(key != 0, "P-ART: key 0 is reserved")
+	t.lock()
+	node := c.LoadPtr(t.meta.Add(artOffRoot))
+	shift := uint64(artTopShift)
+	for {
+		idx := key >> shift & (artFanout - 1)
+		slot := t.childSlot(node, idx)
+		child := c.LoadPtr(slot)
+		if child == 0 {
+			leaf := t.newLeaf(key, value)
+			c.StorePtr(slot, leaf) // commit store
+			c.Persist(slot, 8)
+			break
+		}
+		switch t.typeOf(child) {
+		case artTypeInternal:
+			node = child
+			shift -= artSpan
+			continue
+		case artTypeLeaf:
+			exKey := c.Load64(child.Add(8))
+			if exKey == key {
+				c.Store64(child.Add(16), value)
+				c.Persist(child.Add(16), 8)
+			} else {
+				top := t.pushDown(child, exKey, key, value, shift-artSpan)
+				c.StorePtr(slot, top) // commit store
+				c.Persist(slot, 8)
+			}
+		default:
+			c.Bug("P-ART: node %v has invalid type %d", child, t.typeOf(child))
+		}
+		break
+	}
+	// Bump the persistent size counter — this flush is what makes the
+	// shared metadata line (including the lock word) durable mid-insert.
+	c.Store64(t.meta.Add(artOffCount), c.Load64(t.meta.Add(artOffCount))+1)
+	c.Persist(t.meta.Add(artOffCount), 8)
+	t.unlock()
+}
+
+// pushDown builds the internal chain separating an existing leaf from a new
+// key, fully persisted, and returns its top — ready for a single commit
+// store.
+func (t *ART) pushDown(exLeaf core.Addr, exKey, key, value uint64, shift uint64) core.Addr {
+	c := t.c
+	top := t.newInternal()
+	node := top
+	for {
+		exIdx := exKey >> shift & (artFanout - 1)
+		newIdx := key >> shift & (artFanout - 1)
+		if exIdx != newIdx {
+			leaf := t.newLeaf(key, value)
+			c.StorePtr(t.childSlot(node, exIdx), exLeaf)
+			c.StorePtr(t.childSlot(node, newIdx), leaf)
+			t.persistInternal(node)
+			return top
+		}
+		child := t.newInternal()
+		c.StorePtr(t.childSlot(node, exIdx), child)
+		t.persistInternal(node)
+		c.Assert(shift > 0, "P-ART: identical keys reached the bottom")
+		node = child
+		shift -= artSpan
+	}
+}
+
+// Lookup returns the value stored for key.
+func (t *ART) Lookup(key uint64) (uint64, bool) {
+	c := t.c
+	node := c.LoadPtr(t.meta.Add(artOffRoot))
+	shift := uint64(artTopShift)
+	for {
+		idx := key >> shift & (artFanout - 1)
+		child := c.LoadPtr(t.childSlot(node, idx))
+		if child == 0 {
+			return 0, false
+		}
+		if t.typeOf(child) == artTypeLeaf {
+			if c.Load64(child.Add(8)) == key {
+				return c.Load64(child.Add(16)), true
+			}
+			return 0, false
+		}
+		node = child
+		shift -= artSpan
+	}
+}
+
+// Check walks the tree, validating node types and leaf placement, and
+// returns the leaf count.
+func (t *ART) Check(valueOf func(uint64) uint64) int {
+	root := t.c.LoadPtr(t.meta.Add(artOffRoot))
+	if root == 0 {
+		return 0
+	}
+	return t.checkNode(root, 0, artTopShift, valueOf)
+}
+
+func (t *ART) checkNode(n core.Addr, prefix uint64, shift uint64, valueOf func(uint64) uint64) int {
+	c := t.c
+	typ := t.typeOf(n)
+	c.Assert(typ == artTypeInternal, "P-ART check: expected internal node at %v, type %d", n, typ)
+	total := 0
+	for idx := uint64(0); idx < artFanout; idx++ {
+		child := c.LoadPtr(t.childSlot(n, idx))
+		if child == 0 {
+			continue
+		}
+		p := prefix | idx<<shift
+		switch t.typeOf(child) {
+		case artTypeLeaf:
+			key := c.Load64(child.Add(8))
+			c.Assert(key>>shift == p>>shift,
+				"P-ART check: leaf key %#x misplaced under prefix %#x", key, p)
+			v := c.Load64(child.Add(16))
+			c.Assert(v == valueOf(key), "P-ART check: key %d has value %d", key, v)
+			total++
+		case artTypeInternal:
+			c.Assert(shift >= artSpan, "P-ART check: internal node below leaf level")
+			total += t.checkNode(child, p, shift-artSpan, valueOf)
+		default:
+			c.Assert(false, "P-ART check: node %v has invalid type %d", child, t.typeOf(child))
+		}
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+package recipe
+
+import (
+	"sort"
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+func collectScan(scan func(lo, hi uint64, fn func(k, v uint64)), lo, hi uint64) (keys, vals []uint64) {
+	scan(lo, hi, func(k, v uint64) {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	})
+	return keys, vals
+}
+
+func checkScan(t *testing.T, name string, keys, vals []uint64, lo, hi uint64,
+	oracle map[uint64]uint64) {
+	t.Helper()
+	var want []uint64
+	for k := range oracle {
+		if k >= lo && k < hi {
+			want = append(want, k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(keys) != len(want) {
+		t.Fatalf("%s scan [%d,%d): got %d keys %v, want %d %v",
+			name, lo, hi, len(keys), keys, len(want), want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("%s scan order: got %v, want %v", name, keys, want)
+		}
+		if vals[i] != oracle[keys[i]] {
+			t.Fatalf("%s scan value for %d: got %d, want %d",
+				name, keys[i], vals[i], oracle[keys[i]])
+		}
+	}
+}
+
+func TestFastFairScan(t *testing.T) {
+	direct(t, "fastfair-scan", func(c *core.Context) {
+		tr := CreateFastFair(c, FFBugs{})
+		oracle := make(map[uint64]uint64)
+		for i := uint64(1); i <= 50; i++ {
+			k := i*31%127 + 1
+			tr.Insert(k, k+7)
+			oracle[k] = k + 7
+		}
+		for _, r := range [][2]uint64{{0, ^uint64(0) - 1}, {10, 60}, {40, 41}, {200, 300}} {
+			keys, vals := collectScan(tr.Scan, r[0], r[1])
+			checkScan(t, "fastfair", keys, vals, r[0], r[1], oracle)
+		}
+	})
+}
+
+func TestMasstreeScan(t *testing.T) {
+	direct(t, "masstree-scan", func(c *core.Context) {
+		tr := CreateMasstree(c, MasstreeBugs{})
+		oracle := make(map[uint64]uint64)
+		for i := uint64(1); i <= 40; i++ {
+			k := i*53%101 + 1
+			tr.Insert(k, k*9)
+			oracle[k] = k * 9
+		}
+		for _, r := range [][2]uint64{{0, ^uint64(0)}, {20, 80}, {50, 51}, {150, 200}} {
+			keys, vals := collectScan(tr.Scan, r[0], r[1])
+			checkScan(t, "masstree", keys, vals, r[0], r[1], oracle)
+		}
+	})
+}
+
+// Scans must also be safe in every post-failure state: a crash mid-split
+// leaves stale duplicates and transient fences, and Scan must neither
+// duplicate nor invent keys.
+func TestFastFairScanCrashConsistency(t *testing.T) {
+	keys := recipeKeys(10)
+	prog := core.Program{
+		Name: "fastfair-scan-crash",
+		Run: func(c *core.Context) {
+			tr := CreateFastFair(c, FFBugs{})
+			for _, k := range keys {
+				tr.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			tr, ok := OpenFastFair(c)
+			if !ok {
+				return
+			}
+			seen := make(map[uint64]bool)
+			prev := uint64(0)
+			tr.Scan(0, ^uint64(0)-1, func(k, v uint64) {
+				c.Assert(!seen[k], "scan returned key %d twice", k)
+				seen[k] = true
+				c.Assert(k >= prev, "scan out of order: %d after %d", k, prev)
+				prev = k
+				c.Assert(v == valueOf(k), "scan: key %d has value %d", k, v)
+			})
+			// Scan and Lookup must agree on membership.
+			for _, k := range keys {
+				if _, found := tr.Lookup(k); found {
+					c.Assert(seen[k], "key %d visible to Lookup but not Scan", k)
+				}
+			}
+		},
+	}
+	res := core.New(prog, core.Options{}).Run()
+	if res.Buggy() {
+		t.Fatalf("bugs: %v\nchoices: %s", res.Bugs[0], res.Bugs[0].Choices)
+	}
+}

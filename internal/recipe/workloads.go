@@ -1,0 +1,376 @@
+package recipe
+
+import "jaaru/internal/core"
+
+// Checkable workload programs for each RECIPE structure: the pre-failure
+// execution creates the index and inserts a key sequence; recovery re-opens
+// it, performs the lookups first (dereferencing recovered pointers the way
+// application code would) and then runs the structural consistency check.
+//
+// Unlike the transactional PMDK structures, RECIPE inserts commit
+// independently (per-key commit stores), so recovery validates that every
+// found key carries its committed value and that all structural invariants
+// hold — not that the recovered set is a prefix.
+
+func valueOf(k uint64) uint64 { return k*10 + 3 }
+
+func recipeKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i*37%97 + 1)
+	}
+	return keys
+}
+
+// CCEHWorkload builds the Figure 13 CCEH program.
+func CCEHWorkload(n int, bugs CCEHBugs) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/CCEH",
+		Run: func(c *core.Context) {
+			h := CreateCCEH(c, bugs)
+			for _, k := range keys {
+				h.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCCEH(c)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := h.Lookup(k); found {
+					c.Assert(v == valueOf(k), "CCEH: key %d recovered value %d", k, v)
+				}
+			}
+			h.Check(valueOf)
+		},
+	}
+}
+
+// FastFairWorkload builds the Figure 13 FAST_FAIR program.
+func FastFairWorkload(n int, bugs FFBugs) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/FAST_FAIR",
+		Run: func(c *core.Context) {
+			t := CreateFastFair(c, bugs)
+			for _, k := range keys {
+				t.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			t, ok := OpenFastFair(c)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := t.Lookup(k); found {
+					c.Assert(v == valueOf(k), "FAST_FAIR: key %d recovered value %d", k, v)
+				}
+			}
+			t.Check(valueOf)
+		},
+	}
+}
+
+// ARTWorkload builds the Figure 13 P-ART program.
+func ARTWorkload(n int, bugs ARTBugs) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/P-ART",
+		Run: func(c *core.Context) {
+			t := CreateART(c, bugs)
+			for _, k := range keys {
+				t.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			t, ok := OpenART(c, bugs)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := t.Lookup(k); found {
+					c.Assert(v == valueOf(k), "P-ART: key %d recovered value %d", k, v)
+				}
+			}
+			t.Check(valueOf)
+		},
+	}
+}
+
+// BwTreeWorkload builds the Figure 13 P-BwTree program. The single root
+// PID holds at most 16 distinct keys after consolidation, so larger
+// workloads cycle through 14 keys — repeated updates still grow delta
+// chains and trigger consolidations.
+func BwTreeWorkload(n int, bugs BwTreeBugs) core.Program {
+	keys := recipeKeys(n)
+	for i := range keys {
+		keys[i] = keys[i]%14 + 1
+	}
+	return core.Program{
+		Name: "recipe/P-BwTree",
+		Run: func(c *core.Context) {
+			t := CreateBwTree(c, bugs)
+			for _, k := range keys {
+				t.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			t, ok := OpenBwTree(c, bugs)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := t.Lookup(k); found {
+					c.Assert(v == valueOf(k), "P-BwTree: key %d recovered value %d", k, v)
+				}
+			}
+			t.Check(valueOf)
+		},
+	}
+}
+
+// CLHTWorkload builds the Figure 13 P-CLHT program. Recovery performs one
+// further insert: post-failure writers are what trip over bucket locks that
+// recovered held.
+func CLHTWorkload(n int, bugs CLHTBugs) core.Program {
+	return CLHTWorkloadBuckets(n, 4, bugs)
+}
+
+// CLHTWorkloadBuckets is CLHTWorkload with an explicit table size; the
+// Figure 14 workload uses a large table whose initialization dominates the
+// eager checker's state count (the paper's P-CLHT row is 1.93e605).
+func CLHTWorkloadBuckets(n int, nBuckets uint64, bugs CLHTBugs) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/P-CLHT",
+		Run: func(c *core.Context) {
+			h := CreateCLHT(c, nBuckets, bugs)
+			for _, k := range keys {
+				h.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCLHT(c, bugs)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := h.Lookup(k); found {
+					c.Assert(v == valueOf(k), "P-CLHT: key %d recovered value %d", k, v)
+				}
+			}
+			// Continue the workload: update the first key in place.
+			h.Insert(keys[0], valueOf(keys[0]))
+			h.Check(valueOf)
+		},
+	}
+}
+
+// MasstreeWorkload builds the Figure 13 P-Masstree program.
+func MasstreeWorkload(n int, bugs MasstreeBugs) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/P-Masstree",
+		Run: func(c *core.Context) {
+			t := CreateMasstree(c, bugs)
+			for _, k := range keys {
+				t.Insert(k, valueOf(k))
+			}
+		},
+		Recover: func(c *core.Context) {
+			t, ok := OpenMasstree(c, bugs)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := t.Lookup(k); found {
+					c.Assert(v == valueOf(k), "P-Masstree: key %d recovered value %d", k, v)
+				}
+			}
+			t.Check(valueOf)
+		},
+	}
+}
+
+// BugCase is one row of Figure 13 (with the cause column of Figure 15).
+type BugCase struct {
+	ID        int
+	Benchmark string
+	// Type is Figure 13's "Type of Bug" column.
+	Type string
+	// Cause is Figure 15's "Cause of Bug" column.
+	Cause string
+	// New marks bugs the paper reports as new (starred in Figure 13).
+	New bool
+	// Program builds the seeded workload.
+	Program func() core.Program
+	// Expect are the acceptable manifestation types.
+	Expect []core.BugType
+}
+
+// BugCases returns the RECIPE bug registry reproducing Figures 13 and 15.
+func BugCases() []BugCase {
+	ill := []core.BugType{core.BugIllegalAccess}
+	illOrAssert := []core.BugType{core.BugIllegalAccess, core.BugAssertion}
+	loop := []core.BugType{core.BugInfiniteLoop}
+	return []BugCase{
+		{ID: 1, Benchmark: "CCEH", New: true,
+			Type:  "Missing flush in CCEH constructor",
+			Cause: "Getting stuck in an infinite loop",
+			Program: func() core.Program {
+				return CCEHWorkload(4, CCEHBugs{NoSegmentFlush: true})
+			},
+			Expect: loop},
+		{ID: 2, Benchmark: "CCEH", New: true,
+			Type:  "Missing flush in CCEH constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return CCEHWorkload(4, CCEHBugs{NoDirArrayFlush: true})
+			},
+			Expect: ill},
+		{ID: 3, Benchmark: "CCEH", New: true,
+			Type:  "Missing flush in CCEH constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return CCEHWorkload(4, CCEHBugs{NoDirEntryFlush: true})
+			},
+			Expect: ill},
+		{ID: 4, Benchmark: "FAST_FAIR", New: false,
+			Type:  "Missing flush in header constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return FastFairWorkload(10, FFBugs{NoHeaderFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 5, Benchmark: "FAST_FAIR", New: false,
+			Type:  "Missing flush in entry constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return FastFairWorkload(6, FFBugs{NoEntryFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 6, Benchmark: "FAST_FAIR", New: true,
+			Type:  "Missing flush in btree constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return FastFairWorkload(4, FFBugs{NoRootFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 7, Benchmark: "P-ART", New: true,
+			Type:  "Use of non-persistent data structure in Epoch",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return ARTWorkload(4, ARTBugs{VolatileEpoch: true})
+			},
+			Expect: ill},
+		{ID: 8, Benchmark: "P-ART", New: true,
+			Type:  "Missing flush in Tree constructor",
+			Cause: "Illegal memory access in the program",
+			Program: func() core.Program {
+				return ARTWorkload(4, ARTBugs{NoRootNodeFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 9, Benchmark: "P-ART", New: true,
+			Type:  "Use of non-persistent data structure for recovery",
+			Cause: "Getting stuck in an infinite loop",
+			Program: func() core.Program {
+				return ARTWorkload(4, ARTBugs{NoLockReset: true})
+			},
+			Expect: loop},
+		{ID: 10, Benchmark: "P-BwTree", New: true,
+			Type:  "GC crash leaves data structure in inconsistent state",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return BwTreeWorkload(6, BwTreeBugs{GCReversedLink: true})
+			},
+			Expect: ill},
+		{ID: 11, Benchmark: "P-BwTree", New: true,
+			Type:  "Missing flush of GC metadata pointer",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return BwTreeWorkload(3, BwTreeBugs{NoGCPtrFlush: true})
+			},
+			Expect: ill},
+		{ID: 12, Benchmark: "P-BwTree", New: true,
+			Type:  "Missing flush of GC metadata",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return BwTreeWorkload(3, BwTreeBugs{NoGCMetaFlush: true})
+			},
+			Expect: ill},
+		{ID: 13, Benchmark: "P-BwTree", New: true,
+			Type:  "Missing flush in AllocationMeta constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return BwTreeWorkload(3, BwTreeBugs{NoMapMetaFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 14, Benchmark: "P-BwTree", New: true,
+			Type:  "Missing flush in BwTree constructor",
+			Cause: "Segmentation fault in the program",
+			Program: func() core.Program {
+				return BwTreeWorkload(3, BwTreeBugs{NoRootEntryFlush: true})
+			},
+			Expect: ill},
+		{ID: 15, Benchmark: "P-CLHT", New: false,
+			Type:  "Missing flush in clht constructor",
+			Cause: "Illegal memory access in the program",
+			Program: func() core.Program {
+				return CLHTWorkload(4, CLHTBugs{NoRootStructFlush: true})
+			},
+			Expect: ill},
+		{ID: 16, Benchmark: "P-CLHT", New: false,
+			Type:  "Missing flush for hashtable object",
+			Cause: "Illegal memory access in the program",
+			Program: func() core.Program {
+				return CLHTWorkload(4, CLHTBugs{NoHTObjectFlush: true})
+			},
+			Expect: illOrAssert},
+		{ID: 17, Benchmark: "P-CLHT", New: false,
+			Type:  "Missing flush for hashtable array",
+			Cause: "Getting stuck in an infinite loop",
+			Program: func() core.Program {
+				return CLHTWorkload(4, CLHTBugs{NoLockReset: true})
+			},
+			Expect: loop},
+		{ID: 18, Benchmark: "P-MassTree", New: false,
+			Type:  "Flushed referenced object instead of pointer",
+			Cause: "Illegal memory access in the program",
+			Program: func() core.Program {
+				return MasstreeWorkload(10, MasstreeBugs{FlushObjectNotPointer: true})
+			},
+			Expect: illOrAssert},
+	}
+}
+
+// FixedPrograms returns the crash-consistent variants of all six RECIPE
+// structures, explored clean by the checker. n controls the insert count.
+func FixedPrograms(n int) []core.Program {
+	return []core.Program{
+		CCEHWorkload(n, CCEHBugs{}),
+		FastFairWorkload(n, FFBugs{}),
+		ARTWorkload(n, ARTBugs{}),
+		BwTreeWorkload(n, BwTreeBugs{}),
+		CLHTWorkload(n, CLHTBugs{}),
+		MasstreeWorkload(n, MasstreeBugs{}),
+	}
+}
+
+// PerfWorkloads returns the fixed variants with the workload sizes used to
+// regenerate Figure 14 (scaled by scale; scale 1 is the default table).
+func PerfWorkloads(scale int) []core.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	return []core.Program{
+		CCEHWorkload(36*scale, CCEHBugs{}),           // splits + directory doubling
+		FastFairWorkload(18*scale, FFBugs{}),         // leaf and internal splits
+		ARTWorkload(12*scale, ARTBugs{}),             // push-down chains
+		BwTreeWorkload(12*scale, BwTreeBugs{}),       // several consolidations
+		CLHTWorkloadBuckets(8*scale, 64, CLHTBugs{}), // big-table constructor
+		MasstreeWorkload(10*scale, MasstreeBugs{}),   // COW splits
+	}
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := New("Title", "Name", "Count")
+	tbl.AlignRight(1)
+	tbl.Row("alpha", 5)
+	tbl.Row("b", 12345)
+	tbl.Footnote("note %d", 7)
+	out := tbl.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.HasSuffix(lines[3], "    5") {
+		t.Errorf("numeric column not right-aligned: %q", lines[3])
+	}
+	if lines[5] != "note 7" {
+		t.Errorf("footnote = %q", lines[5])
+	}
+}
+
+func TestTableWideCellsGrowColumns(t *testing.T) {
+	tbl := New("", "A", "B")
+	tbl.Row("very-long-cell-content", "x")
+	out := tbl.String()
+	if !strings.Contains(out, "very-long-cell-content") {
+		t.Errorf("cell truncated: %q", out)
+	}
+	// Header row must be padded to the widest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines[0]) < len("very-long-cell-content") {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTableExtraCellsDoNotPanic(t *testing.T) {
+	tbl := New("", "A")
+	tbl.Row("x", "overflow-cell")
+	if out := tbl.String(); !strings.Contains(out, "overflow-cell") {
+		t.Errorf("extra cell dropped: %q", out)
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tbl := New("", "Σ", "n")
+	tbl.AlignRight(1)
+	tbl.Row("9^16 ≈ 1.85×10¹⁵", 3)
+	out := tbl.String()
+	if !strings.Contains(out, "≈") {
+		t.Errorf("unicode mangled: %q", out)
+	}
+}

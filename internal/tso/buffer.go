@@ -1,0 +1,221 @@
+// Package tso simulates the x86-TSO storage system of Figure 1 of the Jaaru
+// paper: each thread has a store buffer holding store, clflush, clflushopt
+// and sfence operations that have not yet taken effect in the cache, and a
+// flush buffer implementing the reordering freedom of clflushopt (Table 1).
+//
+// The two-phase execution model of §4 is split between this package and the
+// model checker: Exec_* (Figure 7) corresponds to Push/Mfence here, and
+// Evict_SB / Evict_FB (Figure 8) to EvictOldest/DrainFlushBuffer, which apply
+// their effects through the Storage interface implemented by the checker.
+package tso
+
+import (
+	"fmt"
+
+	"jaaru/internal/pmem"
+)
+
+// EntryKind identifies the kind of an operation buffered in a store buffer.
+type EntryKind int
+
+const (
+	// Store is a data store of 1–8 bytes.
+	Store EntryKind = iota
+	// CLFlush is the strongly ordered cache line flush instruction.
+	CLFlush
+	// CLFlushOpt is the optimized flush (clflushopt / clwb — the paper
+	// treats clwb identically, §2).
+	CLFlushOpt
+	// SFence is the store fence instruction.
+	SFence
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case Store:
+		return "store"
+	case CLFlush:
+		return "clflush"
+	case CLFlushOpt:
+		return "clflushopt"
+	case SFence:
+		return "sfence"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", int(k))
+	}
+}
+
+// Entry is one buffered operation.
+type Entry struct {
+	Kind EntryKind
+	Addr pmem.Addr // store: first byte; flushes: any byte of the line
+	Size int       // store: 1, 2, 4 or 8; flushes: 0
+	Val  uint64    // store: little-endian value
+	Seq  pmem.Seq  // clflushopt: σcurr at the moment the instruction executed
+	Loc  string    // guest source location (set only when perf detection is on)
+}
+
+// Covers reports whether a store entry writes byte address a.
+func (e Entry) Covers(a pmem.Addr) bool {
+	return e.Kind == Store && a >= e.Addr && a < e.Addr+pmem.Addr(e.Size)
+}
+
+// ByteAt returns the byte the store entry writes to address a.
+func (e Entry) ByteAt(a pmem.Addr) byte {
+	return byte(e.Val >> (8 * uint64(a-e.Addr)))
+}
+
+// Storage abstracts the cache and persistent-memory state the buffers evict
+// into; it is implemented by the model checker. Sequence numbers are drawn
+// from a single global counter so that all stores form a total order.
+type Storage interface {
+	// NextSeq increments and returns the global sequence counter σcurr.
+	NextSeq() pmem.Seq
+	// CurSeq returns σcurr without incrementing (used to stamp clflushopt
+	// entries at execution time, Figure 7 line 6).
+	CurSeq() pmem.Seq
+	// ApplyStore writes the store's bytes to the cache at sequence s.
+	ApplyStore(addr pmem.Addr, size int, val uint64, s pmem.Seq)
+	// ApplyCLFlush records that the line containing addr was flushed at
+	// sequence s (raises the line's writeback interval lower bound).
+	ApplyCLFlush(addr pmem.Addr, s pmem.Seq)
+	// ApplyWriteback records a clflushopt writeback with ordering bound s
+	// (raises the line's lower bound to at least s).
+	ApplyWriteback(addr pmem.Addr, s pmem.Seq)
+	// BeforeFlushEffect is invoked immediately before a flush takes effect
+	// in persistent storage — the model checker's failure-injection points
+	// and performance-issue detection. It may panic to simulate a power
+	// failure. loc is the issuing instruction's guest location, when known.
+	BeforeFlushEffect(kind EntryKind, addr pmem.Addr, loc string)
+	// SFenceEffect is invoked when an sfence takes effect, with the number
+	// of clflushopt writebacks it is about to order (performance-issue
+	// detection: zero means the fence ordered nothing).
+	SFenceEffect(pendingWritebacks int, loc string)
+}
+
+// ThreadState is the per-thread buffering state: the store buffer Sτ, the
+// flush buffer Fτ, the timestamp tτ of the most recent sfence, and the
+// timestamps tτ,cl of the most recent store or clflush per cache line.
+type ThreadState struct {
+	sb       []Entry
+	fb       []fbEntry
+	tSfence  pmem.Seq
+	tLine    map[pmem.Addr]pmem.Seq
+	capacity int // drain threshold; 0 means unbounded
+}
+
+type fbEntry struct {
+	line pmem.Addr
+	seq  pmem.Seq
+	loc  string
+}
+
+// NewThreadState returns an empty thread state. capacity bounds the store
+// buffer: pushing beyond it evicts the oldest entry first (real store
+// buffers are finite); 0 means unbounded.
+func NewThreadState(capacity int) *ThreadState {
+	return &ThreadState{tLine: make(map[pmem.Addr]pmem.Seq), capacity: capacity}
+}
+
+// Reset clears all volatile state (used when a failure wipes the machine).
+func (t *ThreadState) Reset() {
+	t.sb = t.sb[:0]
+	t.fb = t.fb[:0]
+	t.tSfence = 0
+	clear(t.tLine)
+}
+
+// SBLen reports the number of buffered store-buffer entries.
+func (t *ThreadState) SBLen() int { return len(t.sb) }
+
+// FBLen reports the number of buffered flush-buffer entries.
+func (t *ThreadState) FBLen() int { return len(t.fb) }
+
+// Push inserts an operation into the store buffer (Figure 7: Exec_Store,
+// Exec_CLFLUSH, Exec_CLFLUSHOPT, Exec_SFENCE). For clflushopt the entry is
+// stamped with σcurr at execution time. If the buffer is at capacity the
+// oldest entry is evicted into st first.
+func (t *ThreadState) Push(st Storage, e Entry) {
+	if e.Kind == CLFlushOpt {
+		e.Seq = st.CurSeq()
+	}
+	if t.capacity > 0 {
+		for len(t.sb) >= t.capacity {
+			t.EvictOldest(st)
+		}
+	}
+	t.sb = append(t.sb, e)
+}
+
+// Lookup implements store-buffer bypassing: it scans the buffer from newest
+// to oldest for a store covering byte address a and returns its byte.
+func (t *ThreadState) Lookup(a pmem.Addr) (byte, bool) {
+	for i := len(t.sb) - 1; i >= 0; i-- {
+		if t.sb[i].Covers(a) {
+			return t.sb[i].ByteAt(a), true
+		}
+	}
+	return 0, false
+}
+
+// EvictOldest removes the oldest store-buffer entry and applies its effect
+// (Figure 8, the four Evict_SB cases). It reports the evicted entry.
+func (t *ThreadState) EvictOldest(st Storage) Entry {
+	e := t.sb[0]
+	t.sb = t.sb[1:]
+	switch e.Kind {
+	case Store:
+		s := st.NextSeq()
+		st.ApplyStore(e.Addr, e.Size, e.Val, s)
+		t.tLine[e.Addr.Line()] = s
+	case CLFlush:
+		st.BeforeFlushEffect(CLFlush, e.Addr, e.Loc)
+		s := st.NextSeq()
+		st.ApplyCLFlush(e.Addr, s)
+		t.tLine[e.Addr.Line()] = s
+	case CLFlushOpt:
+		// Reordering with earlier operations: the writeback is ordered
+		// after the max of (σ at execution, last store/clflush to the same
+		// line by this thread, last sfence by this thread).
+		s := e.Seq
+		if ls := t.tLine[e.Addr.Line()]; ls > s {
+			s = ls
+		}
+		if t.tSfence > s {
+			s = t.tSfence
+		}
+		t.fb = append(t.fb, fbEntry{line: e.Addr.Line(), seq: s, loc: e.Loc})
+	case SFence:
+		st.SFenceEffect(len(t.fb), e.Loc)
+		s := st.NextSeq()
+		t.DrainFlushBuffer(st)
+		t.tSfence = s
+	}
+	return e
+}
+
+// DrainSB evicts every store-buffer entry in order.
+func (t *ThreadState) DrainSB(st Storage) {
+	for len(t.sb) > 0 {
+		t.EvictOldest(st)
+	}
+}
+
+// DrainFlushBuffer applies every pending clflushopt writeback (Figure 8,
+// Evict_FB), as happens when an sfence, mfence or locked RMW instruction
+// takes effect.
+func (t *ThreadState) DrainFlushBuffer(st Storage) {
+	for _, fe := range t.fb {
+		st.BeforeFlushEffect(CLFlushOpt, fe.line, fe.loc)
+		st.ApplyWriteback(fe.line, fe.seq)
+	}
+	t.fb = t.fb[:0]
+}
+
+// Mfence implements Exec_MFENCE (Figure 7): evict all store-buffer entries,
+// then flush the flush buffer. Locked RMW instructions use the same
+// semantics.
+func (t *ThreadState) Mfence(st Storage) {
+	t.DrainSB(st)
+	t.DrainFlushBuffer(st)
+}

@@ -1,0 +1,95 @@
+package tso
+
+// This file encodes Table 1 of the paper — the reordering constraints of the
+// Px86sim model (Raad et al.) — as queryable data. The simulator in buffer.go
+// implements these constraints operationally; the litmus test suite checks
+// the two agree.
+
+// Instr enumerates the instruction classes of Table 1.
+type Instr int
+
+const (
+	InstrRead Instr = iota
+	InstrWrite
+	InstrRMW
+	InstrMFence
+	InstrSFence
+	InstrCLFlushOpt
+	InstrCLFlush
+	numInstr
+)
+
+func (i Instr) String() string {
+	switch i {
+	case InstrRead:
+		return "Read"
+	case InstrWrite:
+		return "Write"
+	case InstrRMW:
+		return "RMW"
+	case InstrMFence:
+		return "mfence"
+	case InstrSFence:
+		return "sfence"
+	case InstrCLFlushOpt:
+		return "clflushopt"
+	case InstrCLFlush:
+		return "clflush"
+	default:
+		return "?"
+	}
+}
+
+// Order is one cell of Table 1.
+type Order int
+
+const (
+	// Ordered (✓): the program order between the two instructions is
+	// always preserved.
+	Ordered Order = iota
+	// Reorderable (✗): the two instructions may be reordered.
+	Reorderable
+	// SameLine (CL): the order is preserved only if both instructions
+	// operate on the same cache line.
+	SameLine
+)
+
+func (o Order) String() string {
+	switch o {
+	case Ordered:
+		return "✓"
+	case Reorderable:
+		return "✗"
+	case SameLine:
+		return "CL"
+	default:
+		return "?"
+	}
+}
+
+// table1[earlier][later] is the constraint between an instruction earlier in
+// program order and one later in program order, exactly as printed in the
+// paper's Table 1.
+var table1 = [numInstr][numInstr]Order{
+	//                     Re           Wr           RMW        mfence     sfence     clflushopt   clflush
+	InstrRead:       {Ordered, Ordered, Ordered, Ordered, Ordered, Ordered, Ordered},
+	InstrWrite:      {Reorderable, Ordered, Ordered, Ordered, Ordered, SameLine, Ordered},
+	InstrRMW:        {Ordered, Ordered, Ordered, Ordered, Ordered, Ordered, Ordered},
+	InstrMFence:     {Ordered, Ordered, Ordered, Ordered, Ordered, Ordered, Ordered},
+	InstrSFence:     {Reorderable, Ordered, Ordered, Ordered, Ordered, Ordered, Ordered},
+	InstrCLFlushOpt: {Reorderable, Reorderable, Ordered, Ordered, Ordered, Reorderable, SameLine},
+	InstrCLFlush:    {Reorderable, Ordered, Ordered, Ordered, Ordered, SameLine, Ordered},
+}
+
+// Reordering returns the Table 1 constraint between an instruction earlier
+// in program order and one later in program order.
+func Reordering(earlier, later Instr) Order { return table1[earlier][later] }
+
+// Instrs lists the instruction classes in Table 1's order.
+func Instrs() []Instr {
+	out := make([]Instr, numInstr)
+	for i := range out {
+		out[i] = Instr(i)
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package tso
+
+import (
+	"testing"
+
+	"jaaru/internal/pmem"
+)
+
+// fakeStorage records effects in pmem structures, like the checker does.
+type fakeStorage struct {
+	seq    pmem.Seq
+	exec   *pmem.Execution
+	hooks  []string
+	failAt int // panic on the n-th BeforeFlushEffect (1-based); 0 = never
+	calls  int
+}
+
+type fakeCrash struct{}
+
+func newFake() *fakeStorage {
+	return &fakeStorage{exec: pmem.NewExecution(0)}
+}
+
+func (f *fakeStorage) NextSeq() pmem.Seq { f.seq++; return f.seq }
+func (f *fakeStorage) CurSeq() pmem.Seq  { return f.seq }
+
+func (f *fakeStorage) ApplyStore(addr pmem.Addr, size int, val uint64, s pmem.Seq) {
+	for i := 0; i < size; i++ {
+		f.exec.Append(addr+pmem.Addr(i), byte(val>>(8*uint(i))), s)
+	}
+}
+
+func (f *fakeStorage) ApplyCLFlush(addr pmem.Addr, s pmem.Seq) {
+	f.exec.CacheLine(addr).RaiseBegin(s)
+}
+
+func (f *fakeStorage) ApplyWriteback(addr pmem.Addr, s pmem.Seq) {
+	f.exec.CacheLine(addr).RaiseBegin(s)
+}
+
+func (f *fakeStorage) SFenceEffect(pending int, loc string) {}
+
+func (f *fakeStorage) BeforeFlushEffect(kind EntryKind, addr pmem.Addr, loc string) {
+	f.calls++
+	f.hooks = append(f.hooks, kind.String())
+	if f.failAt != 0 && f.calls == f.failAt {
+		panic(fakeCrash{})
+	}
+}
+
+func store(a pmem.Addr, size int, v uint64) Entry {
+	return Entry{Kind: Store, Addr: a, Size: size, Val: v}
+}
+
+func TestStoreBufferBypass(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 0x0807060504030201))
+	for i := 0; i < 8; i++ {
+		v, ok := ts.Lookup(0x1000 + pmem.Addr(i))
+		if !ok || v != byte(i+1) {
+			t.Fatalf("byte %d: got %v %v", i, v, ok)
+		}
+	}
+	// Newest store wins.
+	ts.Push(st, store(0x1002, 1, 0xaa))
+	if v, _ := ts.Lookup(0x1002); v != 0xaa {
+		t.Errorf("bypass did not return newest store: %#x", v)
+	}
+	if v, _ := ts.Lookup(0x1001); v != 0x02 {
+		t.Errorf("unrelated byte clobbered: %#x", v)
+	}
+	if _, ok := ts.Lookup(0x2000); ok {
+		t.Error("lookup of unbuffered address succeeded")
+	}
+}
+
+func TestEvictOrderIsFIFO(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 1, 1))
+	ts.Push(st, store(0x1000, 1, 2))
+	ts.Push(st, store(0x1000, 1, 3))
+	ts.DrainSB(st)
+	q := st.exec.Queue(0x1000)
+	if len(q) != 3 || q[0].Val != 1 || q[1].Val != 2 || q[2].Val != 3 {
+		t.Fatalf("cache order = %v", q)
+	}
+	if q[0].Seq >= q[1].Seq || q[1].Seq >= q[2].Seq {
+		t.Fatalf("sequence numbers not increasing: %v", q)
+	}
+}
+
+func TestCLFlushTakesEffectInOrder(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlush, Addr: 0x1000})
+	ts.Push(st, store(0x1008, 8, 9))
+	ts.DrainSB(st)
+	iv := st.exec.CacheLine(0x1000)
+	s1, _ := st.exec.Newest(0x1000)
+	s2, _ := st.exec.Newest(0x1008)
+	if !(s1.Seq < iv.Begin && iv.Begin < s2.Seq) {
+		t.Fatalf("clflush not ordered between stores: store1=%v flush=%v store2=%v",
+			s1.Seq, iv.Begin, s2.Seq)
+	}
+	if len(st.hooks) != 1 || st.hooks[0] != "clflush" {
+		t.Errorf("failure hooks = %v", st.hooks)
+	}
+}
+
+// clflushopt is buffered in the flush buffer and takes effect only at a
+// fence; before the fence, the line's writeback interval stays unbounded.
+func TestCLFlushOptWaitsForFence(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.DrainSB(st)
+	if st.exec.CacheLine(0x1000).Begin != 0 {
+		t.Fatal("clflushopt took effect without a fence")
+	}
+	if ts.FBLen() != 1 {
+		t.Fatalf("flush buffer length = %d", ts.FBLen())
+	}
+	ts.Push(st, Entry{Kind: SFence})
+	ts.DrainSB(st)
+	if ts.FBLen() != 0 {
+		t.Fatal("sfence did not drain the flush buffer")
+	}
+	storeSeq, _ := st.exec.Newest(0x1000)
+	if got := st.exec.CacheLine(0x1000).Begin; got < storeSeq.Seq {
+		t.Fatalf("writeback bound %v precedes the store %v", got, storeSeq.Seq)
+	}
+}
+
+// Table 1: clflushopt is ordered after an earlier store to the SAME line
+// (CL), even if the clflushopt instruction executed before the store was
+// evicted — the writeback bound must cover the store.
+func TestCLFlushOptSameLineOrdering(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Push(st, Entry{Kind: SFence})
+	ts.DrainSB(st)
+	storeSeq, _ := st.exec.Newest(0x1000)
+	if got := st.exec.CacheLine(0x1000).Begin; got < storeSeq.Seq {
+		t.Fatalf("same-line store not covered: begin=%v store=%v", got, storeSeq.Seq)
+	}
+}
+
+// Table 1: clflushopt may be reordered across stores to OTHER lines — a
+// store evicted after the clflushopt executed, on a different line, is not
+// covered by the writeback bound.
+func TestCLFlushOptOtherLineReordering(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000}) // flush line A first
+	ts.Push(st, store(0x1000, 8, 7))                   // then store to line A
+	ts.Push(st, Entry{Kind: SFence})
+	ts.DrainSB(st)
+	storeSeq, _ := st.exec.Newest(0x1000)
+	if got := st.exec.CacheLine(0x1000).Begin; got >= storeSeq.Seq {
+		t.Fatalf("clflushopt issued before the store must not cover it: begin=%v store=%v",
+			got, storeSeq.Seq)
+	}
+}
+
+// An sfence between a clflushopt and a later clflushopt execution point
+// orders the writeback after the fence.
+func TestSFenceOrdersLaterCLFlushOpt(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, Entry{Kind: SFence})
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Push(st, Entry{Kind: SFence})
+	ts.DrainSB(st)
+	if got := st.exec.CacheLine(0x1000).Begin; got == 0 {
+		t.Fatal("clflushopt after sfence not ordered after it")
+	}
+}
+
+func TestMfenceDrainsBoth(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Mfence(st)
+	if ts.SBLen() != 0 || ts.FBLen() != 0 {
+		t.Fatalf("mfence left SB=%d FB=%d", ts.SBLen(), ts.FBLen())
+	}
+	if st.exec.CacheLine(0x1000).Begin == 0 {
+		t.Fatal("mfence did not apply the pending writeback")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.EvictOldest(st)
+	ts.EvictOldest(st)
+	ts.Reset()
+	if ts.SBLen() != 0 || ts.FBLen() != 0 {
+		t.Fatal("reset left buffered entries")
+	}
+	// After reset, a new clflushopt must not be ordered by stale timestamps.
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Push(st, Entry{Kind: SFence})
+	old := st.exec.CacheLine(0x1000).Begin
+	ts.DrainSB(st)
+	if got := st.exec.CacheLine(0x1000).Begin; got < old {
+		t.Fatal("writeback bound went backward")
+	}
+}
+
+func TestCapacityForcesEviction(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(2)
+	ts.Push(st, store(0x1000, 1, 1))
+	ts.Push(st, store(0x1001, 1, 2))
+	ts.Push(st, store(0x1002, 1, 3)) // must evict the first
+	if ts.SBLen() != 2 {
+		t.Fatalf("SB length = %d, want 2", ts.SBLen())
+	}
+	if _, ok := st.exec.Newest(0x1000); !ok {
+		t.Fatal("oldest store was not evicted to the cache")
+	}
+}
+
+func TestFailureHookCanAbort(t *testing.T) {
+	st := newFake()
+	st.failAt = 1
+	ts := NewThreadState(0)
+	ts.Push(st, store(0x1000, 8, 7))
+	ts.Push(st, Entry{Kind: CLFlush, Addr: 0x1000})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected crash panic")
+		}
+		if st.exec.CacheLine(0x1000).Begin != 0 {
+			t.Fatal("flush effect applied despite failure before it")
+		}
+	}()
+	ts.DrainSB(st)
+}
+
+func TestTable1Shape(t *testing.T) {
+	// Spot-check the cells quoted in the paper's prose.
+	checks := []struct {
+		earlier, later Instr
+		want           Order
+	}{
+		{InstrWrite, InstrRead, Reorderable}, // store buffering
+		{InstrCLFlushOpt, InstrWrite, Reorderable},
+		{InstrCLFlushOpt, InstrCLFlushOpt, Reorderable},
+		{InstrCLFlushOpt, InstrCLFlush, SameLine},
+		{InstrCLFlushOpt, InstrMFence, Ordered},
+		{InstrCLFlushOpt, InstrRMW, Ordered},
+		{InstrCLFlushOpt, InstrSFence, Ordered},
+		{InstrWrite, InstrCLFlushOpt, SameLine},
+		{InstrCLFlush, InstrCLFlushOpt, SameLine},
+		{InstrCLFlush, InstrWrite, Ordered},
+		{InstrRead, InstrCLFlush, Ordered},
+		{InstrMFence, InstrRead, Ordered},
+		{InstrSFence, InstrRead, Reorderable},
+		{InstrRMW, InstrRead, Ordered},
+	}
+	for _, c := range checks {
+		if got := Reordering(c.earlier, c.later); got != c.want {
+			t.Errorf("Reordering(%v, %v) = %v, want %v", c.earlier, c.later, got, c.want)
+		}
+	}
+	if n := len(Instrs()); n != 7 {
+		t.Errorf("Instrs() = %d entries, want 7", n)
+	}
+}
+
+func TestEntryKindStrings(t *testing.T) {
+	for _, k := range []EntryKind{Store, CLFlush, CLFlushOpt, SFence} {
+		if k.String() == "" || k.String()[0] == 'E' {
+			t.Errorf("EntryKind %d has no name: %q", k, k.String())
+		}
+	}
+	if EntryKind(99).String() != "EntryKind(99)" {
+		t.Error("unknown kind fallback broken")
+	}
+}
+
+func TestOrderAndInstrStrings(t *testing.T) {
+	if Ordered.String() != "✓" || Reorderable.String() != "✗" || SameLine.String() != "CL" {
+		t.Error("Order strings wrong")
+	}
+	if Order(9).String() != "?" {
+		t.Error("unknown Order fallback broken")
+	}
+	for _, in := range Instrs() {
+		if in.String() == "?" {
+			t.Errorf("instr %d unnamed", in)
+		}
+	}
+	if Instr(99).String() != "?" {
+		t.Error("unknown Instr fallback broken")
+	}
+}
+
+func TestEntryCoversAndByteAt(t *testing.T) {
+	e := Entry{Kind: Store, Addr: 0x100, Size: 4, Val: 0x04030201}
+	if !e.Covers(0x100) || !e.Covers(0x103) || e.Covers(0x104) || e.Covers(0xff) {
+		t.Error("Covers wrong")
+	}
+	for i := 0; i < 4; i++ {
+		if got := e.ByteAt(0x100 + pmem.Addr(i)); got != byte(i+1) {
+			t.Errorf("ByteAt(+%d) = %d", i, got)
+		}
+	}
+	if (Entry{Kind: CLFlush, Addr: 0x100}).Covers(0x100) {
+		t.Error("flush entries must not cover bytes")
+	}
+}

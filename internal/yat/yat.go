@@ -1,0 +1,208 @@
+// Package yat reproduces the eager model checking baseline the paper
+// compares against (Yat, Lantz et al., USENIX ATC 2014). Yat enumerates, at
+// every failure point, every legal post-failure persistent-memory state
+// before running recovery — the approach whose state count grows
+// exponentially with the number of unflushed stores.
+//
+// Like the paper (Yat is not publicly available), the state counts of
+// Figure 14 are computed analytically: at each failure point the number of
+// legal states is the product over dirty cache lines of (stores since the
+// line's last flush + 1), and the total is the sum over failure points.
+// Unlike the paper, this package also implements a real bounded eager
+// explorer used as ground truth: on programs small enough to enumerate, the
+// set of post-failure behaviours Jaaru discovers lazily must equal the set
+// the eager explorer materializes.
+package yat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"jaaru/internal/core"
+	"jaaru/internal/pmem"
+)
+
+// CountResult is the analytic Yat cost of exhaustively checking a program.
+type CountResult struct {
+	// FailurePoints is the number of failure injection points considered
+	// (matching Jaaru's, including the end-of-run point).
+	FailurePoints int
+	// States is the total number of post-failure states Yat would explore:
+	// Σ over failure points of Π over dirty lines of (dirty stores + 1).
+	States *big.Int
+	// MaxPerPoint is the largest per-point state count.
+	MaxPerPoint *big.Int
+	// MaxDirtyLines is the largest number of simultaneously dirty lines.
+	MaxDirtyLines int
+}
+
+// Sci renders the state count in the paper's scientific notation
+// (e.g. "1.93e605").
+func (r *CountResult) Sci() string { return Sci(r.States) }
+
+// Sci formats a big integer as d.dde±dd (the paper prints e.g. 1.93×10^605).
+func Sci(n *big.Int) string {
+	if n.Sign() == 0 {
+		return "0"
+	}
+	f := new(big.Float).SetInt(n)
+	mant := new(big.Float)
+	exp := f.MantExp(mant) // f = mant × 2**exp, mant in [0.5, 1)
+	m, _ := mant.Float64()
+	l10 := float64(exp)*math.Log10(2) + math.Log10(m)
+	e := int(math.Floor(l10))
+	lead := math.Pow(10, l10-float64(e))
+	if lead >= 9.995 { // rounding pushed the mantissa to 10.0
+		lead /= 10
+		e++
+	}
+	return fmt.Sprintf("%.2fe%d", lead, e)
+}
+
+// CountStates runs prog's pre-failure execution once and computes the
+// number of post-failure states an eager checker must explore.
+func CountStates(prog core.Program, opts core.Options) *CountResult {
+	res := &CountResult{States: new(big.Int), MaxPerPoint: new(big.Int)}
+	opts.MaxScenarios = 1
+	ck := core.New(prog, opts)
+	ck.Instrument(func(s *core.Snapshot) {
+		res.FailurePoints++
+		per := big.NewInt(1)
+		dirty := s.DirtyLines()
+		if len(dirty) > res.MaxDirtyLines {
+			res.MaxDirtyLines = len(dirty)
+		}
+		for _, line := range dirty {
+			per.Mul(per, big.NewInt(int64(len(s.Cuts(line)))))
+		}
+		res.States.Add(res.States, per)
+		if per.Cmp(res.MaxPerPoint) > 0 {
+			res.MaxPerPoint.Set(per)
+		}
+	})
+	ck.Run()
+	return res
+}
+
+// EagerResult summarizes a real eager exploration.
+type EagerResult struct {
+	// FailurePoints is the number of failure points enumerated.
+	FailurePoints int
+	// Images is the number of concrete post-failure memory images explored
+	// (each with one recovery execution) — Yat's execution count.
+	Images int
+	// Bugs are the distinct bugs found across all recovery executions.
+	Bugs []*core.BugReport
+}
+
+// ErrTooManyStates reports that the eager state space exceeds the caller's
+// budget — the scalability wall the paper describes.
+type ErrTooManyStates struct {
+	FailurePoint int
+	States       *big.Int
+	Budget       int
+}
+
+func (e *ErrTooManyStates) Error() string {
+	return fmt.Sprintf("yat: failure point %d has %s states, budget %d",
+		e.FailurePoint, Sci(e.States), e.Budget)
+}
+
+// Eager exhaustively enumerates every legal post-failure memory image at
+// every failure point of prog and runs prog.Recover on each — the Yat
+// strategy. maxImages bounds the total number of recovery executions; the
+// enumeration fails with ErrTooManyStates beyond it.
+//
+// Only single-failure scenarios are enumerated (the recovery itself is run
+// without further failure injection), so results are comparable to Jaaru
+// runs with MaxFailures == 1.
+func Eager(prog core.Program, opts core.Options, maxImages int) (*EagerResult, error) {
+	var snaps []*core.Snapshot
+	countOpts := opts
+	countOpts.MaxScenarios = 1
+	ck := core.New(prog, countOpts)
+	ck.Instrument(func(s *core.Snapshot) { snaps = append(snaps, s) })
+	pre := ck.Run()
+	if pre.Buggy() {
+		// The pre-failure execution itself is buggy; eager exploration of
+		// post-failure states is meaningless.
+		return nil, fmt.Errorf("yat: pre-failure execution buggy: %v", pre.Bugs[0])
+	}
+
+	res := &EagerResult{FailurePoints: len(snaps)}
+	bugKeys := make(map[string]bool)
+	for _, s := range snaps {
+		if err := enumerate(prog, opts, s, maxImages, res, bugKeys); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func enumerate(prog core.Program, opts core.Options, s *core.Snapshot,
+	maxImages int, res *EagerResult, bugKeys map[string]bool) error {
+
+	dirty := s.DirtyLines()
+	cuts := make([][]pmem.Seq, len(dirty))
+	total := big.NewInt(1)
+	for i, line := range dirty {
+		cuts[i] = s.Cuts(line)
+		total.Mul(total, big.NewInt(int64(len(cuts[i]))))
+	}
+	if !total.IsInt64() || res.Images+int(total.Int64()) > maxImages {
+		return &ErrTooManyStates{FailurePoint: s.FP, States: total, Budget: maxImages}
+	}
+
+	// Clean-line (and settled) bytes are fixed across all images.
+	baseImage := make(map[pmem.Addr]byte)
+	dirtySet := make(map[pmem.Addr]bool, len(dirty))
+	for _, l := range dirty {
+		dirtySet[l] = true
+	}
+	for a := range s.Queues {
+		if !dirtySet[a.Line()] {
+			baseImage[a] = s.ByteAt(a, pmem.SeqInf)
+		}
+	}
+
+	// Odometer over per-line cut choices.
+	idx := make([]int, len(dirty))
+	for {
+		image := make(map[pmem.Addr]byte, len(s.Queues))
+		for a, v := range baseImage {
+			image[a] = v
+		}
+		for i, line := range dirty {
+			cut := cuts[i][idx[i]]
+			for off := pmem.Addr(0); off < pmem.CacheLineSize; off++ {
+				a := line + off
+				if _, ok := s.Queues[a]; ok {
+					image[a] = s.ByteAt(a, cut)
+				}
+			}
+		}
+		res.Images++
+		r := core.RunRecoveryOn(prog, opts, image, s.HighWater)
+		for _, b := range r.Bugs {
+			k := fmt.Sprintf("%d|%s", b.Type, b.Message)
+			if !bugKeys[k] {
+				bugKeys[k] = true
+				res.Bugs = append(res.Bugs, b)
+			}
+		}
+
+		// Advance the odometer.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(cuts[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package yat
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"jaaru/internal/core"
+)
+
+func TestSci(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0"},
+		{1, "1.00e0"},
+		{9, "9.00e0"},
+		{10, "1.00e1"},
+		{1234, "1.23e3"},
+		{999999, "1.00e6"},
+	}
+	for _, c := range cases {
+		if got := Sci(big.NewInt(c.n)); got != c.want {
+			t.Errorf("Sci(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+	// 9^16: the paper's intro example (an unflushed array of 128 ints has
+	// 9^(n/8) states).
+	n := new(big.Int).Exp(big.NewInt(9), big.NewInt(16), nil)
+	if got := Sci(n); got != "1.85e15" {
+		t.Errorf("Sci(9^16) = %q", got)
+	}
+}
+
+// The paper's intro example: initialize a cache-line-aligned array of n
+// 64-bit integers and crash right before its flushes — the PM has 9^(n/8)
+// possible states, which is what Yat must explore. Jaaru explores almost
+// none of them when recovery guards with a commit word.
+func arrayProgram(n int) core.Program {
+	return core.Program{
+		Name: fmt.Sprintf("array-%d", n),
+		Run: func(c *core.Context) {
+			arr := c.AllocLine(uint64(n) * 8)
+			for i := 0; i < n; i++ {
+				c.Store64(arr.Add(uint64(i)*8), uint64(i)+1)
+			}
+			c.Clflush(arr, uint64(n)*8) // crash injected right before these
+			c.StorePtr(c.Root(), arr)   // commit store
+			c.Clflush(c.Root(), 8)
+		},
+		Recover: func(c *core.Context) {
+			arr := c.LoadPtr(c.Root())
+			if arr == 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				v := c.Load64(arr.Add(uint64(i) * 8))
+				c.Assert(v == uint64(i)+1, "array slot %d corrupt: %d", i, v)
+			}
+		},
+	}
+}
+
+func TestCountStatesArray(t *testing.T) {
+	// 128 integers spanning 16 lines: at the failure point right before
+	// the array's flushes all 16 lines are dirty with 8 stores each, so
+	// Yat's worst failure point has exactly 9^16 states.
+	res := CountStates(arrayProgram(128), core.Options{})
+	want := new(big.Int).Exp(big.NewInt(9), big.NewInt(16), nil)
+	if res.MaxPerPoint.Cmp(want) != 0 {
+		t.Errorf("MaxPerPoint = %s, want 9^16 = %s", res.MaxPerPoint, want)
+	}
+	if res.States.Cmp(want) < 0 {
+		t.Errorf("total %s below the worst point %s", res.States, want)
+	}
+	if res.MaxDirtyLines != 16 {
+		t.Errorf("MaxDirtyLines = %d, want 16", res.MaxDirtyLines)
+	}
+	// Jaaru, by contrast, explores a tiny number of executions thanks to
+	// the commit store.
+	jr := core.New(arrayProgram(128), core.Options{}).Run()
+	if jr.Buggy() {
+		t.Fatalf("bugs: %v", jr.Bugs)
+	}
+	if jr.Executions > 64 {
+		t.Errorf("Jaaru explored %d executions; expected a tiny number vs 9^16", jr.Executions)
+	}
+	if res.FailurePoints == 0 {
+		t.Error("no failure points counted")
+	}
+}
+
+func TestEagerBudget(t *testing.T) {
+	_, err := Eager(arrayProgram(128), core.Options{}, 10000)
+	if err == nil {
+		t.Fatal("eager exploration of 9^16 states fit in a 10k budget")
+	}
+	if _, ok := err.(*ErrTooManyStates); !ok {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+// ---- Jaaru ≡ Yat equivalence ------------------------------------------------
+
+// randomProgram builds a deterministic pseudo-random straight-line PM
+// program over a few addresses spanning two cache lines, and a recovery
+// that observes every address. Jaaru's lazily explored observation set must
+// equal the eager explorer's.
+func randomProgram(seed int64, obs func(string)) core.Program {
+	const (
+		nAddrs = 5
+		nOps   = 14
+	)
+	return core.Program{
+		Name: fmt.Sprintf("rand-%d", seed),
+		Run: func(c *core.Context) {
+			rng := rand.New(rand.NewSource(seed))
+			base := c.Root()
+			addr := func(i int) core.Addr {
+				// Two lines: addresses 0,8,16 on line 0; 64,72 on line 1.
+				offs := []uint64{0, 8, 16, 64, 72}
+				return base.Add(offs[i%nAddrs])
+			}
+			val := uint64(1)
+			for i := 0; i < nOps; i++ {
+				switch rng.Intn(6) {
+				case 0, 1, 2:
+					c.Store64(addr(rng.Intn(nAddrs)), val)
+					val++
+				case 3:
+					c.Clflush(addr(rng.Intn(nAddrs)), 8)
+				case 4:
+					c.Clflushopt(addr(rng.Intn(nAddrs)), 8)
+				case 5:
+					c.Sfence()
+				}
+			}
+		},
+		Recover: func(c *core.Context) {
+			base := c.Root()
+			s := ""
+			for _, off := range []uint64{0, 8, 16, 64, 72} {
+				s += fmt.Sprintf("%d,", c.Load64(base.Add(off)))
+			}
+			obs(s)
+		},
+	}
+}
+
+func collectSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestJaaruMatchesYatRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		lazy := make(map[string]bool)
+		jr := core.New(randomProgram(seed, func(s string) { lazy[s] = true }),
+			core.Options{}).Run()
+		if jr.Buggy() {
+			t.Fatalf("seed %d: unexpected bugs %v", seed, jr.Bugs)
+		}
+
+		eager := make(map[string]bool)
+		er, err := Eager(randomProgram(seed, func(s string) { eager[s] = true }),
+			core.Options{}, 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: eager: %v", seed, err)
+		}
+
+		l, e := collectSet(lazy), collectSet(eager)
+		if len(l) != len(e) {
+			t.Fatalf("seed %d: lazy %d states %v\n eager %d states %v",
+				seed, len(l), l, len(e), e)
+		}
+		for i := range l {
+			if l[i] != e[i] {
+				t.Fatalf("seed %d: state mismatch\n lazy  %v\n eager %v", seed, l, e)
+			}
+		}
+		if jr.Executions > er.Images+1 {
+			t.Errorf("seed %d: Jaaru used %d executions, eager used %d images",
+				seed, jr.Executions, er.Images)
+		}
+	}
+}
+
+// Both checkers must agree on bug detection for a program with a missing
+// flush.
+func TestJaaruMatchesYatBugFinding(t *testing.T) {
+	mk := func() core.Program {
+		return core.Program{
+			Name: "buggy",
+			Run: func(c *core.Context) {
+				inner := c.AllocLine(8)
+				c.Store64(inner, 42)
+				// BUG: inner is never flushed.
+				c.StorePtr(c.Root(), inner)
+				c.Clflush(c.Root(), 8)
+			},
+			Recover: func(c *core.Context) {
+				p := c.LoadPtr(c.Root())
+				if p == 0 {
+					return
+				}
+				c.Assert(c.Load64(p) == 42, "inner value lost")
+			},
+		}
+	}
+	jr := core.New(mk(), core.Options{}).Run()
+	er, err := Eager(mk(), core.Options{}, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jr.Buggy() {
+		t.Error("Jaaru missed the missing-flush bug")
+	}
+	if len(er.Bugs) == 0 {
+		t.Error("eager explorer missed the missing-flush bug")
+	}
+}
+
+func TestCountStatesCleanProgram(t *testing.T) {
+	// A program that flushes immediately after every store: each failure
+	// point has exactly one dirty line with one store (the store preceding
+	// the flush about to take effect).
+	prog := core.Program{
+		Name: "clean",
+		Run: func(c *core.Context) {
+			r := c.Root()
+			for i := uint64(0); i < 4; i++ {
+				c.Store64(r.Add(i*64), i+1)
+				c.Clflush(r.Add(i*64), 8)
+			}
+		},
+		Recover: func(c *core.Context) {},
+	}
+	res := CountStates(prog, core.Options{})
+	if res.FailurePoints != 5 { // 4 pre-flush + end
+		t.Errorf("FailurePoints = %d, want 5", res.FailurePoints)
+	}
+	// Each of the 4 pre-flush points has 2 states (store persisted or
+	// not); the end point has 1 dirty... none (all flushed) → 1.
+	want := big.NewInt(4*2 + 1)
+	if res.States.Cmp(want) != 0 {
+		t.Errorf("States = %s, want %s", res.States, want)
+	}
+}

@@ -1,0 +1,154 @@
+// Package jaaru is a Go reproduction of "Jaaru: Efficiently Model Checking
+// Persistent Memory Programs" (Gorjiara, Xu, Demsky — ASPLOS 2021).
+//
+// Jaaru exhaustively explores the crash behaviours of persistent-memory
+// (PM) programs. Guest programs issue stores, loads, cache-line flushes
+// (clflush / clflushopt / clwb), fences (sfence / mfence) and locked RMW
+// operations against a simulated byte-addressable PM pool; the checker
+// fully simulates the x86-TSO persistency model (Px86sim) — per-thread
+// store buffers with bypassing, flush buffers implementing clflushopt
+// reordering — injects power failures immediately before flush operations,
+// and runs the program's recovery routine against every distinct
+// post-failure view.
+//
+// Key to its efficiency is constraint refinement: instead of eagerly
+// enumerating every possible post-failure memory state (which grows
+// exponentially with the number of unflushed stores, as in Yat), Jaaru
+// tracks per-cache-line intervals bounding when each line was most recently
+// written back and lazily enumerates only the pre-failure stores that
+// post-failure loads actually read. Commit stores — the common PM pattern
+// of guarding data behind a single persisted pointer or flag — then prune
+// almost the entire state space.
+//
+// # Quickstart
+//
+// A program is a pre-failure function and a recovery function. The paper's
+// Figure 2 example:
+//
+//	prog := jaaru.Program{
+//		Name: "figure2",
+//		Run: func(c *jaaru.Context) {
+//			x, y := c.Root(), c.Root().Add(8) // same cache line
+//			c.Store64(y, 1)
+//			c.Store64(x, 2)
+//			c.Clflush(x, 8)
+//			c.Store64(y, 3)
+//			c.Store64(x, 4)
+//			c.Store64(y, 5)
+//			c.Store64(x, 6)
+//		},
+//		Recover: func(c *jaaru.Context) {
+//			x := c.Load64(c.Root())          // ∈ {0, 2, 4, 6}
+//			y := c.Load64(c.Root().Add(8))   // refined by the value of x
+//			_ = x + y
+//		},
+//	}
+//	result := jaaru.Check(prog, jaaru.Options{})
+//	for _, bug := range result.Bugs {
+//		fmt.Println(bug)
+//	}
+//
+// Bugs are visible manifestations: assertion failures (Context.Assert),
+// illegal memory accesses (wild or null dereferences), infinite loops
+// (step-budget exhaustion), and explicit Context.Bug reports. Enable
+// Options.FlagMultiRF for the paper's debugging support: every load that
+// could read from more than one pre-failure store is reported with its
+// candidate stores — the signature of a missing flush.
+package jaaru
+
+import (
+	"jaaru/internal/core"
+	"jaaru/internal/pmem"
+)
+
+// Addr is a byte address in the simulated persistent-memory pool.
+type Addr = pmem.Addr
+
+// CacheLineSize is the flush granularity (64 bytes).
+const CacheLineSize = pmem.CacheLineSize
+
+// RootSize is the size of the always-allocated root area at Context.Root.
+const RootSize = core.RootSize
+
+// Context is the guest API: the operations a checked program may perform
+// against simulated persistent memory. See the methods of
+// internal/core.Context: Store8..Store64, Load8..Load64, StorePtr/LoadPtr,
+// Clflush, Clflushopt, Clwb, Sfence, Mfence, Persist, CAS64, AtomicAdd64,
+// AtomicExchange64, Alloc, AllocLine, Root, Spawn/Join, Assert, Bug, Fnv64.
+type Context = core.Context
+
+// Program is a guest program: a pre-failure Run and a post-failure Recover.
+// A nil Recover disables failure injection (direct execution).
+type Program = core.Program
+
+// Options configures exploration: pool size, failure depth, eviction
+// policy, step budget, multi-rf flagging, tracing.
+type Options = core.Options
+
+// Result aggregates one exploration: scenario and execution counts, failure
+// points, bugs, flagged loads, and wall-clock duration.
+type Result = core.Result
+
+// BugReport is one distinct bug manifestation.
+type BugReport = core.BugReport
+
+// BugType classifies manifestations.
+type BugType = core.BugType
+
+// Bug manifestation classes.
+const (
+	BugAssertion     = core.BugAssertion
+	BugIllegalAccess = core.BugIllegalAccess
+	BugInfiniteLoop  = core.BugInfiniteLoop
+	BugExplicit      = core.BugExplicit
+)
+
+// MultiRF is a load flagged by the debugging support as able to read from
+// more than one pre-failure store.
+type MultiRF = core.MultiRF
+
+// Eviction policies for the store buffer.
+const (
+	EvictEager    = core.EvictEager
+	EvictAtFences = core.EvictAtFences
+	EvictRandom   = core.EvictRandom
+	EvictExplore  = core.EvictExplore
+)
+
+// Checker explores a program's failure behaviours.
+type Checker = core.Checker
+
+// NewChecker returns a checker for prog.
+func NewChecker(prog Program, opts Options) *Checker { return core.New(prog, opts) }
+
+// Check explores prog's failure behaviours to completion and returns the
+// aggregated result.
+func Check(prog Program, opts Options) *Result {
+	return core.New(prog, opts).Run()
+}
+
+// Execute runs fn once with no failure injection — direct execution for
+// testing guest code.
+func Execute(name string, fn func(*Context), opts Options) *Result {
+	return core.Execute(name, fn, opts)
+}
+
+// TraceOp is one recorded guest operation in a replayed trace.
+type TraceOp = core.TraceOp
+
+// PerfIssue is a redundant flush or fence reported by FlagPerfIssues.
+type PerfIssue = core.PerfIssue
+
+// Replay re-executes the exact failure scenario that manifested bug b —
+// program and options must match the exploration that produced it — with
+// full tracing, and returns the complete operation trace.
+func Replay(prog Program, opts Options, b *BugReport) []TraceOp {
+	return core.Replay(prog, opts, b)
+}
+
+// FormatWitness renders a human-readable witness for a bug: the scenario's
+// decisions, the flagged multi-candidate loads, and the full replayed
+// operation trace.
+func FormatWitness(prog Program, opts Options, b *BugReport) string {
+	return core.FormatWitness(prog, opts, b)
+}
