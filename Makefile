@@ -1,0 +1,36 @@
+# Developer / CI entry points. `make verify` is the gate every change must
+# pass: vet, full build, the full test suite, and a race-detector pass over
+# the packages with shared mutable state (the parallel exploration driver
+# and the TSO simulation it drives).
+
+GO ?= go
+
+.PHONY: all build test vet race verify bench bench-parallel clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel driver (internal/core) and the store-buffer machinery it
+# exercises concurrently (internal/tso) get a dedicated race-detector pass.
+race:
+	$(GO) test -race ./internal/core/ ./internal/tso/
+
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the parallel-scaling report (BENCH_parallel.json).
+bench-parallel:
+	$(GO) run ./cmd/jaaru-perf -parallel BENCH_parallel.json
+
+clean:
+	$(GO) clean ./...

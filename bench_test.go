@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"jaaru"
 	"jaaru/internal/core"
@@ -149,6 +150,45 @@ func BenchmarkFig14_P_ART(b *testing.B)      { benchFig14(b, 2) }
 func BenchmarkFig14_P_BwTree(b *testing.B)   { benchFig14(b, 3) }
 func BenchmarkFig14_P_CLHT(b *testing.B)     { benchFig14(b, 4) }
 func BenchmarkFig14_P_Masstree(b *testing.B) { benchFig14(b, 5) }
+
+// ---- Parallel exploration scaling ---------------------------------------------
+//
+// Serial and Workers=N explorations of the same Figure 14 workload, timed
+// side by side. Reported metrics: parallel executions per second and the
+// wall-clock speedup over the serial run. The speedup tracks min(workers,
+// GOMAXPROCS): on a single-CPU host the workers time-slice one core and the
+// metric hovers around 1.0 (the interesting number there is that the
+// parallel driver's coordination overhead stays in the noise); with real
+// cores it approaches the worker count for tree-heavy workloads.
+
+func benchParallelScaling(b *testing.B, workers int) {
+	prog := recipe.PerfWorkloads(1)[0] // CCEH: the widest fixed RECIPE tree
+	var serial, par time.Duration
+	var execs int
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rs := core.New(prog, core.Options{}).Run()
+		serial += time.Since(t0)
+		t0 = time.Now()
+		rp := core.New(prog, core.Options{Workers: workers}).Run()
+		par += time.Since(t0)
+		if rs.Executions != rp.Executions || rp.Buggy() {
+			b.Fatalf("parallel diverged: %d vs %d executions, bugs %v",
+				rp.Executions, rs.Executions, rp.Bugs)
+		}
+		execs = rp.Executions
+	}
+	b.ReportMetric(float64(execs)*float64(b.N)/par.Seconds(), "execs/s")
+	b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup")
+}
+
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchParallelScaling(b, w)
+		})
+	}
+}
 
 // Figure 14's Yat column: the analytic eager state count.
 func BenchmarkFig14_YatStateCount(b *testing.B) {

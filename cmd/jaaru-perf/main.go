@@ -6,24 +6,132 @@
 // big-integer arithmetic, exactly as the paper did (Yat is not publicly
 // available).
 //
+// With -parallel, it instead benchmarks the parallel exploration driver:
+// every Figure 14 workload is explored serially and with -workers worker
+// checkers, the results are cross-checked for equivalence, and the
+// measurements are written as JSON (BENCH_parallel.json) for CI tracking.
+//
 // Usage:
 //
 //	jaaru-perf [-scale N]
+//	jaaru-perf -parallel BENCH_parallel.json [-workers N] [-reps R] [-scale N]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"jaaru/internal/core"
 	"jaaru/internal/recipe"
 	"jaaru/internal/yat"
 )
 
+// parallelBench is one benchmark row of the -parallel report.
+type parallelBench struct {
+	Name       string  `json:"name"`
+	Executions int     `json:"executions"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	ExecsPerS  float64 `json:"execs_per_sec"`
+	// Match records the satellite equivalence check: the parallel run
+	// produced the identical exploration (executions, scenarios, failure
+	// points, bug count) as the serial reference.
+	Match bool `json:"match"`
+}
+
+type parallelReport struct {
+	Workers    int             `json:"workers"`
+	Scale      int             `json:"scale"`
+	Reps       int             `json:"reps"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Note       string          `json:"note"`
+	Benchmarks []parallelBench `json:"benchmarks"`
+}
+
+// runParallelBench measures every Figure 14 workload serially and with the
+// requested worker count (best of reps), cross-checks equivalence, and
+// writes the JSON report.
+func runParallelBench(path string, workers, reps, scale int) {
+	rep := parallelReport{
+		Workers:    workers,
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "speedup tracks min(workers, num_cpu); on a single-CPU host " +
+			"workers time-slice one core and speedup ~1.0 measures driver overhead",
+	}
+	fmt.Printf("Parallel exploration: serial vs %d workers (best of %d, %d CPU)\n",
+		workers, reps, rep.NumCPU)
+	fmt.Printf("%-12s  %7s  %10s  %10s  %8s  %6s\n",
+		"Benchmark", "#JExec.", "Serial", "Parallel", "Speedup", "Match")
+	fmt.Println("------------------------------------------------------------------")
+
+	for _, prog := range recipe.PerfWorkloads(scale) {
+		var serial, par time.Duration
+		var rs, rp *core.Result
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			rs = core.New(prog, core.Options{}).Run()
+			if d := time.Since(t0); r == 0 || d < serial {
+				serial = d
+			}
+			t0 = time.Now()
+			rp = core.New(prog, core.Options{Workers: workers}).Run()
+			if d := time.Since(t0); r == 0 || d < par {
+				par = d
+			}
+		}
+		match := rs.Executions == rp.Executions &&
+			rs.Scenarios == rp.Scenarios &&
+			rs.FailurePoints == rp.FailurePoints &&
+			len(rs.Bugs) == len(rp.Bugs)
+		b := parallelBench{
+			Name:       trimName(prog.Name),
+			Executions: rp.Executions,
+			SerialNs:   serial.Nanoseconds(),
+			ParallelNs: par.Nanoseconds(),
+			Speedup:    float64(serial) / float64(par),
+			ExecsPerS:  float64(rp.Executions) / par.Seconds(),
+			Match:      match,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-12s  %7d  %10s  %10s  %7.2fx  %6v\n",
+			b.Name, b.Executions, serial.Round(1e5), par.Round(1e5), b.Speedup, match)
+		if !match {
+			fmt.Fprintf(os.Stderr, "%s: parallel exploration diverged from serial\n", prog.Name)
+			os.Exit(1)
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = default table)")
+	workers := flag.Int("workers", 4, "worker checkers for -parallel")
+	reps := flag.Int("reps", 3, "measurement repetitions for -parallel (best is kept)")
+	parallel := flag.String("parallel", "", "benchmark parallel exploration and write the JSON report to this file")
 	flag.Parse()
+
+	if *parallel != "" {
+		runParallelBench(*parallel, *workers, *reps, *scale)
+		return
+	}
 
 	fmt.Println("Figure 14 — Jaaru's state space reduction (fixed RECIPE variants)")
 	fmt.Printf("%-12s  %7s  %10s  %8s  %8s  %14s\n",

@@ -131,6 +131,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "seed for -random and the EvictRandom policy")
 	trace := flag.Bool("trace", false, "attach operation traces to bug reports")
 	witness := flag.Bool("witness", false, "replay the first bug and print its full annotated witness")
+	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
 	flag.Parse()
 
 	bms := benchmarks()
@@ -165,6 +166,7 @@ func main() {
 		RandomScheduler: *random,
 		Seed:            *seed,
 		MaxSteps:        100_000,
+		Workers:         *workers,
 	}
 	if *trace {
 		opts.TraceLen = 128

@@ -24,6 +24,13 @@ const (
 	BugInfiniteLoop
 	// BugExplicit is an unconditional Context.Bug report.
 	BugExplicit
+	// BugEngine is an internal checker invariant violation surfaced as a
+	// report instead of a crash — raised when a parallel worker hits a
+	// nondeterministic-replay (or similar engine) panic while exploring a
+	// claimed branch prefix. The report's Choices carry the offending
+	// prefix. Guest programs whose choice shape depends on state outside
+	// the simulated pool (globals, host randomness) trigger this.
+	BugEngine
 )
 
 func (t BugType) String() string {
@@ -36,6 +43,8 @@ func (t BugType) String() string {
 		return "infinite loop"
 	case BugExplicit:
 		return "bug"
+	case BugEngine:
+		return "engine error"
 	default:
 		return fmt.Sprintf("BugType(%d)", int(t))
 	}

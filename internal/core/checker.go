@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"jaaru/internal/pmalloc"
@@ -11,14 +12,12 @@ import (
 	"jaaru/internal/tso"
 )
 
-// Checker explores every failure behaviour of a guest Program. It is not
-// safe for concurrent use; create one Checker per checked program.
-type Checker struct {
-	prog Program
-	opts Options
-
-	// Exploration-level state.
-	chooser    *chooser
+// stats is the exploration-level aggregation state of one Checker: the
+// counters and findings a worker accumulates over the scenarios it explores.
+// It is separated from the scenario-level machinery so parallel exploration
+// can give every worker a private copy and merge them deterministically at
+// the end (see parallel.go).
+type stats struct {
 	scenarios  int
 	execsPost  int // post-failure executions explored (fork-equivalent units)
 	fpointsPre int // eligible failure points in the pre-failure execution (incl. end)
@@ -26,23 +25,50 @@ type Checker struct {
 	bugs       []*BugReport
 	bugIndex   map[string]*BugReport
 	multiRF    map[string]*MultiRF
-	truncated  bool
+	perfIssues map[string]*PerfIssue
+	// maxRF is the largest candidate set any load byte presented.
+	maxRF int
+	// newPoints counts distinct choice points discovered, by kind (folded
+	// in from the chooser when a result is built or a worker retires).
+	newPoints [3]int
+	// truncated marks an exploration that abandoned part of its state
+	// space (e.g. a worker subtree dropped after an engine error).
+	truncated bool
+}
+
+// initStats prepares the maps; the zero value of everything else is right.
+func (s *stats) initStats() {
+	s.bugIndex = make(map[string]*BugReport)
+	s.multiRF = make(map[string]*MultiRF)
+	s.perfIssues = make(map[string]*PerfIssue)
+}
+
+// Checker explores every failure behaviour of a guest Program. It is not
+// safe for concurrent use; create one Checker per checked program. (With
+// Options.Workers > 1, Run internally creates one private worker Checker
+// per goroutine and merges their stats — see parallel.go.)
+type Checker struct {
+	prog Program
+	opts Options
+
+	// Exploration-level state.
+	chooser *chooser
+	stats
 
 	// Scenario-level state (reset by resetScenario).
-	seq        pmem.Seq
-	stack      *pmem.Stack
-	alloc      *pmalloc.Allocator
-	sched      *scheduler
-	rng        *rand.Rand
-	trace      *traceRing
-	lastStore  map[pmem.Addr]pmem.Seq // newest store per line, current execution
-	perfIssues map[string]*PerfIssue
-	fpCount    int  // eligible failure points seen in the current pre-failure execution
-	dirty      bool // stores evicted since the last considered failure point
-	preDone    bool // pre-failure execution ran to completion in this scenario
-	steps      int  // ops in the current execution
-	observers  []func(pmem.Addr, pmem.Candidate)
-	snapshot   func(fpIndex int) // Yat instrumentation hook
+	seq       pmem.Seq
+	stack     *pmem.Stack
+	alloc     *pmalloc.Allocator
+	sched     *scheduler
+	rng       *rand.Rand
+	trace     *traceRing
+	lastStore map[pmem.Addr]pmem.Seq // newest store per line, current execution
+	fpCount   int                    // eligible failure points seen in the current pre-failure execution
+	dirty     bool                   // stores evicted since the last considered failure point
+	preDone   bool                   // pre-failure execution ran to completion in this scenario
+	steps     int                    // ops in the current execution
+	observers []func(pmem.Addr, pmem.Candidate)
+	snapshot  func(fpIndex int) // Yat instrumentation hook
 
 	// bugEndedSegment distinguishes "segment completed normally" from
 	// "segment ended by a recorded bug" across the runSegment boundary.
@@ -51,8 +77,6 @@ type Checker struct {
 	// rfScratch is reused across loadByte calls to avoid allocating a
 	// candidate slice per pre-failure load byte.
 	rfScratch []pmem.Candidate
-	// maxRF is the largest candidate set any load byte presented.
-	maxRF int
 }
 
 // New returns a checker for prog with the given options.
@@ -65,16 +89,14 @@ func New(prog Program, opts Options) *Checker {
 		o.MaxFailures = 0
 	}
 	c := &Checker{
-		prog:       prog,
-		opts:       o,
-		chooser:    &chooser{},
-		bugIndex:   make(map[string]*BugReport),
-		multiRF:    make(map[string]*MultiRF),
-		alloc:      pmalloc.New(PoolBase, o.PoolSize),
-		sched:      newScheduler(),
-		lastStore:  make(map[pmem.Addr]pmem.Seq),
-		perfIssues: make(map[string]*PerfIssue),
+		prog:      prog,
+		opts:      o,
+		chooser:   &chooser{},
+		alloc:     pmalloc.New(PoolBase, o.PoolSize),
+		sched:     newScheduler(),
+		lastStore: make(map[pmem.Addr]pmem.Seq),
 	}
+	c.initStats()
 	if o.TraceLen > 0 {
 		c.trace = newTraceRing(o.TraceLen)
 	}
@@ -98,7 +120,11 @@ type Result struct {
 	Steps int64
 	// Duration is the wall-clock exploration time (Figure 14, "JTime").
 	Duration time.Duration
-	// Bugs are the distinct bugs found, in discovery order.
+	// Bugs are the distinct bugs found, in canonical order: by the
+	// choice-stack description of the first manifesting scenario, then by
+	// type and message. Canonical order — not discovery order — keeps the
+	// result independent of how the state space was partitioned across
+	// workers (Options.Workers).
 	Bugs []*BugReport
 	// MultiRF lists flagged loads (debugging support), sorted by location.
 	MultiRF []*MultiRF
@@ -124,29 +150,44 @@ type Result struct {
 func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
 
 // Run explores the program's failure behaviours to completion (or until a
-// configured cap) and returns the aggregated result.
+// configured cap) and returns the aggregated result. With Options.Workers
+// greater than one the choice tree is partitioned across worker goroutines
+// (parallel.go); the serial loop below is the reference semantics the
+// parallel driver must reproduce bit-for-bit.
 func (c *Checker) Run() *Result {
+	if c.opts.Workers > 1 && c.snapshot == nil && len(c.observers) == 0 {
+		return c.runParallel()
+	}
 	start := time.Now()
-	complete := true
+	complete := c.runSerial()
+	return c.buildResult(start, complete)
+}
+
+// runSerial is the single-goroutine depth-first exploration loop. It
+// reports whether the state space was exhausted (no cap cut it short).
+func (c *Checker) runSerial() bool {
 	for {
 		c.scenarios++
 		c.runScenario()
 		if c.opts.StopAtFirstBug && len(c.bugs) > 0 {
-			complete = false
-			break
+			return false
 		}
 		if len(c.bugs) >= c.opts.MaxBugs {
-			complete = false
-			break
+			return false
 		}
 		if c.scenarios >= c.opts.MaxScenarios {
-			complete = false
-			break
+			return false
 		}
 		if !c.chooser.advance() {
-			break
+			return true
 		}
 	}
+}
+
+// buildResult folds the chooser's choice-point counts into the stats and
+// assembles the Result, sorting every finding list canonically.
+func (c *Checker) buildResult(start time.Time, complete bool) *Result {
+	c.foldChooserStats()
 	mrf := make([]*MultiRF, 0, len(c.multiRF))
 	for _, m := range c.multiRF {
 		mrf = append(mrf, m)
@@ -162,6 +203,7 @@ func (c *Checker) Run() *Result {
 		}
 		return perf[i].Kind < perf[j].Kind
 	})
+	sortBugsCanonically(c.bugs)
 	return &Result{
 		Program:            c.prog.Name,
 		Scenarios:          c.scenarios,
@@ -172,11 +214,37 @@ func (c *Checker) Run() *Result {
 		Bugs:               c.bugs,
 		MultiRF:            mrf,
 		PerfIssues:         perf,
-		RFChoicePoints:     c.chooser.newPoints[chooseReadFrom],
-		FailDecisionPoints: c.chooser.newPoints[chooseFail],
+		RFChoicePoints:     c.newPoints[chooseReadFrom],
+		FailDecisionPoints: c.newPoints[chooseFail],
 		MaxRFCandidates:    c.maxRF,
 		Complete:           complete && !c.truncated,
 	}
+}
+
+// foldChooserStats moves the chooser's discovered-point counters into the
+// mergeable stats (idempotent: the chooser's counters are drained).
+func (c *Checker) foldChooserStats() {
+	for k, n := range c.chooser.newPoints {
+		c.newPoints[k] += n
+		c.chooser.newPoints[k] = 0
+	}
+}
+
+// sortBugsCanonically orders bug reports by the choice-stack description of
+// their first manifesting scenario, then by type and message — a total
+// order independent of discovery order.
+func sortBugsCanonically(bugs []*BugReport) {
+	sort.Slice(bugs, func(i, j int) bool { return bugLess(bugs[i], bugs[j]) })
+}
+
+func bugLess(a, b *BugReport) bool {
+	if a.Choices != b.Choices {
+		return a.Choices < b.Choices
+	}
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	return a.Message < b.Message
 }
 
 // Execute runs fn once against a fresh pool with no failure injection —
@@ -439,20 +507,36 @@ func (c *Checker) flagMultiRF(a pmem.Addr, cands []pmem.Candidate) {
 	key := loc
 	m, ok := c.multiRF[key]
 	if !ok {
-		m = &MultiRF{Loc: loc, Addr: a}
-		for _, cd := range cands {
-			m.Values = append(m.Values,
-				fmt.Sprintf("exec%d σ=%v val=%#x", cd.Exec, cd.Seq, cd.Val))
-			if len(m.Values) == 8 {
-				break
-			}
-		}
+		m = &MultiRF{Loc: loc, Addr: a, Values: multiRFValues(cands)}
 		c.multiRF[key] = m
+	} else if len(cands) >= m.Candidates {
+		// Canonical representative, the same rule the parallel merge
+		// uses: the manifestation with the larger candidate set wins,
+		// ties broken lexicographically — so the reported example does
+		// not depend on discovery order (serial or partitioned).
+		vals := multiRFValues(cands)
+		if len(cands) > m.Candidates ||
+			strings.Join(vals, ",") < strings.Join(m.Values, ",") {
+			m.Values = vals
+			m.Addr = a
+		}
 	}
 	if len(cands) > m.Candidates {
 		m.Candidates = len(cands)
 	}
 	m.Count++
+}
+
+func multiRFValues(cands []pmem.Candidate) []string {
+	vals := make([]string, 0, 8)
+	for _, cd := range cands {
+		vals = append(vals,
+			fmt.Sprintf("exec%d σ=%v val=%#x", cd.Exec, cd.Seq, cd.Val))
+		if len(vals) == 8 {
+			break
+		}
+	}
+	return vals
 }
 
 // ---- Bug recording --------------------------------------------------------
@@ -469,11 +553,48 @@ func (c *Checker) recordBug(f guestFault) {
 		replay:    append([]choicePoint(nil), c.chooser.points...),
 	}
 	if existing, ok := c.bugIndex[b.key()]; ok {
-		existing.Count++
+		// Canonical representative, the same rule the parallel merge
+		// uses: of all manifestations sharing a key, the one with the
+		// smallest (Choices, Execution) supplies the reported scenario,
+		// replay vector, and trace.
+		if b.Choices < existing.Choices ||
+			(b.Choices == existing.Choices && b.Execution < existing.Execution) {
+			if c.trace != nil {
+				b.Trace = c.trace.snapshot()
+			}
+			b.Count = existing.Count + 1
+			*existing = *b
+		} else {
+			existing.Count++
+		}
 		return
 	}
 	if c.trace != nil {
 		b.Trace = c.trace.snapshot()
+	}
+	c.bugIndex[b.key()] = b
+	c.bugs = append(c.bugs, b)
+}
+
+// recordEngineBug converts an internal engine panic raised while exploring
+// a claimed branch into a reported bug carrying the offending branch prefix,
+// so one corrupted subtree (typically a nondeterministic guest whose choice
+// shape changed between record and replay) does not crash the whole
+// parallel exploration. The abandoned subtree marks the stats truncated.
+func (c *Checker) recordEngineBug(e engineError, prefix []choicePoint) {
+	c.truncated = true
+	b := &BugReport{
+		Type:      BugEngine,
+		Message:   e.msg,
+		Execution: c.stack.Top().ID,
+		Scenario:  c.scenarios - 1,
+		Count:     1,
+		Choices:   describeChoices(prefix),
+		replay:    append([]choicePoint(nil), prefix...),
+	}
+	if existing, ok := c.bugIndex[b.key()]; ok {
+		existing.Count++
+		return
 	}
 	c.bugIndex[b.key()] = b
 	c.bugs = append(c.bugs, b)

@@ -40,8 +40,16 @@ type choicePoint struct {
 // run consults it at every nondeterministic point: within the recorded
 // prefix it replays, beyond it it appends new points taking option 0.
 // advance moves depth-first to the next unexplored branch.
+//
+// For parallel exploration, each point carries an exploration limit (an
+// exclusive upper bound on the options this chooser will itself visit,
+// normally n): seed claims a branch prefix whose points are all frozen at
+// their recorded option, and splitOff carves unexplored sibling options off
+// as new branch prefixes for other workers, lowering the local limit so the
+// donor never revisits them.
 type chooser struct {
 	points []choicePoint
+	limit  []int // per-point exclusive exploration bound, limit[i] <= points[i].n
 	cursor int
 
 	// newPoints counts distinct choice points discovered, by kind —
@@ -51,6 +59,19 @@ type chooser struct {
 
 // begin resets the replay cursor for a fresh scenario run.
 func (ch *chooser) begin() { ch.cursor = 0 }
+
+// seed installs a claimed branch prefix: the next scenario replays exactly
+// these decisions and explores fresh points beyond them. Every prefix point
+// is frozen (limit = idx+1), so advance never backtracks into territory
+// owned by the branch's publisher.
+func (ch *chooser) seed(prefix []choicePoint) {
+	ch.points = append(ch.points[:0], prefix...)
+	ch.limit = ch.limit[:0]
+	for _, p := range prefix {
+		ch.limit = append(ch.limit, p.idx+1)
+	}
+	ch.cursor = 0
+}
 
 // choose returns the option index for the next nondeterministic point, which
 // must present the same kind and option count on replay.
@@ -69,6 +90,7 @@ func (ch *chooser) choose(kind choiceKind, n int) int {
 		return p.idx
 	}
 	ch.points = append(ch.points, choicePoint{kind: kind, n: n})
+	ch.limit = append(ch.limit, n)
 	ch.cursor++
 	ch.newPoints[kind]++
 	return 0
@@ -76,26 +98,55 @@ func (ch *chooser) choose(kind choiceKind, n int) int {
 
 // advance backtracks depth-first: exhausted trailing points are popped, the
 // deepest unexhausted point advances to its next option. It reports false
-// when the whole space has been explored.
+// when the whole (claimed) space has been explored.
 func (ch *chooser) advance() bool {
 	for len(ch.points) > 0 {
-		top := &ch.points[len(ch.points)-1]
-		if top.idx+1 < top.n {
+		i := len(ch.points) - 1
+		top := &ch.points[i]
+		if top.idx+1 < ch.limit[i] {
 			top.idx++
 			return true
 		}
-		ch.points = ch.points[:len(ch.points)-1]
+		ch.points = ch.points[:i]
+		ch.limit = ch.limit[:i]
 	}
 	return false
+}
+
+// splitOff donates work: it finds the shallowest point with options this
+// chooser has not yet visited, returns each such option as an independent
+// branch prefix, and lowers the local limit so the donated subtrees are
+// never explored here. It returns nil when the chooser holds no splittable
+// work. Shallowest-first splitting donates the largest subtrees, the
+// standard work-stealing heuristic.
+func (ch *chooser) splitOff() []branch {
+	for d := range ch.points {
+		lo, hi := ch.points[d].idx+1, ch.limit[d]
+		if lo >= hi {
+			continue
+		}
+		out := make([]branch, 0, hi-lo)
+		for idx := lo; idx < hi; idx++ {
+			pts := append([]choicePoint(nil), ch.points[:d+1]...)
+			pts[d].idx = idx
+			out = append(out, branch{points: pts})
+		}
+		ch.limit[d] = lo
+		return out
+	}
+	return nil
 }
 
 // describe renders the decisions of the current scenario for bug reports,
 // e.g. "fail@3 rf[2/4] rf[0/2]" — failed at the 4th eligible failure point,
 // then picked candidates 2-of-4 and 0-of-2.
-func (ch *chooser) describe() string {
+func (ch *chooser) describe() string { return describeChoices(ch.points) }
+
+// describeChoices renders an arbitrary choice vector (see chooser.describe).
+func describeChoices(points []choicePoint) string {
 	var b strings.Builder
 	failIdx := 0
-	for _, p := range ch.points {
+	for _, p := range points {
 		switch p.kind {
 		case chooseFail:
 			if p.idx == 1 {

@@ -6,7 +6,11 @@
 // distinct assignment of pre-failure stores to post-failure loads.
 package core
 
-import "jaaru/internal/pmem"
+import (
+	"runtime"
+
+	"jaaru/internal/pmem"
+)
 
 // EvictionPolicy controls when store-buffer entries drain to the cache. The
 // paper's artifact notes this nondeterminism is not explored exhaustively;
@@ -89,11 +93,26 @@ type Options struct {
 	// scenario for bug reports (default 64; negative disables tracing).
 	TraceLen int
 
-	// StopAtFirstBug aborts exploration at the first bug found.
+	// StopAtFirstBug aborts exploration at the first bug found. Under
+	// parallel exploration the stop is cooperative: scenarios already in
+	// flight on other workers finish, so the result may carry more than
+	// one bug.
 	StopAtFirstBug bool
 
 	// MaxBugs caps distinct recorded bugs (default 64).
 	MaxBugs int
+
+	// Workers is the number of goroutines exploring the choice tree
+	// (default 1: the serial reference semantics). A negative value means
+	// GOMAXPROCS. Workers > 1 partitions the tree across private worker
+	// checkers via a shared branch frontier and merges their findings
+	// deterministically: on a full exploration the result (bug set,
+	// scenario/execution/failure-point counts, candidate statistics) is
+	// identical to a serial run. Explorations truncated by MaxScenarios,
+	// MaxBugs, or StopAtFirstBug stop at the same global caps but may
+	// select a different (still truncated) subset of scenarios than the
+	// serial order would.
+	Workers int
 }
 
 // RootSize is the size of the root area at the start of the pool, always
@@ -134,6 +153,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBugs == 0 {
 		o.MaxBugs = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

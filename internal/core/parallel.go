@@ -1,0 +1,386 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parallel state-space exploration.
+//
+// Stateless model checking is embarrassingly parallel once every source of
+// nondeterminism is captured in a replayable choice stack: any branch of
+// the choice tree is fully identified by its prefix of recorded decisions,
+// and two workers exploring disjoint prefixes never need to communicate
+// mid-scenario. The driver here exploits that:
+//
+//   - A coordinator owns a frontier of unexplored branch prefixes
+//     (serialized []choicePoint stacks). It starts with the root (empty)
+//     prefix.
+//   - N workers each own a private Checker — allocator, execution stack,
+//     scheduler, trace ring, chooser — and repeatedly claim a prefix,
+//     replay it, and run the subtree below it depth-first.
+//   - Whenever the frontier runs low, a worker donates the shallowest
+//     sibling options it has not yet visited as fresh prefixes
+//     (work-stealing style), lowering its local exploration limit so the
+//     donated subtrees are explored exactly once, by their claimant.
+//   - Global caps (MaxScenarios, MaxBugs, StopAtFirstBug) are enforced
+//     with a shared admission counter and a cooperative stop flag.
+//
+// Determinism: a claimed prefix replays exactly the decisions a serial
+// exploration would have replayed to reach the same branch, so per-branch
+// observables (bugs, recovery executions, newly discovered choice points,
+// candidate-set sizes) are identical to the serial run; the merge is over
+// order-insensitive aggregates (sums, maxima, keyed dedup with canonical
+// representative selection) followed by a canonical sort. A full parallel
+// exploration therefore produces the same Result as Workers=1, which is the
+// reference semantics.
+
+// branch is one frontier item: a fully specified prefix of choices. The
+// claimant replays the prefix verbatim and owns the entire subtree beneath
+// it (minus anything it later donates back).
+type branch struct {
+	points []choicePoint
+}
+
+// frontier is the shared queue of unexplored branches. pending counts
+// branches that are queued or actively being explored; when it reaches zero
+// the whole tree has been explored and every popper is released.
+type frontier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []branch
+	pending int
+	stopped bool
+	lowMark int // queue length below which workers should donate work
+}
+
+func newFrontier(lowMark int) *frontier {
+	f := &frontier{lowMark: lowMark}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// push publishes branches and accounts for them as pending work.
+func (f *frontier) push(bs []branch) {
+	if len(bs) == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.items = append(f.items, bs...)
+	f.pending += len(bs)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// pop claims a branch, blocking while the queue is empty but other workers
+// still hold claims that may yet donate work. It returns false when
+// exploration is over: the tree is exhausted or a stop was requested.
+func (f *frontier) pop() (branch, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.stopped {
+			return branch{}, false
+		}
+		if n := len(f.items); n > 0 {
+			br := f.items[n-1]
+			f.items = f.items[:n-1]
+			return br, true
+		}
+		if f.pending == 0 {
+			return branch{}, false
+		}
+		f.cond.Wait()
+	}
+}
+
+// finish retires a claim whose subtree is fully explored (or abandoned).
+func (f *frontier) finish() {
+	f.mu.Lock()
+	f.pending--
+	done := f.pending == 0
+	f.mu.Unlock()
+	if done {
+		f.cond.Broadcast()
+	}
+}
+
+// hungry reports whether the queue has run low and a donation would help.
+func (f *frontier) hungry() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.stopped && len(f.items) < f.lowMark
+}
+
+// stop releases every popper; in-flight claims notice via sharedCaps.
+func (f *frontier) stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// sharedCaps enforces the exploration caps globally across workers.
+type sharedCaps struct {
+	f            *frontier
+	maxScenarios int64
+	maxBugs      int
+	stopAtFirst  bool
+
+	scen    atomic.Int64 // scenarios admitted so far
+	stopped atomic.Bool  // a cap fired: wind down cooperatively
+	capHit  atomic.Bool  // some cap truncated the exploration
+
+	mu   sync.Mutex
+	keys map[string]struct{} // distinct bug keys across all workers
+}
+
+func newSharedCaps(o Options, f *frontier) *sharedCaps {
+	return &sharedCaps{
+		f:            f,
+		maxScenarios: int64(o.MaxScenarios),
+		maxBugs:      o.MaxBugs,
+		stopAtFirst:  o.StopAtFirstBug,
+		keys:         make(map[string]struct{}),
+	}
+}
+
+// requestStop winds the exploration down: marks it truncated and releases
+// all workers.
+func (s *sharedCaps) requestStop() {
+	s.capHit.Store(true)
+	if s.stopped.CompareAndSwap(false, true) {
+		s.f.stop()
+	}
+}
+
+// admit reserves the right to run one more scenario. Mirroring the serial
+// loop, the scenario that reaches MaxScenarios still runs, and the
+// exploration stops after it.
+func (s *sharedCaps) admit() bool {
+	if s.stopped.Load() {
+		return false
+	}
+	n := s.scen.Add(1)
+	if n > s.maxScenarios {
+		s.scen.Add(-1) // not run: keep the global count exact
+		s.requestStop()
+		return false
+	}
+	if n == s.maxScenarios {
+		s.requestStop()
+	}
+	return true
+}
+
+// noteBug registers a distinct bug key and fires the bug caps.
+func (s *sharedCaps) noteBug(key string) {
+	s.mu.Lock()
+	if _, ok := s.keys[key]; !ok {
+		s.keys[key] = struct{}{}
+		if s.stopAtFirst || len(s.keys) >= s.maxBugs {
+			s.mu.Unlock()
+			s.requestStop()
+			return
+		}
+	}
+	s.mu.Unlock()
+}
+
+// runParallel is the Workers>1 exploration driver: partition the choice
+// tree across worker checkers, then merge their stats deterministically.
+func (c *Checker) runParallel() *Result {
+	start := time.Now()
+	nw := c.opts.Workers
+	f := newFrontier(2 * nw)
+	caps := newSharedCaps(c.opts, f)
+	f.push([]branch{{}}) // the root prefix: the whole tree
+
+	workers := make([]*Checker, nw)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := c.newWorker()
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.workerLoop(f, caps)
+		}()
+	}
+	wg.Wait()
+
+	for _, w := range workers {
+		w.foldChooserStats()
+		c.stats.merge(&w.stats)
+	}
+
+	complete := !caps.capHit.Load()
+	res := c.buildResult(start, complete)
+	// MaxBugs is a cap on recorded bugs; concurrent discoveries can
+	// overshoot before the stop lands, so trim after the canonical sort.
+	if !c.opts.StopAtFirstBug && len(res.Bugs) > c.opts.MaxBugs {
+		res.Bugs = res.Bugs[:c.opts.MaxBugs]
+	}
+	return res
+}
+
+// newWorker builds a private Checker sharing this checker's program and
+// (already normalized) options. The disabled-state sentinels are restored
+// before New re-normalizes: a normalized TraceLen/MaxFailures of 0 means
+// "disabled", which New's defaulting would otherwise flip back on.
+func (c *Checker) newWorker() *Checker {
+	o := c.opts
+	if o.TraceLen == 0 {
+		o.TraceLen = -1
+	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = -1
+	}
+	return New(c.prog, o)
+}
+
+// workerLoop claims branches until the tree is exhausted or a cap stops
+// the exploration.
+func (c *Checker) workerLoop(f *frontier, caps *sharedCaps) {
+	for {
+		br, ok := f.pop()
+		if !ok {
+			return
+		}
+		c.exploreBranch(br, f, caps)
+		f.finish()
+	}
+}
+
+// exploreBranch replays a claimed prefix and runs its subtree depth-first,
+// donating sibling branches whenever the frontier runs low.
+func (c *Checker) exploreBranch(br branch, f *frontier, caps *sharedCaps) {
+	c.chooser.seed(br.points)
+	for {
+		if !caps.admit() {
+			return
+		}
+		c.scenarios++
+		prevBugs := len(c.bugs)
+		if !c.runScenarioGuarded(br.points) {
+			// Engine panic: the replayed subtree is unreliable —
+			// abandon the claim (recordEngineBug marked us truncated).
+			for _, b := range c.bugs[prevBugs:] {
+				caps.noteBug(b.key())
+			}
+			return
+		}
+		for _, b := range c.bugs[prevBugs:] {
+			caps.noteBug(b.key())
+		}
+		if caps.stopped.Load() {
+			return
+		}
+		for f.hungry() {
+			bs := c.chooser.splitOff()
+			if len(bs) == 0 {
+				break
+			}
+			f.push(bs)
+		}
+		if !c.chooser.advance() {
+			return
+		}
+	}
+}
+
+// runScenarioGuarded runs one scenario, converting internal engine panics
+// into a reported BugEngine instead of crashing the exploration. Guest
+// faults and crash signals are already handled inside runScenario; anything
+// else (a genuine Go bug) still propagates.
+func (c *Checker) runScenarioGuarded(prefix []choicePoint) (ok bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		e, isEngine := r.(engineError)
+		if !isEngine {
+			panic(r)
+		}
+		c.recordEngineBug(e, prefix)
+	}()
+	c.runScenario()
+	return true
+}
+
+// ---- Deterministic merge ---------------------------------------------------
+
+// merge folds a retired worker's stats into the aggregate. Every operation
+// is order-insensitive (sum, max, keyed union with canonical representative
+// selection), so the merged outcome does not depend on worker arrival
+// order; buildResult's canonical sorts finish the job.
+func (dst *stats) merge(src *stats) {
+	dst.scenarios += src.scenarios
+	dst.execsPost += src.execsPost
+	dst.totalSteps += src.totalSteps
+	if src.fpointsPre > dst.fpointsPre {
+		dst.fpointsPre = src.fpointsPre
+	}
+	if src.maxRF > dst.maxRF {
+		dst.maxRF = src.maxRF
+	}
+	dst.truncated = dst.truncated || src.truncated
+	for k, n := range src.newPoints {
+		dst.newPoints[k] += n
+	}
+	for _, b := range src.bugs {
+		dst.mergeBug(b)
+	}
+	for k, m := range src.multiRF {
+		dst.mergeMultiRF(k, m)
+	}
+	for k, p := range src.perfIssues {
+		if ex, ok := dst.perfIssues[k]; ok {
+			ex.Count += p.Count
+		} else {
+			dst.perfIssues[k] = p
+		}
+	}
+}
+
+// mergeBug unions a bug report into the aggregate: counts sum; of the
+// reports sharing a key, the canonically smallest (by choice description,
+// then execution index) becomes the representative, so the surviving
+// Choices/replay/Trace do not depend on which worker reported first.
+func (dst *stats) mergeBug(b *BugReport) {
+	ex, ok := dst.bugIndex[b.key()]
+	if !ok {
+		dst.bugIndex[b.key()] = b
+		dst.bugs = append(dst.bugs, b)
+		return
+	}
+	total := ex.Count + b.Count
+	if b.Choices < ex.Choices || (b.Choices == ex.Choices && b.Execution < ex.Execution) {
+		*ex = *b
+	}
+	ex.Count = total
+}
+
+// mergeMultiRF unions a flagged load: counts sum, candidate maxima win, and
+// the example values come from the representative with the larger candidate
+// set (ties broken lexicographically, for a stable merge).
+func (dst *stats) mergeMultiRF(key string, m *MultiRF) {
+	ex, ok := dst.multiRF[key]
+	if !ok {
+		dst.multiRF[key] = m
+		return
+	}
+	if m.Candidates > ex.Candidates ||
+		(m.Candidates == ex.Candidates &&
+			strings.Join(m.Values, ",") < strings.Join(ex.Values, ",")) {
+		ex.Values = m.Values
+		ex.Addr = m.Addr
+	}
+	if m.Candidates > ex.Candidates {
+		ex.Candidates = m.Candidates
+	}
+	ex.Count += m.Count
+}

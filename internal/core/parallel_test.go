@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func timeNowForTest() time.Time { return time.Now() }
+
+// ---- chooser splitting -------------------------------------------------------
+
+// TestSplitOffPartitionsTree drives one chooser over a fixed shape while
+// repeatedly splitting off siblings, then explores every donated branch
+// with a second chooser: together they must cover the full tree exactly
+// once.
+func TestSplitOffPartitionsTree(t *testing.T) {
+	shape := []int{2, 3, 2} // 12 leaves
+	visit := func(ch *chooser) [3]int {
+		ch.begin()
+		var leaf [3]int
+		for i, n := range shape {
+			leaf[i] = ch.choose(chooseReadFrom, n)
+		}
+		return leaf
+	}
+
+	seen := make(map[[3]int]int)
+	var donated []branch
+
+	main := &chooser{}
+	main.seed(nil)
+	for {
+		seen[visit(main)]++
+		donated = append(donated, main.splitOff()...)
+		if !main.advance() {
+			break
+		}
+	}
+	for len(donated) > 0 {
+		br := donated[0]
+		donated = donated[1:]
+		w := &chooser{}
+		w.seed(br.points)
+		for {
+			seen[visit(w)]++
+			donated = append(donated, w.splitOff()...)
+			if !w.advance() {
+				break
+			}
+		}
+	}
+
+	if len(seen) != 12 {
+		t.Fatalf("covered %d leaves, want 12", len(seen))
+	}
+	for leaf, n := range seen {
+		if n != 1 {
+			t.Errorf("leaf %v visited %d times", leaf, n)
+		}
+	}
+}
+
+// TestSplitOffNothingToDonate: a chooser at its last branch has no work to
+// give away.
+func TestSplitOffNothingToDonate(t *testing.T) {
+	ch := &chooser{}
+	ch.seed([]choicePoint{{kind: chooseFail, n: 2, idx: 1}})
+	if bs := ch.splitOff(); bs != nil {
+		t.Fatalf("splitOff on a frozen prefix donated %v", bs)
+	}
+}
+
+// ---- frontier ---------------------------------------------------------------
+
+func TestFrontierDrainsAndReleases(t *testing.T) {
+	f := newFrontier(4)
+	f.push([]branch{{}})
+	br, ok := f.pop()
+	if !ok || br.points != nil {
+		t.Fatalf("pop = %v, %v", br, ok)
+	}
+	// The single claim is outstanding: a concurrent popper must block
+	// until finish drops pending to zero, then give up.
+	released := make(chan bool)
+	go func() {
+		_, ok := f.pop()
+		released <- ok
+	}()
+	f.finish()
+	if got := <-released; got {
+		t.Fatal("pop returned a branch from a drained frontier")
+	}
+}
+
+// ---- parallel equivalence (in-package: exact choice-point accounting) --------
+
+func parallelTreeProgram() Program {
+	// Several failure points and multi-candidate loads: a tree with real
+	// width at several depths.
+	return Program{
+		Name: "parallel-tree",
+		Run: func(c *Context) {
+			r := c.Root()
+			for i := uint64(0); i < 4; i++ {
+				c.Store64(r.Add(i*8), i+1)
+				c.Store64(r.Add(i*8), i+100)
+				c.Clflush(r.Add(i*8), 8)
+			}
+		},
+		Recover: func(c *Context) {
+			r := c.Root()
+			for i := uint64(0); i < 4; i++ {
+				_ = c.Load64(r.Add(i * 8))
+			}
+		},
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := New(parallelTreeProgram(), Options{}).Run()
+	for _, workers := range []int{2, 4, 7} {
+		par := New(parallelTreeProgram(), Options{Workers: workers}).Run()
+		assertSameExploration(t, fmt.Sprintf("workers=%d", workers), serial, par)
+	}
+}
+
+func TestParallelMatchesSerialWithBugs(t *testing.T) {
+	prog := Program{
+		Name: "parallel-bugs",
+		Run: func(c *Context) {
+			r := c.Root()
+			c.Store64(r, 7)
+			c.Clflush(r, 8)
+			c.Store64(r.Add(64), 9)
+			c.Clflush(r.Add(64), 8)
+		},
+		Recover: func(c *Context) {
+			r := c.Root()
+			a, b := c.Load64(r), c.Load64(r.Add(64))
+			c.Assert(b == 0 || a == 7, "second line persisted before first: a=%d b=%d", a, b)
+			if a == 7 && b == 9 {
+				c.Bug("both lines persisted")
+			}
+		},
+	}
+	serial := New(prog, Options{}).Run()
+	if !serial.Buggy() {
+		t.Fatal("program expected to be buggy")
+	}
+	par := New(prog, Options{Workers: 4}).Run()
+	assertSameExploration(t, "workers=4", serial, par)
+	for i := range serial.Bugs {
+		s, p := serial.Bugs[i], par.Bugs[i]
+		if s.Type != p.Type || s.Message != p.Message || s.Count != p.Count || s.Choices != p.Choices {
+			t.Errorf("bug %d differs:\nserial: %v (%s)\nparallel: %v (%s)",
+				i, s, s.Choices, p, p.Choices)
+		}
+	}
+}
+
+func assertSameExploration(t *testing.T, label string, serial, par *Result) {
+	t.Helper()
+	if par.Scenarios != serial.Scenarios {
+		t.Errorf("%s: Scenarios = %d, serial %d", label, par.Scenarios, serial.Scenarios)
+	}
+	if par.Executions != serial.Executions {
+		t.Errorf("%s: Executions = %d, serial %d", label, par.Executions, serial.Executions)
+	}
+	if par.FailurePoints != serial.FailurePoints {
+		t.Errorf("%s: FailurePoints = %d, serial %d", label, par.FailurePoints, serial.FailurePoints)
+	}
+	if par.Steps != serial.Steps {
+		t.Errorf("%s: Steps = %d, serial %d", label, par.Steps, serial.Steps)
+	}
+	if par.RFChoicePoints != serial.RFChoicePoints {
+		t.Errorf("%s: RFChoicePoints = %d, serial %d", label, par.RFChoicePoints, serial.RFChoicePoints)
+	}
+	if par.FailDecisionPoints != serial.FailDecisionPoints {
+		t.Errorf("%s: FailDecisionPoints = %d, serial %d", label, par.FailDecisionPoints, serial.FailDecisionPoints)
+	}
+	if par.MaxRFCandidates != serial.MaxRFCandidates {
+		t.Errorf("%s: MaxRFCandidates = %d, serial %d", label, par.MaxRFCandidates, serial.MaxRFCandidates)
+	}
+	if par.Complete != serial.Complete {
+		t.Errorf("%s: Complete = %v, serial %v", label, par.Complete, serial.Complete)
+	}
+	if len(par.Bugs) != len(serial.Bugs) {
+		t.Errorf("%s: %d bugs, serial %d", label, len(par.Bugs), len(serial.Bugs))
+	}
+}
+
+// TestParallelScenarioCap: the global admission counter must stop the
+// whole fleet at exactly MaxScenarios.
+func TestParallelScenarioCap(t *testing.T) {
+	res := New(parallelTreeProgram(), Options{Workers: 4, MaxScenarios: 5}).Run()
+	if res.Scenarios != 5 {
+		t.Errorf("Scenarios = %d, want the cap 5", res.Scenarios)
+	}
+	if res.Complete {
+		t.Error("capped exploration reported complete")
+	}
+}
+
+// TestParallelStopAtFirstBug: the stop is cooperative, but exploration must
+// terminate early and report at least the bug.
+func TestParallelStopAtFirstBug(t *testing.T) {
+	prog := Program{
+		Name: "stop-first",
+		Run: func(c *Context) {
+			r := c.Root()
+			for i := uint64(0); i < 12; i++ {
+				c.Store64(r.Add(i*64), i+1)
+				c.Clflush(r.Add(i*64), 8)
+			}
+		},
+		Recover: func(c *Context) {
+			if c.Load64(c.Root()) == 0 {
+				c.Bug("first line unpersisted")
+			}
+		},
+	}
+	res := New(prog, Options{Workers: 4, StopAtFirstBug: true}).Run()
+	if !res.Buggy() {
+		t.Fatal("no bug found")
+	}
+	if res.Complete {
+		t.Error("StopAtFirstBug exploration reported complete")
+	}
+}
+
+// TestParallelEngineBugGuard: replaying a claimed prefix against a program
+// whose choice shape does not match (the signature of a nondeterministic
+// guest) raises an internal engine panic. A worker must convert it into a
+// reported BugEngine carrying the offending prefix and mark its stats
+// truncated, instead of crashing the whole exploration.
+func TestParallelEngineBugGuard(t *testing.T) {
+	c := New(parallelTreeProgram(), Options{})
+	f := newFrontier(0) // never hungry: no donations from this claim
+	caps := newSharedCaps(c.opts, f)
+	// The program's first choice point is fail/2; this prefix claims to
+	// have recorded rf/7 there.
+	br := branch{points: []choicePoint{{kind: chooseReadFrom, n: 7, idx: 3}}}
+	c.exploreBranch(br, f, caps)
+
+	if len(c.bugs) != 1 || c.bugs[0].Type != BugEngine {
+		t.Fatalf("bugs = %v, want one BugEngine", c.bugs)
+	}
+	if got := c.bugs[0].Choices; got != describeChoices(br.points) {
+		t.Errorf("engine bug Choices = %q, want the claimed prefix", got)
+	}
+	if !c.truncated {
+		t.Error("abandoned subtree did not mark the stats truncated")
+	}
+	// The truncation must surface as an incomplete Result after a merge.
+	agg := New(parallelTreeProgram(), Options{})
+	agg.stats.merge(&c.stats)
+	if res := agg.buildResult(timeNowForTest(), true); res.Complete {
+		t.Error("merged result with a truncated worker reported complete")
+	}
+}
+
+// TestWorkersDefaultsToSerial: Workers 0/1 take the serial path and negative
+// resolves to GOMAXPROCS.
+func TestWorkersDefaultsToSerial(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers != 1 {
+		t.Errorf("default Workers = %d, want 1", o.Workers)
+	}
+	o = Options{Workers: -1}.withDefaults()
+	if o.Workers < 1 {
+		t.Errorf("Workers(-1) resolved to %d", o.Workers)
+	}
+	res := New(parallelTreeProgram(), Options{Workers: -1}).Run()
+	if !res.Complete {
+		t.Error("GOMAXPROCS exploration incomplete")
+	}
+}

@@ -17,7 +17,7 @@ func Replay(prog Program, opts Options, b *BugReport) []TraceOp {
 	o.TraceLen = 1 << 16
 	o.MaxScenarios = 1
 	c := New(prog, o)
-	c.chooser.points = append([]choicePoint(nil), b.replay...)
+	c.chooser.seed(b.replay)
 	c.scenarios = 1
 	c.runScenario()
 	return c.trace.snapshot()

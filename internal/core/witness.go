@@ -22,7 +22,7 @@ func FormatWitness(prog Program, opts Options, b *BugReport) string {
 	o.MaxScenarios = 1
 	o.FlagMultiRF = true
 	c := New(prog, o)
-	c.chooser.points = append([]choicePoint(nil), b.replay...)
+	c.chooser.seed(b.replay)
 	c.scenarios = 1
 	c.runScenario()
 	trace := c.trace.snapshot()

@@ -82,7 +82,8 @@ type Context = core.Context
 type Program = core.Program
 
 // Options configures exploration: pool size, failure depth, eviction
-// policy, step budget, multi-rf flagging, tracing.
+// policy, step budget, multi-rf flagging, tracing, and parallelism
+// (Options.Workers partitions the choice tree across worker checkers).
 type Options = core.Options
 
 // Result aggregates one exploration: scenario and execution counts, failure
@@ -101,6 +102,7 @@ const (
 	BugIllegalAccess = core.BugIllegalAccess
 	BugInfiniteLoop  = core.BugInfiniteLoop
 	BugExplicit      = core.BugExplicit
+	BugEngine        = core.BugEngine
 )
 
 // MultiRF is a load flagged by the debugging support as able to read from

@@ -1,0 +1,223 @@
+package jaaru_test
+
+// Equivalence suite for parallel exploration: partitioning the choice tree
+// across workers must not change what is explored or what is found. For the
+// full litmus suite and the commitstore/walkv example programs, a Workers=4
+// run must produce the identical Result — same bug set, same Scenarios /
+// Executions / FailurePoints / MaxRFCandidates — as the serial reference
+// run, and the same set of recovery observations.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jaaru"
+	"jaaru/internal/core"
+	"jaaru/internal/litmus"
+)
+
+const equivalenceWorkers = 4
+
+// syncObs is a goroutine-safe observation collector: worker checkers run
+// recovery closures concurrently, so the litmus obs callback must lock.
+type syncObs struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newSyncObs() *syncObs { return &syncObs{seen: make(map[string]bool)} }
+
+func (o *syncObs) add(s string) {
+	o.mu.Lock()
+	o.seen[s] = true
+	o.mu.Unlock()
+}
+
+func (o *syncObs) equal(other *syncObs) bool {
+	if len(o.seen) != len(other.seen) {
+		return false
+	}
+	for k := range o.seen {
+		if !other.seen[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func assertResultsEquivalent(t *testing.T, label string, serial, par *jaaru.Result) {
+	t.Helper()
+	type row struct {
+		name         string
+		serial, parl int
+	}
+	for _, r := range []row{
+		{"Scenarios", serial.Scenarios, par.Scenarios},
+		{"Executions", serial.Executions, par.Executions},
+		{"FailurePoints", serial.FailurePoints, par.FailurePoints},
+		{"MaxRFCandidates", serial.MaxRFCandidates, par.MaxRFCandidates},
+		{"RFChoicePoints", serial.RFChoicePoints, par.RFChoicePoints},
+		{"FailDecisionPoints", serial.FailDecisionPoints, par.FailDecisionPoints},
+		{"len(Bugs)", len(serial.Bugs), len(par.Bugs)},
+	} {
+		if r.serial != r.parl {
+			t.Errorf("%s: %s = %d parallel, %d serial", label, r.name, r.parl, r.serial)
+		}
+	}
+	if serial.Complete != par.Complete {
+		t.Errorf("%s: Complete = %v parallel, %v serial", label, par.Complete, serial.Complete)
+	}
+	if len(serial.Bugs) == len(par.Bugs) {
+		for i := range serial.Bugs {
+			s, p := serial.Bugs[i], par.Bugs[i]
+			if s.Type != p.Type || s.Message != p.Message ||
+				s.Count != p.Count || s.Choices != p.Choices {
+				t.Errorf("%s: bug %d differs:\n  serial:   %v (choices %q)\n  parallel: %v (choices %q)",
+					label, i, s, s.Choices, p, p.Choices)
+			}
+		}
+	}
+	if len(serial.MultiRF) != len(par.MultiRF) {
+		t.Errorf("%s: len(MultiRF) = %d parallel, %d serial",
+			label, len(par.MultiRF), len(serial.MultiRF))
+	}
+}
+
+// TestParallelEquivalenceLitmus: the entire litmus suite, serial vs 4
+// workers, results and observation sets both.
+func TestParallelEquivalenceLitmus(t *testing.T) {
+	for _, tst := range litmus.Tests() {
+		t.Run(tst.Name, func(t *testing.T) {
+			serialObs, parObs := newSyncObs(), newSyncObs()
+
+			serialOpts := tst.Opts
+			serialOpts.Workers = 1
+			serial := core.New(tst.Prog(serialObs.add), serialOpts).Run()
+
+			parOpts := tst.Opts
+			parOpts.Workers = equivalenceWorkers
+			par := core.New(tst.Prog(parObs.add), parOpts).Run()
+
+			assertResultsEquivalent(t, tst.Name, serial, par)
+			if !serialObs.equal(parObs) {
+				t.Errorf("observation sets differ:\n  serial:   %v\n  parallel: %v",
+					serialObs.seen, parObs.seen)
+			}
+		})
+	}
+}
+
+// commitstoreProgram mirrors examples/commitstore: Figure 4's addChild /
+// readChild with and without the commit-store discipline.
+func commitstoreProgram(flushData bool) jaaru.Program {
+	const dataValue = 0xDA7A
+	return jaaru.Program{
+		Name: fmt.Sprintf("commitstore-flush=%v", flushData),
+		Run: func(c *jaaru.Context) {
+			root := c.Root()
+			tmp := c.AllocLine(8)
+			c.Store64(tmp, dataValue)
+			if flushData {
+				c.Clflush(tmp, 8)
+			}
+			c.StorePtr(root, tmp)
+			c.Clflush(root, 8)
+		},
+		Recover: func(c *jaaru.Context) {
+			child := c.LoadPtr(c.Root())
+			if child == 0 {
+				return
+			}
+			c.Assert(c.Load64(child) == dataValue, "committed child lost its data")
+		},
+	}
+}
+
+// walkvProgram mirrors examples/walkv: a checksum-committed WAL key-value
+// store whose recovery validates every record arithmetically.
+func walkvProgram(obs func(string)) jaaru.Program {
+	const (
+		recSize = 24
+		maxRecs = 8
+		offHead = 0
+		offLog  = 64
+	)
+	appendRecord := func(c *jaaru.Context, k, v uint64) {
+		root := c.Root()
+		head := c.Load64(root.Add(offHead))
+		rec := root.Add(offLog + head*recSize)
+		c.Store64(rec, k)
+		c.Store64(rec.Add(8), v)
+		sum := c.Fnv64(rec, 16)
+		c.Store64(rec.Add(16), sum)
+		c.Store64(root.Add(offHead), head+1)
+		c.Persist(root.Add(offHead), 8)
+	}
+	return jaaru.Program{
+		Name: "walkv",
+		Run: func(c *jaaru.Context) {
+			appendRecord(c, 1, 100)
+			appendRecord(c, 2, 200)
+			appendRecord(c, 3, 300)
+		},
+		Recover: func(c *jaaru.Context) {
+			root := c.Root()
+			head := c.Load64(root.Add(offHead))
+			c.Assert(head <= maxRecs, "log head %d corrupt", head)
+			state := ""
+			for i := uint64(0); i < head; i++ {
+				rec := root.Add(offLog + i*recSize)
+				sum := c.Load64(rec.Add(16))
+				if c.Fnv64(rec, 16) != sum || sum == 0 {
+					state += "?"
+					continue
+				}
+				k, v := c.Load64(rec), c.Load64(rec.Add(8))
+				c.Assert(v == k*100, "checksum validated a torn record: k=%d v=%d", k, v)
+				state += fmt.Sprintf("[%d=%d]", k, v)
+			}
+			obs(state)
+		},
+	}
+}
+
+// TestParallelEquivalenceCommitstore: both example variants — the correct
+// one (no bugs) and the missing-flush one (assertion bugs + flagged loads).
+func TestParallelEquivalenceCommitstore(t *testing.T) {
+	for _, flushData := range []bool{true, false} {
+		t.Run(fmt.Sprintf("flush=%v", flushData), func(t *testing.T) {
+			opts := jaaru.Options{FlagMultiRF: true}
+			serial := jaaru.Check(commitstoreProgram(flushData), opts)
+
+			opts.Workers = equivalenceWorkers
+			par := jaaru.Check(commitstoreProgram(flushData), opts)
+
+			assertResultsEquivalent(t, "commitstore", serial, par)
+			if flushData && par.Buggy() {
+				t.Errorf("correct variant found bugs: %v", par.Bugs)
+			}
+			if !flushData && !par.Buggy() {
+				t.Error("missing-flush variant found no bugs in parallel")
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceWalkv: checksum-based recovery explores a wide
+// multi-candidate tree; parallel partitioning must visit exactly the same
+// recovered-log states.
+func TestParallelEquivalenceWalkv(t *testing.T) {
+	serialObs, parObs := newSyncObs(), newSyncObs()
+	serial := jaaru.Check(walkvProgram(serialObs.add), jaaru.Options{})
+	par := jaaru.Check(walkvProgram(parObs.add), jaaru.Options{Workers: equivalenceWorkers})
+
+	assertResultsEquivalent(t, "walkv", serial, par)
+	if !serialObs.equal(parObs) {
+		t.Errorf("recovered log states differ:\n  serial:   %v\n  parallel: %v",
+			serialObs.seen, parObs.seen)
+	}
+	if serial.Buggy() {
+		t.Fatalf("walkv unexpectedly buggy: %v", serial.Bugs)
+	}
+}
