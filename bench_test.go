@@ -463,6 +463,36 @@ func BenchmarkAblationEvictExplore(b *testing.B) {
 	b.ReportMetric(float64(execs), "JExecs")
 }
 
+// ---- Observability layer overhead ----------------------------------------------
+//
+// The acceptance bar for the observability layer: with Observe unset every
+// instrumentation hook reduces to an inlined nil-receiver check, so the
+// disabled run must be indistinguishable from the pre-instrumentation
+// baseline (<2%), and even the enabled run only pays one shard-local atomic
+// per hook. Compare with:
+//
+//	go test -bench Observability -count 10 . | benchstat
+
+func BenchmarkObservability(b *testing.B) {
+	prog := recipe.PerfWorkloads(1)[1] // FAST_FAIR: mid-size, flush-heavy
+	for _, cfg := range []struct {
+		name string
+		opts jaaru.Options
+	}{
+		{"disabled", jaaru.Options{}},
+		{"enabled", jaaru.Options{Observe: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := jaaru.Check(prog, cfg.opts)
+				if res.Buggy() {
+					b.Fatal(res.Bugs)
+				}
+			}
+		})
+	}
+}
+
 // Performance-issue detection overhead on a clean exploration.
 func BenchmarkPerfIssueDetectionOverhead(b *testing.B) {
 	prog := recipe.CCEHWorkload(4, recipe.CCEHBugs{})

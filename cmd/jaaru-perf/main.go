@@ -8,8 +8,10 @@
 //
 // With -parallel, it instead benchmarks the parallel exploration driver:
 // every Figure 14 workload is explored serially and with -workers worker
-// checkers, the results are cross-checked for equivalence, and the
-// measurements are written as JSON (BENCH_parallel.json) for CI tracking.
+// checkers, the results are cross-checked for equivalence (Result fields
+// and the canonical observability counters of an instrumented pair), and
+// the measurements — including each workload's machine-readable metrics
+// block — are written as JSON (BENCH_parallel.json) for CI tracking.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"jaaru/internal/core"
+	"jaaru/internal/obs"
 	"jaaru/internal/recipe"
 	"jaaru/internal/yat"
 )
@@ -40,8 +43,14 @@ type parallelBench struct {
 	ExecsPerS  float64 `json:"execs_per_sec"`
 	// Match records the satellite equivalence check: the parallel run
 	// produced the identical exploration (executions, scenarios, failure
-	// points, bug count) as the serial reference.
+	// points, bug count) as the serial reference, and an instrumented
+	// serial/parallel pair agreed on every canonical observability counter.
 	Match bool `json:"match"`
+	// Metrics is the observability snapshot of the instrumented parallel
+	// run — the machine-readable counter block for CI tracking. The timed
+	// reps above run uninstrumented; this extra pair only feeds Match and
+	// this field.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
 }
 
 type parallelReport struct {
@@ -88,10 +97,13 @@ func runParallelBench(path string, workers, reps, scale int) {
 				par = d
 			}
 		}
+		obsSerial := core.New(prog, core.Options{Observe: true}).Run()
+		obsPar := core.New(prog, core.Options{Workers: workers, Observe: true}).Run()
 		match := rs.Executions == rp.Executions &&
 			rs.Scenarios == rp.Scenarios &&
 			rs.FailurePoints == rp.FailurePoints &&
-			len(rs.Bugs) == len(rp.Bugs)
+			len(rs.Bugs) == len(rp.Bugs) &&
+			obsSerial.Metrics.Canonical() == obsPar.Metrics.Canonical()
 		b := parallelBench{
 			Name:       trimName(prog.Name),
 			Executions: rp.Executions,
@@ -100,6 +112,7 @@ func runParallelBench(path string, workers, reps, scale int) {
 			Speedup:    float64(serial) / float64(par),
 			ExecsPerS:  float64(rp.Executions) / par.Seconds(),
 			Match:      match,
+			Metrics:    obsPar.Metrics,
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 		fmt.Printf("%-12s  %7d  %10s  %10s  %7.2fx  %6v\n",

@@ -6,23 +6,34 @@
 //
 //	jaaru -list
 //	jaaru [-buggy] [-n N] [-multirf] [-failures K] [-trace] <benchmark>
+//	jaaru [-metrics] [-trace-out FILE] [-progress DUR] <benchmark>
 //
 // Benchmarks: the six RECIPE structures (cceh, fastfair, part, bwtree,
 // clht, masstree), the five PMDK examples (btree, ctree, rbtree,
 // hashmap_atomic, hashmap_tx), and the paper's running examples (figure2,
-// figure4).
+// figure4, commitstore).
+//
+// -metrics prints the observability counter block after the summary;
+// -trace-out streams the JSONL event trace to a file; -progress prints a
+// live scenarios/sec line to stderr while the exploration runs. All three
+// leave the exploration itself untouched — the counters are accumulated
+// independently of the Result fields, so the two always cross-check.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"jaaru/internal/core"
 	"jaaru/internal/netsim"
+	"jaaru/internal/obs"
 	"jaaru/internal/pmdk"
 	"jaaru/internal/recipe"
+	"jaaru/internal/report"
 )
 
 type benchmark struct {
@@ -69,6 +80,25 @@ func benchmarks() []benchmark {
 						fmt.Printf("  readChild: data=%#x\n", c.Load64(child))
 					} else {
 						fmt.Println("  readChild: null (not committed)")
+					}
+				},
+			}
+		}},
+		{"commitstore", "examples/commitstore: Figure 4 with (-buggy: without) the data flush", func(_ int, buggy bool) core.Program {
+			return core.Program{
+				Name: "commitstore",
+				Run: func(c *core.Context) {
+					tmp := c.AllocLine(8)
+					c.Store64(tmp, 0xDA7A)
+					if !buggy {
+						c.Clflush(tmp, 8)
+					}
+					c.StorePtr(c.Root(), tmp)
+					c.Clflush(c.Root(), 8)
+				},
+				Recover: func(c *core.Context) {
+					if child := c.LoadPtr(c.Root()); child != 0 {
+						c.Assert(c.Load64(child) == 0xDA7A, "committed child lost its data")
 					}
 				},
 			}
@@ -132,6 +162,9 @@ func main() {
 	trace := flag.Bool("trace", false, "attach operation traces to bug reports")
 	witness := flag.Bool("witness", false, "replay the first bug and print its full annotated witness")
 	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
+	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
+	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
+	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
 	flag.Parse()
 
 	bms := benchmarks()
@@ -171,8 +204,59 @@ func main() {
 	if *trace {
 		opts.TraceLen = 128
 	}
+	opts.Observe = *metrics || *progress > 0
+
+	var traceFile *os.File
+	var traceBuf *bufio.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *traceOut, err)
+			os.Exit(2)
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		opts.EventTrace = traceBuf
+	}
+
 	prog := chosen.build(*n, *buggy)
-	res := core.New(prog, opts).Run()
+	ck := core.New(prog, opts)
+
+	var stopProgress chan struct{}
+	if *progress > 0 {
+		reg := ck.Observability()
+		stopProgress = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					fmt.Fprintln(os.Stderr, reg.Progress())
+				}
+			}
+		}()
+	}
+
+	res := ck.Run()
+	if stopProgress != nil {
+		close(stopProgress)
+	}
+	if traceBuf != nil {
+		err := traceBuf.Flush()
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = ck.Observability().Err()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *traceOut, err)
+			os.Exit(2)
+		}
+	}
 
 	fmt.Printf("\n%s: %d executions, %d scenarios, %d failure points, %d steps, %v\n",
 		res.Program, res.Executions, res.Scenarios, res.FailurePoints, res.Steps,
@@ -201,6 +285,10 @@ func main() {
 	for _, p := range res.PerfIssues {
 		fmt.Printf("perf %v\n", p)
 	}
+	if res.Metrics != nil {
+		fmt.Println()
+		fmt.Print(metricsBlock(res.Metrics))
+	}
 	if *witness && res.Buggy() {
 		fmt.Println()
 		fmt.Print(core.FormatWitness(prog, opts, res.Bugs[0]))
@@ -208,4 +296,45 @@ func main() {
 	if res.Buggy() {
 		os.Exit(1)
 	}
+}
+
+// metricsBlock renders the merged observability counters as the two-column
+// block the summary prints under -metrics.
+func metricsBlock(m *obs.Metrics) string {
+	dur := func(ns int64) string {
+		return time.Duration(ns).Round(time.Microsecond).String()
+	}
+	kvs := []report.KV{
+		{Key: "scenarios", Value: m.Scenarios},
+		{Key: "executions", Value: m.Executions},
+		{Key: "post-failure executions", Value: m.ExecutionsPost},
+		{Key: "guest steps", Value: m.Steps},
+		{Key: "pre-failure time", Value: dur(m.PreFailureNs)},
+		{Key: "post-failure time", Value: dur(m.PostFailureNs)},
+		{Key: "replay time", Value: dur(m.ReplayNs)},
+		{Key: "loads: store-buffer hits", Value: m.LoadSBHits},
+		{Key: "loads: cache hits", Value: m.LoadCacheHits},
+		{Key: "loads: refinements", Value: m.LoadRefinements},
+		{Key: "rf candidates (total)", Value: m.RFCandidates},
+		{Key: "rf candidates (max)", Value: m.MaxRFCandidates},
+		{Key: "choices replayed", Value: m.ChoicesReplayed},
+		{Key: "choices fresh", Value: m.ChoicesFresh},
+		{Key: "choice depth (max)", Value: m.MaxChoiceDepth},
+		{Key: "store-buffer evictions", Value: m.SBEvictions},
+		{Key: "flush-buffer writebacks", Value: m.FBWritebacks},
+		{Key: "store-buffer occupancy (max)", Value: m.MaxSBOccupancy},
+		{Key: "flush-buffer occupancy (max)", Value: m.MaxFBOccupancy},
+	}
+	if m.Workers > 1 {
+		kvs = append(kvs,
+			report.KV{Key: "workers", Value: m.Workers},
+			report.KV{Key: "frontier pushed", Value: m.FrontierPushed},
+			report.KV{Key: "frontier claimed", Value: m.FrontierClaimed},
+			report.KV{Key: "donations", Value: m.Donations},
+			report.KV{Key: "frontier length (max)", Value: m.MaxFrontierLen})
+	}
+	if m.Events > 0 {
+		kvs = append(kvs, report.KV{Key: "trace events", Value: m.Events})
+	}
+	return report.KVBlock("observability", kvs)
 }

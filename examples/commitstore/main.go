@@ -49,10 +49,15 @@ func run(name string, flushData bool) {
 		Run:     func(c *jaaru.Context) { addChild(c, flushData) },
 		Recover: readChild,
 	}
-	res := jaaru.Check(prog, jaaru.Options{FlagMultiRF: true})
+	res := jaaru.Check(prog, jaaru.Options{FlagMultiRF: true, Observe: true})
 	fmt.Printf("%s:\n", name)
 	fmt.Printf("  failure points: %d, post-failure executions: %d\n",
 		res.FailurePoints, res.Executions-1)
+	// Observe attaches the counter snapshot: the refinement counters make
+	// the lazy-exploration win visible (each recovery load consults the
+	// interval constraints instead of enumerating states eagerly).
+	fmt.Printf("  refined loads: %d (%d candidate stores, max %d per load)\n",
+		res.Metrics.LoadRefinements, res.Metrics.RFCandidates, res.Metrics.MaxRFCandidates)
 	if res.Buggy() {
 		for _, b := range res.Bugs {
 			fmt.Printf("  BUG: %v\n", b)

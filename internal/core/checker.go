@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"jaaru/internal/obs"
 	"jaaru/internal/pmalloc"
 	"jaaru/internal/pmem"
 	"jaaru/internal/tso"
@@ -70,6 +71,16 @@ type Checker struct {
 	observers []func(pmem.Addr, pmem.Candidate)
 	snapshot  func(fpIndex int) // Yat instrumentation hook
 
+	// Observability (nil unless Options.Observe/EventTrace): reg is the
+	// registry shared across workers, col this checker's private shard,
+	// workerID its index in event output (0 = serial / the coordinator).
+	reg      *obs.Registry
+	col      *obs.Collector
+	workerID int
+	// replaySegment marks segments run on behalf of Replay/FormatWitness,
+	// so their time is accounted as replay overhead, not exploration.
+	replaySegment bool
+
 	// bugEndedSegment distinguishes "segment completed normally" from
 	// "segment ended by a recorded bug" across the runSegment boundary.
 	bugEndedSegment bool
@@ -86,7 +97,7 @@ func New(prog Program, opts Options) *Checker {
 		panic(engineError{"program has no Run function"})
 	}
 	if prog.Recover == nil {
-		o.MaxFailures = 0
+		o.MaxFailures = -1
 	}
 	c := &Checker{
 		prog:      prog,
@@ -100,8 +111,28 @@ func New(prog Program, opts Options) *Checker {
 	if o.TraceLen > 0 {
 		c.trace = newTraceRing(o.TraceLen)
 	}
+	if o.Observe || o.EventTrace != nil {
+		reg := obs.NewRegistry(o.EventTrace)
+		c.attachObs(reg, reg.NewShard(), 0)
+	}
 	return c
 }
+
+// attachObs binds this checker to a metrics registry: the chooser and the
+// scheduler (which hands the shard to every thread's store buffers) record
+// into the same per-worker shard as the checker itself.
+func (c *Checker) attachObs(reg *obs.Registry, col *obs.Collector, workerID int) {
+	c.reg = reg
+	c.col = col
+	c.workerID = workerID
+	c.chooser.col = col
+	c.sched.col = col
+}
+
+// Observability exposes the live metrics registry of an observed checker
+// (nil unless Options.Observe or Options.EventTrace is set) — used for
+// periodic progress reporting while Run is in flight.
+func (c *Checker) Observability() *obs.Registry { return c.reg }
 
 // Result summarizes one exploration.
 type Result struct {
@@ -144,6 +175,11 @@ type Result struct {
 	// Complete reports whether the state space was fully explored (false
 	// when MaxScenarios or MaxBugs truncated exploration).
 	Complete bool
+	// Metrics carries the observability layer's extended counters when
+	// Options.Observe (or EventTrace) was set; nil otherwise. Its
+	// partition-independent counters (Metrics.Canonical) are identical
+	// between a full serial and a full parallel exploration.
+	Metrics *obs.Metrics
 }
 
 // Buggy reports whether any bug was found.
@@ -155,9 +191,15 @@ func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
 // (parallel.go); the serial loop below is the reference semantics the
 // parallel driver must reproduce bit-for-bit.
 func (c *Checker) Run() *Result {
+	if c.reg != nil {
+		c.reg.SetGoal(int64(c.opts.MaxScenarios))
+		c.reg.Emit("run_start", "program", c.prog.Name,
+			"workers", c.opts.Workers, "max_scenarios", c.opts.MaxScenarios)
+	}
 	if c.opts.Workers > 1 && c.snapshot == nil && len(c.observers) == 0 {
 		return c.runParallel()
 	}
+	c.reg.SetWorkers(1)
 	start := time.Now()
 	complete := c.runSerial()
 	return c.buildResult(start, complete)
@@ -204,6 +246,16 @@ func (c *Checker) buildResult(start time.Time, complete bool) *Result {
 		return perf[i].Kind < perf[j].Kind
 	})
 	sortBugsCanonically(c.bugs)
+	var metrics *obs.Metrics
+	if c.reg != nil {
+		// run_end goes out before the snapshot so Metrics.Events covers
+		// the complete stream.
+		c.reg.Emit("run_end", "scenarios", c.scenarios,
+			"executions", 1+c.execsPost, "bugs", len(c.bugs),
+			"complete", complete && !c.truncated)
+		m := c.reg.Snapshot()
+		metrics = &m
+	}
 	return &Result{
 		Program:            c.prog.Name,
 		Scenarios:          c.scenarios,
@@ -218,6 +270,7 @@ func (c *Checker) buildResult(start time.Time, complete bool) *Result {
 		FailDecisionPoints: c.newPoints[chooseFail],
 		MaxRFCandidates:    c.maxRF,
 		Complete:           complete && !c.truncated,
+		Metrics:            metrics,
 	}
 }
 
@@ -286,6 +339,15 @@ func (c *Checker) pushExecution() {
 // execution up to an injected (or end-of-run) failure, then recovery
 // executions until one completes without a further failure.
 func (c *Checker) runScenario() {
+	if c.col != nil {
+		c.col.Inc(obs.Scenarios)
+		c.reg.Emit("scenario_start", "worker", c.workerID, "scenario", c.scenarios)
+		defer func() {
+			c.col.NotePeak(obs.PeakChoiceDepth, int64(len(c.chooser.points)))
+			c.reg.Emit("scenario_end", "worker", c.workerID,
+				"scenario", c.scenarios, "depth", len(c.chooser.points))
+		}()
+	}
 	c.resetScenario()
 
 	crashed := c.runSegment(c.prog.Run)
@@ -300,7 +362,7 @@ func (c *Checker) runScenario() {
 	}
 	if !crashed {
 		// Segment ended due to a bug, or there is nothing to recover.
-		if c.opts.MaxFailures == 0 || c.prog.Recover == nil || c.bugEndedSegment {
+		if c.opts.MaxFailures < 0 || c.prog.Recover == nil || c.bugEndedSegment {
 			c.bugEndedSegment = false
 			return
 		}
@@ -316,6 +378,7 @@ func (c *Checker) runScenario() {
 		}
 		c.pushExecution()
 		c.execsPost++
+		c.col.Inc(obs.ExecutionsPost)
 		crashed = c.runSegment(c.prog.Recover)
 		if !crashed {
 			c.bugEndedSegment = false
@@ -336,6 +399,24 @@ func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
 	main := c.sched.reset(c.opts.SBCapacity, schedRNG)
 	c.steps = 0
 	c.dirty = false
+
+	if c.col != nil {
+		// Registered before the teardown defer, so it runs after teardown
+		// (LIFO) and sees the segment's final step count. Phase selection
+		// happens now: the execution stack grows before recovery segments.
+		phase := obs.PreFailureNs
+		switch {
+		case c.replaySegment:
+			phase = obs.ReplayNs
+		case c.stack.Top().ID > 0:
+			phase = obs.PostFailureNs
+		}
+		t0 := time.Now()
+		defer func() {
+			c.col.Add(phase, time.Since(t0).Nanoseconds())
+			c.col.Add(obs.Steps, int64(c.steps))
+		}()
+	}
 
 	defer func() {
 		// Always tear down child goroutines before leaving the segment.
@@ -450,7 +531,7 @@ func (c *Checker) SFenceEffect(pendingWritebacks int, loc string) {
 // Points with no stores evicted since the last considered point are skipped.
 func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc string) {
 	c.notePerfFlush(addr, loc)
-	if c.opts.MaxFailures == 0 || c.stack.Depth() > c.opts.MaxFailures {
+	if c.opts.MaxFailures < 0 || c.stack.Depth() > c.opts.MaxFailures {
 		return
 	}
 	if !c.dirty {
@@ -477,13 +558,20 @@ func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc stri
 // candidates with constraint refinement.
 func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 	if v, ok := t.ts.Lookup(a); ok {
+		c.col.Inc(obs.LoadSBHits)
 		return v
 	}
 	if bs, ok := c.stack.Top().Newest(a); ok {
+		c.col.Inc(obs.LoadCacheHits)
 		return bs.Val
 	}
 	c.rfScratch = c.stack.ReadPreFailureInto(a, c.rfScratch[:0])
 	cands := c.rfScratch
+	if c.col != nil {
+		c.col.Inc(obs.LoadRefinements)
+		c.col.Add(obs.RFCandidates, int64(len(cands)))
+		c.col.NotePeak(obs.PeakRFCandidates, int64(len(cands)))
+	}
 	idx := 0
 	if len(cands) > 1 {
 		if len(cands) > c.maxRF {
@@ -574,6 +662,10 @@ func (c *Checker) recordBug(f guestFault) {
 	}
 	c.bugIndex[b.key()] = b
 	c.bugs = append(c.bugs, b)
+	if c.reg != nil {
+		c.reg.Emit("bug", "worker", c.workerID, "type", b.Type.String(),
+			"message", b.Message, "choices", b.Choices)
+	}
 }
 
 // recordEngineBug converts an internal engine panic raised while exploring

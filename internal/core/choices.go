@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"jaaru/internal/obs"
 )
 
 // choiceKind labels the two sources of nondeterminism the checker explores:
@@ -55,6 +57,9 @@ type chooser struct {
 	// newPoints counts distinct choice points discovered, by kind —
 	// exploration statistics for Result.
 	newPoints [3]int
+
+	// col is the owning checker's observability shard (nil when disabled).
+	col *obs.Collector
 }
 
 // begin resets the replay cursor for a fresh scenario run.
@@ -87,12 +92,14 @@ func (ch *chooser) choose(kind choiceKind, n int) int {
 				p.kind, p.n, kind, n, ch.cursor)})
 		}
 		ch.cursor++
+		ch.col.Inc(obs.ChoicesReplayed)
 		return p.idx
 	}
 	ch.points = append(ch.points, choicePoint{kind: kind, n: n})
 	ch.limit = append(ch.limit, n)
 	ch.cursor++
 	ch.newPoints[kind]++
+	ch.col.Inc(obs.ChoicesFresh)
 	return 0
 }
 

@@ -132,7 +132,7 @@ func (c *Checker) takeSnapshot(fp int) *Snapshot {
 // result carries any bug the recovery hit.
 func RunRecoveryOn(prog Program, opts Options, image map[pmem.Addr]byte, highWater pmem.Addr) *Result {
 	o := opts.withDefaults()
-	o.MaxFailures = 0
+	o.MaxFailures = -1 // the disabled sentinel: recovery runs directly
 	c := New(Program{Name: prog.Name + "-eager", Run: prog.Recover}, o)
 	c.resetScenario()
 	c.alloc.Grow(highWater)

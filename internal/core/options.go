@@ -7,6 +7,7 @@
 package core
 
 import (
+	"io"
 	"runtime"
 
 	"jaaru/internal/pmem"
@@ -52,7 +53,8 @@ type Options struct {
 	// depth of the execution stack minus one (default 1: a pre-failure
 	// and one post-failure execution, as in the paper's experiments).
 	// A negative value disables failure injection entirely (direct
-	// execution); a nil Program.Recover does the same.
+	// execution; normalized to the sentinel -1); a nil Program.Recover
+	// does the same.
 	MaxFailures int
 
 	// MaxSteps bounds the operations of a single execution; exceeding it
@@ -90,7 +92,10 @@ type Options struct {
 	FlagPerfIssues bool
 
 	// TraceLen keeps a ring buffer of the last TraceLen operations per
-	// scenario for bug reports (default 64; negative disables tracing).
+	// scenario for bug reports (default 64; negative disables tracing and
+	// is normalized to the sentinel -1). Replay and FormatWitness always
+	// force tracing on for the one scenario they re-run — producing the
+	// trace is their purpose — regardless of this setting.
 	TraceLen int
 
 	// StopAtFirstBug aborts exploration at the first bug found. Under
@@ -113,6 +118,17 @@ type Options struct {
 	// select a different (still truncated) subset of scenarios than the
 	// serial order would.
 	Workers int
+
+	// Observe enables the observability layer: per-worker lock-free metric
+	// shards (internal/obs) aggregated into Result.Metrics. Off by default;
+	// when off every instrumentation hook is a nil check.
+	Observe bool
+
+	// EventTrace, when non-nil, receives a structured JSONL event stream
+	// (run/scenario/frontier/bug events) during exploration; setting it
+	// implies Observe. Writes are serialized by the registry, so any
+	// io.Writer works.
+	EventTrace io.Writer
 }
 
 // RootSize is the size of the root area at the start of the pool, always
@@ -130,11 +146,16 @@ func (o Options) withDefaults() Options {
 	if o.PoolSize < RootSize {
 		o.PoolSize = RootSize
 	}
+	// Normalization is idempotent: "disabled" keeps the distinct sentinel
+	// -1 rather than collapsing onto the zero value, so re-normalizing an
+	// already normalized Options (worker clones in parallel.go, the
+	// Replay/FormatWitness re-runs) cannot flip a disabled feature back to
+	// its default. See TestWithDefaultsIdempotent.
 	if o.MaxFailures == 0 {
 		o.MaxFailures = 1
 	}
 	if o.MaxFailures < 0 {
-		o.MaxFailures = 0
+		o.MaxFailures = -1
 	}
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 1 << 20
@@ -149,7 +170,7 @@ func (o Options) withDefaults() Options {
 		o.TraceLen = 64
 	}
 	if o.TraceLen < 0 {
-		o.TraceLen = 0
+		o.TraceLen = -1
 	}
 	if o.MaxBugs == 0 {
 		o.MaxBugs = 64

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// withDefaults must be idempotent: worker clones (parallel.go) and the
+// Replay/FormatWitness re-runs normalize an already normalized Options, and
+// a second pass flipping a disabled feature back to its default was the bug
+// this locks out (a disabled TraceLen collapsed to 0, which the next pass
+// read as "use the default 64"; same for MaxFailures).
+func TestWithDefaultsIdempotent(t *testing.T) {
+	cases := []Options{
+		{},
+		{TraceLen: -1},
+		{TraceLen: -7},
+		{TraceLen: 1},
+		{TraceLen: 64},
+		{MaxFailures: -1},
+		{MaxFailures: -3},
+		{MaxFailures: 2},
+		{Workers: -1},
+		{TraceLen: -1, MaxFailures: -1, Workers: 4},
+	}
+	for _, o := range cases {
+		once := o.withDefaults()
+		twice := once.withDefaults()
+		if once != twice {
+			t.Errorf("withDefaults not idempotent for %+v:\n once: %+v\ntwice: %+v",
+				o, once, twice)
+		}
+	}
+	if n := (Options{TraceLen: -1}).withDefaults().TraceLen; n != -1 {
+		t.Errorf("disabled TraceLen normalized to %d, want the sentinel -1", n)
+	}
+	if n := (Options{MaxFailures: -1}).withDefaults().MaxFailures; n != -1 {
+		t.Errorf("disabled MaxFailures normalized to %d, want the sentinel -1", n)
+	}
+}
+
+// TraceLen semantics across serial, parallel, and replay paths:
+// negative disables bug traces, 0 defaults to 64, positive bounds the ring —
+// and worker clones must inherit the same semantics, while Replay always
+// returns a full trace regardless (tracing forced on is its contract).
+func TestTraceLenSemantics(t *testing.T) {
+	for _, tl := range []int{-1, 0, 1, 64} {
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("TraceLen=%d workers=%d", tl, workers)
+			res := New(buggyReplayProgram(), Options{TraceLen: tl, Workers: workers}).Run()
+			if !res.Buggy() {
+				t.Fatalf("%s: no bug found", label)
+			}
+			got := len(res.Bugs[0].Trace)
+			switch {
+			case tl < 0:
+				if got != 0 {
+					t.Errorf("%s: disabled tracing produced a %d-op trace", label, got)
+				}
+			case tl == 0:
+				if got == 0 || got > 64 {
+					t.Errorf("%s: default tracing trace length = %d, want 1..64", label, got)
+				}
+			default:
+				if got == 0 || got > tl {
+					t.Errorf("%s: trace length = %d, want 1..%d", label, got, tl)
+				}
+			}
+			// Replay of the found bug always yields the full trace.
+			trace := Replay(buggyReplayProgram(), Options{TraceLen: tl}, res.Bugs[0])
+			if len(trace) == 0 {
+				t.Errorf("%s: Replay returned an empty trace", label)
+			}
+		}
+	}
+}
+
+// A worker clone of a no-failure-injection exploration must keep injection
+// disabled (MaxFailures sentinel survives the clone's re-normalization),
+// so serial and parallel direct executions agree.
+func TestParallelPreservesDisabledFailureInjection(t *testing.T) {
+	prog := Program{
+		Name: "direct",
+		Run: func(c *Context) {
+			r := c.Root()
+			c.Store64(r, 1)
+			c.Clflush(r, 8)
+			c.Store64(r.Add(64), 2)
+			c.Clflush(r.Add(64), 8)
+		},
+		Recover: func(c *Context) { _ = c.Load64(c.Root()) },
+	}
+	serial := New(prog, Options{MaxFailures: -1}).Run()
+	if serial.Executions != 1 || serial.Scenarios != 1 {
+		t.Fatalf("serial direct execution explored %d executions / %d scenarios",
+			serial.Executions, serial.Scenarios)
+	}
+	par := New(prog, Options{MaxFailures: -1, Workers: 4}).Run()
+	assertSameExploration(t, "direct workers=4", serial, par)
+}

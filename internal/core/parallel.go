@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"jaaru/internal/obs"
 )
 
 // Parallel state-space exploration.
@@ -54,10 +56,14 @@ type frontier struct {
 	pending int
 	stopped bool
 	lowMark int // queue length below which workers should donate work
+
+	// reg receives frontier traffic counters and events (nil when the
+	// exploration is not observed).
+	reg *obs.Registry
 }
 
-func newFrontier(lowMark int) *frontier {
-	f := &frontier{lowMark: lowMark}
+func newFrontier(lowMark int, reg *obs.Registry) *frontier {
+	f := &frontier{lowMark: lowMark, reg: reg}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -70,8 +76,11 @@ func (f *frontier) push(bs []branch) {
 	f.mu.Lock()
 	f.items = append(f.items, bs...)
 	f.pending += len(bs)
+	depth := len(f.items)
 	f.mu.Unlock()
 	f.cond.Broadcast()
+	f.reg.NotePush(len(bs), depth)
+	f.reg.Emit("frontier_push", "n", len(bs), "depth", depth)
 }
 
 // pop claims a branch, blocking while the queue is empty but other workers
@@ -79,17 +88,21 @@ func (f *frontier) push(bs []branch) {
 // exploration is over: the tree is exhausted or a stop was requested.
 func (f *frontier) pop() (branch, bool) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	for {
 		if f.stopped {
+			f.mu.Unlock()
 			return branch{}, false
 		}
 		if n := len(f.items); n > 0 {
 			br := f.items[n-1]
 			f.items = f.items[:n-1]
+			f.mu.Unlock()
+			f.reg.NoteClaim(n - 1)
+			f.reg.Emit("frontier_claim", "prefix", len(br.points), "depth", n-1)
 			return br, true
 		}
 		if f.pending == 0 {
+			f.mu.Unlock()
 			return branch{}, false
 		}
 		f.cond.Wait()
@@ -194,14 +207,15 @@ func (s *sharedCaps) noteBug(key string) {
 func (c *Checker) runParallel() *Result {
 	start := time.Now()
 	nw := c.opts.Workers
-	f := newFrontier(2 * nw)
+	c.reg.SetWorkers(nw)
+	f := newFrontier(2*nw, c.reg)
 	caps := newSharedCaps(c.opts, f)
 	f.push([]branch{{}}) // the root prefix: the whole tree
 
 	workers := make([]*Checker, nw)
 	var wg sync.WaitGroup
 	for i := range workers {
-		w := c.newWorker()
+		w := c.newWorker(i + 1)
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -227,18 +241,19 @@ func (c *Checker) runParallel() *Result {
 }
 
 // newWorker builds a private Checker sharing this checker's program and
-// (already normalized) options. The disabled-state sentinels are restored
-// before New re-normalizes: a normalized TraceLen/MaxFailures of 0 means
-// "disabled", which New's defaulting would otherwise flip back on.
-func (c *Checker) newWorker() *Checker {
+// options (already normalized; withDefaults is idempotent, so New's
+// re-normalization is a no-op — disabled features stay disabled). Workers
+// do not build private registries: they record into fresh shards of the
+// coordinator's registry, so the merged metrics cover the whole run.
+func (c *Checker) newWorker(id int) *Checker {
 	o := c.opts
-	if o.TraceLen == 0 {
-		o.TraceLen = -1
+	o.Observe = false
+	o.EventTrace = nil
+	w := New(c.prog, o)
+	if c.reg != nil {
+		w.attachObs(c.reg, c.reg.NewShard(), id)
 	}
-	if o.MaxFailures == 0 {
-		o.MaxFailures = -1
-	}
-	return New(c.prog, o)
+	return w
 }
 
 // workerLoop claims branches until the tree is exhausted or a cap stops
@@ -283,6 +298,7 @@ func (c *Checker) exploreBranch(br branch, f *frontier, caps *sharedCaps) {
 			if len(bs) == 0 {
 				break
 			}
+			c.reg.NoteDonation(len(bs))
 			f.push(bs)
 		}
 		if !c.chooser.advance() {
@@ -340,6 +356,12 @@ func (dst *stats) merge(src *stats) {
 	for k, p := range src.perfIssues {
 		if ex, ok := dst.perfIssues[k]; ok {
 			ex.Count += p.Count
+			// Canonical representative, the same rule recordPerfIssue
+			// applies within one worker: the smallest affected line is the
+			// reported example, independent of worker arrival order.
+			if p.Line < ex.Line {
+				ex.Line = p.Line
+			}
 		} else {
 			dst.perfIssues[k] = p
 		}

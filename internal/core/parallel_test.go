@@ -74,7 +74,7 @@ func TestSplitOffNothingToDonate(t *testing.T) {
 // ---- frontier ---------------------------------------------------------------
 
 func TestFrontierDrainsAndReleases(t *testing.T) {
-	f := newFrontier(4)
+	f := newFrontier(4, nil)
 	f.push([]branch{{}})
 	br, ok := f.pop()
 	if !ok || br.points != nil {
@@ -236,7 +236,7 @@ func TestParallelStopAtFirstBug(t *testing.T) {
 // truncated, instead of crashing the whole exploration.
 func TestParallelEngineBugGuard(t *testing.T) {
 	c := New(parallelTreeProgram(), Options{})
-	f := newFrontier(0) // never hungry: no donations from this claim
+	f := newFrontier(0, nil) // never hungry: no donations from this claim
 	caps := newSharedCaps(c.opts, f)
 	// The program's first choice point is fail/2; this prefix claims to
 	// have recorded rf/7 there.

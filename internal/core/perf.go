@@ -41,7 +41,10 @@ type PerfIssue struct {
 	Kind PerfIssueKind
 	// Loc is the guest source location of the flush/fence instruction.
 	Loc string
-	// Line is an example cache line affected (flushes only).
+	// Line is an example cache line affected (flushes only): the smallest
+	// line observed at this location — a canonical representative, so the
+	// report does not depend on discovery order (serial or partitioned
+	// across workers).
 	Line pmem.Addr
 	// Count is the number of dynamic occurrences across all scenarios.
 	Count int
@@ -87,6 +90,12 @@ func (c *Checker) recordPerfIssue(kind PerfIssueKind, loc string, line pmem.Addr
 	key := fmt.Sprintf("%d|%s", kind, loc)
 	if p, ok := c.perfIssues[key]; ok {
 		p.Count++
+		// Keep the canonical (smallest) example line, the same rule the
+		// parallel merge uses — first-seen would depend on exploration
+		// order and diverge between serial and partitioned runs.
+		if line < p.Line {
+			p.Line = line
+		}
 		return
 	}
 	c.perfIssues[key] = &PerfIssue{Kind: kind, Loc: loc, Line: line, Count: 1}

@@ -13,10 +13,16 @@ package core
 // and options must match the original exploration, or the recorded choices
 // will not line up and Replay panics with a nondeterministic-replay error.
 func Replay(prog Program, opts Options, b *BugReport) []TraceOp {
+	// Tracing is forced on regardless of opts.TraceLen — producing the
+	// trace is the point of a replay. Everything else keeps the original
+	// exploration's semantics: withDefaults is idempotent, so New's second
+	// normalization cannot flip disabled features (a negative MaxFailures,
+	// say) back to their defaults.
 	o := opts.withDefaults()
 	o.TraceLen = 1 << 16
 	o.MaxScenarios = 1
 	c := New(prog, o)
+	c.replaySegment = true
 	c.chooser.seed(b.replay)
 	c.scenarios = 1
 	c.runScenario()

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"jaaru/internal/obs"
 	"jaaru/internal/tso"
 )
 
@@ -33,6 +34,10 @@ type scheduler struct {
 	crashed    bool
 	fault      *guestFault // first guest fault raised on a child thread
 	unexpected any         // non-guest panic from a child (propagated)
+
+	// col is the owning checker's observability shard, handed to every
+	// thread's store-buffer state (nil when disabled).
+	col *obs.Collector
 }
 
 func newScheduler() *scheduler {
@@ -53,6 +58,7 @@ func (s *scheduler) reset(sbCapacity int, rng *rand.Rand) *thread {
 		panic(engineError{"scheduler reset with live child threads"})
 	}
 	main := &thread{id: 0, ts: tso.NewThreadState(sbCapacity)}
+	main.ts.SetObserver(s.col)
 	s.threads = []*thread{main}
 	s.cur = 0
 	s.rng = rng
@@ -161,6 +167,7 @@ func (s *scheduler) spawn(sbCapacity int) *thread {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := &thread{id: len(s.threads), ts: tso.NewThreadState(sbCapacity)}
+	t.ts.SetObserver(s.col)
 	s.threads = append(s.threads, t)
 	s.childAlive++
 	return t

@@ -17,11 +17,15 @@ import (
 func FormatWitness(prog Program, opts Options, b *BugReport) string {
 	// Replay with multi-rf flagging on so the witness carries the
 	// candidate-store annotations even if the exploration ran without.
+	// As in Replay: tracing is forced on (that is the point), everything
+	// else keeps the exploration's normalized semantics (withDefaults is
+	// idempotent).
 	o := opts.withDefaults()
 	o.TraceLen = 1 << 16
 	o.MaxScenarios = 1
 	o.FlagMultiRF = true
 	c := New(prog, o)
+	c.replaySegment = true
 	c.chooser.seed(b.replay)
 	c.scenarios = 1
 	c.runScenario()

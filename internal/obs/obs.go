@@ -1,0 +1,363 @@
+// Package obs is the checker's observability layer: a lock-free metrics
+// registry and a structured JSONL event trace.
+//
+// The registry mirrors the checker's own stats design (see
+// internal/core/parallel.go): every worker owns a private Collector shard
+// of atomic counters — no cross-worker contention on the hot paths — and a
+// Snapshot merges the shards with order-insensitive operations only (sums
+// and maxima), so the aggregated counters are independent of how the state
+// space was partitioned. The counters that describe the exploration itself
+// (scenarios, executions, load refinements, choice-stack activity, buffer
+// traffic) are therefore bit-identical between a serial run and a full
+// parallel run of the same program; Metrics.Canonical isolates exactly
+// that comparable subset.
+//
+// When observability is disabled every hook degrades to a nil-receiver
+// check: the Collector methods are nil-safe and small enough to inline, so
+// a checker built without Options.Observe pays no measurable cost (see
+// BenchmarkObservability at the repository root).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter indexes the summed exploration counters of a Collector shard.
+type Counter int
+
+const (
+	// Scenarios counts failure scenarios started.
+	Scenarios Counter = iota
+	// ExecutionsPost counts post-failure (recovery) executions.
+	ExecutionsPost
+	// Steps counts guest operations simulated.
+	Steps
+	// PreFailureNs / PostFailureNs / ReplayNs partition segment wall-clock
+	// time by phase. Under parallel exploration worker segments overlap,
+	// so these accumulate CPU-style (summed across workers).
+	PreFailureNs
+	PostFailureNs
+	ReplayNs
+	// LoadSBHits counts load bytes satisfied by store-buffer bypassing.
+	LoadSBHits
+	// LoadCacheHits counts load bytes satisfied by the current execution's
+	// cache without consulting pre-failure candidates.
+	LoadCacheHits
+	// LoadRefinements counts load bytes resolved through the constraint
+	// refinement path (pre-failure candidate enumeration).
+	LoadRefinements
+	// RFCandidates sums the candidate-set sizes those refinements saw.
+	RFCandidates
+	// ChoicesReplayed / ChoicesFresh split chooser consultations into
+	// replayed prefix decisions and newly discovered choice points.
+	ChoicesReplayed
+	ChoicesFresh
+	// SBEvictions counts store-buffer entries evicted into the cache.
+	SBEvictions
+	// FBWritebacks counts flush-buffer (clflushopt) writebacks applied.
+	FBWritebacks
+
+	numCounters
+)
+
+// Peak indexes the high-water marks of a Collector shard (merged by max).
+type Peak int
+
+const (
+	// PeakRFCandidates is the largest candidate set any load byte saw.
+	PeakRFCandidates Peak = iota
+	// PeakChoiceDepth is the deepest choice stack any scenario built.
+	PeakChoiceDepth
+	// PeakSB / PeakFB are the store- and flush-buffer occupancy high-water
+	// marks across all guest threads.
+	PeakSB
+	PeakFB
+
+	numPeaks
+)
+
+// Collector is one worker's private metrics shard. All methods are safe on
+// a nil receiver — the disabled fast path is a single nil check — and safe
+// for the single-writer / concurrent-reader pattern the registry uses (the
+// owning worker writes, Snapshot reads concurrently via atomics).
+type Collector struct {
+	counts [numCounters]atomic.Int64
+	peaks  [numPeaks]atomic.Int64
+}
+
+// Add accumulates n into counter k.
+func (c *Collector) Add(k Counter, n int64) {
+	if c == nil {
+		return
+	}
+	c.counts[k].Add(n)
+}
+
+// Inc accumulates 1 into counter k.
+func (c *Collector) Inc(k Counter) {
+	if c == nil {
+		return
+	}
+	c.counts[k].Add(1)
+}
+
+// NotePeak raises high-water mark p to v if v is larger. The wrapper stays
+// small enough to inline so the disabled (nil) path is branch-and-return.
+func (c *Collector) NotePeak(p Peak, v int64) {
+	if c == nil {
+		return
+	}
+	c.raisePeak(p, v)
+}
+
+func (c *Collector) raisePeak(p Peak, v int64) {
+	g := &c.peaks[p]
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Registry aggregates the Collector shards of one exploration plus the
+// driver-level signals that have no per-worker home: frontier traffic,
+// worker count, and the optional event stream. All methods are nil-safe.
+type Registry struct {
+	mu     sync.Mutex
+	shards []*Collector
+	events *eventWriter
+	start  time.Time
+
+	goal    atomic.Int64 // MaxScenarios, for progress ETA
+	workers atomic.Int64
+
+	frontierLen     atomic.Int64 // live queue length (gauge)
+	frontierPeak    atomic.Int64
+	frontierPushed  atomic.Int64
+	frontierClaimed atomic.Int64
+	donations       atomic.Int64
+}
+
+// NewRegistry returns a registry; a non-nil events writer receives the
+// JSONL event stream (one object per line, serialized by an internal lock).
+func NewRegistry(events io.Writer) *Registry {
+	r := &Registry{start: time.Now()}
+	if events != nil {
+		r.events = &eventWriter{w: events, start: r.start}
+	}
+	return r
+}
+
+// NewShard registers and returns a fresh Collector for one worker.
+func (r *Registry) NewShard() *Collector {
+	if r == nil {
+		return nil
+	}
+	c := &Collector{}
+	r.mu.Lock()
+	r.shards = append(r.shards, c)
+	r.mu.Unlock()
+	return c
+}
+
+// SetGoal records the scenario cap used for progress ETA.
+func (r *Registry) SetGoal(n int64) {
+	if r != nil {
+		r.goal.Store(n)
+	}
+}
+
+// SetWorkers records the worker count of the exploration.
+func (r *Registry) SetWorkers(n int) {
+	if r != nil {
+		r.workers.Store(int64(n))
+	}
+}
+
+// NotePush records n branches published to the frontier, which now holds
+// depth items.
+func (r *Registry) NotePush(n, depth int) {
+	if r == nil {
+		return
+	}
+	r.frontierPushed.Add(int64(n))
+	r.frontierLen.Store(int64(depth))
+	for {
+		cur := r.frontierPeak.Load()
+		if int64(depth) <= cur || r.frontierPeak.CompareAndSwap(cur, int64(depth)) {
+			break
+		}
+	}
+}
+
+// NoteClaim records one branch claimed from the frontier, leaving depth
+// items queued.
+func (r *Registry) NoteClaim(depth int) {
+	if r == nil {
+		return
+	}
+	r.frontierClaimed.Add(1)
+	r.frontierLen.Store(int64(depth))
+}
+
+// NoteDonation records n branches donated by a worker (work-stealing).
+func (r *Registry) NoteDonation(n int) {
+	if r != nil {
+		r.donations.Add(int64(n))
+	}
+}
+
+// Emit appends one event to the JSONL stream, if one is attached. kv is a
+// flat key/value list; values may be ints, bools, or strings.
+func (r *Registry) Emit(ev string, kv ...any) {
+	if r == nil || r.events == nil {
+		return
+	}
+	r.events.emit(ev, kv)
+}
+
+// Err reports the first error the event stream's writer returned, if any.
+func (r *Registry) Err() error {
+	if r == nil || r.events == nil {
+		return nil
+	}
+	r.events.mu.Lock()
+	defer r.events.mu.Unlock()
+	return r.events.err
+}
+
+// Snapshot merges every shard into a Metrics value. It is safe to call
+// while workers are still running (live progress); counters are then a
+// consistent-enough in-flight view, exact once the run has finished.
+func (r *Registry) Snapshot() Metrics {
+	var m Metrics
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	shards := append([]*Collector(nil), r.shards...)
+	r.mu.Unlock()
+	var counts [numCounters]int64
+	var peaks [numPeaks]int64
+	for _, s := range shards {
+		for k := range counts {
+			counts[k] += s.counts[k].Load()
+		}
+		for p := range peaks {
+			if v := s.peaks[p].Load(); v > peaks[p] {
+				peaks[p] = v
+			}
+		}
+	}
+	m.Scenarios = counts[Scenarios]
+	m.ExecutionsPost = counts[ExecutionsPost]
+	m.Executions = m.ExecutionsPost + 1 // the shared pre-failure execution
+	m.Steps = counts[Steps]
+	m.PreFailureNs = counts[PreFailureNs]
+	m.PostFailureNs = counts[PostFailureNs]
+	m.ReplayNs = counts[ReplayNs]
+	m.LoadSBHits = counts[LoadSBHits]
+	m.LoadCacheHits = counts[LoadCacheHits]
+	m.LoadRefinements = counts[LoadRefinements]
+	m.RFCandidates = counts[RFCandidates]
+	m.ChoicesReplayed = counts[ChoicesReplayed]
+	m.ChoicesFresh = counts[ChoicesFresh]
+	m.SBEvictions = counts[SBEvictions]
+	m.FBWritebacks = counts[FBWritebacks]
+	m.MaxRFCandidates = peaks[PeakRFCandidates]
+	m.MaxChoiceDepth = peaks[PeakChoiceDepth]
+	m.MaxSBOccupancy = peaks[PeakSB]
+	m.MaxFBOccupancy = peaks[PeakFB]
+	m.FrontierPushed = r.frontierPushed.Load()
+	m.FrontierClaimed = r.frontierClaimed.Load()
+	m.Donations = r.donations.Load()
+	m.MaxFrontierLen = r.frontierPeak.Load()
+	m.Workers = r.workers.Load()
+	if r.events != nil {
+		m.Events = r.events.count.Load()
+	}
+	return m
+}
+
+// Progress renders a one-line live status: scenarios explored, rate,
+// executions, frontier depth, and — when a MaxScenarios goal is set — the
+// ETA to that cap (an upper bound: full explorations finish earlier).
+func (r *Registry) Progress() string {
+	if r == nil {
+		return ""
+	}
+	m := r.Snapshot()
+	elapsed := time.Since(r.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(m.Scenarios) / elapsed
+	}
+	s := fmt.Sprintf("%d scenarios (%.0f/s), %d executions, frontier %d",
+		m.Scenarios, rate, m.Executions, r.frontierLen.Load())
+	if goal := r.goal.Load(); goal > 0 && rate > 0 && m.Scenarios < goal {
+		eta := time.Duration(float64(goal-m.Scenarios) / rate * float64(time.Second))
+		s += fmt.Sprintf(", <=%s to MaxScenarios", eta.Round(time.Second))
+	}
+	return s
+}
+
+// Metrics is one merged snapshot of the registry. All fields are plain
+// integers, so two snapshots compare with ==.
+type Metrics struct {
+	// Exploration totals (partition-independent).
+	Scenarios      int64 `json:"scenarios"`
+	Executions     int64 `json:"executions"`
+	ExecutionsPost int64 `json:"executions_post"`
+	Steps          int64 `json:"steps"`
+
+	// Phase timings, nanoseconds summed over segments (CPU-style under
+	// parallel exploration, where worker segments overlap).
+	PreFailureNs  int64 `json:"pre_failure_ns"`
+	PostFailureNs int64 `json:"post_failure_ns"`
+	ReplayNs      int64 `json:"replay_ns"`
+
+	// Load path (partition-independent).
+	LoadSBHits      int64 `json:"load_sb_hits"`
+	LoadCacheHits   int64 `json:"load_cache_hits"`
+	LoadRefinements int64 `json:"load_refinements"`
+	RFCandidates    int64 `json:"rf_candidates"`
+	MaxRFCandidates int64 `json:"max_rf_candidates"`
+
+	// Choice stack (partition-independent).
+	ChoicesReplayed int64 `json:"choices_replayed"`
+	ChoicesFresh    int64 `json:"choices_fresh"`
+	MaxChoiceDepth  int64 `json:"max_choice_depth"`
+
+	// Store/flush buffer traffic (partition-independent).
+	SBEvictions    int64 `json:"sb_evictions"`
+	FBWritebacks   int64 `json:"fb_writebacks"`
+	MaxSBOccupancy int64 `json:"max_sb_occupancy"`
+	MaxFBOccupancy int64 `json:"max_fb_occupancy"`
+
+	// Parallel driver (depends on scheduling; zeroed by Canonical).
+	FrontierPushed  int64 `json:"frontier_pushed,omitempty"`
+	FrontierClaimed int64 `json:"frontier_claimed,omitempty"`
+	Donations       int64 `json:"donations,omitempty"`
+	MaxFrontierLen  int64 `json:"max_frontier_len,omitempty"`
+	Workers         int64 `json:"workers,omitempty"`
+
+	// Events emitted to the JSONL stream, if one was attached.
+	Events int64 `json:"events,omitempty"`
+}
+
+// Canonical returns a copy with the fields that legitimately differ from
+// run to run zeroed — wall-clock phase timings and the driver-dependent
+// frontier/worker/event accounting — leaving exactly the counters that
+// must be identical between a serial exploration and a full parallel
+// exploration of the same program.
+func (m Metrics) Canonical() Metrics {
+	m.PreFailureNs, m.PostFailureNs, m.ReplayNs = 0, 0, 0
+	m.FrontierPushed, m.FrontierClaimed, m.Donations = 0, 0, 0
+	m.MaxFrontierLen, m.Workers, m.Events = 0, 0, 0
+	return m
+}

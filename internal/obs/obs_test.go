@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Nil receivers are the disabled fast path: every hook must be a no-op.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	c.Add(Steps, 5)
+	c.Inc(Scenarios)
+	c.NotePeak(PeakSB, 9)
+
+	var r *Registry
+	if got := r.NewShard(); got != nil {
+		t.Fatalf("nil registry NewShard = %v, want nil", got)
+	}
+	r.SetGoal(10)
+	r.SetWorkers(4)
+	r.NotePush(1, 2)
+	r.NoteClaim(1)
+	r.NoteDonation(3)
+	r.Emit("ev", "k", 1)
+	if err := r.Err(); err != nil {
+		t.Fatalf("nil registry Err = %v", err)
+	}
+	if m := r.Snapshot(); m != (Metrics{}) {
+		t.Fatalf("nil registry Snapshot = %+v, want zero", m)
+	}
+	if s := r.Progress(); s != "" {
+		t.Fatalf("nil registry Progress = %q, want empty", s)
+	}
+}
+
+// Shards sum; peaks take the max; driver counters ride along.
+func TestSnapshotMergesShards(t *testing.T) {
+	r := NewRegistry(nil)
+	a, b := r.NewShard(), r.NewShard()
+	a.Add(Scenarios, 3)
+	b.Add(Scenarios, 4)
+	a.Inc(ExecutionsPost)
+	b.Add(ExecutionsPost, 2)
+	a.NotePeak(PeakRFCandidates, 5)
+	b.NotePeak(PeakRFCandidates, 9)
+	b.NotePeak(PeakRFCandidates, 2) // lower: must not regress the max
+	r.SetWorkers(2)
+	r.NotePush(3, 3)
+	r.NoteClaim(2)
+	r.NoteDonation(2)
+
+	m := r.Snapshot()
+	if m.Scenarios != 7 || m.ExecutionsPost != 3 || m.Executions != 4 {
+		t.Fatalf("sums wrong: %+v", m)
+	}
+	if m.MaxRFCandidates != 9 {
+		t.Fatalf("MaxRFCandidates = %d, want 9", m.MaxRFCandidates)
+	}
+	if m.Workers != 2 || m.FrontierPushed != 3 || m.FrontierClaimed != 1 ||
+		m.Donations != 2 || m.MaxFrontierLen != 3 {
+		t.Fatalf("driver counters wrong: %+v", m)
+	}
+}
+
+func TestCanonicalZeroesRunDependentFields(t *testing.T) {
+	m := Metrics{
+		Scenarios: 10, Executions: 11, ExecutionsPost: 10, Steps: 99,
+		PreFailureNs: 1, PostFailureNs: 2, ReplayNs: 3,
+		LoadRefinements: 4, RFCandidates: 8, MaxRFCandidates: 2,
+		FrontierPushed: 5, FrontierClaimed: 5, Donations: 4,
+		MaxFrontierLen: 3, Workers: 4, Events: 17,
+	}
+	c := m.Canonical()
+	if c.PreFailureNs != 0 || c.PostFailureNs != 0 || c.ReplayNs != 0 ||
+		c.FrontierPushed != 0 || c.FrontierClaimed != 0 || c.Donations != 0 ||
+		c.MaxFrontierLen != 0 || c.Workers != 0 || c.Events != 0 {
+		t.Fatalf("run-dependent fields not zeroed: %+v", c)
+	}
+	if c.Scenarios != 10 || c.Steps != 99 || c.LoadRefinements != 4 ||
+		c.RFCandidates != 8 || c.MaxRFCandidates != 2 {
+		t.Fatalf("partition-independent fields altered: %+v", c)
+	}
+}
+
+// Every emitted line must be valid JSON with the common envelope fields,
+// and concurrent emitters must not interleave lines.
+func TestEventWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry(&buf)
+	r.Emit("run_start", "program", "p", "workers", 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				r.Emit("scenario_end", "worker", w, "scenario", i, "ok", true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("got %d lines, want 101", len(lines))
+	}
+	for i, ln := range lines {
+		var ev struct {
+			TUs *int64 `json:"t_us"`
+			Ev  string `json:"ev"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, ln)
+		}
+		if ev.TUs == nil || ev.Ev == "" {
+			t.Fatalf("line %d missing envelope: %s", i, ln)
+		}
+	}
+	if m := r.Snapshot(); m.Events != 101 {
+		t.Fatalf("Events = %d, want 101", m.Events)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+// A failing sink must not break the run: the first error is retained,
+// later events are dropped (one failed write only), and counting continues.
+func TestEventWriterRetainsFirstError(t *testing.T) {
+	fw := &failWriter{}
+	r := NewRegistry(fw)
+	r.Emit("a")
+	r.Emit("b")
+	if err := r.Err(); err == nil {
+		t.Fatal("Err = nil, want disk full")
+	}
+	if fw.n != 1 {
+		t.Fatalf("writes after error: %d, want 1", fw.n)
+	}
+	if m := r.Snapshot(); m.Events != 2 {
+		t.Fatalf("Events = %d, want 2", m.Events)
+	}
+}
+
+func TestProgressMentionsGoal(t *testing.T) {
+	r := NewRegistry(nil)
+	s := r.NewShard()
+	s.Add(Scenarios, 5)
+	r.SetGoal(1000)
+	out := r.Progress()
+	if !strings.Contains(out, "5 scenarios") || !strings.Contains(out, "MaxScenarios") {
+		t.Fatalf("Progress = %q", out)
+	}
+}

@@ -107,3 +107,19 @@ func (t *Table) String() string {
 	t.Render(&b)
 	return b.String()
 }
+
+// KV is one row of a key/value block.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// KVBlock renders a two-column key/value block with right-aligned values —
+// the metrics-block form the CLI front ends print.
+func KVBlock(title string, kvs []KV) string {
+	t := New(title, "metric", "value").AlignRight(1)
+	for _, kv := range kvs {
+		t.Row(kv.Key, kv.Value)
+	}
+	return t.String()
+}

@@ -56,6 +56,23 @@ func TestTableExtraCellsDoNotPanic(t *testing.T) {
 	}
 }
 
+func TestKVBlock(t *testing.T) {
+	out := KVBlock("observability", []KV{
+		{"scenarios", 42},
+		{"pre-failure time", "1.5ms"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "observability" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[3], "42") || !strings.HasSuffix(lines[4], "1.5ms") {
+		t.Errorf("values not right-aligned:\n%s", out)
+	}
+}
+
 func TestTableUnicodeWidths(t *testing.T) {
 	tbl := New("", "Σ", "n")
 	tbl.AlignRight(1)

@@ -12,6 +12,7 @@ package tso
 import (
 	"fmt"
 
+	"jaaru/internal/obs"
 	"jaaru/internal/pmem"
 )
 
@@ -102,6 +103,10 @@ type ThreadState struct {
 	tSfence  pmem.Seq
 	tLine    map[pmem.Addr]pmem.Seq
 	capacity int // drain threshold; 0 means unbounded
+
+	// col is the checker's observability shard (nil when disabled: every
+	// hook below is then a nil check).
+	col *obs.Collector
 }
 
 type fbEntry struct {
@@ -116,6 +121,11 @@ type fbEntry struct {
 func NewThreadState(capacity int) *ThreadState {
 	return &ThreadState{tLine: make(map[pmem.Addr]pmem.Seq), capacity: capacity}
 }
+
+// SetObserver attaches the checker's metrics shard; the default (nil)
+// keeps the zero-overhead path. Buffer occupancy high-water marks and
+// eviction/writeback counts are recorded against it.
+func (t *ThreadState) SetObserver(col *obs.Collector) { t.col = col }
 
 // Reset clears all volatile state (used when a failure wipes the machine).
 func (t *ThreadState) Reset() {
@@ -145,6 +155,7 @@ func (t *ThreadState) Push(st Storage, e Entry) {
 		}
 	}
 	t.sb = append(t.sb, e)
+	t.col.NotePeak(obs.PeakSB, int64(len(t.sb)))
 }
 
 // Lookup implements store-buffer bypassing: it scans the buffer from newest
@@ -163,6 +174,7 @@ func (t *ThreadState) Lookup(a pmem.Addr) (byte, bool) {
 func (t *ThreadState) EvictOldest(st Storage) Entry {
 	e := t.sb[0]
 	t.sb = t.sb[1:]
+	t.col.Inc(obs.SBEvictions)
 	switch e.Kind {
 	case Store:
 		s := st.NextSeq()
@@ -185,6 +197,7 @@ func (t *ThreadState) EvictOldest(st Storage) Entry {
 			s = t.tSfence
 		}
 		t.fb = append(t.fb, fbEntry{line: e.Addr.Line(), seq: s, loc: e.Loc})
+		t.col.NotePeak(obs.PeakFB, int64(len(t.fb)))
 	case SFence:
 		st.SFenceEffect(len(t.fb), e.Loc)
 		s := st.NextSeq()
@@ -208,6 +221,9 @@ func (t *ThreadState) DrainFlushBuffer(st Storage) {
 	for _, fe := range t.fb {
 		st.BeforeFlushEffect(CLFlushOpt, fe.line, fe.loc)
 		st.ApplyWriteback(fe.line, fe.seq)
+		// Counted after the effect: BeforeFlushEffect may panic to inject
+		// a failure, and a writeback cut off by the crash never applied.
+		t.col.Inc(obs.FBWritebacks)
 	}
 	t.fb = t.fb[:0]
 }

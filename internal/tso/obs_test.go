@@ -1,0 +1,68 @@
+package tso
+
+import (
+	"testing"
+
+	"jaaru/internal/obs"
+)
+
+// The buffer observer hooks: store-buffer occupancy high-water marks,
+// eviction counts, flush-buffer occupancy and writeback counts — and the
+// nil default stays a no-op (every other test in this package runs without
+// an observer).
+func TestObserverCountsBufferActivity(t *testing.T) {
+	st := newFake()
+	reg := obs.NewRegistry(nil)
+	ts := NewThreadState(0)
+	ts.SetObserver(reg.NewShard())
+
+	// Three stores buffered: SB occupancy peaks at 3.
+	ts.Push(st, store(0x1000, 8, 1))
+	ts.Push(st, store(0x1040, 8, 2))
+	ts.Push(st, store(0x1080, 8, 3))
+	// Two clflushopt entries: once evicted they move to the flush buffer.
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1040})
+	ts.Push(st, Entry{Kind: SFence})
+	ts.Mfence(st)
+
+	m := reg.Snapshot()
+	if m.MaxSBOccupancy != 6 {
+		t.Errorf("MaxSBOccupancy = %d, want 6", m.MaxSBOccupancy)
+	}
+	if m.SBEvictions != 6 {
+		t.Errorf("SBEvictions = %d, want 6", m.SBEvictions)
+	}
+	if m.MaxFBOccupancy != 2 {
+		t.Errorf("MaxFBOccupancy = %d, want 2", m.MaxFBOccupancy)
+	}
+	// The sfence drains both clflushopt writebacks.
+	if m.FBWritebacks != 2 {
+		t.Errorf("FBWritebacks = %d, want 2", m.FBWritebacks)
+	}
+}
+
+// A crash injected mid-drain must not count the cut-off writeback.
+func TestObserverWritebackCountStopsAtCrash(t *testing.T) {
+	st := newFake()
+	st.failAt = 2 // second BeforeFlushEffect panics
+	reg := obs.NewRegistry(nil)
+	ts := NewThreadState(0)
+	ts.SetObserver(reg.NewShard())
+
+	ts.Push(st, store(0x1000, 8, 1))
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000})
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1040})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected injected crash")
+			}
+		}()
+		ts.Mfence(st)
+	}()
+
+	if m := reg.Snapshot(); m.FBWritebacks != 1 {
+		t.Errorf("FBWritebacks = %d, want 1 (second writeback crashed)", m.FBWritebacks)
+	}
+}

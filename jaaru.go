@@ -58,6 +58,7 @@ package jaaru
 
 import (
 	"jaaru/internal/core"
+	"jaaru/internal/obs"
 	"jaaru/internal/pmem"
 )
 
@@ -137,6 +138,17 @@ func Execute(name string, fn func(*Context), opts Options) *Result {
 
 // TraceOp is one recorded guest operation in a replayed trace.
 type TraceOp = core.TraceOp
+
+// Metrics is the observability layer's merged counter snapshot, attached
+// to Result.Metrics when Options.Observe or Options.EventTrace is set.
+// Metrics.Canonical isolates the partition-independent counters, which are
+// identical between a full serial and a full parallel exploration.
+type Metrics = obs.Metrics
+
+// Observability is the live metrics registry of an observed Checker
+// (Checker.Observability): Snapshot for point-in-time counters, Progress
+// for a one-line live status while Run is in flight.
+type Observability = obs.Registry
 
 // PerfIssue is a redundant flush or fence reported by FlagPerfIssues.
 type PerfIssue = core.PerfIssue
