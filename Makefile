@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-parallel clean
+.PHONY: all build test vet race verify bench bench-parallel bench-snapshot clean
 
 all: verify
 
@@ -19,9 +19,12 @@ test:
 	$(GO) test ./...
 
 # The parallel driver (internal/core) and the store-buffer machinery it
-# exercises concurrently (internal/tso) get a dedicated race-detector pass.
+# exercises concurrently (internal/tso) get a dedicated race-detector pass,
+# plus the root-package snapshot equivalence suite, which drives the
+# per-worker snapshot caches under Workers=4.
 race:
 	$(GO) test -race ./internal/core/ ./internal/tso/
+	$(GO) test -race -run TestSnapshotEquivalence .
 
 verify: vet build test race
 
@@ -31,6 +34,10 @@ bench:
 # Regenerate the parallel-scaling report (BENCH_parallel.json).
 bench-parallel:
 	$(GO) run ./cmd/jaaru-perf -parallel BENCH_parallel.json
+
+# Regenerate the snapshot off-vs-on report (BENCH_snapshot.json).
+bench-snapshot:
+	$(GO) run ./cmd/jaaru-perf -snapshots BENCH_snapshot.json
 
 clean:
 	$(GO) clean ./...

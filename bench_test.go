@@ -503,3 +503,35 @@ func BenchmarkPerfIssueDetectionOverhead(b *testing.B) {
 		}
 	}
 }
+
+// ---- Snapshot engine --------------------------------------------------------
+//
+// The amortization bar for the snapshot engine (the replay-based equivalent
+// of the paper's fork() strategy): resuming failure scenarios from captured
+// pre-failure snapshots must beat re-running every choice prefix, with
+// bit-identical results either way. Regenerate the full off/on table with:
+//
+//	go run ./cmd/jaaru-perf -snapshots BENCH_snapshot.json
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	prog := recipe.CCEHWorkload(12, recipe.CCEHBugs{})
+	for _, cfg := range []struct {
+		name string
+		opts jaaru.Options
+	}{
+		{"off", jaaru.Options{Snapshots: -1}},
+		{"on", jaaru.Options{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var execs int
+			for i := 0; i < b.N; i++ {
+				res := jaaru.Check(prog, cfg.opts)
+				if res.Buggy() {
+					b.Fatal(res.Bugs)
+				}
+				execs = res.Executions
+			}
+			b.ReportMetric(float64(execs), "JExecs")
+		})
+	}
+}

@@ -13,10 +13,18 @@
 // the measurements — including each workload's machine-readable metrics
 // block — are written as JSON (BENCH_parallel.json) for CI tracking.
 //
+// With -snapshots, it instead benchmarks the pre-failure snapshot engine:
+// every Figure 14 workload (plus a scaled commit-store program) is explored
+// with the engine disabled and enabled, the two runs are cross-checked for
+// bit-identical results (Result fields and the canonical observability
+// counters), and the measurements — total and pre-failure time, restore
+// counts, hit ratio — are written as JSON (BENCH_snapshot.json).
+//
 // Usage:
 //
 //	jaaru-perf [-scale N]
 //	jaaru-perf -parallel BENCH_parallel.json [-workers N] [-reps R] [-scale N]
+//	jaaru-perf -snapshots BENCH_snapshot.json [-reps R] [-scale N]
 package main
 
 import (
@@ -134,15 +142,180 @@ func runParallelBench(path string, workers, reps, scale int) {
 	fmt.Printf("\nwrote %s\n", path)
 }
 
+// snapshotBench is one benchmark row of the -snapshots report.
+type snapshotBench struct {
+	Name       string `json:"name"`
+	Executions int    `json:"executions"`
+	Scenarios  int    `json:"scenarios"`
+	// OffNs/OnNs are the best-of-reps wall-clock exploration times with the
+	// snapshot engine disabled and enabled; Reduction = 1 - on/off.
+	OffNs     int64   `json:"off_ns"`
+	OnNs      int64   `json:"on_ns"`
+	Reduction float64 `json:"reduction"`
+	// PreFailureOffNs/PreFailureOnNs show where the savings come from: the
+	// time spent (re-)executing guest pre-failure segments, from an
+	// instrumented pair (not the timed reps).
+	PreFailureOffNs int64 `json:"pre_failure_off_ns"`
+	PreFailureOnNs  int64 `json:"pre_failure_on_ns"`
+	// SnapshotRestores counts scenarios resumed from a captured state;
+	// SnapshotHitRatio is restores / scenarios.
+	SnapshotRestores int64   `json:"snapshot_restores"`
+	SnapshotHitRatio float64 `json:"snapshot_hit_ratio"`
+	// Match records the equivalence check: the engine-on run produced a
+	// bit-identical exploration (Result fields and canonical observability
+	// counters) to the engine-off reference.
+	Match bool `json:"match"`
+	// Metrics is the observability snapshot of the instrumented engine-on
+	// run, for CI tracking.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+}
+
+type snapshotReport struct {
+	Scale      int             `json:"scale"`
+	Reps       int             `json:"reps"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Note       string          `json:"note"`
+	Benchmarks []snapshotBench `json:"benchmarks"`
+}
+
+// commitstoreProgram is a scaled commit-store workload (the paper's §3.2
+// pattern): n flushed records committed by a final pointer store, with a
+// recovery that validates whatever the commit pointer claims. Pre-failure
+// work grows with n, which is exactly what the snapshot engine amortizes.
+func commitstoreProgram(n int) core.Program {
+	return core.Program{
+		Name: "commitstore",
+		Run: func(c *core.Context) {
+			root := c.Root()
+			data := c.AllocLine(uint64(8 * n))
+			for i := 0; i < n; i++ {
+				c.Store64(data.Add(uint64(8*i)), uint64(0xDA7A+i))
+				c.Clflush(data.Add(uint64(8*i)), 8)
+				c.Sfence()
+			}
+			c.StorePtr(root, data)
+			c.Clflush(root, 8)
+		},
+		Recover: func(c *core.Context) {
+			data := c.LoadPtr(c.Root())
+			if data == 0 {
+				return
+			}
+			for i := 0; i < n; i++ {
+				c.Assert(c.Load64(data.Add(uint64(8*i))) == uint64(0xDA7A+i),
+					"committed record %d lost its data", i)
+			}
+		},
+	}
+}
+
+// snapshotWorkloads is the -snapshots benchmark set: the Figure 14 table
+// plus the scaled commit-store program.
+func snapshotWorkloads(scale int) []core.Program {
+	progs := recipe.PerfWorkloads(scale)
+	return append(progs, commitstoreProgram(24*scale))
+}
+
+// resultsEqual cross-checks the exploration-level Result fields the two
+// configurations must agree on bit-for-bit.
+func resultsEqual(a, b *core.Result) bool {
+	return a.Executions == b.Executions &&
+		a.Scenarios == b.Scenarios &&
+		a.FailurePoints == b.FailurePoints &&
+		a.Steps == b.Steps &&
+		a.RFChoicePoints == b.RFChoicePoints &&
+		a.FailDecisionPoints == b.FailDecisionPoints &&
+		a.MaxRFCandidates == b.MaxRFCandidates &&
+		a.Complete == b.Complete &&
+		len(a.Bugs) == len(b.Bugs)
+}
+
+// runSnapshotBench measures every workload with the snapshot engine off and
+// on (best of reps), cross-checks equivalence, and writes the JSON report.
+func runSnapshotBench(path string, reps, scale int) {
+	rep := snapshotReport{
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "reduction = 1 - on/off total exploration time; the engine removes " +
+			"repeated pre-failure (and recovery-prefix) guest execution, so the " +
+			"bound is the workload's pre_failure_off_ns share",
+	}
+	fmt.Printf("Snapshot engine: exploration time with -snapshots=false vs default (best of %d)\n", reps)
+	fmt.Printf("%-12s  %7s  %10s  %10s  %9s  %8s  %6s\n",
+		"Benchmark", "#JExec.", "Off", "On", "Reduction", "Restores", "Match")
+	fmt.Println("---------------------------------------------------------------------------")
+
+	for _, prog := range snapshotWorkloads(scale) {
+		var off, on time.Duration
+		var roff, ron *core.Result
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			roff = core.New(prog, core.Options{Snapshots: -1}).Run()
+			if d := time.Since(t0); r == 0 || d < off {
+				off = d
+			}
+			t0 = time.Now()
+			ron = core.New(prog, core.Options{}).Run()
+			if d := time.Since(t0); r == 0 || d < on {
+				on = d
+			}
+		}
+		obsOff := core.New(prog, core.Options{Snapshots: -1, Observe: true}).Run()
+		obsOn := core.New(prog, core.Options{Observe: true}).Run()
+		match := resultsEqual(roff, ron) && resultsEqual(obsOff, obsOn) &&
+			obsOff.Metrics.Canonical() == obsOn.Metrics.Canonical()
+		b := snapshotBench{
+			Name:             trimName(prog.Name),
+			Executions:       ron.Executions,
+			Scenarios:        ron.Scenarios,
+			OffNs:            off.Nanoseconds(),
+			OnNs:             on.Nanoseconds(),
+			Reduction:        1 - float64(on)/float64(off),
+			PreFailureOffNs:  obsOff.Metrics.PreFailureNs,
+			PreFailureOnNs:   obsOn.Metrics.PreFailureNs,
+			SnapshotRestores: obsOn.Metrics.SnapshotRestores,
+			SnapshotHitRatio: float64(obsOn.Metrics.SnapshotRestores) / float64(max(ron.Scenarios, 1)),
+			Match:            match,
+			Metrics:          obsOn.Metrics,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-12s  %7d  %10s  %10s  %8.1f%%  %8d  %6v\n",
+			b.Name, b.Executions, off.Round(1e5), on.Round(1e5),
+			100*b.Reduction, b.SnapshotRestores, match)
+		if !match {
+			fmt.Fprintf(os.Stderr, "%s: snapshot-engine run diverged from reference\n", prog.Name)
+			os.Exit(1)
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = default table)")
 	workers := flag.Int("workers", 4, "worker checkers for -parallel")
-	reps := flag.Int("reps", 3, "measurement repetitions for -parallel (best is kept)")
+	reps := flag.Int("reps", 3, "measurement repetitions for -parallel/-snapshots (best is kept)")
 	parallel := flag.String("parallel", "", "benchmark parallel exploration and write the JSON report to this file")
+	snapshots := flag.String("snapshots", "", "benchmark the snapshot engine and write the JSON report to this file")
 	flag.Parse()
 
 	if *parallel != "" {
 		runParallelBench(*parallel, *workers, *reps, *scale)
+		return
+	}
+	if *snapshots != "" {
+		runSnapshotBench(*snapshots, *reps, *scale)
 		return
 	}
 

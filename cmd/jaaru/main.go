@@ -162,6 +162,7 @@ func main() {
 	trace := flag.Bool("trace", false, "attach operation traces to bug reports")
 	witness := flag.Bool("witness", false, "replay the first bug and print its full annotated witness")
 	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
+	snapshots := flag.Bool("snapshots", true, "amortize pre-failure execution via the snapshot engine; results are identical either way")
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
 	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
@@ -200,6 +201,9 @@ func main() {
 		Seed:            *seed,
 		MaxSteps:        100_000,
 		Workers:         *workers,
+	}
+	if !*snapshots {
+		opts.Snapshots = -1
 	}
 	if *trace {
 		opts.TraceLen = 128
@@ -324,6 +328,13 @@ func metricsBlock(m *obs.Metrics) string {
 		{Key: "flush-buffer writebacks", Value: m.FBWritebacks},
 		{Key: "store-buffer occupancy (max)", Value: m.MaxSBOccupancy},
 		{Key: "flush-buffer occupancy (max)", Value: m.MaxFBOccupancy},
+	}
+	if m.SnapshotCaptures > 0 {
+		kvs = append(kvs,
+			report.KV{Key: "snapshots captured", Value: m.SnapshotCaptures},
+			report.KV{Key: "snapshots restored", Value: m.SnapshotRestores},
+			report.KV{Key: "snapshot restore time", Value: dur(m.SnapshotRestoreNs)},
+			report.KV{Key: "snapshot bytes (max)", Value: m.MaxSnapshotBytes})
 	}
 	if m.Workers > 1 {
 		kvs = append(kvs,

@@ -88,6 +88,19 @@ type Checker struct {
 	// rfScratch is reused across loadByte calls to avoid allocating a
 	// candidate slice per pre-failure load byte.
 	rfScratch []pmem.Candidate
+
+	// Snapshot engine state (snapshot.go). snaps is the stack of captured
+	// pre-failure states, nested by choice prefix; snapActive latches
+	// per-scenario eligibility; snapBase/snapBaseSteps are the scenario
+	// baseline the capture deltas are measured against; scenPerf/scenMulti
+	// accumulate the current scenario's perf-issue and multi-rf
+	// manifestations so snapshots can re-apply them on restore.
+	snaps         []*snapEntry
+	snapActive    bool
+	snapBase      obs.CounterVec
+	snapBaseSteps int64
+	scenPerf      map[string]*PerfIssue
+	scenMulti     map[string]*MultiRF
 }
 
 // New returns a checker for prog with the given options.
@@ -348,9 +361,24 @@ func (c *Checker) runScenario() {
 				"scenario", c.scenarios, "depth", len(c.chooser.points))
 		}()
 	}
-	c.resetScenario()
+	c.beginSnapScenario()
 
-	crashed := c.runSegment(c.prog.Run)
+	var crashed bool
+	if s := c.usableSnapshot(); s != nil {
+		// The recorded choice prefix crashes at (or completes to) a captured
+		// state: restore it instead of re-executing the guest from scratch.
+		crashed = c.restoreSnapshot(s)
+	} else {
+		c.resetScenario()
+		// A full run always starts over on a fresh Stack, so any cached
+		// snapshots reference dead state and must go; eligible runs
+		// re-capture from scratch on the journaled fresh stack.
+		c.dropSnaps()
+		if c.snapActive {
+			c.stack.EnableJournal()
+		}
+		crashed = c.runSegment(c.prog.Run)
+	}
 	if c.preDone {
 		fp := c.fpCount
 		if c.opts.MaxFailures > 0 {
@@ -371,8 +399,11 @@ func (c *Checker) runScenario() {
 		if c.snapshot != nil {
 			c.snapshot(-1)
 		}
+		c.captureSnap(endSnap)
 	}
-	for depth := 0; ; depth++ {
+	// The stack depth reflects failures already injected — 1 on a fresh run,
+	// deeper when a restored snapshot resumed mid-recovery.
+	for depth := c.stack.Depth() - 1; ; depth++ {
 		if depth > c.opts.MaxFailures {
 			panic(engineError{"recovery depth exceeded MaxFailures"})
 		}
@@ -445,7 +476,7 @@ func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
 	ctx := &Context{ck: c, th: main}
 	fn(ctx)
 	c.joinAll(main)
-	c.quiesce(main)
+	c.quiesce()
 	if c.stack.Top().ID == 0 {
 		c.preDone = true
 	}
@@ -474,14 +505,13 @@ func (c *Checker) joinAll(main *thread) {
 // quiesce drains every thread's store and flush buffers, as happens when a
 // program runs to completion. Failure points encountered during the drain
 // remain eligible.
-func (c *Checker) quiesce(main *thread) {
+func (c *Checker) quiesce() {
 	c.sched.mu.Lock()
 	threads := append([]*thread(nil), c.sched.threads...)
 	c.sched.mu.Unlock()
 	for _, t := range threads {
 		t.ts.Mfence(c)
 	}
-	_ = main
 }
 
 // ---- tso.Storage implementation ------------------------------------------
@@ -509,14 +539,16 @@ func (c *Checker) ApplyStore(addr pmem.Addr, size int, val uint64, s pmem.Seq) {
 }
 
 // ApplyCLFlush pins the line's most-recent-writeback lower bound to s.
+// Routed through the stack so the mutation is undo-journaled when the
+// snapshot engine is active.
 func (c *Checker) ApplyCLFlush(addr pmem.Addr, s pmem.Seq) {
-	c.stack.Top().CacheLine(addr).RaiseBegin(s)
+	c.stack.FlushLine(addr, s)
 }
 
 // ApplyWriteback applies a buffered clflushopt writeback ordered at or
 // after s.
 func (c *Checker) ApplyWriteback(addr pmem.Addr, s pmem.Seq) {
-	c.stack.Top().CacheLine(addr).RaiseBegin(s)
+	c.stack.FlushLine(addr, s)
 }
 
 // SFenceEffect feeds the performance-issue detector.
@@ -545,6 +577,9 @@ func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc stri
 	if c.snapshot != nil {
 		c.snapshot(fpIndex)
 	}
+	// Captured before the fail/continue decision is consumed: restoring this
+	// snapshot resumes as if the decision selected "fail".
+	c.captureSnap(fpSnap)
 	if c.chooser.choose(chooseFail, 2) == 1 {
 		c.sched.initiateCrash()
 		panic(crashSignal{})
@@ -594,25 +629,37 @@ func (c *Checker) flagMultiRF(a pmem.Addr, cands []pmem.Candidate) {
 	loc := guestLocation()
 	key := loc
 	m, ok := c.multiRF[key]
+	if ok && len(cands) < m.Candidates {
+		// A smaller candidate set can never displace the canonical
+		// representative (the candidate maximum only grows), so skip the
+		// value formatting entirely — this is the hot path once a large
+		// manifestation has been seen at a location.
+		m.Count++
+		if c.snapActive {
+			c.noteMultiDelta(key, a, len(cands), nil)
+		}
+		return
+	}
+	vals := multiRFValues(cands)
 	if !ok {
-		m = &MultiRF{Loc: loc, Addr: a, Values: multiRFValues(cands)}
+		m = &MultiRF{Loc: loc, Addr: a, Values: vals}
 		c.multiRF[key] = m
-	} else if len(cands) >= m.Candidates {
+	} else if len(cands) > m.Candidates ||
+		strings.Join(vals, ",") < strings.Join(m.Values, ",") {
 		// Canonical representative, the same rule the parallel merge
 		// uses: the manifestation with the larger candidate set wins,
 		// ties broken lexicographically — so the reported example does
 		// not depend on discovery order (serial or partitioned).
-		vals := multiRFValues(cands)
-		if len(cands) > m.Candidates ||
-			strings.Join(vals, ",") < strings.Join(m.Values, ",") {
-			m.Values = vals
-			m.Addr = a
-		}
+		m.Values = vals
+		m.Addr = a
 	}
 	if len(cands) > m.Candidates {
 		m.Candidates = len(cands)
 	}
 	m.Count++
+	if c.snapActive {
+		c.noteMultiDelta(key, a, len(cands), vals)
+	}
 }
 
 func multiRFValues(cands []pmem.Candidate) []string {

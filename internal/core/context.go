@@ -29,9 +29,17 @@ type Context struct {
 }
 
 // op is the per-operation prologue: step accounting and infinite-loop
-// detection.
+// detection. A crashed machine executes nothing: deferred guest functions
+// (an unlock, say) run while the crash panic unwinds the guest stack, and
+// without this gate their operations would take effect and be counted after
+// the power failure. Reading crashed without the scheduler lock is safe:
+// every goroutine reaching here last acquired the lock at its turn handoff,
+// after any crash initiation it could observe.
 func (c *Context) op() {
 	ck := c.ck
+	if ck.sched.crashed {
+		panic(crashSignal{})
+	}
 	ck.steps++
 	ck.totalSteps++
 	if ck.steps > ck.opts.MaxSteps {

@@ -119,6 +119,20 @@ type Options struct {
 	// serial order would.
 	Workers int
 
+	// Snapshots controls the pre-failure snapshot engine (snapshot.go):
+	// the checker captures the scenario state at each eligible failure
+	// point during a full run, and a later scenario whose choice prefix
+	// crashes at a captured point restores the snapshot instead of
+	// re-executing the guest from scratch — the deterministic-replay
+	// equivalent of the paper's fork()-based restart strategy. On by
+	// default (0 is normalized to 1); a negative value disables the engine
+	// (normalized to the sentinel -1: every scenario re-runs the guest).
+	// Results are bit-identical either way, including the canonical
+	// observability counters; the engine is automatically bypassed for the
+	// configurations it cannot replay exactly (RandomScheduler,
+	// EvictRandom, instrumented or replayed runs).
+	Snapshots int
+
 	// Observe enables the observability layer: per-worker lock-free metric
 	// shards (internal/obs) aggregated into Result.Metrics. Off by default;
 	// when off every instrumentation hook is a nil check.
@@ -174,6 +188,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBugs == 0 {
 		o.MaxBugs = 64
+	}
+	if o.Snapshots == 0 {
+		o.Snapshots = 1
+	}
+	if o.Snapshots < 0 {
+		o.Snapshots = -1
 	}
 	if o.Workers == 0 {
 		o.Workers = 1

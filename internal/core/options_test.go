@@ -22,6 +22,9 @@ func TestWithDefaultsIdempotent(t *testing.T) {
 		{MaxFailures: 2},
 		{Workers: -1},
 		{TraceLen: -1, MaxFailures: -1, Workers: 4},
+		{Snapshots: -1},
+		{Snapshots: -2},
+		{Snapshots: 1},
 	}
 	for _, o := range cases {
 		once := o.withDefaults()
@@ -36,6 +39,12 @@ func TestWithDefaultsIdempotent(t *testing.T) {
 	}
 	if n := (Options{MaxFailures: -1}).withDefaults().MaxFailures; n != -1 {
 		t.Errorf("disabled MaxFailures normalized to %d, want the sentinel -1", n)
+	}
+	if n := (Options{}).withDefaults().Snapshots; n != 1 {
+		t.Errorf("default Snapshots normalized to %d, want 1 (enabled)", n)
+	}
+	if n := (Options{Snapshots: -5}).withDefaults().Snapshots; n != -1 {
+		t.Errorf("disabled Snapshots normalized to %d, want the sentinel -1", n)
 	}
 }
 

@@ -321,6 +321,10 @@ func (c *Checker) runScenarioGuarded(prefix []choicePoint) (ok bool) {
 		if !isEngine {
 			panic(r)
 		}
+		// The panic may have left the shared scenario stack mid-mutation;
+		// discard any snapshots referencing it so the next claim starts
+		// from a clean full run.
+		c.dropSnaps()
 		c.recordEngineBug(e, prefix)
 	}()
 	c.runScenario()

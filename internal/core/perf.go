@@ -86,8 +86,13 @@ func (c *Checker) notePerfFence(loc string) {
 	c.recordPerfIssue(PerfRedundantFence, loc, 0)
 }
 
+// perfKey is the dedup key of a perf finding: kind + guest location.
+func perfKey(kind PerfIssueKind, loc string) string {
+	return fmt.Sprintf("%d|%s", kind, loc)
+}
+
 func (c *Checker) recordPerfIssue(kind PerfIssueKind, loc string, line pmem.Addr) {
-	key := fmt.Sprintf("%d|%s", kind, loc)
+	key := perfKey(kind, loc)
 	if p, ok := c.perfIssues[key]; ok {
 		p.Count++
 		// Keep the canonical (smallest) example line, the same rule the
@@ -96,9 +101,12 @@ func (c *Checker) recordPerfIssue(kind PerfIssueKind, loc string, line pmem.Addr
 		if line < p.Line {
 			p.Line = line
 		}
-		return
+	} else {
+		c.perfIssues[key] = &PerfIssue{Kind: kind, Loc: loc, Line: line, Count: 1}
 	}
-	c.perfIssues[key] = &PerfIssue{Kind: kind, Loc: loc, Line: line, Count: 1}
+	if c.snapActive {
+		c.notePerfDelta(key, kind, loc, line)
+	}
 }
 
 // perfStorage wraps the Checker's tso.Storage implementation; it exists

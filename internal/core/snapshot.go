@@ -1,0 +1,336 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"jaaru/internal/obs"
+	"jaaru/internal/pmem"
+)
+
+// Pre-failure snapshot engine — the deterministic-replay equivalent of the
+// paper's fork()-based restart strategy (§4, "Evaluating executions").
+//
+// The paper's Jaaru forks the checked process at every failure point, so
+// the expensive pre-failure execution runs once and each failure scenario
+// resumes from a cheap process snapshot. Our replay-based engine instead
+// re-ran the guest Run function for every scenario; for CCEH that made the
+// byte-identical pre-failure prefix ~half of total wall time. This file
+// closes the gap:
+//
+//   - During any full scenario run, captureSnap records the checker state
+//     at each eligible failure point (and at the mandatory end-of-run
+//     failure): the global sequence counter, fpCount, the allocator
+//     high-water mark, the trace ring, and a pmem.Mark into the journaled
+//     execution stack (store queues shared by reference + recorded length;
+//     intervals via the undo journal — refinement mutates them in place,
+//     so restoring needs undo, not sharing).
+//   - A scenario whose recorded choice prefix crashes at a captured point
+//     (fail@k taken, or the end-of-run failure) restores the snapshot and
+//     jumps straight into the recovery loop of runScenario, never invoking
+//     c.prog.Run again. The same machinery applies at recovery-segment
+//     failure points, so multi-failure scenarios amortize their recovery
+//     prefixes too.
+//   - Snapshots are kept as a stack keyed by the choice prefix they were
+//     captured under, paralleling the chooser's depth-first backtracking:
+//     usableSnapshot drops entries whose prefix the current scenario no
+//     longer replays, and restoring an entry invalidates (prunes) every
+//     deeper one, since the rewind reclaims their journaled state.
+//   - Each parallel worker owns a private snapshot cache over its private
+//     stack. A claimed branch prefix that extends the prefix of a surviving
+//     snapshot reuses it; otherwise the first scenario of the claim is a
+//     full run that recaptures from scratch.
+//
+// Exactness: results with the engine on must be bit-identical to the
+// full-replay path, including the canonical observability counters. The
+// guest-visible state (queues, intervals, allocator, seq, trace) is restored
+// exactly; the exploration-level counters a skipped prefix would have
+// accumulated (steps, load-path counters, executions, per-scenario
+// perf-issue and multi-rf manifestations) are captured as deltas against the
+// scenario baseline and re-applied on restore. Counters whose value differs
+// between a replayed and a fresh traversal of the same prefix
+// (ChoicesReplayed) are computed analytically; phase timings are wall-clock
+// and excluded from the canonical comparison anyway.
+
+// snapKind distinguishes the two capture sites.
+type snapKind uint8
+
+const (
+	// fpSnap is captured in BeforeFlushEffect, immediately before the
+	// fail/continue choice of an eligible failure point: restoring it
+	// resumes as if that choice selected "fail".
+	fpSnap snapKind = iota
+	// endSnap is captured after the pre-failure execution completed,
+	// immediately before the mandatory end-of-run failure.
+	endSnap
+)
+
+// snapEntry is one captured scenario state.
+type snapEntry struct {
+	kind snapKind
+	// depth is the chooser cursor at capture; prefix is a copy of
+	// points[:depth] — the decisions that deterministically lead here.
+	depth  int
+	prefix []choicePoint
+
+	// Guest-visible state.
+	mark    pmem.Mark
+	seq     pmem.Seq
+	fpCount int
+	preDone bool
+	high    pmem.Addr // allocator high-water mark
+	trace   []TraceOp // nil when tracing is disabled
+
+	// Exploration-level deltas accumulated by the capture scenario up to
+	// this point (relative to its scenario baseline), re-applied when a
+	// scenario restores this entry instead of re-running the prefix.
+	vec        obs.CounterVec
+	stepsDelta int64
+	perf       map[string]*PerfIssue
+	multi      map[string]*MultiRF
+}
+
+// snapEligible reports whether the snapshot engine can run for this checker
+// at all. RandomScheduler and EvictRandom draw from an rng that is re-seeded
+// per scenario and advanced by every operation — a skipped prefix would
+// leave it in the wrong state — and instrumented (Yat), observed, or
+// replayed runs must see every guest operation.
+func (c *Checker) snapEligible() bool {
+	return c.opts.Snapshots > 0 &&
+		c.opts.MaxFailures > 0 &&
+		c.prog.Recover != nil &&
+		!c.opts.RandomScheduler &&
+		c.opts.Eviction != EvictRandom &&
+		c.snapshot == nil &&
+		len(c.observers) == 0 &&
+		!c.replaySegment
+}
+
+// beginSnapScenario latches eligibility and records the scenario baseline
+// the capture deltas are measured against. Called at the top of runScenario,
+// before any restore re-applies prefix contributions.
+func (c *Checker) beginSnapScenario() {
+	c.snapActive = c.snapEligible()
+	if !c.snapActive {
+		return
+	}
+	c.snapBase = c.col.Counters()
+	c.snapBaseSteps = c.totalSteps
+	if c.scenPerf == nil {
+		c.scenPerf = make(map[string]*PerfIssue)
+		c.scenMulti = make(map[string]*MultiRF)
+	} else {
+		clear(c.scenPerf)
+		clear(c.scenMulti)
+	}
+}
+
+// dropSnaps releases every snapshot (a fresh full run re-captures from
+// scratch, and an engine panic leaves the journaled stack untrustworthy).
+func (c *Checker) dropSnaps() {
+	for i := range c.snaps {
+		c.snaps[i] = nil
+	}
+	c.snaps = c.snaps[:0]
+}
+
+// usableSnapshot returns the deepest snapshot the current scenario can
+// resume from, pruning entries captured under prefixes the chooser has
+// backtracked away from. Snapshot prefixes are nested (each extends the one
+// below), so stale entries are always the deepest and are dropped as they
+// are found; a valid entry is usable if it is an endSnap (recovery re-runs
+// from the completed pre-failure state) or an fpSnap whose failure decision
+// the scenario records as taken. Deeper valid-but-unusable entries (e.g. a
+// recovery failure point this scenario does not crash at) stay cached; they
+// are pruned by restoreSnapshot only if a shallower entry is restored,
+// because the rewind reclaims their journaled state.
+func (c *Checker) usableSnapshot() *snapEntry {
+	if !c.snapActive {
+		return nil
+	}
+	pts := c.chooser.points
+	for i := len(c.snaps) - 1; i >= 0; i-- {
+		s := c.snaps[i]
+		if s.depth > len(pts) || !prefixEqual(s.prefix, pts[:s.depth]) {
+			c.snaps[i] = nil
+			c.snaps = c.snaps[:i]
+			continue
+		}
+		usable := s.kind == endSnap ||
+			(s.depth < len(pts) &&
+				pts[s.depth].kind == chooseFail && pts[s.depth].idx == 1)
+		if usable {
+			for j := i + 1; j < len(c.snaps); j++ {
+				c.snaps[j] = nil
+			}
+			c.snaps = c.snaps[:i+1]
+			return s
+		}
+	}
+	return nil
+}
+
+func prefixEqual(a, b []choicePoint) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// captureSnap records the current scenario state if the engine is active
+// and no snapshot exists at this depth yet (a restored prefix re-passes the
+// shallower capture sites with the condition already satisfied).
+func (c *Checker) captureSnap(kind snapKind) {
+	if !c.snapActive {
+		return
+	}
+	depth := c.chooser.cursor
+	if n := len(c.snaps); n > 0 && depth <= c.snaps[n-1].depth {
+		return
+	}
+	s := &snapEntry{
+		kind:       kind,
+		depth:      depth,
+		prefix:     append([]choicePoint(nil), c.chooser.points[:depth]...),
+		mark:       c.stack.Mark(),
+		seq:        c.seq,
+		fpCount:    c.fpCount,
+		preDone:    c.preDone,
+		high:       c.alloc.HighWater(),
+		stepsDelta: c.totalSteps - c.snapBaseSteps,
+	}
+	if c.trace != nil {
+		s.trace = c.trace.snapshot()
+	}
+	if c.col != nil {
+		vec := c.col.Counters().Diff(c.snapBase)
+		// Excluded from the replayed delta: per-scenario bookkeeping the
+		// restore path accounts for itself (Scenarios is counted per
+		// scenario regardless; Steps covers the in-flight segment via
+		// stepsDelta; ChoicesReplayed is the skipped-prefix length, which
+		// differs from what the capture run recorded as fresh), wall-clock
+		// phase timings, and the engine's own counters.
+		vec.Clear(obs.Scenarios, obs.Steps,
+			obs.PreFailureNs, obs.PostFailureNs, obs.ReplayNs,
+			obs.ChoicesReplayed, obs.ChoicesFresh,
+			obs.SnapshotCaptures, obs.SnapshotRestores, obs.SnapshotRestoreNs)
+		s.vec = vec
+	}
+	if len(c.scenPerf) > 0 {
+		s.perf = make(map[string]*PerfIssue, len(c.scenPerf))
+		for k, p := range c.scenPerf {
+			cp := *p
+			s.perf[k] = &cp
+		}
+	}
+	if len(c.scenMulti) > 0 {
+		s.multi = make(map[string]*MultiRF, len(c.scenMulti))
+		for k, m := range c.scenMulti {
+			cm := *m
+			s.multi[k] = &cm
+		}
+	}
+	c.snaps = append(c.snaps, s)
+	c.col.Inc(obs.SnapshotCaptures)
+	c.col.NotePeak(obs.PeakSnapshotBytes, c.stack.RetainedBytes())
+}
+
+// restoreSnapshot rewinds the checker to a captured state and re-applies the
+// exploration-level deltas the skipped prefix would have accumulated. It
+// reports whether the scenario resumes crashed (fpSnap: the failure decision
+// at s.depth is taken) or at the completed pre-failure execution (endSnap).
+func (c *Checker) restoreSnapshot(s *snapEntry) (crashed bool) {
+	var t0 time.Time
+	if c.col != nil {
+		t0 = time.Now()
+	}
+	c.stack.Rewind(s.mark)
+	c.seq = s.seq
+	c.fpCount = s.fpCount
+	c.preDone = s.preDone
+	c.alloc.Truncate(s.high)
+	if c.trace != nil {
+		c.trace.restore(s.trace)
+	}
+	cursor := s.depth
+	if s.kind == fpSnap {
+		cursor++ // the skipped prefix consumed the fail decision too
+	}
+	c.chooser.cursor = cursor
+	c.totalSteps += s.stepsDelta
+	c.execsPost += s.mark.Depth - 1
+	c.bugEndedSegment = false
+	for k, p := range s.perf {
+		c.applyPerfDelta(k, p)
+	}
+	for k, m := range s.multi {
+		cm := *m
+		c.stats.mergeMultiRF(k, &cm)
+		live := cm
+		c.scenMulti[k] = &live
+	}
+	if c.col != nil {
+		c.col.AddCounters(s.vec)
+		c.col.Add(obs.Steps, s.stepsDelta)
+		c.col.Add(obs.ChoicesReplayed, int64(cursor))
+		c.col.Inc(obs.SnapshotRestores)
+		c.col.Add(obs.SnapshotRestoreNs, time.Since(t0).Nanoseconds())
+	}
+	return s.kind == fpSnap
+}
+
+// applyPerfDelta merges one captured perf-issue delta into the live stats
+// and the current scenario's delta, with the canonical count-sum /
+// smallest-line rule every other merge path uses.
+func (c *Checker) applyPerfDelta(key string, p *PerfIssue) {
+	if ex, ok := c.perfIssues[key]; ok {
+		ex.Count += p.Count
+		if p.Line < ex.Line {
+			ex.Line = p.Line
+		}
+	} else {
+		cp := *p
+		c.perfIssues[key] = &cp
+	}
+	live := *p
+	c.scenPerf[key] = &live
+}
+
+// notePerfDelta mirrors recordPerfIssue into the scenario delta while the
+// engine is active, so a snapshot captured later in this scenario can replay
+// the prefix's manifestations.
+func (c *Checker) notePerfDelta(key string, kind PerfIssueKind, loc string, line pmem.Addr) {
+	if p, ok := c.scenPerf[key]; ok {
+		p.Count++
+		if line < p.Line {
+			p.Line = line
+		}
+		return
+	}
+	c.scenPerf[key] = &PerfIssue{Kind: kind, Loc: loc, Line: line, Count: 1}
+}
+
+// noteMultiDelta mirrors flagMultiRF into the scenario delta. vals is nil
+// when the caller short-circuited formatting because the manifestation
+// cannot become the global representative — in that case it cannot become
+// the merged representative either (the global maximum only grows), so the
+// delta only needs the count and candidate maximum.
+func (c *Checker) noteMultiDelta(key string, a pmem.Addr, n int, vals []string) {
+	d, ok := c.scenMulti[key]
+	if !ok {
+		d = &MultiRF{Loc: key, Addr: a, Values: vals}
+		c.scenMulti[key] = d
+	} else if vals != nil && n >= d.Candidates {
+		if n > d.Candidates || d.Values == nil ||
+			strings.Join(vals, ",") < strings.Join(d.Values, ",") {
+			d.Values = vals
+			d.Addr = a
+		}
+	}
+	if n > d.Candidates {
+		d.Candidates = n
+	}
+	d.Count++
+}

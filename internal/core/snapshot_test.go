@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"jaaru/internal/obs"
+	"jaaru/internal/pmem"
+)
+
+// snapProgram is a small two-failure-point program with a recovery that
+// reads the committed state — enough choice-tree structure for snapshots to
+// capture, restore, and invalidate.
+func snapProgram(o *obsSet) Program {
+	return Program{
+		Name: "snap-test",
+		Run: func(c *Context) {
+			root := c.Root()
+			data := c.AllocLine(8)
+			c.Store64(data, 7)
+			c.Clflush(data, 8)
+			c.StorePtr(root, data)
+			c.Clflush(root, 8)
+		},
+		Recover: func(c *Context) {
+			p := c.LoadPtr(c.Root())
+			if p == 0 {
+				o.add("empty")
+				return
+			}
+			o.add("v=%d", c.Load64(p))
+		},
+	}
+}
+
+func TestSnapshotEligibilityGates(t *testing.T) {
+	prog := snapProgram(&obsSet{})
+	cases := []struct {
+		name string
+		opts Options
+		want bool
+	}{
+		{"default", Options{}, true},
+		{"disabled", Options{Snapshots: -1}, false},
+		{"no failure injection", Options{MaxFailures: -1}, false},
+		{"random scheduler", Options{RandomScheduler: true, Seed: 1}, false},
+		{"random eviction", Options{Eviction: EvictRandom, Seed: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(prog, tc.opts)
+			if got := c.snapEligible(); got != tc.want {
+				t.Errorf("snapEligible = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	t.Run("no recovery", func(t *testing.T) {
+		p := prog
+		p.Recover = nil
+		if New(p, Options{}).snapEligible() {
+			t.Error("snapEligible without a Recover function")
+		}
+	})
+}
+
+func TestSnapshotRunUsesRestores(t *testing.T) {
+	offObs, onObs := &obsSet{}, &obsSet{}
+	off := New(snapProgram(offObs), Options{Snapshots: -1, Observe: true}).Run()
+	on := New(snapProgram(onObs), Options{Observe: true}).Run()
+
+	if off.Scenarios != on.Scenarios || off.Executions != on.Executions ||
+		off.Steps != on.Steps || len(off.Bugs) != len(on.Bugs) {
+		t.Errorf("results diverge: off %+v\non %+v", off, on)
+	}
+	if !sameStrings(offObs.set(), onObs.set()) {
+		t.Errorf("observations diverge: off %v, on %v", offObs.set(), onObs.set())
+	}
+	if off.Metrics.Canonical() != on.Metrics.Canonical() {
+		t.Errorf("canonical metrics diverge:\noff %+v\non  %+v",
+			off.Metrics.Canonical(), on.Metrics.Canonical())
+	}
+	if on.Metrics.SnapshotRestores == 0 {
+		t.Error("no scenario restored a snapshot")
+	}
+	if on.Metrics.SnapshotRestores >= int64(on.Scenarios) {
+		t.Errorf("SnapshotRestores = %d out of %d scenarios: the first full run cannot restore",
+			on.Metrics.SnapshotRestores, on.Scenarios)
+	}
+	if off.Metrics.SnapshotCaptures != 0 {
+		t.Errorf("disabled engine captured %d snapshots", off.Metrics.SnapshotCaptures)
+	}
+}
+
+// TestSnapshotStalePrefixPruned drives usableSnapshot directly: an entry
+// whose recorded prefix the chooser has backtracked away from must be
+// dropped, and a matching fail-decision entry selected.
+func TestSnapshotStalePrefixPruned(t *testing.T) {
+	c := New(snapProgram(&obsSet{}), Options{})
+	c.snapActive = true
+	c.stack = pmem.NewStack()
+	c.stack.EnableJournal()
+	mk := func(depth int, prefix ...int) *snapEntry {
+		pts := make([]choicePoint, len(prefix))
+		for i, v := range prefix {
+			pts[i] = choicePoint{kind: chooseFail, n: 2, idx: v}
+		}
+		return &snapEntry{kind: fpSnap, depth: depth, prefix: pts,
+			mark: c.stack.Mark()}
+	}
+	c.snaps = []*snapEntry{mk(0), mk(1, 0)}
+
+	// Current scenario: fail at the first point — the depth-1 entry (whose
+	// prefix says the first point continued) is stale, the depth-0 usable.
+	c.chooser.points = []choicePoint{{kind: chooseFail, n: 2, idx: 1}}
+	s := c.usableSnapshot()
+	if s == nil || s.depth != 0 {
+		t.Fatalf("usableSnapshot = %+v, want the depth-0 entry", s)
+	}
+	if len(c.snaps) != 1 {
+		t.Errorf("stale entry not pruned: %d entries remain", len(c.snaps))
+	}
+
+	// A scenario whose prefix matches no fail decision restores nothing.
+	c.snaps = []*snapEntry{mk(0)}
+	c.chooser.points = []choicePoint{{kind: chooseFail, n: 2, idx: 0}}
+	if s := c.usableSnapshot(); s != nil {
+		t.Errorf("usableSnapshot = %+v for a continue decision, want nil", s)
+	}
+}
+
+// TestSnapshotCaptureDepthGuard: re-passing a capture site at or below the
+// top entry's depth (a restored prefix) must not duplicate the entry.
+func TestSnapshotCaptureDepthGuard(t *testing.T) {
+	c := New(snapProgram(&obsSet{}), Options{Observe: true})
+	c.stack = pmem.NewStack()
+	c.stack.EnableJournal()
+	c.beginSnapScenario()
+	if !c.snapActive {
+		t.Fatal("engine inactive")
+	}
+	c.chooser.points = []choicePoint{
+		{kind: chooseFail, n: 2, idx: 0},
+		{kind: chooseFail, n: 2, idx: 0},
+		{kind: chooseFail, n: 2, idx: 0},
+	}
+	c.chooser.cursor = 2
+	c.captureSnap(fpSnap)
+	c.captureSnap(fpSnap) // same cursor: must dedup
+	if len(c.snaps) != 1 {
+		t.Fatalf("duplicate capture: %d entries", len(c.snaps))
+	}
+	c.chooser.cursor = 1
+	c.captureSnap(fpSnap) // shallower: a replayed prefix site
+	if len(c.snaps) != 1 {
+		t.Fatalf("shallow re-capture accepted: %d entries", len(c.snaps))
+	}
+	c.chooser.cursor = 3
+	c.captureSnap(endSnap)
+	if len(c.snaps) != 2 {
+		t.Fatalf("deeper capture rejected: %d entries", len(c.snaps))
+	}
+	if got := c.col.Counters()[obs.SnapshotCaptures]; got != 2 {
+		t.Errorf("SnapshotCaptures = %d, want 2", got)
+	}
+}

@@ -59,6 +59,16 @@ func (r *traceRing) snapshot() []TraceOp {
 	return out
 }
 
+// restore rewinds the ring to hold exactly the given operations (a prior
+// snapshot of length <= len(buf)), oldest-first — used when a scenario
+// resumes from a captured snapshot instead of re-running its prefix.
+func (r *traceRing) restore(ops []TraceOp) {
+	r.reset()
+	for _, op := range ops {
+		r.add(op)
+	}
+}
+
 func (c *Checker) traceOp(threadID int, kind string, a pmem.Addr, size int, val uint64) {
 	if c.trace == nil {
 		return

@@ -60,6 +60,13 @@ const (
 	SBEvictions
 	// FBWritebacks counts flush-buffer (clflushopt) writebacks applied.
 	FBWritebacks
+	// SnapshotCaptures / SnapshotRestores count snapshot-engine activity:
+	// pre-failure states captured at eligible failure points, and scenarios
+	// that resumed from a captured state instead of re-running the guest.
+	// SnapshotRestoreNs is the wall-clock time spent restoring.
+	SnapshotCaptures
+	SnapshotRestores
+	SnapshotRestoreNs
 
 	numCounters
 )
@@ -76,6 +83,10 @@ const (
 	// marks across all guest threads.
 	PeakSB
 	PeakFB
+	// PeakSnapshotBytes is the high-water estimate of memory retained by
+	// the snapshot engine's journaled state (shared store queues + undo
+	// journal), per worker, merged by max.
+	PeakSnapshotBytes
 
 	numPeaks
 )
@@ -112,6 +123,53 @@ func (c *Collector) NotePeak(p Peak, v int64) {
 		return
 	}
 	c.raisePeak(p, v)
+}
+
+// CounterVec is a plain (non-atomic) snapshot of one Collector's summed
+// counters. The snapshot engine uses it for delta accounting: the counters
+// a scenario accumulated up to a capture point are stored with the snapshot
+// and re-applied when a later scenario restores that state instead of
+// re-executing the guest, keeping the merged Metrics bit-identical to a
+// full-replay run.
+type CounterVec [numCounters]int64
+
+// Counters reads the collector's current counter values (zero on nil).
+func (c *Collector) Counters() CounterVec {
+	var v CounterVec
+	if c == nil {
+		return v
+	}
+	for k := range v {
+		v[k] = c.counts[k].Load()
+	}
+	return v
+}
+
+// Diff returns v - base, element-wise.
+func (v CounterVec) Diff(base CounterVec) CounterVec {
+	for k := range v {
+		v[k] -= base[k]
+	}
+	return v
+}
+
+// Clear zeroes the given counters in place.
+func (v *CounterVec) Clear(ks ...Counter) {
+	for _, k := range ks {
+		v[k] = 0
+	}
+}
+
+// AddCounters accumulates a whole vector into the collector (no-op on nil).
+func (c *Collector) AddCounters(v CounterVec) {
+	if c == nil {
+		return
+	}
+	for k, n := range v {
+		if n != 0 {
+			c.counts[k].Add(n)
+		}
+	}
 }
 
 func (c *Collector) raisePeak(p Peak, v int64) {
@@ -269,6 +327,10 @@ func (r *Registry) Snapshot() Metrics {
 	m.ChoicesFresh = counts[ChoicesFresh]
 	m.SBEvictions = counts[SBEvictions]
 	m.FBWritebacks = counts[FBWritebacks]
+	m.SnapshotCaptures = counts[SnapshotCaptures]
+	m.SnapshotRestores = counts[SnapshotRestores]
+	m.SnapshotRestoreNs = counts[SnapshotRestoreNs]
+	m.MaxSnapshotBytes = peaks[PeakSnapshotBytes]
 	m.MaxRFCandidates = peaks[PeakRFCandidates]
 	m.MaxChoiceDepth = peaks[PeakChoiceDepth]
 	m.MaxSBOccupancy = peaks[PeakSB]
@@ -339,6 +401,13 @@ type Metrics struct {
 	MaxSBOccupancy int64 `json:"max_sb_occupancy"`
 	MaxFBOccupancy int64 `json:"max_fb_occupancy"`
 
+	// Snapshot engine (depends on Options.Snapshots and on how scenarios
+	// were partitioned; zeroed by Canonical).
+	SnapshotCaptures  int64 `json:"snapshot_captures,omitempty"`
+	SnapshotRestores  int64 `json:"snapshot_restores,omitempty"`
+	SnapshotRestoreNs int64 `json:"snapshot_restore_ns,omitempty"`
+	MaxSnapshotBytes  int64 `json:"max_snapshot_bytes,omitempty"`
+
 	// Parallel driver (depends on scheduling; zeroed by Canonical).
 	FrontierPushed  int64 `json:"frontier_pushed,omitempty"`
 	FrontierClaimed int64 `json:"frontier_claimed,omitempty"`
@@ -359,5 +428,7 @@ func (m Metrics) Canonical() Metrics {
 	m.PreFailureNs, m.PostFailureNs, m.ReplayNs = 0, 0, 0
 	m.FrontierPushed, m.FrontierClaimed, m.Donations = 0, 0, 0
 	m.MaxFrontierLen, m.Workers, m.Events = 0, 0, 0
+	m.SnapshotCaptures, m.SnapshotRestores = 0, 0
+	m.SnapshotRestoreNs, m.MaxSnapshotBytes = 0, 0
 	return m
 }

@@ -61,6 +61,15 @@ func (a *Allocator) Grow(to pmem.Addr) {
 	}
 }
 
+// Truncate lowers the high-water mark back to `to` (which must lie within
+// [base, limit]), releasing everything allocated beyond it. Used by the
+// snapshot engine to rewind the allocator to a captured pre-failure state.
+func (a *Allocator) Truncate(to pmem.Addr) {
+	if to >= a.base && to <= a.limit {
+		a.next = to
+	}
+}
+
 // Base returns the start of the pool region.
 func (a *Allocator) Base() pmem.Addr { return a.base }
 

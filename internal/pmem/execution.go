@@ -27,6 +27,12 @@ type Execution struct {
 	// during this execution (used for failure-point eligibility and for
 	// the Yat state-count accounting).
 	EvictedStores int
+
+	// appendLog records the byte address of every Append while the owning
+	// stack journals (logAppends), so a Rewind can truncate the append-only
+	// queues back to a marked length (see journal.go).
+	appendLog  []Addr
+	logAppends bool
 }
 
 // NewExecution returns an empty execution record with the given stack index.
@@ -42,6 +48,22 @@ func NewExecution(id int) *Execution {
 // Sequence numbers must be appended in increasing order.
 func (e *Execution) Append(a Addr, v byte, s Seq) {
 	e.queues[a] = append(e.queues[a], ByteStore{Val: v, Seq: s})
+	if e.logAppends {
+		e.appendLog = append(e.appendLog, a)
+	}
+}
+
+// truncateAppends pops appends beyond the first n, newest-first, restoring
+// the queues (and the per-byte EvictedStores accounting) to their state when
+// the append log held n entries.
+func (e *Execution) truncateAppends(n int) {
+	for i := len(e.appendLog) - 1; i >= n; i-- {
+		a := e.appendLog[i]
+		q := e.queues[a]
+		e.queues[a] = q[:len(q)-1]
+		e.EvictedStores--
+	}
+	e.appendLog = e.appendLog[:n]
 }
 
 // Queue returns the store queue for byte address a, oldest first.

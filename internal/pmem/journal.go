@@ -1,0 +1,135 @@
+package pmem
+
+// Undo journaling for the snapshot engine (see internal/core/snapshot.go).
+//
+// The paper's Jaaru amortizes the shared pre-failure execution with fork():
+// every failure scenario resumes from a cheap process snapshot instead of
+// re-running the program. Our deterministic-replay substitution gets the
+// same amortization by making the scenario Stack rewindable:
+//
+//   - Per-byte store queues are append-only, so a snapshot shares them by
+//     reference and records only their lengths. An append log (one Addr per
+//     appended byte, kept per execution while journaling) makes truncation
+//     back to a recorded length O(appends undone).
+//   - Per-cache-line intervals are NOT append-only: post-failure constraint
+//     refinement (DoRead/updateRanges) raises Begin and lowers End of
+//     pre-failure lines in place. Every effective interval mutation is
+//     therefore recorded in an undo journal holding the pre-mutation value,
+//     and a rewind plays the journal backwards.
+//   - Executions pushed after a snapshot are simply popped; their queues and
+//     intervals die with them (interval undo entries referencing them are
+//     applied before the pop, while the pointers are still live — harmless).
+//
+// Lazily materialized cache lines (CacheLine creating the vacuous [0, ∞))
+// are deliberately not journaled: a rewind restores any refined line to its
+// recorded bounds, and a line materialized after the mark merely remains in
+// the map with its vacuous interval, which is semantically identical to an
+// unmaterialized line for candidate enumeration.
+
+// ivUndo is one undo-journal entry: the interval's value before a mutation.
+type ivUndo struct {
+	iv  *Interval
+	old Interval
+}
+
+// journal accumulates undoable interval mutations of one Stack.
+type journal struct {
+	ivlog []ivUndo
+}
+
+// Mark identifies a rewindable point in a journaled Stack's history.
+type Mark struct {
+	// Depth is the number of executions on the stack.
+	Depth int
+	// TopAppends is the append-log length of the then-top execution. Only
+	// the top execution receives appends, so deeper marks never need it.
+	TopAppends int
+	// Intervals is the interval undo-journal length.
+	Intervals int
+}
+
+// EnableJournal switches the stack into journaling mode: subsequent store
+// appends and interval mutations become rewindable via Mark/Rewind. It must
+// be called before any mutation that a later Rewind is expected to undo
+// (in practice: right after NewStack).
+func (s *Stack) EnableJournal() {
+	if s.j != nil {
+		return
+	}
+	s.j = &journal{}
+	for _, e := range s.execs {
+		e.logAppends = true
+	}
+}
+
+// Journaling reports whether the stack records undo information.
+func (s *Stack) Journaling() bool { return s.j != nil }
+
+// Mark captures the current rewind point. The stack must be journaling.
+func (s *Stack) Mark() Mark {
+	return Mark{
+		Depth:      len(s.execs),
+		TopAppends: len(s.Top().appendLog),
+		Intervals:  len(s.j.ivlog),
+	}
+}
+
+// Rewind restores the stack to the state captured by m: interval mutations
+// performed since the mark are undone newest-first, executions pushed since
+// are popped, and stores appended to the then-top execution since are
+// truncated away.
+func (s *Stack) Rewind(m Mark) {
+	log := s.j.ivlog
+	for i := len(log) - 1; i >= m.Intervals; i-- {
+		*log[i].iv = log[i].old
+	}
+	s.j.ivlog = log[:m.Intervals]
+	for i := m.Depth; i < len(s.execs); i++ {
+		s.execs[i] = nil
+	}
+	s.execs = s.execs[:m.Depth]
+	s.execs[m.Depth-1].truncateAppends(m.TopAppends)
+}
+
+// FlushLine applies a flush effect (clflush or a buffered writeback) to the
+// top execution's line containing a, journaled: the line's most-recent-
+// writeback lower bound is raised to at least `at`.
+func (s *Stack) FlushLine(a Addr, at Seq) {
+	s.raiseBegin(s.Top().CacheLine(a), at)
+}
+
+// raiseBegin / lowerEnd are the journaled forms of Interval.RaiseBegin and
+// Interval.LowerEnd: effective mutations record the pre-mutation value.
+func (s *Stack) raiseBegin(iv *Interval, v Seq) {
+	if v <= iv.Begin {
+		return
+	}
+	if s.j != nil {
+		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
+	}
+	iv.Begin = v
+}
+
+func (s *Stack) lowerEnd(iv *Interval, v Seq) {
+	if v >= iv.End {
+		return
+	}
+	if s.j != nil {
+		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
+	}
+	iv.End = v
+}
+
+// RetainedBytes estimates the memory retained by the journaled state a
+// snapshot shares: live store-queue entries plus undo-journal entries
+// (both ~24 bytes each including slice overhead). Cheap: O(stack depth).
+func (s *Stack) RetainedBytes() int64 {
+	if s.j == nil {
+		return 0
+	}
+	var entries int64
+	for _, e := range s.execs {
+		entries += int64(len(e.appendLog))
+	}
+	return (entries + int64(len(s.j.ivlog))) * 24
+}

@@ -5,6 +5,11 @@ package pmem
 // injected failure pushes a fresh execution.
 type Stack struct {
 	execs []*Execution
+
+	// j, when non-nil, records undo information for every store append and
+	// interval mutation so the stack can be rewound to a captured Mark —
+	// the substrate of the snapshot engine (see journal.go).
+	j *journal
 }
 
 // NewStack returns a stack containing only the pre-failure execution.
@@ -27,6 +32,7 @@ func (s *Stack) Prev(e *Execution) *Execution {
 // Push starts a new execution (a failure occurred) and returns it.
 func (s *Stack) Push() *Execution {
 	e := NewExecution(len(s.execs))
+	e.logAppends = s.j != nil
 	s.execs = append(s.execs, e)
 	return e
 }
@@ -99,7 +105,7 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 		// have written this line back after its first store to a (otherwise
 		// the load would have observed ec's value or a later one).
 		if first, ok := ec.First(a); ok {
-			ec.CacheLine(a).LowerEnd(first.Seq)
+			s.lowerEnd(ec.CacheLine(a), first.Seq)
 		}
 		s.updateRanges(execID-1, a, c)
 		return
@@ -107,7 +113,7 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 	// The load read store ⟨val, σ⟩ of execution ec: the line was written
 	// back at or after σ and before the next store to a.
 	cl := ec.CacheLine(a)
-	cl.RaiseBegin(c.Seq)
+	s.raiseBegin(cl, c.Seq)
 	next := SeqInf
 	for _, bs := range ec.Queue(a) {
 		if bs.Seq > c.Seq {
@@ -115,5 +121,5 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 			break
 		}
 	}
-	cl.LowerEnd(next)
+	s.lowerEnd(cl, next)
 }

@@ -1,0 +1,113 @@
+package jaaru_test
+
+// Equivalence suite for the pre-failure snapshot engine: resuming a scenario
+// from a captured failure-point snapshot instead of re-running its choice
+// prefix must not change what is explored or what is found. For the litmus
+// suite, the example programs and representative recipe/pmdk workloads, a
+// default run (snapshots on) must produce the identical Result — and, when
+// observed, identical canonical metrics — as a -snapshots=false reference
+// run, serially and with Workers=4.
+
+import (
+	"fmt"
+	"testing"
+
+	"jaaru"
+	"jaaru/internal/core"
+	"jaaru/internal/litmus"
+	"jaaru/internal/pmdk"
+	"jaaru/internal/recipe"
+)
+
+// snapshotsOff returns opts with the snapshot engine disabled (the reference
+// full-replay path).
+func snapshotsOff(opts jaaru.Options) jaaru.Options {
+	opts.Snapshots = -1
+	return opts
+}
+
+// TestSnapshotEquivalenceLitmus: the entire litmus suite, snapshots off vs
+// on, results and recovery observation sets both.
+func TestSnapshotEquivalenceLitmus(t *testing.T) {
+	for _, tst := range litmus.Tests() {
+		t.Run(tst.Name, func(t *testing.T) {
+			offObs, onObs := newSyncObs(), newSyncObs()
+			off := core.New(tst.Prog(offObs.add), snapshotsOff(tst.Opts)).Run()
+			on := core.New(tst.Prog(onObs.add), tst.Opts).Run()
+
+			assertResultsEquivalent(t, tst.Name, off, on)
+			if !offObs.equal(onObs) {
+				t.Errorf("observation sets differ:\n  off: %v\n  on:  %v",
+					offObs.seen, onObs.seen)
+			}
+		})
+	}
+}
+
+// TestSnapshotEquivalenceExamples: the commitstore variants and walkv,
+// serial and parallel, including the observation-set comparison for walkv's
+// wide recovery tree.
+func TestSnapshotEquivalenceExamples(t *testing.T) {
+	for _, workers := range []int{1, equivalenceWorkers} {
+		for _, flushData := range []bool{true, false} {
+			name := fmt.Sprintf("commitstore/flush=%v/workers=%d", flushData, workers)
+			t.Run(name, func(t *testing.T) {
+				opts := jaaru.Options{FlagMultiRF: true, Workers: workers}
+				off := jaaru.Check(commitstoreProgram(flushData), snapshotsOff(opts))
+				on := jaaru.Check(commitstoreProgram(flushData), opts)
+				assertResultsEquivalent(t, name, off, on)
+			})
+		}
+		t.Run(fmt.Sprintf("walkv/workers=%d", workers), func(t *testing.T) {
+			offObs, onObs := newSyncObs(), newSyncObs()
+			opts := jaaru.Options{Workers: workers}
+			off := jaaru.Check(walkvProgram(offObs.add), snapshotsOff(opts))
+			on := jaaru.Check(walkvProgram(onObs.add), opts)
+			assertResultsEquivalent(t, "walkv", off, on)
+			if !offObs.equal(onObs) {
+				t.Errorf("recovered log states differ:\n  off: %v\n  on:  %v",
+					offObs.seen, onObs.seen)
+			}
+		})
+	}
+}
+
+// TestSnapshotEquivalenceWorkloads: a RECIPE structure and a PMDK example,
+// serial and parallel, with the canonical observability counters compared —
+// the restore path must re-apply exactly the per-counter deltas the skipped
+// prefix would have accumulated. The serial run must actually exercise the
+// engine (restores > 0), or this suite would vacuously pass.
+func TestSnapshotEquivalenceWorkloads(t *testing.T) {
+	progs := []core.Program{
+		recipe.CCEHWorkload(6, recipe.CCEHBugs{}),
+		recipe.CLHTWorkloadBuckets(4, 8, recipe.CLHTBugs{}),
+		pmdk.CTreeWorkload(4, pmdk.CTreeBugs{}),
+	}
+	for _, prog := range progs {
+		for _, workers := range []int{1, equivalenceWorkers} {
+			t.Run(fmt.Sprintf("%s/workers=%d", prog.Name, workers), func(t *testing.T) {
+				opts := jaaru.Options{Observe: true, Workers: workers}
+				off := core.New(prog, snapshotsOff(opts)).Run()
+				on := core.New(prog, opts).Run()
+
+				assertResultsEquivalent(t, prog.Name, off, on)
+				if off.Steps != on.Steps {
+					t.Errorf("Steps = %d off, %d on", off.Steps, on.Steps)
+				}
+				if off.Metrics == nil || on.Metrics == nil {
+					t.Fatal("Observe set but Metrics nil")
+				}
+				if co, cn := off.Metrics.Canonical(), on.Metrics.Canonical(); co != cn {
+					t.Errorf("canonical metrics differ:\n  off: %+v\n  on:  %+v", co, cn)
+				}
+				if off.Metrics.SnapshotRestores != 0 {
+					t.Errorf("engine disabled yet SnapshotRestores = %d",
+						off.Metrics.SnapshotRestores)
+				}
+				if workers == 1 && on.Metrics.SnapshotRestores == 0 {
+					t.Error("snapshot engine never restored: suite is vacuous")
+				}
+			})
+		}
+	}
+}
