@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-parallel bench-snapshot clean
+.PHONY: all build test vet race verify explain-smoke bench bench-parallel bench-snapshot clean
 
 all: verify
 
@@ -27,6 +27,11 @@ race:
 	$(GO) test -race -run TestSnapshotEquivalence .
 
 verify: vet build test race
+
+# End-to-end forensics smoke: find the commitstore bug, minimize its choice
+# prefix, build the witness, and validate the emitted JSON against the schema.
+explain-smoke:
+	$(GO) run ./cmd/jaaru-explain -buggy -minimize -json -validate commitstore > /dev/null
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

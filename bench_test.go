@@ -469,7 +469,10 @@ func BenchmarkAblationEvictExplore(b *testing.B) {
 // instrumentation hook reduces to an inlined nil-receiver check, so the
 // disabled run must be indistinguishable from the pre-instrumentation
 // baseline (<2%), and even the enabled run only pays one shard-local atomic
-// per hook. Compare with:
+// per hook. The disabled run also covers the forensics hooks (the witness
+// recorder in traceOp, the TSO probe, the interval tracer): outside a
+// BuildWitness replay all of them are nil, so exploration pays the same
+// one-branch-per-hook cost as the observability counters. Compare with:
 //
 //	go test -bench Observability -count 10 . | benchstat
 
@@ -491,6 +494,40 @@ func BenchmarkObservability(b *testing.B) {
 			}
 		})
 	}
+}
+
+// The cost of the forensics layer itself: one fully-instrumented replay
+// (BuildWitness) and one ddmin pass over the choice prefix (Minimize), on a
+// bug found once outside the timed region. Both are off the exploration hot
+// path — this pins what a user pays per explained bug, not per scenario.
+// The subject is the first seeded RECIPE bug under jaaru-bugs' options: a
+// CCEH recovery loop whose scenario runs to the 20k step budget, so the
+// witness is mid-size (~20k ops, ~160k per-byte load resolutions) rather
+// than a litmus-scale toy.
+func BenchmarkWitness(b *testing.B) {
+	bc := recipe.BugCases()[0]
+	prog := bc.Program()
+	opts := jaaru.Options{FlagMultiRF: true, MaxSteps: 20_000, StopAtFirstBug: true}
+	res := jaaru.Check(prog, opts)
+	if !res.Buggy() {
+		b.Fatal("no bug to explain")
+	}
+	bug := res.Bugs[0]
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if w := jaaru.BuildWitness(prog, opts, bug); !w.Reproduced {
+				b.Fatal("witness replay diverged")
+			}
+		}
+	})
+	b.Run("minimize", func(b *testing.B) {
+		var trials int
+		for i := 0; i < b.N; i++ {
+			_, m := jaaru.Minimize(prog, opts, bug)
+			trials = m.Trials
+		}
+		b.ReportMetric(float64(trials), "trials")
+	})
 }
 
 // Performance-issue detection overhead on a clean exploration.

@@ -119,9 +119,23 @@ func dumpDetails(results []*core.Result) {
 		fmt.Printf("\n== %s\n", res.Program)
 		for _, b := range res.Bugs {
 			fmt.Printf("  bug: %v\n       choices: %s\n", b, b.Choices)
+			// The reports came out of a Result, so the accessor never errors;
+			// the minimized prefix is the short reproduction to hand a
+			// developer (jaaru-explain prints the full forensics witness).
+			if nb, m, err := b.Minimize(); err == nil && m.MinimizedLen < m.OriginalLen {
+				fmt.Printf("       minimized: %d -> %d decisions (%d trials): %s\n",
+					m.OriginalLen, m.MinimizedLen, m.Trials, orNone(nb.Choices))
+			}
 		}
 		for _, m := range res.MultiRF {
 			fmt.Printf("  multi-rf: %v\n", m)
 		}
 	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
 }

@@ -25,130 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
+	"jaaru/internal/benchlist"
 	"jaaru/internal/core"
-	"jaaru/internal/netsim"
 	"jaaru/internal/obs"
-	"jaaru/internal/pmdk"
-	"jaaru/internal/recipe"
 	"jaaru/internal/report"
 )
-
-type benchmark struct {
-	name  string
-	doc   string
-	build func(n int, buggy bool) core.Program
-}
-
-func benchmarks() []benchmark {
-	return []benchmark{
-		{"figure2", "the paper's Figure 2/3 running example", func(int, bool) core.Program {
-			return core.Program{
-				Name: "figure2",
-				Run: func(c *core.Context) {
-					x, y := c.Root(), c.Root().Add(8)
-					c.Store64(y, 1)
-					c.Store64(x, 2)
-					c.Clflush(x, 8)
-					c.Store64(y, 3)
-					c.Store64(x, 4)
-					c.Store64(y, 5)
-					c.Store64(x, 6)
-				},
-				Recover: func(c *core.Context) {
-					x := c.Load64(c.Root())
-					y := c.Load64(c.Root().Add(8))
-					fmt.Printf("  post-failure state: x=%d y=%d\n", x, y)
-				},
-			}
-		}},
-		{"figure4", "the paper's Figure 4 commit-store example", func(int, bool) core.Program {
-			return core.Program{
-				Name: "figure4",
-				Run: func(c *core.Context) {
-					tmp := c.AllocLine(8)
-					c.Store64(tmp, 0xD0D0)
-					c.Clflush(tmp, 8)
-					c.StorePtr(c.Root(), tmp)
-					c.Clflush(c.Root(), 8)
-				},
-				Recover: func(c *core.Context) {
-					child := c.LoadPtr(c.Root())
-					if child != 0 {
-						fmt.Printf("  readChild: data=%#x\n", c.Load64(child))
-					} else {
-						fmt.Println("  readChild: null (not committed)")
-					}
-				},
-			}
-		}},
-		{"commitstore", "examples/commitstore: Figure 4 with (-buggy: without) the data flush", func(_ int, buggy bool) core.Program {
-			return core.Program{
-				Name: "commitstore",
-				Run: func(c *core.Context) {
-					tmp := c.AllocLine(8)
-					c.Store64(tmp, 0xDA7A)
-					if !buggy {
-						c.Clflush(tmp, 8)
-					}
-					c.StorePtr(c.Root(), tmp)
-					c.Clflush(c.Root(), 8)
-				},
-				Recover: func(c *core.Context) {
-					if child := c.LoadPtr(c.Root()); child != 0 {
-						c.Assert(c.Load64(child) == 0xDA7A, "committed child lost its data")
-					}
-				},
-			}
-		}},
-		{"cceh", "RECIPE CCEH (extendible hashing)", func(n int, buggy bool) core.Program {
-			return recipe.CCEHWorkload(n, recipe.CCEHBugs{NoSegmentFlush: buggy})
-		}},
-		{"fastfair", "RECIPE FAST_FAIR (B-link tree)", func(n int, buggy bool) core.Program {
-			return recipe.FastFairWorkload(n, recipe.FFBugs{NoHeaderFlush: buggy})
-		}},
-		{"part", "RECIPE P-ART (radix tree)", func(n int, buggy bool) core.Program {
-			return recipe.ARTWorkload(n, recipe.ARTBugs{NoRootNodeFlush: buggy})
-		}},
-		{"bwtree", "RECIPE P-BwTree (delta chains + GC)", func(n int, buggy bool) core.Program {
-			return recipe.BwTreeWorkload(n, recipe.BwTreeBugs{GCReversedLink: buggy})
-		}},
-		{"clht", "RECIPE P-CLHT (cache-line hash table)", func(n int, buggy bool) core.Program {
-			return recipe.CLHTWorkload(n, recipe.CLHTBugs{NoLockReset: buggy})
-		}},
-		{"masstree", "RECIPE P-Masstree (COW B+tree)", func(n int, buggy bool) core.Program {
-			return recipe.MasstreeWorkload(n, recipe.MasstreeBugs{FlushObjectNotPointer: buggy})
-		}},
-		{"btree", "PMDK btree_map (transactional B-tree)", func(n int, buggy bool) core.Program {
-			return pmdk.BTreeWorkload(n, pmdk.CreateBugs{}, pmdk.BTreeBugs{NoNodeFlush: buggy})
-		}},
-		{"ctree", "PMDK ctree_map (crit-bit tree)", func(n int, buggy bool) core.Program {
-			return pmdk.CTreeWorkload(n, pmdk.CTreeBugs{Tx: pmdk.TxBugs{CountBeforeEntry: buggy}})
-		}},
-		{"rbtree", "PMDK rbtree_map (red-black tree)", func(n int, buggy bool) core.Program {
-			return pmdk.RBTreeWorkload(n, pmdk.RBTreeBugs{Tx: pmdk.TxBugs{SkipAdd: buggy}})
-		}},
-		{"hashmap_atomic", "PMDK hashmap_atomic", func(n int, buggy bool) core.Program {
-			return pmdk.HashmapAtomicWorkload(n,
-				pmdk.HashmapAtomicBugs{Heap: pmdk.HeapBugs{NoHeaderFlush: buggy}})
-		}},
-		{"hashmap_tx", "PMDK hashmap_tx (transactional)", func(n int, buggy bool) core.Program {
-			return pmdk.HashmapTXWorkload(n,
-				pmdk.HashmapTXBugs{Tx: pmdk.TxBugs{NoEntryFlush: buggy}})
-		}},
-		{"pmserver", "exactly-once PM key-value server over a replayed client trace", func(n int, buggy bool) core.Program {
-			trace := netsim.Trace{}
-			for i := 0; i < n; i++ {
-				trace = append(trace,
-					netsim.Request{Op: netsim.OpSet, Key: uint64(i%3 + 1), Val: uint64(i * 10)},
-					netsim.Request{Op: netsim.OpAdd, Key: uint64(i%3 + 1), Val: 1})
-			}
-			return netsim.Program("pmserver", trace, netsim.ServerBugs{SeqOutsideTx: buggy})
-		}},
-	}
-}
 
 func main() {
 	list := flag.Bool("list", false, "list available benchmarks")
@@ -160,7 +43,7 @@ func main() {
 	random := flag.Bool("random", false, "use the seeded random thread scheduler")
 	seed := flag.Int64("seed", 0, "seed for -random and the EvictRandom policy")
 	trace := flag.Bool("trace", false, "attach operation traces to bug reports")
-	witness := flag.Bool("witness", false, "replay the first bug and print its full annotated witness")
+	witness := flag.Bool("witness", false, "replay the first bug and print its annotated forensics witness (see also jaaru-explain)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
 	snapshots := flag.Bool("snapshots", true, "amortize pre-failure execution via the snapshot engine; results are identical either way")
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
@@ -168,12 +51,11 @@ func main() {
 	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
 	flag.Parse()
 
-	bms := benchmarks()
+	bms := benchlist.All()
 	if *list || flag.NArg() != 1 {
 		fmt.Println("benchmarks:")
-		sort.Slice(bms, func(i, j int) bool { return bms[i].name < bms[j].name })
 		for _, b := range bms {
-			fmt.Printf("  %-15s %s\n", b.name, b.doc)
+			fmt.Printf("  %-15s %s\n", b.Name, b.Doc)
 		}
 		if !*list {
 			os.Exit(2)
@@ -182,12 +64,7 @@ func main() {
 	}
 
 	name := flag.Arg(0)
-	var chosen *benchmark
-	for i := range bms {
-		if bms[i].name == name {
-			chosen = &bms[i]
-		}
-	}
+	chosen := benchlist.Find(name)
 	if chosen == nil {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", name)
 		os.Exit(2)
@@ -223,7 +100,7 @@ func main() {
 		opts.EventTrace = traceBuf
 	}
 
-	prog := chosen.build(*n, *buggy)
+	prog := chosen.Build(*n, *buggy)
 	ck := core.New(prog, opts)
 
 	var stopProgress chan struct{}
@@ -295,7 +172,7 @@ func main() {
 	}
 	if *witness && res.Buggy() {
 		fmt.Println()
-		fmt.Print(core.FormatWitness(prog, opts, res.Bugs[0]))
+		fmt.Print(report.WitnessText(core.BuildWitness(prog, opts, res.Bugs[0])))
 	}
 	if res.Buggy() {
 		os.Exit(1)

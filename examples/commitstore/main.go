@@ -8,7 +8,8 @@
 // executions across the three failure points. The buggy version omits the
 // data flush: recovery can observe a committed pointer whose data did not
 // persist, which Jaaru reports along with the load that could read from
-// more than one store.
+// more than one store — and, via the forensics layer, a minimized witness
+// explaining exactly which stores each recovery load could observe and why.
 //
 // Run with:
 //
@@ -65,10 +66,51 @@ func run(name string, flushData bool) {
 		for _, m := range res.MultiRF {
 			fmt.Printf("  debugging support: %v\n", m)
 		}
+		explain(res)
 	} else {
 		fmt.Println("  no bugs: the commit-store discipline holds")
 	}
 	fmt.Println()
+}
+
+// explain builds the structured witness for the first bug: the minimized
+// decision prefix, where the power failure was injected, and — for each
+// post-failure load — which stores it could legally have read from. The
+// full text/JSON renderings are available via jaaru.FormatWitnessText and
+// jaaru.MarshalWitnessJSON, or `go run ./cmd/jaaru-explain -buggy commitstore`.
+func explain(res *jaaru.Result) {
+	nb, min, err := res.Bugs[0].Minimize()
+	if err != nil {
+		fmt.Printf("  minimize: %v\n", err)
+		return
+	}
+	w, err := nb.Witness()
+	if err != nil {
+		fmt.Printf("  witness: %v\n", err)
+		return
+	}
+	fmt.Printf("  witness: %d decisions (%d before minimization), reproduced=%v\n",
+		min.MinimizedLen, min.OriginalLen, w.Reproduced)
+	for _, f := range w.Failures {
+		fmt.Printf("    power failure injected before op %d\n", f.Op)
+	}
+	// One resolution per load operation (the witness records every byte;
+	// the first byte carries the interesting verdicts here).
+	seen := map[int]bool{}
+	for _, l := range w.Loads {
+		if len(l.Candidates) < 2 || seen[l.Op] {
+			continue
+		}
+		seen[l.Op] = true
+		fmt.Printf("    load at %s could read %d stores:\n", l.Loc, len(l.Candidates))
+		for _, c := range l.Candidates {
+			marker := "   "
+			if c.Chosen {
+				marker = " > "
+			}
+			fmt.Printf("    %sval=%#x — %s\n", marker, c.Val, c.Reason)
+		}
+	}
 }
 
 func main() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"jaaru/internal/forensics"
 	"jaaru/internal/pmem"
 )
 
@@ -73,6 +74,12 @@ type BugReport struct {
 
 	// replay is the recorded choice vector used by Checker.Replay.
 	replay []choicePoint
+
+	// prog/opts identify the exploration that produced this report; stamped
+	// by buildResult so Witness and Minimize can replay without the caller
+	// re-supplying them.
+	prog *Program
+	opts *Options
 }
 
 func (b *BugReport) String() string {
@@ -81,6 +88,27 @@ func (b *BugReport) String() string {
 }
 
 func (b *BugReport) key() string { return fmt.Sprintf("%d|%s", b.Type, b.Message) }
+
+// Witness replays this bug's scenario with the forensics hooks armed and
+// returns the structured witness (see BuildWitness). It errors only when the
+// report did not come out of a Result (hand-built reports carry no
+// program/options reference).
+func (b *BugReport) Witness() (*forensics.Witness, error) {
+	if b.prog == nil || b.opts == nil {
+		return nil, fmt.Errorf("bug report carries no exploration reference; use BuildWitness")
+	}
+	return BuildWitness(*b.prog, *b.opts, b), nil
+}
+
+// Minimize runs delta debugging over this bug's choice prefix (see the
+// package-level Minimize). Same precondition as Witness.
+func (b *BugReport) Minimize() (*BugReport, *forensics.Minimization, error) {
+	if b.prog == nil || b.opts == nil {
+		return nil, nil, fmt.Errorf("bug report carries no exploration reference; use Minimize")
+	}
+	nb, m := Minimize(*b.prog, *b.opts, b)
+	return nb, m, nil
+}
 
 // MultiRF records a load that could read from more than one pre-failure
 // store — the paper's debugging support for locating missing flushes: "a

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"jaaru/internal/forensics"
 	"jaaru/internal/obs"
 	"jaaru/internal/pmalloc"
 	"jaaru/internal/pmem"
@@ -80,6 +81,10 @@ type Checker struct {
 	// replaySegment marks segments run on behalf of Replay/FormatWitness,
 	// so their time is accounted as replay overhead, not exploration.
 	replaySegment bool
+
+	// wrec is the forensics witness recorder (nil outside BuildWitness
+	// replays); every hot-path hook guards on it with a single nil check.
+	wrec *witnessRecorder
 
 	// bugEndedSegment distinguishes "segment completed normally" from
 	// "segment ended by a recorded bug" across the runSegment boundary.
@@ -198,6 +203,14 @@ type Result struct {
 // Buggy reports whether any bug was found.
 func (r *Result) Buggy() bool { return len(r.Bugs) > 0 }
 
+// Witness builds the structured forensics witness for r.Bugs[i].
+func (r *Result) Witness(i int) (*forensics.Witness, error) {
+	if i < 0 || i >= len(r.Bugs) {
+		return nil, fmt.Errorf("no bug %d (result has %d)", i, len(r.Bugs))
+	}
+	return r.Bugs[i].Witness()
+}
+
 // Run explores the program's failure behaviours to completion (or until a
 // configured cap) and returns the aggregated result. With Options.Workers
 // greater than one the choice tree is partitioned across worker goroutines
@@ -259,6 +272,9 @@ func (c *Checker) buildResult(start time.Time, complete bool) *Result {
 		return perf[i].Kind < perf[j].Kind
 	})
 	sortBugsCanonically(c.bugs)
+	for _, b := range c.bugs {
+		b.prog, b.opts = &c.prog, &c.opts
+	}
 	var metrics *obs.Metrics
 	if c.reg != nil {
 		// run_end goes out before the snapshot so Metrics.Events covers
@@ -340,6 +356,9 @@ func (c *Checker) resetScenario() {
 	if c.trace != nil {
 		c.trace.reset()
 	}
+	if c.wrec != nil {
+		c.stack.SetIntervalTracer(c.wrec.intervalEvent)
+	}
 }
 
 // pushExecution starts a new execution after an injected failure.
@@ -400,6 +419,9 @@ func (c *Checker) runScenario() {
 			c.snapshot(-1)
 		}
 		c.captureSnap(endSnap)
+		if c.wrec != nil {
+			c.wrec.noteFailure(-1)
+		}
 	}
 	// The stack depth reflects failures already injected — 1 on a fresh run,
 	// deeper when a restored snapshot resumed mid-recovery.
@@ -580,7 +602,12 @@ func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc stri
 	// Captured before the fail/continue decision is consumed: restoring this
 	// snapshot resumes as if the decision selected "fail".
 	c.captureSnap(fpSnap)
-	if c.chooser.choose(chooseFail, 2) == 1 {
+	fail := c.chooser.choose(chooseFail, 2) == 1
+	c.wrecDecision()
+	if fail {
+		if c.wrec != nil {
+			c.wrec.noteFailure(fpIndex)
+		}
 		c.sched.initiateCrash()
 		panic(crashSignal{})
 	}
@@ -607,6 +634,13 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 		c.col.Add(obs.RFCandidates, int64(len(cands)))
 		c.col.NotePeak(obs.PeakRFCandidates, int64(len(cands)))
 	}
+	var wres *forensics.LoadResolution
+	if c.wrec != nil && c.stack.Top().ID > 0 {
+		// Built before the choice so the verdicts reflect the pre-refinement
+		// intervals the admission rule actually consulted.
+		wres = c.wrec.beginLoad(t, a)
+		c.wrec.openLoad = wres
+	}
 	idx := 0
 	if len(cands) > 1 {
 		if len(cands) > c.maxRF {
@@ -616,9 +650,14 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 			c.flagMultiRF(a, cands)
 		}
 		idx = c.chooser.choose(chooseReadFrom, len(cands))
+		c.wrecDecision()
 	}
 	chosen := cands[idx]
 	c.stack.DoRead(a, chosen)
+	if wres != nil {
+		c.wrec.finishLoad(wres, chosen)
+		c.wrec.openLoad = nil
+	}
 	for _, ob := range c.observers {
 		ob(a, chosen)
 	}

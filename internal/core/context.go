@@ -42,6 +42,12 @@ func (c *Context) op() {
 	}
 	ck.steps++
 	ck.totalSteps++
+	if ck.wrec != nil {
+		// Operation numbering for the forensics recorder: counted here, not
+		// derived from the traced-op list, so untraced operations (Spawn,
+		// Join, a CAS that did not write) keep indices stable.
+		ck.wrec.opSeq++
+	}
 	if ck.steps > ck.opts.MaxSteps {
 		panic(guestFault{typ: BugInfiniteLoop,
 			msg: fmt.Sprintf("step budget of %d exceeded at %s", ck.opts.MaxSteps, guestLocation())})
@@ -87,7 +93,12 @@ func (c *Context) evictionPolicy() {
 	case EvictExplore:
 		// Figure 11, lines 4–8: eviction is itself a nondeterministic
 		// choice the checker enumerates.
-		for c.th.ts.SBLen() > 0 && c.ck.chooser.choose(chooseEvict, 2) == 1 {
+		for c.th.ts.SBLen() > 0 {
+			evict := c.ck.chooser.choose(chooseEvict, 2) == 1
+			c.ck.wrecDecision()
+			if !evict {
+				break
+			}
 			c.th.ts.EvictOldest(c.ck)
 		}
 	}
@@ -130,7 +141,7 @@ func (c *Context) store(a Addr, size int, v uint64) {
 	c.op()
 	c.checkRange(a, uint64(size), "store")
 	c.ck.traceOp(c.th.id, "store", a, size, v)
-	c.th.ts.Push(c.ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: v})
+	c.th.ts.Push(c.ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: v, Op: c.ck.wrecOp()})
 	c.evictionPolicy()
 	c.yield()
 }
@@ -211,7 +222,7 @@ func (c *Context) Clflush(a Addr, size uint64) {
 	pmem.Lines(a, size, func(line Addr) {
 		c.op()
 		c.ck.traceOp(c.th.id, "clflush", line, pmem.CacheLineSize, 0)
-		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.CLFlush, Addr: line, Loc: loc})
+		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.CLFlush, Addr: line, Loc: loc, Op: c.ck.wrecOp()})
 		c.evictionPolicy()
 		c.yield()
 	})
@@ -224,7 +235,7 @@ func (c *Context) Clflushopt(a Addr, size uint64) {
 	pmem.Lines(a, size, func(line Addr) {
 		c.op()
 		c.ck.traceOp(c.th.id, "clflushopt", line, pmem.CacheLineSize, 0)
-		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.CLFlushOpt, Addr: line, Loc: loc})
+		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.CLFlushOpt, Addr: line, Loc: loc, Op: c.ck.wrecOp()})
 		c.evictionPolicy()
 		c.yield()
 	})
@@ -237,7 +248,7 @@ func (c *Context) Clwb(a Addr, size uint64) { c.Clflushopt(a, size) }
 func (c *Context) Sfence() {
 	c.op()
 	c.ck.traceOp(c.th.id, "sfence", 0, 0, 0)
-	c.th.ts.Push(c.ck, tso.Entry{Kind: tso.SFence, Loc: c.perfLoc()})
+	c.th.ts.Push(c.ck, tso.Entry{Kind: tso.SFence, Loc: c.perfLoc(), Op: c.ck.wrecOp()})
 	c.evictionPolicy()
 	c.yield()
 }
@@ -281,7 +292,7 @@ func (c *Context) rmw(a Addr, size int, fn func(old uint64) (uint64, bool)) uint
 	}
 	if nv, write := fn(old); write {
 		c.ck.traceOp(c.th.id, "rmw", a, size, nv)
-		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: nv})
+		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: nv, Op: c.ck.wrecOp()})
 	}
 	c.th.ts.Mfence(c.ck)
 	c.yield()

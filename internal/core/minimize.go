@@ -1,0 +1,103 @@
+package core
+
+// Witness minimization: greedy delta debugging (ddmin) over a bug's recorded
+// choice vector. The exploration's replay prefix is often much longer than
+// the decisions that actually matter — evictions and read-from picks that the
+// bug does not depend on. Minimize searches for a locally-minimal
+// subsequence of the prefix that still reproduces the same bug key, giving
+// the developer the shortest decision sequence to reason about.
+
+import "jaaru/internal/forensics"
+
+// minimizeMaxTrials bounds the number of replay trials one Minimize call may
+// spend. Each trial is a full scenario re-execution; 512 is far above what
+// ddmin needs on the bundled workloads (tens of trials) but keeps a
+// pathological guest from running unbounded.
+const minimizeMaxTrials = 512
+
+// Minimize runs greedy delta debugging over b's recorded choice prefix and
+// returns a copy of the report whose replay vector is locally minimal — no
+// single recorded decision can be dropped without losing the bug — together
+// with the minimization statistics. The returned report reproduces a bug
+// with the same (type, message) key as b and its prefix is never longer than
+// the original (ddmin only removes decisions). prog and opts must match the
+// exploration that produced b.
+func Minimize(prog Program, opts Options, b *BugReport) (*BugReport, *forensics.Minimization) {
+	key := b.key()
+	cur := append([]choicePoint(nil), b.replay...)
+	trials := 0
+
+	// Classic ddmin: remove progressively finer chunks; on success restart
+	// coarse, on a full failed sweep double the granularity.
+	n := 2
+	for len(cur) > 0 && trials < minimizeMaxTrials {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur) && trials < minimizeMaxTrials; start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]choicePoint, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			trials++
+			if minimizeTrial(prog, opts, cand, key) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk <= 1 {
+				break // locally minimal: no single decision is removable
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+
+	min := &forensics.Minimization{
+		OriginalLen:      len(b.replay),
+		MinimizedLen:     len(cur),
+		Trials:           trials,
+		OriginalChoices:  b.Choices,
+		MinimizedChoices: describeChoices(cur),
+	}
+	nb := *b
+	nb.replay = cur
+	nb.Choices = min.MinimizedChoices
+	return &nb, min
+}
+
+// minimizeTrial reports whether replaying the candidate prefix still
+// manifests a bug with the given key. A nondeterministic-replay panic —
+// the candidate's decisions no longer line up with the choice points the
+// guest presents — counts as not reproducing; any other panic propagates.
+func minimizeTrial(prog Program, opts Options, prefix []choicePoint, key string) (ok bool) {
+	o := opts.withDefaults()
+	o.TraceLen = -1 // no trace needed, only the bug key
+	o.MaxScenarios = 1
+	o.Snapshots = -1
+	c := New(prog, o)
+	c.replaySegment = true
+	c.chooser.seed(prefix)
+	c.scenarios = 1
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case engineError:
+			ok = false
+		default:
+			panic(r)
+		}
+	}()
+	c.runScenario()
+	_, ok = c.bugIndex[key]
+	return ok
+}

@@ -38,6 +38,9 @@ type scheduler struct {
 	// col is the owning checker's observability shard, handed to every
 	// thread's store-buffer state (nil when disabled).
 	col *obs.Collector
+	// probe is the forensics transition probe, likewise handed to every
+	// thread's store-buffer state (nil outside witness replays).
+	probe *tso.Probe
 }
 
 func newScheduler() *scheduler {
@@ -59,6 +62,7 @@ func (s *scheduler) reset(sbCapacity int, rng *rand.Rand) *thread {
 	}
 	main := &thread{id: 0, ts: tso.NewThreadState(sbCapacity)}
 	main.ts.SetObserver(s.col)
+	main.ts.SetProbe(s.probe)
 	s.threads = []*thread{main}
 	s.cur = 0
 	s.rng = rng
@@ -168,6 +172,7 @@ func (s *scheduler) spawn(sbCapacity int) *thread {
 	defer s.mu.Unlock()
 	t := &thread{id: len(s.threads), ts: tso.NewThreadState(sbCapacity)}
 	t.ts.SetObserver(s.col)
+	t.ts.SetProbe(s.probe)
 	s.threads = append(s.threads, t)
 	s.childAlive++
 	return t

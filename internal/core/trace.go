@@ -70,6 +70,11 @@ func (r *traceRing) restore(ops []TraceOp) {
 }
 
 func (c *Checker) traceOp(threadID int, kind string, a pmem.Addr, size int, val uint64) {
+	if c.wrec != nil {
+		// The forensics recorder keeps the full, never-truncated operation
+		// list independently of the ring buffer.
+		c.wrec.noteOp(threadID, kind, a, size, val)
+	}
 	if c.trace == nil {
 		return
 	}

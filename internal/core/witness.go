@@ -2,8 +2,14 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
+
+// witnessTraceLen is the trace-ring capacity forced during witness replays:
+// large enough that no bundled workload ever wraps, so the "complete
+// operation trace" promise holds.
+const witnessTraceLen = 1 << 16
 
 // FormatWitness renders a complete, human-readable witness for a bug: the
 // scenario's nondeterministic decisions, the replayed operation trace, and
@@ -17,19 +23,27 @@ import (
 func FormatWitness(prog Program, opts Options, b *BugReport) string {
 	// Replay with multi-rf flagging on so the witness carries the
 	// candidate-store annotations even if the exploration ran without.
-	// As in Replay: tracing is forced on (that is the point), everything
-	// else keeps the exploration's normalized semantics (withDefaults is
-	// idempotent).
+	// Tracing is widened — but only if the caller did not disable it
+	// outright (TraceLen < 0 stays disabled; Replay is the API that forces
+	// a trace into existence). Snapshots are forced off: a witness replay
+	// must re-execute the guest from scratch so the trace covers the
+	// pre-failure operations, not resume from a restored snapshot.
 	o := opts.withDefaults()
-	o.TraceLen = 1 << 16
+	if o.TraceLen > 0 {
+		o.TraceLen = witnessTraceLen
+	}
 	o.MaxScenarios = 1
 	o.FlagMultiRF = true
+	o.Snapshots = -1
 	c := New(prog, o)
 	c.replaySegment = true
 	c.chooser.seed(b.replay)
 	c.scenarios = 1
 	c.runScenario()
-	trace := c.trace.snapshot()
+	var trace []TraceOp
+	if c.trace != nil {
+		trace = c.trace.snapshot()
+	}
 
 	var w strings.Builder
 	fmt.Fprintf(&w, "witness for: %v\n", b)
@@ -46,9 +60,11 @@ func FormatWitness(prog Program, opts Options, b *BugReport) string {
 		}
 	}
 
-	fmt.Fprintf(&w, "\noperation trace (%d operations):\n", len(trace))
-	for i, op := range trace {
-		fmt.Fprintf(&w, "  %4d  %v\n", i, op)
+	if c.trace != nil {
+		fmt.Fprintf(&w, "\noperation trace (%d operations):\n", len(trace))
+		for i, op := range trace {
+			fmt.Fprintf(&w, "  %4d  %v\n", i, op)
+		}
 	}
 	if len(c.bugs) > 0 {
 		fmt.Fprintf(&w, "\nmanifestation: %s\n", c.bugs[0].Message)
@@ -61,10 +77,6 @@ func sortedMultiRF(m map[string]*MultiRF) []*MultiRF {
 	for _, v := range m {
 		out = append(out, v)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Loc < out[j-1].Loc; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
 	return out
 }

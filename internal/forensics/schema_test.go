@@ -1,0 +1,108 @@
+package forensics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func minimalWitness() *Witness {
+	return &Witness{
+		Program:    "p",
+		Bug:        Bug{Type: "assertion failure", Message: "m", Execution: 1, Choices: "fail@0"},
+		Reproduced: true,
+		Decisions:  []Decision{{Index: 0, Kind: "fail", Chosen: 1, Options: 2, Op: 3}},
+		Ops: []Op{{Index: 0, Exec: 0, Thread: 0, Kind: "store", Addr: 0x1000, Size: 8, Val: 7,
+			Transitions: []Transition{{Phase: "cache", Op: 0, Seq: 1}}}},
+		Failures: []FailureMark{{Op: 3, Point: 0, Exec: 0}},
+		Lines: []LineTimeline{{Exec: 0, Line: 0x1000,
+			Events: []LineEvent{{Op: 0, Kind: "store", Seq: 1, Begin: 0, End: SeqInfinity}}}},
+		Loads: []LoadResolution{{Op: 4, Exec: 1, Thread: 0, Addr: 0x1000, Loc: "x.go:1", Chosen: 0,
+			Candidates: []StoreCandidate{{Exec: 0, Seq: 1, Val: 7, Admitted: true, Chosen: true, Reason: "r"}},
+			Refined:    []RefineStep{{Exec: 0, Line: 0x1000, Kind: "raise-begin", At: 1, Begin: 1, End: SeqInfinity}}}},
+	}
+}
+
+func marshal(t *testing.T, w *Witness) []byte {
+	t.Helper()
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidateJSONAcceptsCompleteWitness(t *testing.T) {
+	w := minimalWitness()
+	if err := ValidateJSON(marshal(t, w)); err != nil {
+		t.Errorf("complete witness rejected: %v", err)
+	}
+	// The optional minimization block validates too.
+	w.Minimized = &Minimization{OriginalLen: 3, MinimizedLen: 1, Trials: 5,
+		OriginalChoices: "fail@0 rf[1/2]", MinimizedChoices: "fail@0"}
+	if err := ValidateJSON(marshal(t, w)); err != nil {
+		t.Errorf("witness with minimization rejected: %v", err)
+	}
+	// Empty slices serialize as null (encoding/json) — still valid.
+	if err := ValidateJSON(marshal(t, &Witness{Program: "p"})); err != nil {
+		t.Errorf("empty witness rejected: %v", err)
+	}
+}
+
+func TestValidateJSONRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(m map[string]any)
+		wantSub string
+	}{
+		{"missing program", func(m map[string]any) { delete(m, "program") }, "program"},
+		{"bad decision kind", func(m map[string]any) {
+			m["decisions"].([]any)[0].(map[string]any)["kind"] = "flip"
+		}, "kind"},
+		{"bad transition phase", func(m map[string]any) {
+			op := m["ops"].([]any)[0].(map[string]any)
+			op["transitions"].([]any)[0].(map[string]any)["phase"] = "limbo"
+		}, "phase"},
+		{"bad line event kind", func(m map[string]any) {
+			lt := m["lines"].([]any)[0].(map[string]any)
+			lt["events"].([]any)[0].(map[string]any)["kind"] = "warp"
+		}, "kind"},
+		{"reproduced not bool", func(m map[string]any) { m["reproduced"] = "yes" }, "reproduced"},
+		{"candidate missing reason", func(m map[string]any) {
+			l := m["loads"].([]any)[0].(map[string]any)
+			delete(l["candidates"].([]any)[0].(map[string]any), "reason")
+		}, "reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m map[string]any
+			if err := json.Unmarshal(marshal(t, minimalWitness()), &m); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(m)
+			data, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verr := ValidateJSON(data)
+			if verr == nil {
+				t.Fatal("mutated witness accepted")
+			}
+			if !strings.Contains(verr.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", verr, tc.wantSub)
+			}
+		})
+	}
+	if err := ValidateJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestFormatSeq(t *testing.T) {
+	if got := FormatSeq(42); got != "42" {
+		t.Errorf("FormatSeq(42) = %q", got)
+	}
+	if got := FormatSeq(SeqInfinity); got != "∞" {
+		t.Errorf("FormatSeq(∞) = %q", got)
+	}
+}

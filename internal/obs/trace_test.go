@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ReadTrace round-trips the JSONL stream emit produces: event names, the
+// monotone timestamp, and every typed field.
+func TestReadTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry(&buf)
+	r.Emit("run_start", "program", "p", "workers", 2)
+	r.Emit("bug", "type", "assertion failure", "message", "m", "choices", "fail@0")
+	r.Emit("run_end", "complete", true)
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(events))
+	}
+	if events[0].Ev != "run_start" || events[1].Ev != "bug" || events[2].Ev != "run_end" {
+		t.Errorf("event names = %s %s %s", events[0].Ev, events[1].Ev, events[2].Ev)
+	}
+	if events[0].Str("program") != "p" {
+		t.Errorf("program = %q, want p", events[0].Str("program"))
+	}
+	if w, ok := events[0].Fields["workers"].(float64); !ok || w != 2 {
+		t.Errorf("workers = %v, want 2", events[0].Fields["workers"])
+	}
+	if events[1].Str("message") != "m" || events[1].Str("choices") != "fail@0" {
+		t.Errorf("bug fields = %v", events[1].Fields)
+	}
+	if c, ok := events[2].Fields["complete"].(bool); !ok || !c {
+		t.Errorf("complete = %v, want true", events[2].Fields["complete"])
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TimeUs < events[i-1].TimeUs {
+			t.Errorf("timestamps not monotone: %d then %d", events[i-1].TimeUs, events[i].TimeUs)
+		}
+	}
+}
+
+// A malformed line fails with its line number instead of silently
+// truncating the decoded stream.
+func TestReadTraceMalformedLine(t *testing.T) {
+	in := `{"t_us":1,"ev":"a"}
+{"t_us":2,"ev":
+`
+	_, err := ReadTrace(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse error", err)
+	}
+}

@@ -95,29 +95,41 @@ func (s *Stack) Rewind(m Mark) {
 // top execution's line containing a, journaled: the line's most-recent-
 // writeback lower bound is raised to at least `at`.
 func (s *Stack) FlushLine(a Addr, at Seq) {
-	s.raiseBegin(s.Top().CacheLine(a), at)
+	top := s.Top()
+	s.raiseBegin(FlushRaise, top.ID, a.Line(), top.CacheLine(a), at)
 }
 
 // raiseBegin / lowerEnd are the journaled forms of Interval.RaiseBegin and
-// Interval.LowerEnd: effective mutations record the pre-mutation value.
-func (s *Stack) raiseBegin(iv *Interval, v Seq) {
+// Interval.LowerEnd: effective mutations record the pre-mutation value and
+// carry their provenance (kind, execution, line) to the interval tracer.
+func (s *Stack) raiseBegin(kind IntervalEventKind, exec int, line Addr, iv *Interval, v Seq) {
 	if v <= iv.Begin {
 		return
 	}
 	if s.j != nil {
 		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
 	}
+	before := *iv
 	iv.Begin = v
+	if s.tracer != nil {
+		s.tracer(IntervalEvent{
+			Kind: kind, Exec: exec, Line: line, At: v, Before: before, After: *iv})
+	}
 }
 
-func (s *Stack) lowerEnd(iv *Interval, v Seq) {
+func (s *Stack) lowerEnd(kind IntervalEventKind, exec int, line Addr, iv *Interval, v Seq) {
 	if v >= iv.End {
 		return
 	}
 	if s.j != nil {
 		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
 	}
+	before := *iv
 	iv.End = v
+	if s.tracer != nil {
+		s.tracer(IntervalEvent{
+			Kind: kind, Exec: exec, Line: line, At: v, Before: before, After: *iv})
+	}
 }
 
 // RetainedBytes estimates the memory retained by the journaled state a

@@ -10,7 +10,44 @@ type Stack struct {
 	// interval mutation so the stack can be rewound to a captured Mark —
 	// the substrate of the snapshot engine (see journal.go).
 	j *journal
+
+	// tracer, when non-nil, receives every effective interval mutation with
+	// its provenance — the forensics hook behind per-cache-line persistence
+	// timelines. Nil (the default) keeps the zero-overhead path.
+	tracer func(IntervalEvent)
 }
+
+// IntervalEventKind distinguishes the provenance of an interval mutation.
+type IntervalEventKind int
+
+const (
+	// FlushRaise is a flush effect on the top execution (clflush or a
+	// buffered clflushopt writeback) raising the line's lower bound.
+	FlushRaise IntervalEventKind = iota
+	// RefineRaise / RefineLower are post-failure constraint refinements
+	// (Figure 10, UpdateRanges) narrowing a pre-failure line's interval
+	// after an observed load.
+	RefineRaise
+	RefineLower
+)
+
+// IntervalEvent describes one effective mutation of a cache line's
+// most-recent-writeback interval: which execution's line moved, the sequence
+// bound applied, and the interval before and after.
+type IntervalEvent struct {
+	Kind   IntervalEventKind
+	Exec   int
+	Line   Addr
+	At     Seq
+	Before Interval
+	After  Interval
+}
+
+// SetIntervalTracer installs (or, with nil, removes) the interval-provenance
+// hook. Only effective mutations are reported — a flush or refinement that
+// does not move a bound is silent, matching the undo journal's notion of an
+// effective mutation.
+func (s *Stack) SetIntervalTracer(fn func(IntervalEvent)) { s.tracer = fn }
 
 // NewStack returns a stack containing only the pre-failure execution.
 func NewStack() *Stack {
@@ -105,7 +142,7 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 		// have written this line back after its first store to a (otherwise
 		// the load would have observed ec's value or a later one).
 		if first, ok := ec.First(a); ok {
-			s.lowerEnd(ec.CacheLine(a), first.Seq)
+			s.lowerEnd(RefineLower, execID, a.Line(), ec.CacheLine(a), first.Seq)
 		}
 		s.updateRanges(execID-1, a, c)
 		return
@@ -113,7 +150,7 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 	// The load read store ⟨val, σ⟩ of execution ec: the line was written
 	// back at or after σ and before the next store to a.
 	cl := ec.CacheLine(a)
-	s.raiseBegin(cl, c.Seq)
+	s.raiseBegin(RefineRaise, execID, a.Line(), cl, c.Seq)
 	next := SeqInf
 	for _, bs := range ec.Queue(a) {
 		if bs.Seq > c.Seq {
@@ -121,5 +158,5 @@ func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
 			break
 		}
 	}
-	s.lowerEnd(cl, next)
+	s.lowerEnd(RefineLower, execID, a.Line(), cl, next)
 }

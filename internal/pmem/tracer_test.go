@@ -1,0 +1,70 @@
+package pmem
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The interval tracer: every effective interval mutation — flush raises and
+// the DoRead refinements of Figure 10 — is reported with its provenance and
+// the before/after interval; ineffective mutations stay silent, and the nil
+// default is a no-op (every other test in this package runs untraced).
+func TestIntervalTracerReportsEffectiveMutations(t *testing.T) {
+	s := NewStack()
+	var got []string
+	s.SetIntervalTracer(func(ev IntervalEvent) {
+		got = append(got, fmt.Sprintf("%d exec%d %v [%d,%v)->[%d,%v) at %d",
+			ev.Kind, ev.Exec, ev.Line,
+			ev.Before.Begin, ev.Before.End, ev.After.Begin, ev.After.End, ev.At))
+	})
+
+	// Pre-failure: two stores to one line, a flush, then a failure.
+	e0 := s.Top()
+	e0.Append(0x1000, 1, 3)
+	e0.Append(0x1040, 9, 4) // second line, first store at σ4
+	s.FlushLine(0x1000, 5)  // raise Begin to 5
+	s.FlushLine(0x1000, 2)  // ineffective: Begin already 5
+	s.Push()
+
+	// Post-failure: reading the flushed line's store refines exec 0 — Begin
+	// raised to the chosen σ3 is ineffective (already 5), End lowered to ∞
+	// is ineffective too; reading the *unflushed* line from the initial pool
+	// lowers exec 0's End for that line to its first store σ4.
+	s.DoRead(0x1000, Candidate{Exec: 0, ByteStore: ByteStore{Val: 1, Seq: 3}})
+	s.DoRead(0x1040, Candidate{Exec: InitialExec})
+
+	want := []string{
+		fmt.Sprintf("%d exec0 %v [0,∞)->[5,∞) at 5", FlushRaise, Addr(0x1000)),
+		fmt.Sprintf("%d exec0 %v [0,∞)->[0,4) at 4", RefineLower, Addr(0x1040)),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tracer events:\n got %q\nwant %q", got, want)
+	}
+}
+
+// Refinements driven by reading a store inside the writeback window raise
+// Begin and lower End on the source execution (Figure 10, source branch).
+func TestIntervalTracerSourceExecRefinement(t *testing.T) {
+	s := NewStack()
+	e0 := s.Top()
+	e0.Append(0x2000, 1, 3)
+	e0.Append(0x2000, 2, 7) // next store to the same byte at σ7
+	s.Push()
+
+	var kinds []IntervalEventKind
+	var ats []Seq
+	s.SetIntervalTracer(func(ev IntervalEvent) {
+		kinds = append(kinds, ev.Kind)
+		ats = append(ats, ev.At)
+	})
+	// Read the older store ⟨1, σ3⟩: Begin rises to 3, End drops to the next
+	// store's σ7.
+	s.DoRead(0x2000, Candidate{Exec: 0, ByteStore: ByteStore{Val: 1, Seq: 3}})
+
+	wantKinds := []IntervalEventKind{RefineRaise, RefineLower}
+	wantAts := []Seq{3, 7}
+	if !reflect.DeepEqual(kinds, wantKinds) || !reflect.DeepEqual(ats, wantAts) {
+		t.Errorf("got kinds %v at %v, want %v at %v", kinds, ats, wantKinds, wantAts)
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+// Guest programs for the witness golden-file tests. They live in their own
+// file because witnesses embed guest source locations (this file's name and
+// line numbers): editing witness_test.go must not shift them. If you edit
+// THIS file, regenerate the goldens with `go test ./internal/report -update`.
+
+import "jaaru/internal/core"
+
+// goldenCommitstore is the commit-store litmus with the data flush missing —
+// the canonical missing-flush bug (paper Figure 4).
+func goldenCommitstore() core.Program {
+	return core.Program{
+		Name: "commitstore",
+		Run: func(c *core.Context) {
+			tmp := c.AllocLine(8)
+			c.Store64(tmp, 0xDA7A)
+			// BUG: tmp is never flushed before the commit store.
+			c.StorePtr(c.Root(), tmp)
+			c.Clflush(c.Root(), 8)
+		},
+		Recover: func(c *core.Context) {
+			if child := c.LoadPtr(c.Root()); child != 0 {
+				c.Assert(c.Load64(child) == 0xDA7A, "committed child lost its data")
+			}
+		},
+	}
+}
+
+// goldenOrderedPair is an ordered-pair litmus: a is flushed with clflushopt
+// but the sfence that would order it before b's commit is missing, so b can
+// persist while a's writeback is still buffered.
+func goldenOrderedPair() core.Program {
+	return core.Program{
+		Name: "ordered-pair",
+		Run: func(c *core.Context) {
+			a, b := c.Root(), c.Root().Add(64)
+			c.Store64(a, 1)
+			c.Clflushopt(a, 8)
+			// BUG: missing sfence — the clflushopt is not ordered before the
+			// commit of b.
+			c.Store64(b, 1)
+			c.Clflush(b, 8)
+		},
+		Recover: func(c *core.Context) {
+			if c.Load64(c.Root().Add(64)) == 1 {
+				c.Assert(c.Load64(c.Root()) == 1, "b persisted before a")
+			}
+		},
+	}
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jaaru/internal/core"
+	"jaaru/internal/forensics"
+)
+
+var update = flag.Bool("update", false, "rewrite the witness golden files")
+
+// goldenCase explores a program, builds the witness of its first bug (with
+// minimization, so the goldens cover the Minimized block too), and renders
+// both forms.
+func goldenWitness(t *testing.T, prog core.Program, workers int) *forensics.Witness {
+	t.Helper()
+	opts := core.Options{FlagMultiRF: true, Workers: workers}
+	res := core.New(prog, opts).Run()
+	if !res.Buggy() {
+		t.Fatalf("%s: no bug found", prog.Name)
+	}
+	nb, m := core.Minimize(prog, opts, res.Bugs[0])
+	w := core.BuildWitness(prog, opts, nb)
+	w.Minimized = m
+	if !w.Reproduced {
+		t.Fatalf("%s: witness replay did not reproduce", prog.Name)
+	}
+	return w
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/report -update`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestWitnessGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() core.Program
+	}{
+		{"commitstore", goldenCommitstore},
+		{"ordered-pair", goldenOrderedPair},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := goldenWitness(t, tc.prog(), 1)
+
+			text := WitnessText(w)
+			checkGolden(t, tc.name+".txt", []byte(text))
+
+			data, err := WitnessJSON(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every emitted witness validates against the documented schema.
+			if err := forensics.ValidateJSON(data); err != nil {
+				t.Fatalf("witness JSON fails its schema: %v", err)
+			}
+			checkGolden(t, tc.name+".json", data)
+		})
+	}
+}
+
+// The witness JSON is byte-identical whether the bug came out of a serial or
+// a 4-worker exploration: the canonical bug representative is the same, and
+// the renderer adds nothing nondeterministic.
+func TestWitnessJSONSerialParallelByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog func() core.Program
+	}{
+		{"commitstore", goldenCommitstore},
+		{"ordered-pair", goldenOrderedPair},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := WitnessJSON(goldenWitness(t, tc.prog(), 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := WitnessJSON(goldenWitness(t, tc.prog(), 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("serial and workers=4 witness JSON differ:\nserial:\n%s\nparallel:\n%s",
+					serial, parallel)
+			}
+		})
+	}
+}
+
+// Text rendering of a non-reproduced witness flags the divergence loudly.
+func TestWitnessTextNotReproduced(t *testing.T) {
+	w := &forensics.Witness{Program: "p", Bug: forensics.Bug{Type: "bug", Message: "m"}}
+	out := WitnessText(w)
+	if want := "reproduced: NO"; !bytes.Contains([]byte(out), []byte(want)) {
+		t.Errorf("text witness missing %q:\n%s", want, out)
+	}
+}

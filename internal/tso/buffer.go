@@ -54,6 +54,39 @@ type Entry struct {
 	Val  uint64    // store: little-endian value
 	Seq  pmem.Seq  // clflushopt: σcurr at the moment the instruction executed
 	Loc  string    // guest source location (set only when perf detection is on)
+	Op   int       // issuing operation index (set only by the forensics recorder)
+}
+
+// Probe observes TSO state transitions — entries leaving the store buffer
+// and buffered writebacks taking effect — for the bug-forensics witness
+// recorder (internal/forensics). It follows the obs.Collector nil-receiver
+// discipline: a nil *Probe (the default) makes every hook a single nil
+// check, so disabled forensics stays on the zero-overhead path measured by
+// BenchmarkObservability.
+type Probe struct {
+	// OnEvict fires when an entry leaves the store buffer. s is the sequence
+	// at which the entry took effect: for stores and clflushes the σ of the
+	// cache effect, for a clflushopt the ordering bound its flush-buffer
+	// entry carries, for an sfence the fence's σ (fired before the flush
+	// buffer drains, so the writebacks it orders follow it).
+	OnEvict func(e Entry, s pmem.Seq)
+	// OnWriteback fires after a buffered clflushopt writeback is applied to
+	// the cache line, with the issuing operation index op.
+	OnWriteback func(line pmem.Addr, s pmem.Seq, op int)
+}
+
+func (p *Probe) evict(e Entry, s pmem.Seq) {
+	if p == nil || p.OnEvict == nil {
+		return
+	}
+	p.OnEvict(e, s)
+}
+
+func (p *Probe) writeback(line pmem.Addr, s pmem.Seq, op int) {
+	if p == nil || p.OnWriteback == nil {
+		return
+	}
+	p.OnWriteback(line, s, op)
 }
 
 // Covers reports whether a store entry writes byte address a.
@@ -107,12 +140,15 @@ type ThreadState struct {
 	// col is the checker's observability shard (nil when disabled: every
 	// hook below is then a nil check).
 	col *obs.Collector
+	// probe is the forensics transition probe (nil outside witness replays).
+	probe *Probe
 }
 
 type fbEntry struct {
 	line pmem.Addr
 	seq  pmem.Seq
 	loc  string
+	op   int // issuing operation index (forensics recorder only)
 }
 
 // NewThreadState returns an empty thread state. capacity bounds the store
@@ -126,6 +162,10 @@ func NewThreadState(capacity int) *ThreadState {
 // keeps the zero-overhead path. Buffer occupancy high-water marks and
 // eviction/writeback counts are recorded against it.
 func (t *ThreadState) SetObserver(col *obs.Collector) { t.col = col }
+
+// SetProbe attaches the forensics transition probe; the default (nil) keeps
+// the zero-overhead path.
+func (t *ThreadState) SetProbe(p *Probe) { t.probe = p }
 
 // Reset clears all volatile state (used when a failure wipes the machine).
 func (t *ThreadState) Reset() {
@@ -180,11 +220,13 @@ func (t *ThreadState) EvictOldest(st Storage) Entry {
 		s := st.NextSeq()
 		st.ApplyStore(e.Addr, e.Size, e.Val, s)
 		t.tLine[e.Addr.Line()] = s
+		t.probe.evict(e, s)
 	case CLFlush:
 		st.BeforeFlushEffect(CLFlush, e.Addr, e.Loc)
 		s := st.NextSeq()
 		st.ApplyCLFlush(e.Addr, s)
 		t.tLine[e.Addr.Line()] = s
+		t.probe.evict(e, s)
 	case CLFlushOpt:
 		// Reordering with earlier operations: the writeback is ordered
 		// after the max of (σ at execution, last store/clflush to the same
@@ -196,11 +238,13 @@ func (t *ThreadState) EvictOldest(st Storage) Entry {
 		if t.tSfence > s {
 			s = t.tSfence
 		}
-		t.fb = append(t.fb, fbEntry{line: e.Addr.Line(), seq: s, loc: e.Loc})
+		t.fb = append(t.fb, fbEntry{line: e.Addr.Line(), seq: s, loc: e.Loc, op: e.Op})
 		t.col.NotePeak(obs.PeakFB, int64(len(t.fb)))
+		t.probe.evict(e, s)
 	case SFence:
 		st.SFenceEffect(len(t.fb), e.Loc)
 		s := st.NextSeq()
+		t.probe.evict(e, s)
 		t.DrainFlushBuffer(st)
 		t.tSfence = s
 	}
@@ -224,6 +268,7 @@ func (t *ThreadState) DrainFlushBuffer(st Storage) {
 		// Counted after the effect: BeforeFlushEffect may panic to inject
 		// a failure, and a writeback cut off by the crash never applied.
 		t.col.Inc(obs.FBWritebacks)
+		t.probe.writeback(fe.line, fe.seq, fe.op)
 	}
 	t.fb = t.fb[:0]
 }

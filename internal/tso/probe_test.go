@@ -1,0 +1,62 @@
+package tso
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"jaaru/internal/pmem"
+)
+
+// The forensics probe: every store-buffer eviction and flush-buffer
+// writeback is reported with its sequence number and the Op stamp of the
+// issuing operation — and the nil default stays a no-op (every other test
+// in this package runs without a probe).
+func TestProbeReportsEvictionsAndWritebacks(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	var got []string
+	ts.SetProbe(&Probe{
+		OnEvict: func(e Entry, s pmem.Seq) {
+			got = append(got, fmt.Sprintf("evict %v op%d σ%d", e.Kind, e.Op, s))
+		},
+		OnWriteback: func(line pmem.Addr, s pmem.Seq, op int) {
+			got = append(got, fmt.Sprintf("wb %v op%d σ%d", line, op, s))
+		},
+	})
+
+	ts.Push(st, Entry{Kind: Store, Addr: 0x1000, Size: 8, Val: 7, Op: 10})
+	ts.Push(st, Entry{Kind: CLFlushOpt, Addr: 0x1000, Op: 11})
+	ts.Push(st, Entry{Kind: SFence, Op: 12})
+	ts.Mfence(st)
+
+	// The store evicts at σ1; the clflushopt moves to the flush buffer with
+	// its ordering bound — the flushed line's store σ1, no fresh sequence
+	// number; the sfence reports at σ2 and then drains the flush buffer,
+	// delivering the deferred writeback attributed to op 11.
+	want := []string{
+		"evict store op10 σ1",
+		"evict clflushopt op11 σ1",
+		"evict sfence op12 σ2",
+		"wb 0x1000 op11 σ1",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("probe events:\n got %q\nwant %q", got, want)
+	}
+}
+
+// An explicit clflush reports its eviction directly (no flush-buffer pass).
+func TestProbeCLFlushEvictsInline(t *testing.T) {
+	st := newFake()
+	ts := NewThreadState(0)
+	var kinds []EntryKind
+	ts.SetProbe(&Probe{OnEvict: func(e Entry, s pmem.Seq) { kinds = append(kinds, e.Kind) }})
+
+	ts.Push(st, Entry{Kind: Store, Addr: 0x1000, Size: 1, Val: 1, Op: 1})
+	ts.Push(st, Entry{Kind: CLFlush, Addr: 0x1000, Op: 2})
+	ts.Mfence(st)
+
+	if len(kinds) != 2 || kinds[0] != Store || kinds[1] != CLFlush {
+		t.Errorf("evict kinds = %v, want [store clflush]", kinds)
+	}
+}

@@ -58,8 +58,10 @@ package jaaru
 
 import (
 	"jaaru/internal/core"
+	"jaaru/internal/forensics"
 	"jaaru/internal/obs"
 	"jaaru/internal/pmem"
+	"jaaru/internal/report"
 )
 
 // Addr is a byte address in the simulated persistent-memory pool.
@@ -166,3 +168,42 @@ func Replay(prog Program, opts Options, b *BugReport) []TraceOp {
 func FormatWitness(prog Program, opts Options, b *BugReport) string {
 	return core.FormatWitness(prog, opts, b)
 }
+
+// Witness is the structured bug-forensics record: the scenario's recorded
+// decisions, the TSO-annotated operation trace, per-cache-line persistence
+// timelines, and the read-from resolution (with constraint-refinement steps)
+// of every post-failure load. Obtain one with BuildWitness or the
+// Result.Witness / BugReport.Witness accessors; render it with
+// FormatWitnessText / MarshalWitnessJSON.
+type Witness = forensics.Witness
+
+// Minimization reports the outcome of delta-debugging a bug's choice prefix.
+type Minimization = forensics.Minimization
+
+// BuildWitness replays the failure scenario recorded in b — prog and opts
+// must match the exploration that produced it — with the forensics hooks
+// armed and returns the structured witness.
+func BuildWitness(prog Program, opts Options, b *BugReport) *Witness {
+	return core.BuildWitness(prog, opts, b)
+}
+
+// Minimize runs greedy delta debugging over b's recorded choice prefix and
+// returns a copy of the report whose decision sequence is locally minimal
+// while still reproducing a bug with the same (type, message) key. The
+// minimized prefix is never longer than the original.
+func Minimize(prog Program, opts Options, b *BugReport) (*BugReport, *Minimization) {
+	return core.Minimize(prog, opts, b)
+}
+
+// FormatWitnessText renders a structured witness as the annotated
+// human-readable report jaaru-explain prints.
+func FormatWitnessText(w *Witness) string { return report.WitnessText(w) }
+
+// MarshalWitnessJSON serializes a witness as indented JSON. Equal witnesses
+// serialize byte-identically, so serial and parallel explorations of the
+// same program produce the same bytes.
+func MarshalWitnessJSON(w *Witness) ([]byte, error) { return report.WitnessJSON(w) }
+
+// ValidateWitnessJSON checks serialized witness JSON against the documented
+// schema (docs/ALGORITHM.md, "Witnesses and minimization").
+func ValidateWitnessJSON(data []byte) error { return forensics.ValidateJSON(data) }
