@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify explain-smoke bench bench-parallel bench-snapshot clean
+.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout clean
 
 all: verify
 
@@ -26,7 +26,14 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/tso/
 	$(GO) test -race -run TestSnapshotEquivalence .
 
-verify: vet build test race
+# Allocation-regression gates: the testing.AllocsPerRun pins that keep the
+# paged-layout hot path (guest ops, scenario reset, journal mark/rewind)
+# at zero heap allocations once warmed.
+bench-mem:
+	$(GO) test -run 'TestSteadyStateOpAllocations|TestScenarioResetAllocations' -count=1 ./internal/core/
+	$(GO) test -run TestStackOpsAllocFree -count=1 ./internal/pmem/
+
+verify: vet build test race bench-mem
 
 # End-to-end forensics smoke: find the commitstore bug, minimize its choice
 # prefix, build the witness, and validate the emitted JSON against the schema.
@@ -43,6 +50,12 @@ bench-parallel:
 # Regenerate the snapshot off-vs-on report (BENCH_snapshot.json).
 bench-snapshot:
 	$(GO) run ./cmd/jaaru-perf -snapshots BENCH_snapshot.json
+
+# Regenerate the paged-memory-layout report (BENCH_memlayout.json). Pass
+# BASELINE=<old.json> to compute allocation/speedup deltas against a run
+# from a previous revision.
+bench-memlayout:
+	$(GO) run ./cmd/jaaru-perf -memlayout BENCH_memlayout.json $(if $(BASELINE),-baseline $(BASELINE))
 
 clean:
 	$(GO) clean ./...

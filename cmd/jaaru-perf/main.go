@@ -20,11 +20,23 @@
 // counters), and the measurements — total and pre-failure time, restore
 // counts, hit ratio — are written as JSON (BENCH_snapshot.json).
 //
+// With -memlayout, it instead measures the serial exploration cost of every
+// Figure 14 workload (plus the scaled commit-store program): wall clock,
+// heap allocations per execution, and bytes per execution, written as JSON
+// (BENCH_memlayout.json). With -baseline OLD.json (a -memlayout report from
+// a previous revision), each row also carries the allocation reduction and
+// speedup, and exploration results are cross-checked against the baseline:
+// any difference in executions, scenarios, failure points, steps, or bugs
+// fails the run — memory-layout work must not change what is explored.
+//
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
+//
 // Usage:
 //
 //	jaaru-perf [-scale N]
 //	jaaru-perf -parallel BENCH_parallel.json [-workers N] [-reps R] [-scale N]
 //	jaaru-perf -snapshots BENCH_snapshot.json [-reps R] [-scale N]
+//	jaaru-perf -memlayout BENCH_memlayout.json [-baseline OLD.json] [-reps R] [-scale N]
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 
 	"jaaru/internal/core"
 	"jaaru/internal/obs"
+	"jaaru/internal/profiling"
 	"jaaru/internal/recipe"
 	"jaaru/internal/yat"
 )
@@ -305,10 +318,17 @@ func runSnapshotBench(path string, reps, scale int) {
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = default table)")
 	workers := flag.Int("workers", 4, "worker checkers for -parallel")
-	reps := flag.Int("reps", 3, "measurement repetitions for -parallel/-snapshots (best is kept)")
+	reps := flag.Int("reps", 3, "measurement repetitions for -parallel/-snapshots/-memlayout (best is kept)")
 	parallel := flag.String("parallel", "", "benchmark parallel exploration and write the JSON report to this file")
 	snapshots := flag.String("snapshots", "", "benchmark the snapshot engine and write the JSON report to this file")
+	memlayout := flag.String("memlayout", "", "benchmark allocation cost per workload and write the JSON report to this file")
+	baseline := flag.String("baseline", "", "prior -memlayout report to diff and cross-check against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	if *parallel != "" {
 		runParallelBench(*parallel, *workers, *reps, *scale)
@@ -316,6 +336,10 @@ func main() {
 	}
 	if *snapshots != "" {
 		runSnapshotBench(*snapshots, *reps, *scale)
+		return
+	}
+	if *memlayout != "" {
+		runMemlayoutBench(*memlayout, *baseline, *reps, *scale)
 		return
 	}
 

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jaaru/internal/core"
+)
+
+// memlayoutBench is one benchmark row of the -memlayout report: wall-clock
+// and allocator cost of one full serial exploration of a workload, plus the
+// Result fields a layout change must not disturb.
+type memlayoutBench struct {
+	Name          string  `json:"name"`
+	Executions    int     `json:"executions"`
+	Scenarios     int     `json:"scenarios"`
+	FailurePoints int     `json:"failure_points"`
+	Bugs          int     `json:"bugs"`
+	Steps         int64   `json:"steps"`
+	WallNs        int64   `json:"wall_ns"`
+	AllocsPerExec float64 `json:"allocs_per_exec"`
+	BytesPerExec  float64 `json:"bytes_per_exec"`
+	// Baseline* echo the same measurements from the -baseline report (the
+	// pre-change run); AllocsReduction = 1 - new/old, Speedup = old/new.
+	BaselineWallNs        int64   `json:"baseline_wall_ns,omitempty"`
+	BaselineAllocsPerExec float64 `json:"baseline_allocs_per_exec,omitempty"`
+	BaselineBytesPerExec  float64 `json:"baseline_bytes_per_exec,omitempty"`
+	AllocsReduction       float64 `json:"allocs_reduction,omitempty"`
+	Speedup               float64 `json:"speedup,omitempty"`
+	// Match records the equivalence check against the baseline run: identical
+	// executions, scenarios, failure points, steps, and bug count. Without a
+	// baseline it reports the run completed (and is re-checked when the
+	// report is later used as a baseline).
+	Match bool `json:"match"`
+}
+
+type memlayoutReport struct {
+	Scale      int              `json:"scale"`
+	Reps       int              `json:"reps"`
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Note       string           `json:"note"`
+	Benchmarks []memlayoutBench `json:"benchmarks"`
+}
+
+// measureAllocs runs one full serial exploration and returns its result plus
+// the heap allocation count and bytes it performed (runtime.MemStats deltas,
+// single-goroutine run so the deltas are attributable).
+func measureAllocs(prog core.Program) (*core.Result, uint64, uint64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := core.New(prog, core.Options{}).Run()
+	runtime.ReadMemStats(&after)
+	return res, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// runMemlayoutBench measures every -snapshots workload (the Figure 14 table
+// plus the scaled commit-store program — the 7 perf workloads): best-of-reps
+// wall time and allocations per fork-equivalent execution. With a baseline
+// report (a run of the same harness before a layout change) it cross-checks
+// the exploration for bit-identical Result counts and reports the reduction.
+func runMemlayoutBench(path, baselinePath string, reps, scale int) {
+	var base *memlayoutReport
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err == nil {
+			base = &memlayoutReport{}
+			err = json.Unmarshal(raw, base)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading baseline %s: %v\n", baselinePath, err)
+			os.Exit(1)
+		}
+	}
+	baseRow := func(name string) *memlayoutBench {
+		if base == nil {
+			return nil
+		}
+		for i := range base.Benchmarks {
+			if base.Benchmarks[i].Name == name {
+				return &base.Benchmarks[i]
+			}
+		}
+		return nil
+	}
+
+	rep := memlayoutReport{
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "allocs/bytes per exec are runtime.MemStats deltas over one full " +
+			"serial exploration divided by fork-equivalent executions; wall_ns " +
+			"is best of reps; match cross-checks Result counts against the baseline run",
+	}
+	fmt.Printf("Memory layout: serial exploration cost per workload (best of %d)\n", reps)
+	fmt.Printf("%-12s  %7s  %10s  %12s  %10s  %8s  %6s\n",
+		"Benchmark", "#JExec.", "Wall", "Allocs/exec", "B/exec", "ΔAllocs", "Match")
+	fmt.Println("--------------------------------------------------------------------------")
+
+	for _, prog := range snapshotWorkloads(scale) {
+		var wall time.Duration
+		var res *core.Result
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			res = core.New(prog, core.Options{}).Run()
+			if d := time.Since(t0); r == 0 || d < wall {
+				wall = d
+			}
+		}
+		mres, mallocs, bytes := measureAllocs(prog)
+		if !resultsEqual(res, mres) {
+			fmt.Fprintf(os.Stderr, "%s: measured run diverged from timed run\n", prog.Name)
+			os.Exit(1)
+		}
+		execs := max(res.Executions, 1)
+		b := memlayoutBench{
+			Name:          trimName(prog.Name),
+			Executions:    res.Executions,
+			Scenarios:     res.Scenarios,
+			FailurePoints: res.FailurePoints,
+			Bugs:          len(res.Bugs),
+			Steps:         res.Steps,
+			WallNs:        wall.Nanoseconds(),
+			AllocsPerExec: float64(mallocs) / float64(execs),
+			BytesPerExec:  float64(bytes) / float64(execs),
+			Match:         true,
+		}
+		delta := "-"
+		if br := baseRow(b.Name); br != nil {
+			b.BaselineWallNs = br.WallNs
+			b.BaselineAllocsPerExec = br.AllocsPerExec
+			b.BaselineBytesPerExec = br.BytesPerExec
+			if br.AllocsPerExec > 0 {
+				b.AllocsReduction = 1 - b.AllocsPerExec/br.AllocsPerExec
+			}
+			if b.WallNs > 0 {
+				b.Speedup = float64(br.WallNs) / float64(b.WallNs)
+			}
+			b.Match = b.Executions == br.Executions &&
+				b.Scenarios == br.Scenarios &&
+				b.FailurePoints == br.FailurePoints &&
+				b.Steps == br.Steps &&
+				b.Bugs == br.Bugs
+			delta = fmt.Sprintf("%+.1f%%", -100*b.AllocsReduction)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-12s  %7d  %10s  %12.1f  %10.0f  %8s  %6v\n",
+			b.Name, b.Executions, wall.Round(1e5), b.AllocsPerExec, b.BytesPerExec,
+			delta, b.Match)
+		if !b.Match {
+			fmt.Fprintf(os.Stderr, "%s: exploration diverged from baseline\n", prog.Name)
+			os.Exit(1)
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}

@@ -30,6 +30,7 @@ import (
 	"jaaru/internal/benchlist"
 	"jaaru/internal/core"
 	"jaaru/internal/obs"
+	"jaaru/internal/profiling"
 	"jaaru/internal/report"
 )
 
@@ -49,7 +50,12 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
 	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	bms := benchlist.All()
 	if *list || flag.NArg() != 1 {
@@ -175,6 +181,7 @@ func main() {
 		fmt.Print(report.WitnessText(core.BuildWitness(prog, opts, res.Bugs[0])))
 	}
 	if res.Buggy() {
+		stopProfiles() // os.Exit skips the deferred stop
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,66 @@
+package core
+
+import "testing"
+
+// Allocation-regression gates for the paged memory layout: the simulator's
+// per-operation hot path and the per-scenario reset must stay allocation-free
+// once the pooled state is warmed, or throughput regresses across the
+// millions of replays an exploration performs.
+
+// allocGateChecker builds a warmed checker with a live main thread whose
+// Context can issue guest operations directly.
+func allocGateChecker() (*Checker, *Context) {
+	c := New(Program{Name: "alloc-gate", Run: func(*Context) {}}, Options{})
+	c.resetScenario()
+	main := c.sched.reset(c.opts.SBCapacity, nil)
+	return c, &Context{ck: c, th: main}
+}
+
+// TestSteadyStateOpAllocations pins Store64 / Load64 / Clflush at zero heap
+// allocations per operation on a warmed scenario.
+func TestSteadyStateOpAllocations(t *testing.T) {
+	_, ctx := allocGateChecker()
+	a := ctx.Root()
+	b := a.Add(64)
+	// Warm: grow the store-queue arena, page table, and TSO buffers to
+	// steady-state capacity (with headroom past the next arena doubling).
+	for i := 0; i < 2500; i++ {
+		ctx.Store64(a, uint64(i))
+		ctx.Store64(b, uint64(i))
+		_ = ctx.Load64(a)
+		ctx.Clflush(a, 8)
+	}
+
+	if n := testing.AllocsPerRun(200, func() { ctx.Store64(a, 7) }); n != 0 {
+		t.Errorf("Store64 allocates %.3f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { _ = ctx.Load64(a) }); n != 0 {
+		t.Errorf("Load64 allocates %.3f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { ctx.Clflush(b, 8) }); n != 0 {
+		t.Errorf("Clflush allocates %.3f times per op, want 0", n)
+	}
+}
+
+// TestScenarioResetAllocations pins the per-scenario reset cycle — recycle
+// the stack through the pool, reset the scheduler's main thread, replay a
+// small execution — at zero heap allocations once warmed.
+func TestScenarioResetAllocations(t *testing.T) {
+	c, ctx := allocGateChecker()
+	scenario := func() {
+		c.resetScenario()
+		ctx.th = c.sched.reset(c.opts.SBCapacity, nil)
+		a := ctx.Root()
+		for i := 0; i < 32; i++ {
+			ctx.Store64(a.Add(uint64(i%4)*8), uint64(i))
+		}
+		ctx.Clflush(a, 8)
+		_ = ctx.Load64(a)
+	}
+	for i := 0; i < 32; i++ {
+		scenario()
+	}
+	if n := testing.AllocsPerRun(100, scenario); n != 0 {
+		t.Errorf("scenario reset cycle allocates %.3f times per run, want 0", n)
+	}
+}

@@ -94,6 +94,12 @@ type Checker struct {
 	// candidate slice per pre-failure load byte.
 	rfScratch []pmem.Candidate
 
+	// pmpool recycles scenario storage (executions, pages, arenas) across
+	// the millions of resetScenario calls a run performs; thScratch is the
+	// reused thread snapshot quiesce takes under the scheduler lock.
+	pmpool    *pmem.Pool
+	thScratch []*thread
+
 	// Snapshot engine state (snapshot.go). snaps is the stack of captured
 	// pre-failure states, nested by choice prefix; snapActive latches
 	// per-scenario eligibility; snapBase/snapBaseSteps are the scenario
@@ -124,6 +130,7 @@ func New(prog Program, opts Options) *Checker {
 		alloc:     pmalloc.New(PoolBase, o.PoolSize),
 		sched:     newScheduler(),
 		lastStore: make(map[pmem.Addr]pmem.Seq),
+		pmpool:    pmem.NewPool(),
 	}
 	c.initStats()
 	if o.TraceLen > 0 {
@@ -341,7 +348,7 @@ func Execute(name string, fn func(*Context), opts Options) *Result {
 
 func (c *Checker) resetScenario() {
 	c.seq = 0
-	c.stack = pmem.NewStack()
+	c.stack = c.pmpool.Recycle(c.stack)
 	c.alloc.Reset()
 	if _, ok := c.alloc.Alloc(RootSize, 1); !ok {
 		panic(engineError{"pool smaller than root area"})
@@ -529,8 +536,9 @@ func (c *Checker) joinAll(main *thread) {
 // remain eligible.
 func (c *Checker) quiesce() {
 	c.sched.mu.Lock()
-	threads := append([]*thread(nil), c.sched.threads...)
+	threads := append(c.thScratch[:0], c.sched.threads...)
 	c.sched.mu.Unlock()
+	c.thScratch = threads
 	for _, t := range threads {
 		t.ts.Mfence(c)
 	}

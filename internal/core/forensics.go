@@ -212,9 +212,7 @@ func (r *witnessRecorder) beginLoad(t *thread, a pmem.Addr) *forensics.LoadResol
 	for id := top.ID - 1; id >= 0; id-- {
 		e := r.c.stack.At(id)
 		begin, end := r.lineBounds(id, a.Line())
-		q := e.Queue(a)
-		for i := len(q) - 1; i >= 0; i-- {
-			bs := q[i]
+		e.ForEachStoreNewest(a, func(bs pmem.ByteStore) bool {
 			sc := forensics.StoreCandidate{
 				Exec: id, Seq: uint64(bs.Seq), Val: uint64(bs.Val)}
 			switch {
@@ -243,7 +241,8 @@ func (r *witnessRecorder) beginLoad(t *thread, a pmem.Addr) *forensics.LoadResol
 					begin, uint64(bs.Seq), forensics.FormatSeq(end))
 			}
 			res.Candidates = append(res.Candidates, sc)
-		}
+			return true
+		})
 	}
 	initial := forensics.StoreCandidate{Exec: pmem.InitialExec}
 	if settled {

@@ -114,8 +114,9 @@ func (c *Checker) takeSnapshot(fp int) *Snapshot {
 		HighWater: c.alloc.HighWater(),
 	}
 	for _, a := range e.TouchedAddrs() {
-		q := e.Queue(a)
-		s.Queues[a] = append([]pmem.ByteStore(nil), q...)
+		// Queue materializes a fresh slice from the arena, so the snapshot
+		// owns it outright.
+		s.Queues[a] = e.Queue(a)
 	}
 	for _, line := range e.TouchedLines() {
 		if e.LineKnown(line) {
@@ -150,7 +151,7 @@ func RunRecoveryOn(prog Program, opts Options, image map[pmem.Addr]byte, highWat
 	}
 	pin := c.NextSeq()
 	for _, a := range addrs {
-		e0.CacheLine(a).RaiseBegin(pin)
+		e0.RaiseLineBegin(a, pin)
 	}
 	c.stack.Push()
 

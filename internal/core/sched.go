@@ -41,6 +41,12 @@ type scheduler struct {
 	// probe is the forensics transition probe, likewise handed to every
 	// thread's store-buffer state (nil outside witness replays).
 	probe *tso.Probe
+
+	// main is the reused main thread: every execution segment starts with
+	// thread 0 alone, so its thread struct and store-buffer state persist
+	// across resets (mainCap guards against a capacity change).
+	main    *thread
+	mainCap int
 }
 
 func newScheduler() *scheduler {
@@ -60,10 +66,22 @@ func (s *scheduler) reset(sbCapacity int, rng *rand.Rand) *thread {
 	if s.childAlive != 0 {
 		panic(engineError{"scheduler reset with live child threads"})
 	}
-	main := &thread{id: 0, ts: tso.NewThreadState(sbCapacity)}
+	main := s.main
+	if main == nil || s.mainCap != sbCapacity {
+		main = &thread{id: 0, ts: tso.NewThreadState(sbCapacity)}
+		s.main, s.mainCap = main, sbCapacity
+	} else {
+		main.ts.Reset()
+		main.done = false
+		main.joinOn = nil
+		main.parked = false
+	}
 	main.ts.SetObserver(s.col)
 	main.ts.SetProbe(s.probe)
-	s.threads = []*thread{main}
+	for i := range s.threads {
+		s.threads[i] = nil
+	}
+	s.threads = append(s.threads[:0], main)
 	s.cur = 0
 	s.rng = rng
 	s.crashed = false

@@ -41,6 +41,17 @@ func TestCrossCheckThreeLines(t *testing.T) {
 	}
 }
 
+// TestCrossCheckCrossPage spans five cache lines (320 bytes — more than one
+// of the paged layout's 256-byte pages), so page-boundary addressing and
+// multi-page enumeration are pinned against the eager ground truth.
+func TestCrossCheckCrossPage(t *testing.T) {
+	for seed := int64(400); seed < 406; seed++ {
+		if _, err := CrossCheck(Config{Seed: seed, Lines: 5, WordsPerLine: 1, Ops: 10}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
 func TestProgramDeterministic(t *testing.T) {
 	run := func() map[string]bool {
 		seen := make(map[string]bool)

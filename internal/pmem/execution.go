@@ -12,7 +12,8 @@ type ByteStore struct {
 
 // Execution records everything one execution of a failure scenario wrote to
 // the cache: per-byte store queues in cache order, and per-cache-line
-// intervals bounding the most recent writeback to persistent memory.
+// intervals bounding the most recent writeback to persistent memory — both
+// held in the paged, arena-backed layout of page.go.
 //
 // Execution 0 is the pre-failure execution; each injected failure pushes a
 // fresh execution onto the scenario's Stack.
@@ -20,91 +21,242 @@ type Execution struct {
 	// ID is the index of this execution in its Stack.
 	ID int
 
-	queues map[Addr][]ByteStore
-	lines  map[Addr]*Interval
+	// pages maps page id (addr >> pageShift) to its dense headers; lastID /
+	// lastPage are a one-entry cache that short-circuits the lookup for the
+	// common run of accesses within one page.
+	pages    map[Addr]*page
+	lastID   Addr
+	lastPage *page
+
+	// arena holds every store appended during this execution, in append
+	// (= sequence) order. Page headers chain into it with 1-based indices.
+	arena []node
 
 	// EvictedStores counts store entries that took effect in the cache
 	// during this execution (used for failure-point eligibility and for
 	// the Yat state-count accounting).
 	EvictedStores int
 
-	// appendLog records the byte address of every Append while the owning
-	// stack journals (logAppends), so a Rewind can truncate the append-only
-	// queues back to a marked length (see journal.go).
-	appendLog  []Addr
-	logAppends bool
+	pool *Pool
 }
 
-// NewExecution returns an empty execution record with the given stack index.
+// NewExecution returns an empty execution record with the given stack index,
+// backed by a private pool (tests and standalone use; checker executions are
+// drawn from a shared pool via Stack).
 func NewExecution(id int) *Execution {
-	return &Execution{
-		ID:     id,
-		queues: make(map[Addr][]ByteStore),
-		lines:  make(map[Addr]*Interval),
+	return NewPool().getExec(id)
+}
+
+// pageFor returns the page covering a, or nil if no byte of it was touched.
+func (e *Execution) pageFor(a Addr) *page {
+	id := a >> pageShift
+	if e.lastPage != nil && e.lastID == id {
+		return e.lastPage
 	}
+	pg := e.pages[id]
+	if pg != nil {
+		e.lastID, e.lastPage = id, pg
+	}
+	return pg
+}
+
+// ensurePage returns the page covering a, creating it from the pool on first
+// touch.
+func (e *Execution) ensurePage(a Addr) *page {
+	id := a >> pageShift
+	if e.lastPage != nil && e.lastID == id {
+		return e.lastPage
+	}
+	pg, ok := e.pages[id]
+	if !ok {
+		pg = e.pool.getPage()
+		e.pages[id] = pg
+	}
+	e.lastID, e.lastPage = id, pg
+	return pg
+}
+
+// peekLine returns the line record for the line containing a without
+// materializing anything, or nil if the page is untouched. A record with
+// known == false must be read as the vacuous interval [0, ∞).
+func (e *Execution) peekLine(a Addr) *lineRec {
+	pg := e.pageFor(a)
+	if pg == nil {
+		return nil
+	}
+	return &pg.lines[lineIndex(a)]
+}
+
+// ensureLine returns the line record for the line containing a, materializing
+// the unconstrained interval [0, ∞) on first use.
+func (e *Execution) ensureLine(a Addr) *lineRec {
+	pg := e.ensurePage(a)
+	lr := &pg.lines[lineIndex(a)]
+	if !lr.known {
+		lr.known = true
+		lr.iv = Interval{Begin: 0, End: SeqInf}
+	}
+	return lr
 }
 
 // Append records that value v was written to byte address a at sequence s.
 // Sequence numbers must be appended in increasing order.
 func (e *Execution) Append(a Addr, v byte, s Seq) {
-	e.queues[a] = append(e.queues[a], ByteStore{Val: v, Seq: s})
-	if e.logAppends {
-		e.appendLog = append(e.appendLog, a)
+	pg := e.ensurePage(a)
+	sl := &pg.slots[a&pageMask]
+	lr := &pg.lines[lineIndex(a)]
+	idx := int32(len(e.arena) + 1)
+	e.arena = append(e.arena, node{seq: s, addr: a, prev: sl.tail, linePrev: lr.tail, val: v})
+	sl.tail = idx
+	if sl.head == 0 {
+		sl.head = idx
 	}
+	lr.tail = idx
+	// Sequence numbers only grow, so a fresh store is always past the line's
+	// lower writeback bound.
+	lr.dirty++
 }
 
-// truncateAppends pops appends beyond the first n, newest-first, restoring
-// the queues (and the per-byte EvictedStores accounting) to their state when
-// the append log held n entries.
-func (e *Execution) truncateAppends(n int) {
-	for i := len(e.appendLog) - 1; i >= n; i-- {
-		a := e.appendLog[i]
-		q := e.queues[a]
-		e.queues[a] = q[:len(q)-1]
+// truncateArena pops appends beyond the first n, newest-first, unlinking each
+// from its page headers and restoring the per-line dirty-store and
+// EvictedStores accounting — the undo path of a journal Rewind.
+func (e *Execution) truncateArena(n int) {
+	for i := len(e.arena); i > n; i-- {
+		nd := &e.arena[i-1]
+		pg := e.pageFor(nd.addr)
+		sl := &pg.slots[nd.addr&pageMask]
+		sl.tail = nd.prev
+		if nd.prev == 0 {
+			sl.head = 0
+		}
+		lr := &pg.lines[lineIndex(nd.addr)]
+		lr.tail = nd.linePrev
+		if nd.seq > lr.iv.Begin {
+			lr.dirty--
+		}
 		e.EvictedStores--
 	}
-	e.appendLog = e.appendLog[:n]
+	e.arena = e.arena[:n]
 }
 
-// Queue returns the store queue for byte address a, oldest first.
-func (e *Execution) Queue(a Addr) []ByteStore { return e.queues[a] }
+// recountDirty recomputes a line's dirty-store count after its lower
+// writeback bound moved: the line chain is in append order, so the walk
+// stops at the first store at or before the bound. Cost is proportional to
+// the stores still past the bound.
+func (e *Execution) recountDirty(lr *lineRec) {
+	n := int32(0)
+	for i := lr.tail; i != 0; {
+		nd := &e.arena[i-1]
+		if nd.seq <= lr.iv.Begin {
+			break
+		}
+		n++
+		i = nd.linePrev
+	}
+	lr.dirty = n
+}
+
+// Queue returns the store queue for byte address a, oldest first. It
+// materializes a fresh slice — cold-path use only (snapshots, tests); the
+// hot path walks the arena chains directly.
+func (e *Execution) Queue(a Addr) []ByteStore {
+	pg := e.pageFor(a)
+	if pg == nil {
+		return nil
+	}
+	n := 0
+	for i := pg.slots[a&pageMask].tail; i != 0; i = e.arena[i-1].prev {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]ByteStore, n)
+	for i := pg.slots[a&pageMask].tail; i != 0; {
+		nd := &e.arena[i-1]
+		n--
+		out[n] = ByteStore{Val: nd.val, Seq: nd.seq}
+		i = nd.prev
+	}
+	return out
+}
 
 // Newest returns the most recent store to byte address a in this execution.
 func (e *Execution) Newest(a Addr) (ByteStore, bool) {
-	q := e.queues[a]
-	if len(q) == 0 {
+	pg := e.pageFor(a)
+	if pg == nil {
 		return ByteStore{}, false
 	}
-	return q[len(q)-1], true
+	i := pg.slots[a&pageMask].tail
+	if i == 0 {
+		return ByteStore{}, false
+	}
+	nd := &e.arena[i-1]
+	return ByteStore{Val: nd.val, Seq: nd.seq}, true
 }
 
 // First returns the oldest store to byte address a in this execution.
 func (e *Execution) First(a Addr) (ByteStore, bool) {
-	q := e.queues[a]
-	if len(q) == 0 {
+	pg := e.pageFor(a)
+	if pg == nil {
 		return ByteStore{}, false
 	}
-	return q[0], true
+	i := pg.slots[a&pageMask].head
+	if i == 0 {
+		return ByteStore{}, false
+	}
+	nd := &e.arena[i-1]
+	return ByteStore{Val: nd.val, Seq: nd.seq}, true
+}
+
+// nextSeqAfter returns the sequence of the oldest store to a strictly after
+// `after`, or SeqInf if none — the upper refinement bound of DoRead. The
+// byte chain is newest-first with strictly decreasing sequences, so the walk
+// stops at the first store at or before `after`.
+func (e *Execution) nextSeqAfter(a Addr, after Seq) Seq {
+	pg := e.pageFor(a)
+	if pg == nil {
+		return SeqInf
+	}
+	next := SeqInf
+	for i := pg.slots[a&pageMask].tail; i != 0; {
+		nd := &e.arena[i-1]
+		if nd.seq <= after {
+			break
+		}
+		next = nd.seq
+		i = nd.prev
+	}
+	return next
 }
 
 // CacheLine returns the writeback interval for the line containing a,
 // creating the unconstrained interval [0, ∞) on first use. This is the
-// paper's e.getcacheline(addr).
+// paper's e.getcacheline(addr). The returned pointer is stable for the
+// execution's lifetime; mutate it only through Stack (FlushLine / DoRead)
+// or RaiseLineBegin — direct mutation bypasses the dirty-store accounting.
 func (e *Execution) CacheLine(a Addr) *Interval {
-	line := a.Line()
-	iv, ok := e.lines[line]
-	if !ok {
-		iv = &Interval{Begin: 0, End: SeqInf}
-		e.lines[line] = iv
+	return &e.ensureLine(a).iv
+}
+
+// RaiseLineBegin raises the line's most-recent-writeback lower bound to at
+// least v, keeping the dirty-store accounting consistent. It is the
+// unjournaled, untraced form of Stack.FlushLine for direct storage setup
+// (eager recovery images, tests).
+func (e *Execution) RaiseLineBegin(a Addr, v Seq) {
+	lr := e.ensureLine(a)
+	if v <= lr.iv.Begin {
+		return
 	}
-	return iv
+	lr.iv.Begin = v
+	e.recountDirty(lr)
 }
 
 // LineKnown reports whether a writeback interval has been materialized for
 // the line containing a (i.e. the line was flushed or refined).
 func (e *Execution) LineKnown(a Addr) bool {
-	_, ok := e.lines[a.Line()]
-	return ok
+	lr := e.peekLine(a)
+	return lr != nil && lr.known
 }
 
 // Candidates computes, for a post-failure load of byte address a, the set of
@@ -122,75 +274,89 @@ func (e *Execution) LineKnown(a Addr) bool {
 // Candidates are returned newest-first so that exploration visits the most
 // recently written value first (matching the commit-store discussion in §3.2,
 // where the first execution explored reads the commit store's value).
+//
+// It is a thin allocating wrapper over appendCandidates, the one
+// candidate-enumeration implementation.
 func (e *Execution) Candidates(a Addr) (set []ByteStore, settled bool) {
-	cl := e.CacheLine(a)
-	q := e.queues[a]
-	for i := len(q) - 1; i >= 0; i-- {
-		bs := q[i]
-		if bs.Seq >= cl.End {
-			continue
-		}
-		set = append(set, bs)
-		if bs.Seq <= cl.Begin {
-			// Newest store at or before Begin: guaranteed persisted;
-			// earlier stores (and earlier executions) are unreachable.
-			return set, true
-		}
+	tagged, settled := e.appendCandidates(a, nil)
+	if len(tagged) == 0 {
+		return nil, settled
 	}
-	return set, false
+	set = make([]ByteStore, len(tagged))
+	for i, c := range tagged {
+		set[i] = c.ByteStore
+	}
+	return set, settled
 }
 
-// appendCandidates is Candidates appending tagged entries into a reused
-// buffer (the allocation-free path used by the checker's load handling).
+// appendCandidates is the candidate enumeration of Figure 9 lines 8–13,
+// appending tagged entries into a reused buffer (the allocation-free path
+// used by the checker's load handling). An unmaterialized line reads as the
+// vacuous [0, ∞); enumeration never materializes state.
 func (e *Execution) appendCandidates(a Addr, out []Candidate) ([]Candidate, bool) {
-	cl := e.CacheLine(a)
-	q := e.queues[a]
-	for i := len(q) - 1; i >= 0; i-- {
-		bs := q[i]
-		if bs.Seq >= cl.End {
+	pg := e.pageFor(a)
+	if pg == nil {
+		return out, false
+	}
+	begin, end := Seq(0), SeqInf
+	if lr := &pg.lines[lineIndex(a)]; lr.known {
+		begin, end = lr.iv.Begin, lr.iv.End
+	}
+	for i := pg.slots[a&pageMask].tail; i != 0; {
+		nd := &e.arena[i-1]
+		i = nd.prev
+		if nd.seq >= end {
 			continue
 		}
-		out = append(out, Candidate{Exec: e.ID, ByteStore: bs})
-		if bs.Seq <= cl.Begin {
+		out = append(out, Candidate{Exec: e.ID, ByteStore: ByteStore{Val: nd.val, Seq: nd.seq}})
+		if nd.seq <= begin {
+			// Newest store at or before Begin: guaranteed persisted;
+			// earlier stores (and earlier executions) are unreachable.
 			return out, true
 		}
 	}
 	return out, false
 }
 
+// ForEachStoreNewest calls fn for every store to byte address a, newest
+// first, until fn returns false — iteration without materializing a queue
+// slice (the forensics recorder's enumeration form).
+func (e *Execution) ForEachStoreNewest(a Addr, fn func(ByteStore) bool) {
+	pg := e.pageFor(a)
+	if pg == nil {
+		return
+	}
+	for i := pg.slots[a&pageMask].tail; i != 0; {
+		nd := &e.arena[i-1]
+		i = nd.prev
+		if !fn(ByteStore{Val: nd.val, Seq: nd.seq}) {
+			return
+		}
+	}
+}
+
 // DirtyStores reports how many stores to the line containing a happened after
 // the line's current lower writeback bound — the number of distinct
 // post-failure states an eager checker such as Yat must consider for this
-// line is DirtyStores+1. Counting walks every byte of the line.
+// line is DirtyStores+1. The count is maintained incrementally on
+// append/flush, so this is O(1).
 func (e *Execution) DirtyStores(line Addr) int {
-	cl := e.CacheLine(line)
-	n := 0
-	for off := Addr(0); off < CacheLineSize; off++ {
-		for _, bs := range e.queues[line+off] {
-			if bs.Seq > cl.Begin {
-				n++
-			}
-		}
+	lr := e.peekLine(line)
+	if lr == nil {
+		return 0
 	}
-	return n
+	return int(lr.dirty)
 }
 
 // DirtyLines returns, in sorted order, the base addresses of all lines that
 // have at least one store after their lower writeback bound.
 func (e *Execution) DirtyLines() []Addr {
-	seen := make(map[Addr]bool)
 	var out []Addr
-	for a, q := range e.queues {
-		line := a.Line()
-		if seen[line] {
-			continue
-		}
-		cl := e.CacheLine(line)
-		for _, bs := range q {
-			if bs.Seq > cl.Begin {
-				seen[line] = true
-				out = append(out, line)
-				break
+	for id, pg := range e.pages {
+		base := id << pageShift
+		for li := range pg.lines {
+			if pg.lines[li].dirty > 0 {
+				out = append(out, base+Addr(li*CacheLineSize))
 			}
 		}
 	}
@@ -201,13 +367,13 @@ func (e *Execution) DirtyLines() []Addr {
 // TouchedLines returns, in sorted order, the base addresses of all lines
 // written during this execution.
 func (e *Execution) TouchedLines() []Addr {
-	seen := make(map[Addr]bool)
 	var out []Addr
-	for a := range e.queues {
-		line := a.Line()
-		if !seen[line] {
-			seen[line] = true
-			out = append(out, line)
+	for id, pg := range e.pages {
+		base := id << pageShift
+		for li := range pg.lines {
+			if pg.lines[li].tail != 0 {
+				out = append(out, base+Addr(li*CacheLineSize))
+			}
 		}
 	}
 	sortAddrs(out)
@@ -217,9 +383,14 @@ func (e *Execution) TouchedLines() []Addr {
 // TouchedAddrs returns every byte address written during this execution, in
 // sorted order.
 func (e *Execution) TouchedAddrs() []Addr {
-	out := make([]Addr, 0, len(e.queues))
-	for a := range e.queues {
-		out = append(out, a)
+	var out []Addr
+	for id, pg := range e.pages {
+		base := id << pageShift
+		for si := range pg.slots {
+			if pg.slots[si].tail != 0 {
+				out = append(out, base+Addr(si))
+			}
+		}
 	}
 	sortAddrs(out)
 	return out

@@ -7,42 +7,46 @@ package pmem
 // re-running the program. Our deterministic-replay substitution gets the
 // same amortization by making the scenario Stack rewindable:
 //
-//   - Per-byte store queues are append-only, so a snapshot shares them by
-//     reference and records only their lengths. An append log (one Addr per
-//     appended byte, kept per execution while journaling) makes truncation
-//     back to a recorded length O(appends undone).
+//   - Per-byte store queues are append-only and live in one per-execution
+//     arena (page.go), so a snapshot shares them by reference and records
+//     only the arena length. Each arena node carries its byte address, so
+//     truncation back to a recorded length unlinks the popped stores from
+//     their page headers in O(appends undone) — the arena doubles as the
+//     append log a journal would otherwise keep separately.
 //   - Per-cache-line intervals are NOT append-only: post-failure constraint
 //     refinement (DoRead/updateRanges) raises Begin and lowers End of
 //     pre-failure lines in place. Every effective interval mutation is
 //     therefore recorded in an undo journal holding the pre-mutation value,
-//     and a rewind plays the journal backwards.
-//   - Executions pushed after a snapshot are simply popped; their queues and
-//     intervals die with them (interval undo entries referencing them are
-//     applied before the pop, while the pointers are still live — harmless).
+//     and a rewind plays the journal backwards. Because the per-line
+//     dirty-store counter depends on Begin, a rewind recounts the dirty
+//     stores of every surviving line whose interval it restored (after the
+//     arena truncation, so the count sees the final store chain).
+//   - Executions pushed after a snapshot are simply popped back to the pool;
+//     their stores and intervals die with them (interval undo entries
+//     referencing them are applied before the pool zeroes their pages, while
+//     the pointers are still live — harmless).
 //
 // Lazily materialized cache lines (CacheLine creating the vacuous [0, ∞))
 // are deliberately not journaled: a rewind restores any refined line to its
-// recorded bounds, and a line materialized after the mark merely remains in
-// the map with its vacuous interval, which is semantically identical to an
-// unmaterialized line for candidate enumeration.
+// recorded bounds, and a line materialized after the mark merely remains
+// known with its vacuous interval, which is semantically identical to an
+// unknown line for candidate enumeration.
 
-// ivUndo is one undo-journal entry: the interval's value before a mutation.
+// ivUndo is one undo-journal entry: the line record's interval value before
+// a mutation, plus the owning execution (to recount dirty stores on rewind
+// and to skip records of popped executions).
 type ivUndo struct {
-	iv  *Interval
+	e   *Execution
+	rec *lineRec
 	old Interval
-}
-
-// journal accumulates undoable interval mutations of one Stack.
-type journal struct {
-	ivlog []ivUndo
 }
 
 // Mark identifies a rewindable point in a journaled Stack's history.
 type Mark struct {
 	// Depth is the number of executions on the stack.
 	Depth int
-	// TopAppends is the append-log length of the then-top execution. Only
-	// the top execution receives appends, so deeper marks never need it.
+	// TopAppends is the arena length of the then-top execution. Only the
+	// top execution receives appends, so deeper marks never need it.
 	TopAppends int
 	// Intervals is the interval undo-journal length.
 	Intervals int
@@ -52,96 +56,117 @@ type Mark struct {
 // appends and interval mutations become rewindable via Mark/Rewind. It must
 // be called before any mutation that a later Rewind is expected to undo
 // (in practice: right after NewStack).
-func (s *Stack) EnableJournal() {
-	if s.j != nil {
-		return
-	}
-	s.j = &journal{}
-	for _, e := range s.execs {
-		e.logAppends = true
-	}
-}
+func (s *Stack) EnableJournal() { s.journaling = true }
 
 // Journaling reports whether the stack records undo information.
-func (s *Stack) Journaling() bool { return s.j != nil }
+func (s *Stack) Journaling() bool { return s.journaling }
 
 // Mark captures the current rewind point. The stack must be journaling.
 func (s *Stack) Mark() Mark {
 	return Mark{
 		Depth:      len(s.execs),
-		TopAppends: len(s.Top().appendLog),
-		Intervals:  len(s.j.ivlog),
+		TopAppends: len(s.Top().arena),
+		Intervals:  len(s.ivlog),
 	}
 }
 
 // Rewind restores the stack to the state captured by m: interval mutations
 // performed since the mark are undone newest-first, executions pushed since
-// are popped, and stores appended to the then-top execution since are
-// truncated away.
+// are popped back to the pool, stores appended to the then-top execution
+// since are truncated away, and the dirty-store counters of the surviving
+// restored lines are recomputed last (recounting is idempotent and must see
+// the post-truncation store chains).
 func (s *Stack) Rewind(m Mark) {
-	log := s.j.ivlog
-	for i := len(log) - 1; i >= m.Intervals; i-- {
-		*log[i].iv = log[i].old
+	surviving := s.rewindScratch[:0]
+	for i := len(s.ivlog) - 1; i >= m.Intervals; i-- {
+		u := s.ivlog[i]
+		u.rec.iv = u.old
+		if u.e.ID < m.Depth {
+			surviving = append(surviving, u)
+		}
 	}
-	s.j.ivlog = log[:m.Intervals]
-	for i := m.Depth; i < len(s.execs); i++ {
+	s.ivlog = s.ivlog[:m.Intervals]
+	for i := len(s.execs) - 1; i >= m.Depth; i-- {
+		s.pool.putExec(s.execs[i])
 		s.execs[i] = nil
 	}
 	s.execs = s.execs[:m.Depth]
-	s.execs[m.Depth-1].truncateAppends(m.TopAppends)
+	s.execs[m.Depth-1].truncateArena(m.TopAppends)
+	for _, u := range surviving {
+		u.e.recountDirty(u.rec)
+	}
+	s.rewindScratch = surviving[:0]
 }
 
 // FlushLine applies a flush effect (clflush or a buffered writeback) to the
 // top execution's line containing a, journaled: the line's most-recent-
 // writeback lower bound is raised to at least `at`.
 func (s *Stack) FlushLine(a Addr, at Seq) {
-	top := s.Top()
-	s.raiseBegin(FlushRaise, top.ID, a.Line(), top.CacheLine(a), at)
+	s.raiseBegin(FlushRaise, s.Top(), a, at)
 }
 
-// raiseBegin / lowerEnd are the journaled forms of Interval.RaiseBegin and
-// Interval.LowerEnd: effective mutations record the pre-mutation value and
-// carry their provenance (kind, execution, line) to the interval tracer.
-func (s *Stack) raiseBegin(kind IntervalEventKind, exec int, line Addr, iv *Interval, v Seq) {
-	if v <= iv.Begin {
-		return
+// raiseBegin / lowerEnd are the journaled, dirty-count-maintaining forms of
+// Interval.RaiseBegin and Interval.LowerEnd: effective mutations record the
+// pre-mutation value and carry their provenance (kind, execution, line) to
+// the interval tracer. An unknown line reads as the vacuous [0, ∞) and is
+// materialized only by an effective mutation.
+func (s *Stack) raiseBegin(kind IntervalEventKind, e *Execution, a Addr, v Seq) {
+	lr := e.peekLine(a)
+	if lr != nil && lr.known {
+		if v <= lr.iv.Begin {
+			return
+		}
+	} else {
+		if v == 0 {
+			return
+		}
+		lr = e.ensureLine(a)
 	}
-	if s.j != nil {
-		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
+	if s.journaling {
+		s.ivlog = append(s.ivlog, ivUndo{e: e, rec: lr, old: lr.iv})
 	}
-	before := *iv
-	iv.Begin = v
+	before := lr.iv
+	lr.iv.Begin = v
+	e.recountDirty(lr)
 	if s.tracer != nil {
 		s.tracer(IntervalEvent{
-			Kind: kind, Exec: exec, Line: line, At: v, Before: before, After: *iv})
+			Kind: kind, Exec: e.ID, Line: a.Line(), At: v, Before: before, After: lr.iv})
 	}
 }
 
-func (s *Stack) lowerEnd(kind IntervalEventKind, exec int, line Addr, iv *Interval, v Seq) {
-	if v >= iv.End {
-		return
+func (s *Stack) lowerEnd(kind IntervalEventKind, e *Execution, a Addr, v Seq) {
+	lr := e.peekLine(a)
+	if lr != nil && lr.known {
+		if v >= lr.iv.End {
+			return
+		}
+	} else {
+		if v == SeqInf {
+			return
+		}
+		lr = e.ensureLine(a)
 	}
-	if s.j != nil {
-		s.j.ivlog = append(s.j.ivlog, ivUndo{iv: iv, old: *iv})
+	if s.journaling {
+		s.ivlog = append(s.ivlog, ivUndo{e: e, rec: lr, old: lr.iv})
 	}
-	before := *iv
-	iv.End = v
+	before := lr.iv
+	lr.iv.End = v
 	if s.tracer != nil {
 		s.tracer(IntervalEvent{
-			Kind: kind, Exec: exec, Line: line, At: v, Before: before, After: *iv})
+			Kind: kind, Exec: e.ID, Line: a.Line(), At: v, Before: before, After: lr.iv})
 	}
 }
 
 // RetainedBytes estimates the memory retained by the journaled state a
-// snapshot shares: live store-queue entries plus undo-journal entries
-// (both ~24 bytes each including slice overhead). Cheap: O(stack depth).
+// snapshot shares: live arena store entries plus undo-journal entries
+// (both ~24 bytes each). Cheap: O(stack depth).
 func (s *Stack) RetainedBytes() int64 {
-	if s.j == nil {
+	if !s.journaling {
 		return 0
 	}
 	var entries int64
 	for _, e := range s.execs {
-		entries += int64(len(e.appendLog))
+		entries += int64(len(e.arena))
 	}
-	return (entries + int64(len(s.j.ivlog))) * 24
+	return (entries + int64(len(s.ivlog))) * 24
 }

@@ -1,0 +1,458 @@
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// ---- Reference model -------------------------------------------------------
+//
+// modelStack mirrors Stack/Execution semantics with the naive maps-of-slices
+// layout the paged arena replaced. The fuzz driver below runs both against
+// the same operation sequence and requires identical observable state after
+// every step — the correctness pin for the paged addressing, the incremental
+// dirty counters, and the arena-based journal rewind.
+
+type modelExec struct {
+	id     int
+	queues map[Addr][]ByteStore
+	iv     map[Addr]Interval
+	known  map[Addr]bool
+}
+
+func newModelExec(id int) *modelExec {
+	return &modelExec{
+		id:     id,
+		queues: make(map[Addr][]ByteStore),
+		iv:     make(map[Addr]Interval),
+		known:  make(map[Addr]bool),
+	}
+}
+
+func (m *modelExec) clone() *modelExec {
+	c := newModelExec(m.id)
+	for a, q := range m.queues {
+		c.queues[a] = append([]ByteStore(nil), q...)
+	}
+	for a, iv := range m.iv {
+		c.iv[a] = iv
+	}
+	for a, k := range m.known {
+		c.known[a] = k
+	}
+	return c
+}
+
+func (m *modelExec) bounds(line Addr) (Seq, Seq) {
+	if !m.known[line] {
+		return 0, SeqInf
+	}
+	iv := m.iv[line]
+	return iv.Begin, iv.End
+}
+
+func (m *modelExec) raiseBegin(a Addr, v Seq) bool {
+	line := a.Line()
+	begin, end := m.bounds(line)
+	if v <= begin {
+		return false
+	}
+	m.known[line] = true
+	m.iv[line] = Interval{Begin: v, End: end}
+	return true
+}
+
+func (m *modelExec) lowerEnd(a Addr, v Seq) bool {
+	line := a.Line()
+	begin, end := m.bounds(line)
+	if v >= end {
+		return false
+	}
+	m.known[line] = true
+	m.iv[line] = Interval{Begin: begin, End: v}
+	return true
+}
+
+func (m *modelExec) dirtyStores(line Addr) int {
+	begin, _ := m.bounds(line)
+	n := 0
+	for a, q := range m.queues {
+		if a.Line() != line {
+			continue
+		}
+		for _, bs := range q {
+			if bs.Seq > begin {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (m *modelExec) candidates(a Addr, out []Candidate) ([]Candidate, bool) {
+	begin, end := m.bounds(a.Line())
+	q := m.queues[a]
+	for i := len(q) - 1; i >= 0; i-- {
+		bs := q[i]
+		if bs.Seq >= end {
+			continue
+		}
+		out = append(out, Candidate{Exec: m.id, ByteStore: bs})
+		if bs.Seq <= begin {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+type modelStack struct {
+	execs []*modelExec
+}
+
+func (m *modelStack) top() *modelExec { return m.execs[len(m.execs)-1] }
+
+func (m *modelStack) clone() *modelStack {
+	c := &modelStack{}
+	for _, e := range m.execs {
+		c.execs = append(c.execs, e.clone())
+	}
+	return c
+}
+
+func (m *modelStack) readPreFailure(a Addr) []Candidate {
+	var out []Candidate
+	for id := m.top().id - 1; id >= 0; id-- {
+		var settled bool
+		out, settled = m.execs[id].candidates(a, out)
+		if settled {
+			return out
+		}
+	}
+	return append(out, Candidate{Exec: InitialExec})
+}
+
+func (m *modelStack) doRead(a Addr, c Candidate) {
+	if c.Exec == m.top().id {
+		return
+	}
+	for id := m.top().id - 1; id >= 0; id-- {
+		ec := m.execs[id]
+		if c.Exec != id {
+			if q := ec.queues[a]; len(q) > 0 {
+				ec.lowerEnd(a, q[0].Seq)
+			}
+			continue
+		}
+		ec.raiseBegin(a, c.Seq)
+		next := SeqInf
+		for _, bs := range ec.queues[a] {
+			if bs.Seq > c.Seq {
+				next = bs.Seq
+				break
+			}
+		}
+		ec.lowerEnd(a, next)
+		return
+	}
+}
+
+// ---- Cross-check driver ----------------------------------------------------
+
+// modelAddrs spans three pages (0, 1 and 3) with several byte offsets per
+// line, so page-boundary arithmetic and the one-entry page cache are
+// exercised alongside intra-line behaviour.
+func modelAddrs() []Addr {
+	lines := []Addr{0x0, 0x40, 0x100, 0x1c0, 0x300}
+	offs := []Addr{0, 1, 63}
+	var out []Addr
+	for _, l := range lines {
+		for _, o := range offs {
+			out = append(out, l+o)
+		}
+	}
+	return out
+}
+
+// checkSame compares every observable of the real stack against the model.
+func checkSame(t *testing.T, step int, s *Stack, m *modelStack) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("step %d: %s", step, fmt.Sprintf(format, args...))
+	}
+	if s.Depth() != len(m.execs) {
+		fail("depth = %d, want %d", s.Depth(), len(m.execs))
+	}
+	addrs := modelAddrs()
+	for id := 0; id < s.Depth(); id++ {
+		e, me := s.At(id), m.execs[id]
+		lines := map[Addr]bool{}
+		for _, a := range addrs {
+			lines[a.Line()] = true
+			if got, want := e.Queue(a), me.queues[a]; !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+				fail("exec %d queue %v = %v, want %v", id, a, got, want)
+			}
+			gotC, gotS := e.Candidates(a)
+			wantC, wantS := me.candidates(a, nil)
+			wantB := make([]ByteStore, 0, len(wantC))
+			for _, c := range wantC {
+				wantB = append(wantB, c.ByteStore)
+			}
+			if gotS != wantS || !reflect.DeepEqual(gotC, wantC2bs(wantB)) {
+				fail("exec %d candidates %v = %v/%v, want %v/%v", id, a, gotC, gotS, wantB, wantS)
+			}
+		}
+		for line := range lines {
+			switch {
+			case me.known[line]:
+				if !e.LineKnown(line) {
+					fail("exec %d line %v unknown, model knows %+v", id, line, me.iv[line])
+				}
+				if got, want := *e.CacheLine(line), me.iv[line]; got != want {
+					fail("exec %d interval %v = %+v, want %+v", id, line, got, want)
+				}
+			case e.LineKnown(line):
+				// A rewind restores intervals but does not un-materialize
+				// lines first touched after the mark; they must read as the
+				// vacuous [0, ∞), which the model treats as unknown.
+				if got := *e.CacheLine(line); got != (Interval{Begin: 0, End: SeqInf}) {
+					fail("exec %d residual line %v = %+v, want vacuous", id, line, got)
+				}
+			}
+			if got, want := e.DirtyStores(line), me.dirtyStores(line); got != want {
+				fail("exec %d DirtyStores %v = %d, want %d", id, line, got, want)
+			}
+		}
+		if got, want := e.DirtyLines(), modelDirtyLines(me); !sameAddrs(got, want) {
+			fail("exec %d DirtyLines = %v, want %v", id, got, want)
+		}
+		if got, want := e.TouchedAddrs(), modelTouchedAddrs(me); !sameAddrs(got, want) {
+			fail("exec %d TouchedAddrs = %v, want %v", id, got, want)
+		}
+	}
+	for _, a := range addrs {
+		got := s.ReadPreFailure(a)
+		want := m.readPreFailure(a)
+		if !reflect.DeepEqual(got, want) {
+			fail("ReadPreFailure %v = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func wantC2bs(b []ByteStore) []ByteStore {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+func modelDirtyLines(m *modelExec) []Addr {
+	seen := map[Addr]bool{}
+	var out []Addr
+	for a := range m.queues {
+		line := a.Line()
+		if !seen[line] && m.dirtyStores(line) > 0 {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+func modelTouchedAddrs(m *modelExec) []Addr {
+	var out []Addr
+	for a, q := range m.queues {
+		if len(q) > 0 {
+			out = append(out, a)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+func sameAddrs(a, b []Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPagedMatchesMapModel fuzzes the paged arena layout against the
+// reference map model: random appends, flushes, failures, refining reads,
+// and journal mark/rewind cycles, with every observable compared after each
+// operation. The real stack is recycled through one shared pool across
+// seeds, so pooled-state reuse is cross-checked continuously.
+func TestPagedMatchesMapModel(t *testing.T) {
+	pool := NewPool()
+	var s *Stack
+	for seed := int64(0); seed < 25; seed++ {
+		s = pool.Recycle(s)
+		s.EnableJournal()
+		m := &modelStack{execs: []*modelExec{newModelExec(0)}}
+		rng := rand.New(rand.NewSource(seed))
+		addrs := modelAddrs()
+		seq := Seq(0)
+		nextSeq := func() Seq { seq++; return seq }
+		type savedMark struct {
+			mark  Mark
+			model *modelStack
+			seq   Seq
+		}
+		var marks []savedMark
+
+		for step := 0; step < 160; step++ {
+			a := addrs[rng.Intn(len(addrs))]
+			switch op := rng.Intn(100); {
+			case op < 40: // store
+				v, sq := byte(rng.Intn(256)), nextSeq()
+				s.Top().Append(a, v, sq)
+				s.Top().EvictedStores++
+				m.top().queues[a] = append(m.top().queues[a], ByteStore{Val: v, Seq: sq})
+			case op < 55: // flush
+				at := nextSeq()
+				s.FlushLine(a, at)
+				m.top().raiseBegin(a, at)
+			case op < 75: // post-failure load: pick the same candidate in both
+				if s.Depth() < 2 {
+					continue
+				}
+				cands := s.ReadPreFailure(a)
+				c := cands[rng.Intn(len(cands))]
+				s.DoRead(a, c)
+				m.doRead(a, c)
+			case op < 85: // failure
+				if s.Depth() >= 4 {
+					continue
+				}
+				s.Push()
+				m.execs = append(m.execs, newModelExec(len(m.execs)))
+			case op < 93: // snapshot mark
+				marks = append(marks, savedMark{mark: s.Mark(), model: m.clone(), seq: seq})
+			default: // rewind to a random outstanding mark
+				if len(marks) == 0 {
+					continue
+				}
+				i := rng.Intn(len(marks))
+				s.Rewind(marks[i].mark)
+				m = marks[i].model.clone()
+				seq = marks[i].seq
+				marks = marks[:i+1]
+			}
+			checkSame(t, step, s, m)
+		}
+	}
+}
+
+// ---- Pool reuse ------------------------------------------------------------
+
+// buildScenario drives a fixed mixed workload on s: pre-failure stores and
+// flushes across two pages, a failure, and a refining read.
+func buildScenario(s *Stack) {
+	e := s.Top()
+	for i := 0; i < 10; i++ {
+		a := Addr(0x40*i) % 0x280
+		e.Append(a, byte(i), Seq(i+1))
+		e.EvictedStores++
+	}
+	s.FlushLine(0x80, 20)
+	s.FlushLine(0x240, 21)
+	s.Push()
+	cands := s.ReadPreFailure(0x80)
+	s.DoRead(0x80, cands[len(cands)-1])
+}
+
+// scenarioFingerprint captures every observable of the scenario state.
+func scenarioFingerprint(s *Stack) string {
+	out := ""
+	for id := 0; id < s.Depth(); id++ {
+		e := s.At(id)
+		out += fmt.Sprintf("exec %d evicted %d touched %v lines %v dirty %v\n",
+			id, e.EvictedStores, e.TouchedAddrs(), e.TouchedLines(), e.DirtyLines())
+		for _, a := range e.TouchedAddrs() {
+			out += fmt.Sprintf("  q %v = %v\n", a, e.Queue(a))
+		}
+		for _, line := range e.TouchedLines() {
+			if e.LineKnown(line) {
+				out += fmt.Sprintf("  iv %v = %+v dirty %d\n", line, *e.CacheLine(line), e.DirtyStores(line))
+			}
+		}
+	}
+	for _, a := range []Addr{0x80, 0x81, 0x240, 0x500} {
+		out += fmt.Sprintf("rpf %v = %v\n", a, s.ReadPreFailure(a))
+	}
+	return out
+}
+
+// TestPoolRecycleIndistinguishable pins the scenario-reuse contract: a
+// recycled stack replaying a scenario is observably identical to a fresh
+// stack running it — queues, intervals, dirty counts, journal marks, and
+// retained-bytes accounting included.
+func TestPoolRecycleIndistinguishable(t *testing.T) {
+	fresh := NewStack()
+	fresh.EnableJournal()
+	freshMark := fresh.Mark()
+	buildScenario(fresh)
+	want := scenarioFingerprint(fresh)
+
+	pool := NewPool()
+	var s *Stack
+	for round := 0; round < 3; round++ {
+		s = pool.Recycle(s)
+		if s.Journaling() {
+			t.Fatal("recycled stack still journaling")
+		}
+		if got := s.RetainedBytes(); got != 0 {
+			t.Fatalf("round %d: recycled stack retains %d bytes", round, got)
+		}
+		s.EnableJournal()
+		if got := s.Mark(); got != freshMark {
+			t.Fatalf("round %d: initial mark = %+v, want %+v", round, got, freshMark)
+		}
+		buildScenario(s)
+		if got := scenarioFingerprint(s); got != want {
+			t.Fatalf("round %d: recycled scenario diverges from fresh:\ngot:\n%s\nwant:\n%s", round, got, want)
+		}
+	}
+}
+
+// ---- Allocation gates ------------------------------------------------------
+
+// TestStackOpsAllocFree is the pmem-level allocation-regression gate: on a
+// warmed, pooled stack, the full hot-path cycle — mark, append, flush,
+// refine, rewind — performs zero heap allocations.
+func TestStackOpsAllocFree(t *testing.T) {
+	pool := NewPool()
+	s := pool.NewStack()
+	s.EnableJournal()
+	seq := Seq(0)
+	var scratch []Candidate
+	cycle := func() {
+		m := s.Mark()
+		for i := 0; i < 16; i++ {
+			seq++
+			s.Top().Append(Addr(0x40*i)%0x280, byte(i), seq)
+		}
+		seq++
+		s.FlushLine(0x80, seq)
+		s.Push()
+		scratch = s.ReadPreFailureInto(0x80, scratch[:0])
+		s.DoRead(0x80, scratch[len(scratch)-1])
+		s.Rewind(m)
+	}
+	// Warm: grow the arena, page table, journal and candidate scratch to
+	// steady-state capacity.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("warmed mark/append/flush/refine/rewind cycle allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -130,7 +130,7 @@ func figure2() (*Stack, Addr, Addr) {
 	const x, y = Addr(0x1000), Addr(0x1008)
 	e.Append(y, 1, 1) // y=1
 	e.Append(x, 2, 2) // x=2
-	e.CacheLine(x).RaiseBegin(3)
+	e.RaiseLineBegin(x, 3)
 	e.Append(y, 3, 4) // y=3
 	e.Append(x, 4, 5) // x=4
 	e.Append(y, 5, 6) // y=5
@@ -250,7 +250,7 @@ func TestMultiExecutionRefinement(t *testing.T) {
 	const a = Addr(0x4000)
 	e0 := s.Top()
 	e0.Append(a, 1, 1)
-	e0.CacheLine(a).RaiseBegin(2)
+	e0.RaiseLineBegin(a, 2)
 	e1 := s.Push()
 	e1.Append(a, 9, 3)
 	s.Push()
@@ -278,7 +278,7 @@ func TestDirtyStores(t *testing.T) {
 	if n := e.DirtyStores(a.Line()); n != 3 {
 		t.Errorf("DirtyStores = %d, want 3", n)
 	}
-	e.CacheLine(a).RaiseBegin(2)
+	e.RaiseLineBegin(a, 2)
 	if n := e.DirtyStores(a.Line()); n != 1 {
 		t.Errorf("DirtyStores after flush = %d, want 1", n)
 	}
@@ -286,7 +286,7 @@ func TestDirtyStores(t *testing.T) {
 	if len(lines) != 1 || lines[0] != a.Line() {
 		t.Errorf("DirtyLines = %v", lines)
 	}
-	e.CacheLine(a).RaiseBegin(3)
+	e.RaiseLineBegin(a, 3)
 	if lines := e.DirtyLines(); len(lines) != 0 {
 		t.Errorf("DirtyLines after full flush = %v", lines)
 	}
@@ -322,7 +322,7 @@ func TestCandidateConsistencyProperty(t *testing.T) {
 			e.Append(a, v, seq)
 			seq++
 			if uint8(i) == flushAt%8 {
-				e.CacheLine(a).RaiseBegin(seq)
+				e.RaiseLineBegin(a, seq)
 				seq++
 			}
 		}

@@ -6,10 +6,20 @@ package pmem
 type Stack struct {
 	execs []*Execution
 
-	// j, when non-nil, records undo information for every store append and
-	// interval mutation so the stack can be rewound to a captured Mark —
-	// the substrate of the snapshot engine (see journal.go).
-	j *journal
+	// pool supplies executions (and their pages) for Push and receives them
+	// back on Recycle; see page.go.
+	pool *Pool
+
+	// journaling, when set, records undo information for every interval
+	// mutation so the stack can be rewound to a captured Mark — the
+	// substrate of the snapshot engine (see journal.go). Store appends need
+	// no extra log: the per-execution arena is the append log.
+	journaling bool
+	ivlog      []ivUndo
+
+	// rewindScratch is the reused buffer Rewind collects surviving refined
+	// lines into before recounting their dirty stores.
+	rewindScratch []ivUndo
 
 	// tracer, when non-nil, receives every effective interval mutation with
 	// its provenance — the forensics hook behind per-cache-line persistence
@@ -49,9 +59,11 @@ type IntervalEvent struct {
 // effective mutation.
 func (s *Stack) SetIntervalTracer(fn func(IntervalEvent)) { s.tracer = fn }
 
-// NewStack returns a stack containing only the pre-failure execution.
+// NewStack returns a stack containing only the pre-failure execution, backed
+// by a private pool (tests and standalone use; the checker recycles stacks
+// through a shared per-worker pool via Pool.Recycle).
 func NewStack() *Stack {
-	return &Stack{execs: []*Execution{NewExecution(0)}}
+	return NewPool().NewStack()
 }
 
 // Top returns the current (most recent) execution.
@@ -68,8 +80,7 @@ func (s *Stack) Prev(e *Execution) *Execution {
 
 // Push starts a new execution (a failure occurred) and returns it.
 func (s *Stack) Push() *Execution {
-	e := NewExecution(len(s.execs))
-	e.logAppends = s.j != nil
+	e := s.pool.getExec(len(s.execs))
 	s.execs = append(s.execs, e)
 	return e
 }
@@ -132,31 +143,24 @@ func (s *Stack) DoRead(a Addr, c Candidate) {
 	s.updateRanges(top.ID-1, a, c)
 }
 
+// updateRanges walks the executions from execID down to the chosen one
+// (Figure 10, UpdateRanges — the paper's recursion expressed as a loop).
 func (s *Stack) updateRanges(execID int, a Addr, c Candidate) {
-	if execID < 0 {
+	for ; execID >= 0; execID-- {
+		ec := s.execs[execID]
+		if c.Exec != execID {
+			// The load read from an earlier execution, so execution ec cannot
+			// have written this line back after its first store to a (otherwise
+			// the load would have observed ec's value or a later one).
+			if first, ok := ec.First(a); ok {
+				s.lowerEnd(RefineLower, ec, a, first.Seq)
+			}
+			continue
+		}
+		// The load read store ⟨val, σ⟩ of execution ec: the line was written
+		// back at or after σ and before the next store to a.
+		s.raiseBegin(RefineRaise, ec, a, c.Seq)
+		s.lowerEnd(RefineLower, ec, a, ec.nextSeqAfter(a, c.Seq))
 		return
 	}
-	ec := s.execs[execID]
-	if c.Exec != execID {
-		// The load read from an earlier execution, so execution ec cannot
-		// have written this line back after its first store to a (otherwise
-		// the load would have observed ec's value or a later one).
-		if first, ok := ec.First(a); ok {
-			s.lowerEnd(RefineLower, execID, a.Line(), ec.CacheLine(a), first.Seq)
-		}
-		s.updateRanges(execID-1, a, c)
-		return
-	}
-	// The load read store ⟨val, σ⟩ of execution ec: the line was written
-	// back at or after σ and before the next store to a.
-	cl := ec.CacheLine(a)
-	s.raiseBegin(RefineRaise, execID, a.Line(), cl, c.Seq)
-	next := SeqInf
-	for _, bs := range ec.Queue(a) {
-		if bs.Seq > c.Seq {
-			next = bs.Seq
-			break
-		}
-	}
-	s.lowerEnd(RefineLower, execID, a.Line(), cl, next)
 }

@@ -1,0 +1,56 @@
+// Package profiling is the shared pprof plumbing of the command-line tools:
+// a -cpuprofile/-memprofile pair that any perf PR can point at a workload
+// without ad-hoc patches.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a stop
+// function that ends the CPU profile and writes an allocation profile to
+// memPath (if non-empty). Errors are fatal: a requested profile that cannot
+// be produced would silently invalidate a measurement session.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal("creating %s: %v", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("starting CPU profile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal("writing %s: %v", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal("creating %s: %v", memPath, err)
+			}
+			runtime.GC() // materialize the final live set before the heap dump
+			err = pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal("writing %s: %v", memPath, err)
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "profiling: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -131,7 +131,12 @@ type Storage interface {
 // flush buffer Fτ, the timestamp tτ of the most recent sfence, and the
 // timestamps tτ,cl of the most recent store or clflush per cache line.
 type ThreadState struct {
+	// sb is the store buffer: live entries are sb[sbHead:]. Eviction
+	// advances sbHead instead of reslicing the front away, so the backing
+	// array (and its capacity) survives for the next pushes; Push compacts
+	// or rewinds the dead prefix before growing.
 	sb       []Entry
+	sbHead   int
 	fb       []fbEntry
 	tSfence  pmem.Seq
 	tLine    map[pmem.Addr]pmem.Seq
@@ -170,13 +175,14 @@ func (t *ThreadState) SetProbe(p *Probe) { t.probe = p }
 // Reset clears all volatile state (used when a failure wipes the machine).
 func (t *ThreadState) Reset() {
 	t.sb = t.sb[:0]
+	t.sbHead = 0
 	t.fb = t.fb[:0]
 	t.tSfence = 0
 	clear(t.tLine)
 }
 
 // SBLen reports the number of buffered store-buffer entries.
-func (t *ThreadState) SBLen() int { return len(t.sb) }
+func (t *ThreadState) SBLen() int { return len(t.sb) - t.sbHead }
 
 // FBLen reports the number of buffered flush-buffer entries.
 func (t *ThreadState) FBLen() int { return len(t.fb) }
@@ -190,18 +196,30 @@ func (t *ThreadState) Push(st Storage, e Entry) {
 		e.Seq = st.CurSeq()
 	}
 	if t.capacity > 0 {
-		for len(t.sb) >= t.capacity {
+		for t.SBLen() >= t.capacity {
 			t.EvictOldest(st)
 		}
 	}
+	if t.sbHead > 0 {
+		if t.sbHead == len(t.sb) {
+			t.sb = t.sb[:0]
+			t.sbHead = 0
+		} else if len(t.sb) == cap(t.sb) {
+			// Shift the live window to the front instead of growing the
+			// backing array past the steady-state occupancy.
+			n := copy(t.sb, t.sb[t.sbHead:])
+			t.sb = t.sb[:n]
+			t.sbHead = 0
+		}
+	}
 	t.sb = append(t.sb, e)
-	t.col.NotePeak(obs.PeakSB, int64(len(t.sb)))
+	t.col.NotePeak(obs.PeakSB, int64(t.SBLen()))
 }
 
 // Lookup implements store-buffer bypassing: it scans the buffer from newest
 // to oldest for a store covering byte address a and returns its byte.
 func (t *ThreadState) Lookup(a pmem.Addr) (byte, bool) {
-	for i := len(t.sb) - 1; i >= 0; i-- {
+	for i := len(t.sb) - 1; i >= t.sbHead; i-- {
 		if t.sb[i].Covers(a) {
 			return t.sb[i].ByteAt(a), true
 		}
@@ -212,8 +230,9 @@ func (t *ThreadState) Lookup(a pmem.Addr) (byte, bool) {
 // EvictOldest removes the oldest store-buffer entry and applies its effect
 // (Figure 8, the four Evict_SB cases). It reports the evicted entry.
 func (t *ThreadState) EvictOldest(st Storage) Entry {
-	e := t.sb[0]
-	t.sb = t.sb[1:]
+	e := t.sb[t.sbHead]
+	t.sb[t.sbHead] = Entry{} // release the Loc string
+	t.sbHead++
 	t.col.Inc(obs.SBEvictions)
 	switch e.Kind {
 	case Store:
@@ -253,7 +272,7 @@ func (t *ThreadState) EvictOldest(st Storage) Entry {
 
 // DrainSB evicts every store-buffer entry in order.
 func (t *ThreadState) DrainSB(st Storage) {
-	for len(t.sb) > 0 {
+	for t.SBLen() > 0 {
 		t.EvictOldest(st)
 	}
 }

@@ -31,11 +31,11 @@ func (f *fakeStorage) ApplyStore(addr pmem.Addr, size int, val uint64, s pmem.Se
 }
 
 func (f *fakeStorage) ApplyCLFlush(addr pmem.Addr, s pmem.Seq) {
-	f.exec.CacheLine(addr).RaiseBegin(s)
+	f.exec.RaiseLineBegin(addr, s)
 }
 
 func (f *fakeStorage) ApplyWriteback(addr pmem.Addr, s pmem.Seq) {
-	f.exec.CacheLine(addr).RaiseBegin(s)
+	f.exec.RaiseLineBegin(addr, s)
 }
 
 func (f *fakeStorage) SFenceEffect(pending int, loc string) {}
