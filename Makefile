@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout clean
+.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout bench-por clean
 
 all: verify
 
@@ -20,11 +20,12 @@ test:
 
 # The parallel driver (internal/core) and the store-buffer machinery it
 # exercises concurrently (internal/tso) get a dedicated race-detector pass,
-# plus the root-package snapshot equivalence suite, which drives the
-# per-worker snapshot caches under Workers=4.
+# plus the root-package snapshot and POR equivalence suites, which drive the
+# per-worker snapshot caches and the shared fingerprint seen-set under
+# Workers=4.
 race:
 	$(GO) test -race ./internal/core/ ./internal/tso/
-	$(GO) test -race -run TestSnapshotEquivalence .
+	$(GO) test -race -run 'TestSnapshotEquivalence|TestPOREquivalence' .
 
 # Allocation-regression gates: the testing.AllocsPerRun pins that keep the
 # paged-layout hot path (guest ops, scenario reset, journal mark/rewind)
@@ -50,6 +51,12 @@ bench-parallel:
 # Regenerate the snapshot off-vs-on report (BENCH_snapshot.json).
 bench-snapshot:
 	$(GO) run ./cmd/jaaru-perf -snapshots BENCH_snapshot.json
+
+# Regenerate the POR off-vs-on report (BENCH_por.json): explored-scenario
+# reduction and result-equivalence check per workload. Exits nonzero on any
+# off/on result mismatch.
+bench-por:
+	$(GO) run ./cmd/jaaru-perf -por BENCH_por.json
 
 # Regenerate the paged-memory-layout report (BENCH_memlayout.json). Pass
 # BASELINE=<old.json> to compute allocation/speedup deltas against a run

@@ -29,6 +29,13 @@
 // any difference in executions, scenarios, failure points, steps, or bugs
 // fails the run — memory-layout work must not change what is explored.
 //
+// With -por, it instead benchmarks the partial-order reduction layer: every
+// Figure 14 workload (plus the scaled commit-store program and the
+// update-heavy RECIPE workloads) is explored with pruning disabled and
+// enabled, the two runs are cross-checked for identical behaviours (bug
+// sets, failure points, completion), and the scenario counts — unpruned,
+// logical, physical — are written as JSON (BENCH_por.json).
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 //
 // Usage:
@@ -37,6 +44,7 @@
 //	jaaru-perf -parallel BENCH_parallel.json [-workers N] [-reps R] [-scale N]
 //	jaaru-perf -snapshots BENCH_snapshot.json [-reps R] [-scale N]
 //	jaaru-perf -memlayout BENCH_memlayout.json [-baseline OLD.json] [-reps R] [-scale N]
+//	jaaru-perf -por BENCH_por.json [-reps R] [-scale N]
 package main
 
 import (
@@ -58,6 +66,7 @@ import (
 type parallelBench struct {
 	Name       string  `json:"name"`
 	Executions int     `json:"executions"`
+	Scenarios  int     `json:"scenarios"`
 	SerialNs   int64   `json:"serial_ns"`
 	ParallelNs int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
@@ -128,6 +137,7 @@ func runParallelBench(path string, workers, reps, scale int) {
 		b := parallelBench{
 			Name:       trimName(prog.Name),
 			Executions: rp.Executions,
+			Scenarios:  rp.Scenarios,
 			SerialNs:   serial.Nanoseconds(),
 			ParallelNs: par.Nanoseconds(),
 			Speedup:    float64(serial) / float64(par),
@@ -315,6 +325,147 @@ func runSnapshotBench(path string, reps, scale int) {
 	fmt.Printf("\nwrote %s\n", path)
 }
 
+// porBench is one benchmark row of the -por report.
+type porBench struct {
+	Name string `json:"name"`
+	// ScenariosUnpruned is the scenario count with the pruning layer
+	// disabled (-por=false); ScenariosLogical is the pruned run's "as if
+	// unpruned" accounting (the two agree when pruning is exact);
+	// ScenariosPruned counts the scenarios the pruned run never physically
+	// ran, so ScenariosPhysical = logical − pruned and Reduction =
+	// unpruned / physical.
+	ScenariosUnpruned int     `json:"scenarios_unpruned"`
+	ScenariosLogical  int     `json:"scenarios_logical"`
+	ScenariosPruned   int64   `json:"scenarios_pruned"`
+	ScenariosPhysical int64   `json:"scenarios_physical"`
+	Reduction         float64 `json:"reduction"`
+	// OffNs/TotalTimeNs are the best-of-reps wall-clock exploration times
+	// with pruning disabled and enabled.
+	OffNs             int64 `json:"off_ns"`
+	TotalTimeNs       int64 `json:"total_time_ns"`
+	RFElisions        int64 `json:"rf_elisions"`
+	FingerprintHits   int64 `json:"fingerprint_hits"`
+	FingerprintMisses int64 `json:"fingerprint_misses"`
+	// Match records the equivalence check: identical bug sets (by type and
+	// message), failure-point counts, and completion status — the pruned
+	// run reaches exactly the unpruned run's behaviours.
+	Match bool `json:"match"`
+	// Metrics is the observability snapshot of the instrumented pruned run,
+	// for CI tracking.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+}
+
+type porReport struct {
+	Scale      int        `json:"scale"`
+	Reps       int        `json:"reps"`
+	NumCPU     int        `json:"num_cpu"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Note       string     `json:"note"`
+	Benchmarks []porBench `json:"benchmarks"`
+}
+
+// bugKeysEqual compares two bug lists as sets of (type, message) keys —
+// the bug-identity rule the checker's own dedup uses.
+func bugKeysEqual(a, b []*core.BugReport) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make(map[string]int, len(a))
+	for _, r := range a {
+		keys[r.Type.String()+"|"+r.Message]++
+	}
+	for _, r := range b {
+		k := r.Type.String() + "|" + r.Message
+		if keys[k] == 0 {
+			return false
+		}
+		keys[k]--
+	}
+	return true
+}
+
+// porWorkloads is the -por benchmark set: the Figure 14 table, the scaled
+// commit-store program, and the update-heavy RECIPE workloads whose
+// recurring states the fingerprint layer prunes.
+func porWorkloads(scale int) []core.Program {
+	return append(snapshotWorkloads(scale), recipe.UpdateWorkloads(scale)...)
+}
+
+// runPORBench measures every workload with the pruning layer off and on
+// (best of reps, serial — scenario counts must be machine-independent),
+// cross-checks behaviour equivalence, and writes the JSON report.
+func runPORBench(path string, reps, scale int) {
+	rep := porReport{
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "reduction = scenarios_unpruned / scenarios_physical; the insert " +
+			"workloads never revisit a persisted state (reduction ~1 from rf " +
+			"elision alone), the update workloads recur with period two and " +
+			"show the fingerprint layer's full effect",
+	}
+	fmt.Printf("Partial-order reduction: -por=false vs default (best of %d)\n", reps)
+	fmt.Printf("%-14s  %9s  %9s  %10s  %10s  %9s  %6s\n",
+		"Benchmark", "Unpruned", "Physical", "Off", "On", "Reduction", "Match")
+	fmt.Println("----------------------------------------------------------------------------")
+
+	for _, prog := range porWorkloads(scale) {
+		var off, on time.Duration
+		var roff, ron *core.Result
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			roff = core.New(prog, core.Options{POR: -1}).Run()
+			if d := time.Since(t0); r == 0 || d < off {
+				off = d
+			}
+			t0 = time.Now()
+			ron = core.New(prog, core.Options{}).Run()
+			if d := time.Since(t0); r == 0 || d < on {
+				on = d
+			}
+		}
+		obsOn := core.New(prog, core.Options{Observe: true}).Run()
+		match := roff.FailurePoints == ron.FailurePoints &&
+			roff.Complete == ron.Complete &&
+			bugKeysEqual(roff.Bugs, ron.Bugs)
+		physical := int64(ron.Scenarios) - obsOn.Metrics.ScenariosPruned
+		b := porBench{
+			Name:              trimName(prog.Name),
+			ScenariosUnpruned: roff.Scenarios,
+			ScenariosLogical:  ron.Scenarios,
+			ScenariosPruned:   obsOn.Metrics.ScenariosPruned,
+			ScenariosPhysical: physical,
+			Reduction:         float64(roff.Scenarios) / float64(max(physical, 1)),
+			OffNs:             off.Nanoseconds(),
+			TotalTimeNs:       on.Nanoseconds(),
+			RFElisions:        obsOn.Metrics.RFElisions,
+			FingerprintHits:   obsOn.Metrics.FingerprintHits,
+			FingerprintMisses: obsOn.Metrics.FingerprintMisses,
+			Match:             match,
+			Metrics:           obsOn.Metrics,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-14s  %9d  %9d  %10s  %10s  %8.1fx  %6v\n",
+			b.Name, b.ScenariosUnpruned, b.ScenariosPhysical,
+			off.Round(1e5), on.Round(1e5), b.Reduction, match)
+		if !match {
+			fmt.Fprintf(os.Stderr, "%s: pruned exploration diverged from unpruned\n", prog.Name)
+			os.Exit(1)
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = default table)")
 	workers := flag.Int("workers", 4, "worker checkers for -parallel")
@@ -322,6 +473,7 @@ func main() {
 	parallel := flag.String("parallel", "", "benchmark parallel exploration and write the JSON report to this file")
 	snapshots := flag.String("snapshots", "", "benchmark the snapshot engine and write the JSON report to this file")
 	memlayout := flag.String("memlayout", "", "benchmark allocation cost per workload and write the JSON report to this file")
+	por := flag.String("por", "", "benchmark the partial-order reduction layer and write the JSON report to this file")
 	baseline := flag.String("baseline", "", "prior -memlayout report to diff and cross-check against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -340,6 +492,10 @@ func main() {
 	}
 	if *memlayout != "" {
 		runMemlayoutBench(*memlayout, *baseline, *reps, *scale)
+		return
+	}
+	if *por != "" {
+		runPORBench(*por, *reps, *scale)
 		return
 	}
 

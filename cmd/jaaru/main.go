@@ -47,6 +47,7 @@ func main() {
 	witness := flag.Bool("witness", false, "replay the first bug and print its annotated forensics witness (see also jaaru-explain)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
 	snapshots := flag.Bool("snapshots", true, "amortize pre-failure execution via the snapshot engine; results are identical either way")
+	por := flag.Bool("por", true, "prune equivalent scenarios via partial-order reduction; results are identical either way")
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
 	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
@@ -87,6 +88,9 @@ func main() {
 	}
 	if !*snapshots {
 		opts.Snapshots = -1
+	}
+	if !*por {
+		opts.POR = -1
 	}
 	if *trace {
 		opts.TraceLen = 128
@@ -219,6 +223,13 @@ func metricsBlock(m *obs.Metrics) string {
 			report.KV{Key: "snapshots restored", Value: m.SnapshotRestores},
 			report.KV{Key: "snapshot restore time", Value: dur(m.SnapshotRestoreNs)},
 			report.KV{Key: "snapshot bytes (max)", Value: m.MaxSnapshotBytes})
+	}
+	if m.RFElisions > 0 || m.FingerprintHits > 0 || m.FingerprintMisses > 0 {
+		kvs = append(kvs,
+			report.KV{Key: "rf elisions", Value: m.RFElisions},
+			report.KV{Key: "scenarios pruned", Value: m.ScenariosPruned},
+			report.KV{Key: "fingerprint hits", Value: m.FingerprintHits},
+			report.KV{Key: "fingerprint misses", Value: m.FingerprintMisses})
 	}
 	if m.Workers > 1 {
 		kvs = append(kvs,

@@ -112,6 +112,19 @@ type Checker struct {
 	snapBaseSteps int64
 	scenPerf      map[string]*PerfIssue
 	scenMulti     map[string]*MultiRF
+
+	// Partial-order-reduction state (por.go). porSeenSet is the fingerprint
+	// seen-set, shared across workers; porOpen the stack of subtree records
+	// still being explored; porFpActive latches per-scenario fingerprint
+	// eligibility; porScenBase/porScenBaseSteps are the scenario baseline a
+	// crash-point prefix measurement is taken against; porFPHook is a test
+	// hook observing every fingerprint consultation.
+	porSeenSet       *porSeen
+	porOpen          []*porRecord
+	porFpActive      bool
+	porScenBase      obs.CounterVec
+	porScenBaseSteps int64
+	porFPHook        func(fp uint64, hit bool)
 }
 
 // New returns a checker for prog with the given options.
@@ -133,6 +146,9 @@ func New(prog Program, opts Options) *Checker {
 		pmpool:    pmem.NewPool(),
 	}
 	c.initStats()
+	if o.POR > 0 {
+		c.porSeenSet = newPorSeen()
+	}
 	if o.TraceLen > 0 {
 		c.trace = newTraceRing(o.TraceLen)
 	}
@@ -245,15 +261,19 @@ func (c *Checker) runSerial() bool {
 		c.scenarios++
 		c.runScenario()
 		if c.opts.StopAtFirstBug && len(c.bugs) > 0 {
+			c.porAbandon()
 			return false
 		}
 		if len(c.bugs) >= c.opts.MaxBugs {
+			c.porAbandon()
 			return false
 		}
 		if c.scenarios >= c.opts.MaxScenarios {
+			c.porAbandon()
 			return false
 		}
 		if !c.chooser.advance() {
+			c.porFlush()
 			return true
 		}
 	}
@@ -378,6 +398,7 @@ func (c *Checker) pushExecution() {
 // execution up to an injected (or end-of-run) failure, then recovery
 // executions until one completes without a further failure.
 func (c *Checker) runScenario() {
+	c.porBeginScenario()
 	if c.col != nil {
 		c.col.Inc(obs.Scenarios)
 		c.reg.Emit("scenario_start", "worker", c.workerID, "scenario", c.scenarios)
@@ -387,6 +408,7 @@ func (c *Checker) runScenario() {
 				"scenario", c.scenarios, "depth", len(c.chooser.points))
 		}()
 	}
+	defer func() { c.porNoteDepth(len(c.chooser.points)) }()
 	c.beginSnapScenario()
 
 	var crashed bool
@@ -429,6 +451,11 @@ func (c *Checker) runScenario() {
 		if c.wrec != nil {
 			c.wrec.noteFailure(-1)
 		}
+	}
+	if c.porCrashCheck() {
+		// Fingerprint hit: an equivalent post-failure state's recovery
+		// subtree was already explored and its delta has been re-applied.
+		return
 	}
 	// The stack depth reflects failures already injected — 1 on a fresh run,
 	// deeper when a restored snapshot resumed mid-recovery.
@@ -610,7 +637,11 @@ func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc stri
 	// Captured before the fail/continue decision is consumed: restoring this
 	// snapshot resumes as if the decision selected "fail".
 	c.captureSnap(fpSnap)
+	fresh := c.chooser.cursor == len(c.chooser.points)
 	fail := c.chooser.choose(chooseFail, 2) == 1
+	if fresh {
+		c.porNoteFailPoint()
+	}
 	c.wrecDecision()
 	if fail {
 		if c.wrec != nil {
@@ -656,6 +687,18 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 		}
 		if c.opts.FlagMultiRF {
 			c.flagMultiRF(a, cands)
+		}
+		if c.porElides(cands) {
+			// Every candidate carries the same value: the sibling read-from
+			// branches commute. No choice point, and no DoRead refinement —
+			// the unrefined interval keeps this single branch the exact
+			// union of the elided siblings (see por.go).
+			c.col.Inc(obs.RFElisions)
+			if wres != nil {
+				c.wrec.finishLoad(wres, cands[0])
+				c.wrec.openLoad = nil
+			}
+			return cands[0].Val
 		}
 		idx = c.chooser.choose(chooseReadFrom, len(cands))
 		c.wrecDecision()
@@ -725,6 +768,7 @@ func multiRFValues(cands []pmem.Candidate) []string {
 
 func (c *Checker) recordBug(f guestFault) {
 	c.bugEndedSegment = true
+	c.porNoteBug(f.typ, f.msg, c.stack.Top().ID)
 	b := &BugReport{
 		Type:      f.typ,
 		Message:   f.msg,

@@ -52,6 +52,12 @@ type choicePoint struct {
 type chooser struct {
 	points []choicePoint
 	limit  []int // per-point exclusive exploration bound, limit[i] <= points[i].n
+	// aux carries the POR layer's per-point memo (failMemo for failure
+	// decisions, nil otherwise), kept in lockstep with points by seed,
+	// choose and advance. A point's memo describes state that is a pure
+	// function of the choice prefix leading to it, so it stays valid for as
+	// long as the point itself survives backtracking.
+	aux    []*failMemo
 	cursor int
 
 	// newPoints counts distinct choice points discovered, by kind —
@@ -72,8 +78,10 @@ func (ch *chooser) begin() { ch.cursor = 0 }
 func (ch *chooser) seed(prefix []choicePoint) {
 	ch.points = append(ch.points[:0], prefix...)
 	ch.limit = ch.limit[:0]
+	ch.aux = ch.aux[:0]
 	for _, p := range prefix {
 		ch.limit = append(ch.limit, p.idx+1)
+		ch.aux = append(ch.aux, nil)
 	}
 	ch.cursor = 0
 }
@@ -97,6 +105,7 @@ func (ch *chooser) choose(kind choiceKind, n int) int {
 	}
 	ch.points = append(ch.points, choicePoint{kind: kind, n: n})
 	ch.limit = append(ch.limit, n)
+	ch.aux = append(ch.aux, nil)
 	ch.cursor++
 	ch.newPoints[kind]++
 	ch.col.Inc(obs.ChoicesFresh)
@@ -116,6 +125,8 @@ func (ch *chooser) advance() bool {
 		}
 		ch.points = ch.points[:i]
 		ch.limit = ch.limit[:i]
+		ch.aux[i] = nil
+		ch.aux = ch.aux[:i]
 	}
 	return false
 }

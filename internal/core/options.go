@@ -133,6 +133,23 @@ type Options struct {
 	// EvictRandom, instrumented or replayed runs).
 	Snapshots int
 
+	// POR controls the persistency-aware partial-order-reduction layer
+	// (por.go): single-valued read-from elision collapses choice points
+	// whose candidate stores all carry the same value (no subsequent load
+	// can observe which store was read, so the sibling branches commute),
+	// and post-failure state fingerprinting skips the recovery subtree of
+	// a failure point whose canonical persisted state has already been
+	// explored, re-applying the recorded subtree statistics instead. On by
+	// default (0 is normalized to 1); a negative value disables both
+	// mechanisms (normalized to the sentinel -1: every equivalent scenario
+	// is explored explicitly). The reachable-behaviour set and the bug set
+	// are identical either way; scenario counts with POR on are smaller.
+	// Fingerprinting is automatically bypassed for configurations it
+	// cannot replay exactly (MaxFailures != 1, RandomScheduler,
+	// EvictRandom, instrumented or replayed runs); elision stays active
+	// under witness replay so recorded choice vectors keep their shape.
+	POR int
+
 	// Observe enables the observability layer: per-worker lock-free metric
 	// shards (internal/obs) aggregated into Result.Metrics. Off by default;
 	// when off every instrumentation hook is a nil check.
@@ -194,6 +211,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Snapshots < 0 {
 		o.Snapshots = -1
+	}
+	if o.POR == 0 {
+		o.POR = 1
+	}
+	if o.POR < 0 {
+		o.POR = -1
 	}
 	if o.Workers == 0 {
 		o.Workers = 1

@@ -250,6 +250,10 @@ func (c *Checker) newWorker(id int) *Checker {
 	o.Observe = false
 	o.EventTrace = nil
 	w := New(c.prog, o)
+	// Workers share the coordinator's fingerprint seen-set: a subtree
+	// explored by one worker prunes equivalent crash states everywhere.
+	w.porSeenSet = c.porSeenSet
+	w.porFPHook = c.porFPHook
 	if c.reg != nil {
 		w.attachObs(c.reg, c.reg.NewShard(), id)
 	}
@@ -275,6 +279,7 @@ func (c *Checker) exploreBranch(br branch, f *frontier, caps *sharedCaps) {
 	c.chooser.seed(br.points)
 	for {
 		if !caps.admit() {
+			c.porAbandon()
 			return
 		}
 		c.scenarios++
@@ -291,6 +296,7 @@ func (c *Checker) exploreBranch(br branch, f *frontier, caps *sharedCaps) {
 			caps.noteBug(b.key())
 		}
 		if caps.stopped.Load() {
+			c.porAbandon()
 			return
 		}
 		for f.hungry() {
@@ -298,10 +304,14 @@ func (c *Checker) exploreBranch(br branch, f *frontier, caps *sharedCaps) {
 			if len(bs) == 0 {
 				break
 			}
+			// A record rooted at or above the donated point no longer covers
+			// its whole subtree locally; its delta must not be published.
+			c.porCancelBelow(len(bs[0].points))
 			c.reg.NoteDonation(len(bs))
 			f.push(bs)
 		}
 		if !c.chooser.advance() {
+			c.porFlush()
 			return
 		}
 	}
@@ -323,8 +333,10 @@ func (c *Checker) runScenarioGuarded(prefix []choicePoint) (ok bool) {
 		}
 		// The panic may have left the shared scenario stack mid-mutation;
 		// discard any snapshots referencing it so the next claim starts
-		// from a clean full run.
+		// from a clean full run, and void any open subtree records — their
+		// statistics are unreliable.
 		c.dropSnaps()
+		c.porAbandon()
 		c.recordEngineBug(e, prefix)
 	}()
 	c.runScenario()

@@ -215,7 +215,8 @@ func (c *Checker) captureSnap(kind snapKind) {
 		vec.Clear(obs.Scenarios, obs.Steps,
 			obs.PreFailureNs, obs.PostFailureNs, obs.ReplayNs,
 			obs.ChoicesReplayed, obs.ChoicesFresh,
-			obs.SnapshotCaptures, obs.SnapshotRestores, obs.SnapshotRestoreNs)
+			obs.SnapshotCaptures, obs.SnapshotRestores, obs.SnapshotRestoreNs,
+			obs.ScenariosPruned, obs.FingerprintHits, obs.FingerprintMisses)
 		s.vec = vec
 	}
 	if len(c.scenPerf) > 0 {

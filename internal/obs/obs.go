@@ -67,6 +67,19 @@ const (
 	SnapshotCaptures
 	SnapshotRestores
 	SnapshotRestoreNs
+	// RFElisions counts multi-candidate load bytes resolved without a
+	// choice point because every candidate carried the same value (the
+	// partial-order-reduction commutativity rule). Partition-independent:
+	// elision is a deterministic property of the candidate set.
+	RFElisions
+	// ScenariosPruned counts scenarios skipped by post-failure state
+	// fingerprinting (the K-1 remaining scenarios of each recovery subtree
+	// a fingerprint hit proved equivalent to an explored one).
+	// FingerprintHits / FingerprintMisses count seen-set consultations.
+	// All three depend on visit order and are zeroed by Canonical.
+	ScenariosPruned
+	FingerprintHits
+	FingerprintMisses
 
 	numCounters
 )
@@ -330,6 +343,10 @@ func (r *Registry) Snapshot() Metrics {
 	m.SnapshotCaptures = counts[SnapshotCaptures]
 	m.SnapshotRestores = counts[SnapshotRestores]
 	m.SnapshotRestoreNs = counts[SnapshotRestoreNs]
+	m.RFElisions = counts[RFElisions]
+	m.ScenariosPruned = counts[ScenariosPruned]
+	m.FingerprintHits = counts[FingerprintHits]
+	m.FingerprintMisses = counts[FingerprintMisses]
 	m.MaxSnapshotBytes = peaks[PeakSnapshotBytes]
 	m.MaxRFCandidates = peaks[PeakRFCandidates]
 	m.MaxChoiceDepth = peaks[PeakChoiceDepth]
@@ -408,6 +425,15 @@ type Metrics struct {
 	SnapshotRestoreNs int64 `json:"snapshot_restore_ns,omitempty"`
 	MaxSnapshotBytes  int64 `json:"max_snapshot_bytes,omitempty"`
 
+	// Partial-order reduction. RFElisions is a deterministic property of
+	// the candidate sets and stays canonical; the fingerprint seen-set
+	// counters depend on which worker visited an equivalence class first
+	// and are zeroed by Canonical.
+	RFElisions        int64 `json:"rf_elisions,omitempty"`
+	ScenariosPruned   int64 `json:"scenarios_pruned,omitempty"`
+	FingerprintHits   int64 `json:"fingerprint_hits,omitempty"`
+	FingerprintMisses int64 `json:"fingerprint_misses,omitempty"`
+
 	// Parallel driver (depends on scheduling; zeroed by Canonical).
 	FrontierPushed  int64 `json:"frontier_pushed,omitempty"`
 	FrontierClaimed int64 `json:"frontier_claimed,omitempty"`
@@ -430,5 +456,6 @@ func (m Metrics) Canonical() Metrics {
 	m.MaxFrontierLen, m.Workers, m.Events = 0, 0, 0
 	m.SnapshotCaptures, m.SnapshotRestores = 0, 0
 	m.SnapshotRestoreNs, m.MaxSnapshotBytes = 0, 0
+	m.ScenariosPruned, m.FingerprintHits, m.FingerprintMisses = 0, 0, 0
 	return m
 }

@@ -37,6 +37,10 @@ type Execution struct {
 	// the Yat state-count accounting).
 	EvictedStores int
 
+	// fpSeqs is the per-line relevant-sequence scratch buffer of
+	// lineFingerprint, reused across calls.
+	fpSeqs []Seq
+
 	pool *Pool
 }
 
@@ -112,6 +116,7 @@ func (e *Execution) Append(a Addr, v byte, s Seq) {
 		sl.head = idx
 	}
 	lr.tail = idx
+	lr.fpOK = false
 	// Sequence numbers only grow, so a fresh store is always past the line's
 	// lower writeback bound.
 	lr.dirty++
@@ -131,6 +136,7 @@ func (e *Execution) truncateArena(n int) {
 		}
 		lr := &pg.lines[lineIndex(nd.addr)]
 		lr.tail = nd.linePrev
+		lr.fpOK = false
 		if nd.seq > lr.iv.Begin {
 			lr.dirty--
 		}
@@ -249,6 +255,7 @@ func (e *Execution) RaiseLineBegin(a Addr, v Seq) {
 		return
 	}
 	lr.iv.Begin = v
+	lr.fpOK = false
 	e.recountDirty(lr)
 }
 

@@ -1,0 +1,179 @@
+package pmem
+
+import "testing"
+
+// fp is shorthand for a stack's canonical fingerprint from the seed.
+func fp(s *Stack) uint64 { return s.Fingerprint(FingerprintSeed) }
+
+func TestFingerprintSeqShiftInvariance(t *testing.T) {
+	// Absolute sequence numbers must not matter: two states whose relevant
+	// sequences are order-isomorphic fingerprint identically. Same store
+	// values, same flush position relative to the stores, wildly different
+	// absolute seqs.
+	build := func(seqs [3]Seq) *Stack {
+		const a = Addr(0x100)
+		s := NewStack()
+		e := s.Top()
+		e.Append(a, 0x11, seqs[0])
+		s.FlushLine(a, seqs[1])
+		e.Append(a, 0x22, seqs[2])
+		return s
+	}
+	lo := build([3]Seq{1, 2, 3})
+	hi := build([3]Seq{100, 2000, 30000})
+	if fp(lo) != fp(hi) {
+		t.Errorf("shifted seqs changed the fingerprint: %#x vs %#x", fp(lo), fp(hi))
+	}
+
+	// Interval bounds are ranked too: End lowered anywhere strictly between
+	// the same two stores is the same reachable state.
+	mid := func(end Seq) *Stack {
+		const a = Addr(0x40)
+		s := NewStack()
+		e := s.Top()
+		e.Append(a, 0x11, 2)
+		e.Append(a, 0x22, 6)
+		s.lowerEnd(RefineLower, e, a, end)
+		return s
+	}
+	if fp(mid(4)) != fp(mid(5)) {
+		t.Errorf("equivalent End bounds (both between the stores) fingerprint differently")
+	}
+}
+
+func TestFingerprintBoundaryDistinct(t *testing.T) {
+	// Moving a bound across a store changes the reachable candidate set and
+	// must change the fingerprint, even though the touched lines (and almost
+	// all ranks) are identical.
+	withEnd := func(end Seq) *Stack {
+		const a = Addr(0x40)
+		s := NewStack()
+		e := s.Top()
+		e.Append(a, 0x11, 2)
+		e.Append(a, 0x22, 6)
+		if end != SeqInf {
+			s.lowerEnd(RefineLower, e, a, end)
+		}
+		return s
+	}
+	if fp(withEnd(6)) == fp(withEnd(7)) {
+		t.Errorf("End=6 excludes the seq-6 store, End=7 includes it; fingerprints collide")
+	}
+	if fp(withEnd(2)) == fp(withEnd(3)) {
+		t.Errorf("End=2 excludes both stores, End=3 keeps the first; fingerprints collide")
+	}
+
+	// Settled vs merely-reachable oldest store: Begin at the store's seq
+	// guarantees it persisted; Begin just below leaves the pre-store value
+	// reachable too.
+	withBegin := func(begin Seq) *Stack {
+		const a = Addr(0x80)
+		s := NewStack()
+		e := s.Top()
+		e.Append(a, 0x33, 5)
+		s.FlushLine(a, begin)
+		return s
+	}
+	if fp(withBegin(5)) == fp(withBegin(4)) {
+		t.Errorf("settled and unsettled states fingerprint identically")
+	}
+}
+
+func TestFingerprintValueAndLineSensitivity(t *testing.T) {
+	one := func(a Addr, val byte) *Stack {
+		s := NewStack()
+		s.Top().Append(a, val, 1)
+		return s
+	}
+	if fp(one(0x100, 0xAA)) == fp(one(0x100, 0xAB)) {
+		t.Errorf("store value not reflected in the fingerprint")
+	}
+
+	// Per-line hashes are combined by XOR; the absolute line address inside
+	// each hash is what keeps swapped line contents distinct.
+	pair := func(v0, v1 byte) *Stack {
+		s := NewStack()
+		e := s.Top()
+		e.Append(0x000, v0, 1)
+		e.Append(0x040, v1, 2)
+		return s
+	}
+	if fp(pair(0xAA, 0xBB)) == fp(pair(0xBB, 0xAA)) {
+		t.Errorf("swapping two lines' contents did not change the fingerprint")
+	}
+	// ...while touching the same lines in a different order must not matter
+	// (XOR combination is what makes map iteration order irrelevant).
+	rev := NewStack()
+	e := rev.Top()
+	e.Append(0x040, 0xBB, 2)
+	e.Append(0x000, 0xAA, 1)
+	if fp(pair(0xAA, 0xBB)) != fp(rev) {
+		t.Errorf("line touch order changed the fingerprint")
+	}
+}
+
+// buildRefined constructs the canonical multi-execution state: a pre-failure
+// execution with two stores and a flush, a failure, and one post-failure
+// refinement read of the older store.
+func buildRefined(a Addr) *Stack {
+	s := NewStack()
+	e := s.Top()
+	e.Append(a, 0x11, 1)
+	s.FlushLine(a, 2)
+	e.Append(a, 0x22, 3)
+	s.Push()
+	cands := s.ReadPreFailure(a)
+	s.DoRead(a, cands[len(cands)-1])
+	return s
+}
+
+func TestFingerprintCacheCoherence(t *testing.T) {
+	// The cached per-line hashes must be invalidated by every mutation path:
+	// a stack mutated after being fingerprinted must equal a freshly built
+	// stack with the same history.
+	const a = Addr(0x100)
+	mutated := NewStack()
+	e := mutated.Top()
+	e.Append(a, 0x11, 1)
+	_ = fp(mutated) // populate caches
+	mutated.FlushLine(a, 2)
+	_ = fp(mutated)
+	e.Append(a, 0x22, 3)
+	_ = fp(mutated)
+	mutated.Push()
+	cands := mutated.ReadPreFailure(a)
+	mutated.DoRead(a, cands[len(cands)-1]) // raiseBegin + lowerEnd in place
+	got := fp(mutated)
+
+	fresh := buildRefined(a)
+	if want := fp(fresh); got != want {
+		t.Errorf("mutated stack fingerprint %#x, fresh equivalent %#x", got, want)
+	}
+}
+
+func TestFingerprintRewindRestores(t *testing.T) {
+	// A journal rewind must restore the exact pre-mark fingerprint even when
+	// the mutations in between were fingerprinted (cached).
+	const a = Addr(0x40)
+	s := NewStack()
+	s.EnableJournal()
+	e := s.Top()
+	e.Append(a, 0x11, 1)
+	s.FlushLine(a, 2)
+	e.Append(a, 0x22, 3)
+	before := fp(s)
+	m := s.Mark()
+
+	e.Append(a, 0x33, 4)
+	s.Push()
+	cands := s.ReadPreFailure(a)
+	s.DoRead(a, cands[len(cands)-1])
+	if fp(s) == before {
+		t.Fatalf("mutations did not change the fingerprint")
+	}
+
+	s.Rewind(m)
+	if got := fp(s); got != before {
+		t.Errorf("fingerprint after rewind = %#x, want %#x", got, before)
+	}
+}

@@ -81,6 +81,7 @@ func (s *Stack) Rewind(m Mark) {
 	for i := len(s.ivlog) - 1; i >= m.Intervals; i-- {
 		u := s.ivlog[i]
 		u.rec.iv = u.old
+		u.rec.fpOK = false
 		if u.e.ID < m.Depth {
 			surviving = append(surviving, u)
 		}
@@ -127,6 +128,7 @@ func (s *Stack) raiseBegin(kind IntervalEventKind, e *Execution, a Addr, v Seq) 
 	}
 	before := lr.iv
 	lr.iv.Begin = v
+	lr.fpOK = false
 	e.recountDirty(lr)
 	if s.tracer != nil {
 		s.tracer(IntervalEvent{
@@ -151,6 +153,7 @@ func (s *Stack) lowerEnd(kind IntervalEventKind, e *Execution, a Addr, v Seq) {
 	}
 	before := lr.iv
 	lr.iv.End = v
+	lr.fpOK = false
 	if s.tracer != nil {
 		s.tracer(IntervalEvent{
 			Kind: kind, Exec: e.ID, Line: a.Line(), At: v, Before: before, After: lr.iv})

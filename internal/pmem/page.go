@@ -62,8 +62,13 @@ type slot struct {
 type lineRec struct {
 	iv    Interval
 	known bool
+	// fpOK marks fp as the line's valid cached canonical fingerprint (see
+	// fingerprint.go); every mutation of the line's stores or interval
+	// clears it, and pooled pages come back zeroed.
+	fpOK  bool
 	dirty int32 // stores to the line with seq > iv.Begin
 	tail  int32 // newest store to the line (1-based arena index, 0 = none)
+	fp    uint64
 }
 
 // page holds the dense headers for pageSize consecutive bytes.

@@ -359,6 +359,109 @@ func FixedPrograms(n int) []core.Program {
 	}
 }
 
+// Update-heavy workloads: insert a small key set once, then rewrite every
+// key in place for rounds passes, alternating between two values. In-place
+// updates leave the structure's shape and the allocator high-water mark
+// untouched, so once the initial values are overwritten the persisted state
+// recurs with period two (the state at the j-th failure point of round r is
+// canonically equivalent to round r−2's). These are the workloads where the
+// fingerprint pruning layer pays off: every failure point past the first
+// few rounds lands on a seen state and its whole crash subtree is pruned.
+// Recovery accepts any committed value generation per key.
+
+const (
+	updValA uint64 = 0xA5A5
+	updValB uint64 = 0x5A5A
+)
+
+func updValue(round int) uint64 {
+	if round%2 == 0 {
+		return updValA
+	}
+	return updValB
+}
+
+func updOK(k, v uint64) bool {
+	return v == valueOf(k) || v == updValA || v == updValB
+}
+
+// CCEHUpdateWorkload builds the CCEH update-heavy program: n inserts, then
+// rounds in-place rewrite passes over the same keys.
+func CCEHUpdateWorkload(n, rounds int) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/CCEH-update",
+		Run: func(c *core.Context) {
+			h := CreateCCEH(c, CCEHBugs{})
+			for _, k := range keys {
+				h.Insert(k, valueOf(k))
+			}
+			for r := 0; r < rounds; r++ {
+				v := updValue(r)
+				for _, k := range keys {
+					h.Insert(k, v)
+				}
+			}
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCCEH(c)
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := h.Lookup(k); found {
+					c.Assert(updOK(k, v), "CCEH-update: key %d recovered value %d", k, v)
+				}
+			}
+		},
+	}
+}
+
+// CLHTUpdateWorkload builds the P-CLHT update-heavy program (see
+// CCEHUpdateWorkload).
+func CLHTUpdateWorkload(n, rounds int) core.Program {
+	keys := recipeKeys(n)
+	return core.Program{
+		Name: "recipe/P-CLHT-update",
+		Run: func(c *core.Context) {
+			h := CreateCLHT(c, 4, CLHTBugs{})
+			for _, k := range keys {
+				h.Insert(k, valueOf(k))
+			}
+			for r := 0; r < rounds; r++ {
+				v := updValue(r)
+				for _, k := range keys {
+					h.Insert(k, v)
+				}
+			}
+		},
+		Recover: func(c *core.Context) {
+			h, ok := OpenCLHT(c, CLHTBugs{})
+			if !ok {
+				return
+			}
+			for _, k := range keys {
+				if v, found := h.Lookup(k); found {
+					c.Assert(updOK(k, v), "P-CLHT-update: key %d recovered value %d", k, v)
+				}
+			}
+		},
+	}
+}
+
+// UpdateWorkloads returns the update-heavy programs at the sizes the POR
+// benchmark uses (rounds scale with scale; key counts stay small so the
+// per-round failure-point count, not the key set, dominates).
+func UpdateWorkloads(scale int) []core.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	return []core.Program{
+		CCEHUpdateWorkload(3, 40*scale),
+		CLHTUpdateWorkload(3, 40*scale),
+	}
+}
+
 // PerfWorkloads returns the fixed variants with the workload sizes used to
 // regenerate Figure 14 (scaled by scale; scale 1 is the default table).
 func PerfWorkloads(scale int) []core.Program {
