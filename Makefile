@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout bench-por clean
+.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout bench-por bench-dist clean
 
 all: verify
 
@@ -22,9 +22,14 @@ test:
 # exercises concurrently (internal/tso) get a dedicated race-detector pass,
 # plus the root-package snapshot and POR equivalence suites, which drive the
 # per-worker snapshot caches and the shared fingerprint seen-set under
-# Workers=4.
+# Workers=4. The distributed coordinator/worker path (internal/dist over the
+# internal/netsim fabric) runs its whole equivalence suite under -race too:
+# healthy fleets, a worker killed mid-lease with TTL expiry and requeue,
+# duplicate commit delivery, transient outages, and graceful drain must all
+# merge bit-identical to serial.
 race:
 	$(GO) test -race ./internal/core/ ./internal/tso/
+	$(GO) test -race ./internal/dist/ ./internal/netsim/
 	$(GO) test -race -run 'TestSnapshotEquivalence|TestPOREquivalence' .
 
 # Allocation-regression gates: the testing.AllocsPerRun pins that keep the
@@ -57,6 +62,13 @@ bench-snapshot:
 # off/on result mismatch.
 bench-por:
 	$(GO) run ./cmd/jaaru-perf -por BENCH_por.json
+
+# Regenerate the distributed-exploration report (BENCH_dist.json): serial vs
+# a coordinator + worker fleet over the in-process netsim fabric, with an
+# instrumented worker-killed-mid-lease pair cross-checked for bit-identical
+# results. Exits nonzero on any serial/distributed mismatch.
+bench-dist:
+	$(GO) run ./cmd/jaaru-perf -dist BENCH_dist.json
 
 # Regenerate the paged-memory-layout report (BENCH_memlayout.json). Pass
 # BASELINE=<old.json> to compute allocation/speedup deltas against a run

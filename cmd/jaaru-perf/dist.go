@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"jaaru/internal/core"
+	"jaaru/internal/dist"
+	"jaaru/internal/netsim"
+	"jaaru/internal/obs"
+	"jaaru/internal/recipe"
+)
+
+// distBench is one benchmark row of the -dist report.
+type distBench struct {
+	Name       string  `json:"name"`
+	Executions int     `json:"executions"`
+	Scenarios  int     `json:"scenarios"`
+	SerialNs   int64   `json:"serial_ns"`
+	DistNs     int64   `json:"dist_ns"`
+	Speedup    float64 `json:"speedup"`
+	// Coordinator-side protocol counts from the instrumented run: total
+	// RPCs served, leases granted, leases expired, and expired subtrees
+	// requeued. The instrumented run kills one worker mid-lease, so
+	// requeues >= 1 demonstrates the expiry path on every row.
+	RPCs          int64 `json:"rpcs"`
+	LeasesGranted int64 `json:"leases_granted"`
+	LeasesExpired int64 `json:"leases_expired"`
+	LeaseRequeues int64 `json:"lease_requeues"`
+	// Match records the distributed-equivalence check: the instrumented
+	// coordinator-merged result (with the injected worker kill) was
+	// bit-identical to the instrumented serial reference — Result fields,
+	// bug reports, and every canonical observability counter.
+	Match bool `json:"match"`
+	// Metrics is the coordinator's merged observability snapshot of the
+	// instrumented run. The timed reps above run uninstrumented and
+	// fault-free; this extra pair only feeds Match and these fields.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+}
+
+type distReport struct {
+	Workers    int         `json:"workers"`
+	Scale      int         `json:"scale"`
+	Reps       int         `json:"reps"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Note       string      `json:"note"`
+	Benchmarks []distBench `json:"benchmarks"`
+}
+
+// distRun explores one workload through a fresh in-process coordinator +
+// worker fleet over the netsim fabric and returns the merged result. When
+// killOne is set, the first worker is killed mid-lease and the fleet only
+// proceeds after its lease TTL expires, exercising the requeue path.
+func distRun(bench string, resolver dist.Resolver, workers int, opts core.Options, killOne bool) (*core.Result, *core.Result, error) {
+	coord, err := dist.NewCoordinator(dist.Config{Resolve: resolver, ShutdownWhenDone: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	fab := netsim.NewFabric(coord)
+	rpc := func(method, path string, body, out any) error {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(method, "http://coordinator"+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		resp, err := fab.Client("perf-client").Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	var job dist.JobResponse
+	if err := rpc("POST", "/v1/jobs", dist.JobRequest{Spec: dist.ProgSpec{Bench: bench}, Opts: opts}, &job); err != nil {
+		return nil, nil, err
+	}
+
+	mkWorker := func(name string) (*dist.Worker, error) {
+		return dist.NewWorker(dist.WorkerConfig{
+			Name:       name,
+			BaseURL:    "http://coordinator",
+			Client:     fab.Client(name),
+			Resolve:    resolver,
+			MaxRetries: 2,
+			Backoff:    time.Millisecond,
+			// Cap idle-poll sleeps: over the in-process fabric the
+			// coordinator's production RetryMs would dwarf the measured
+			// exploration time with pure sleeping.
+			Sleep:       func(d time.Duration) { time.Sleep(min(d, time.Millisecond)) },
+			CommitEvery: 4,
+		})
+	}
+
+	first := 0
+	if killOne && workers > 1 {
+		// The doomed worker claims the root lease, survives the grant plus a
+		// few commits, then its transport dies; its residual subtree is
+		// requeued once the TTL (set by the caller's opts) expires.
+		w, err := mkWorker("doomed")
+		if err != nil {
+			return nil, nil, err
+		}
+		fab.KillAfter("doomed", 4)
+		if err := w.Run(); err == nil {
+			// The workload was small enough to finish within the kill budget;
+			// the run is still valid, just without an expiry to exercise.
+			first = workers // nothing left to do
+		}
+		ttl := time.Duration(opts.LeaseTTLMs) * time.Millisecond
+		time.Sleep(ttl + 20*time.Millisecond)
+	}
+
+	errs := make(chan error, workers)
+	live := 0
+	for i := first; i < workers; i++ {
+		w, err := mkWorker(fmt.Sprintf("w%d", i+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		live++
+		go func() { errs <- w.Run() }()
+	}
+	for i := 0; i < live; i++ {
+		if err := <-errs; err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var st dist.JobStatus
+	if err := rpc("GET", "/v1/jobs/"+job.ID, nil, &st); err != nil {
+		return nil, nil, err
+	}
+	if st.State != dist.JobDone {
+		return nil, nil, fmt.Errorf("job %s not done after fleet shutdown", job.ID)
+	}
+	return st.Result, nil, nil
+}
+
+// distMatch is the bit-identical cross-check between a serial reference and
+// a coordinator-merged result (Duration and the partition-local bug Scenario
+// index excepted, as in the in-process parallel check).
+func distMatch(serial, got *core.Result) bool {
+	if got.Scenarios != serial.Scenarios || got.Executions != serial.Executions ||
+		got.FailurePoints != serial.FailurePoints || got.Steps != serial.Steps ||
+		got.RFChoicePoints != serial.RFChoicePoints ||
+		got.FailDecisionPoints != serial.FailDecisionPoints ||
+		got.MaxRFCandidates != serial.MaxRFCandidates ||
+		got.Complete != serial.Complete || len(got.Bugs) != len(serial.Bugs) {
+		return false
+	}
+	for i := range serial.Bugs {
+		s, g := serial.Bugs[i], got.Bugs[i]
+		if g.Type != s.Type || g.Message != s.Message || g.Count != s.Count || g.Choices != s.Choices {
+			return false
+		}
+	}
+	if (serial.Metrics == nil) != (got.Metrics == nil) {
+		return false
+	}
+	if serial.Metrics != nil && serial.Metrics.Canonical() != got.Metrics.Canonical() {
+		return false
+	}
+	return true
+}
+
+// runDistBench measures every Figure 14 workload serially and through the
+// distributed coordinator/worker path (in-process over the netsim fabric,
+// best of reps), cross-checks an instrumented pair — with one worker killed
+// mid-lease — for bit-identical results, and writes the JSON report with
+// the coordinator's RPC and requeue counts.
+func runDistBench(path string, workers, reps, scale int) {
+	if workers < 2 {
+		workers = 2
+	}
+	rep := distReport{
+		Workers:    workers,
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "dist runs in-process over the netsim fabric: speedup excludes real " +
+			"network latency but includes the full wire codec, commit protocol, and " +
+			"merge; the instrumented pair kills one worker mid-lease to exercise " +
+			"TTL expiry and requeue",
+	}
+	progs := recipe.PerfWorkloads(scale)
+	byName := make(map[string]core.Program, len(progs))
+	for _, p := range progs {
+		byName[p.Name] = p
+	}
+	resolver := func(spec dist.ProgSpec) (core.Program, error) {
+		p, ok := byName[spec.Bench]
+		if !ok {
+			return core.Program{}, fmt.Errorf("unknown workload %q", spec.Bench)
+		}
+		return p, nil
+	}
+
+	fmt.Printf("Distributed exploration: serial vs %d workers over netsim (best of %d, %d CPU)\n",
+		workers, reps, rep.NumCPU)
+	fmt.Printf("%-12s  %7s  %10s  %10s  %8s  %5s  %8s  %6s\n",
+		"Benchmark", "#JExec.", "Serial", "Dist", "Speedup", "RPCs", "Requeues", "Match")
+	fmt.Println("-----------------------------------------------------------------------------")
+
+	for _, prog := range progs {
+		var serial, distT time.Duration
+		var rs *core.Result
+		plain := core.Options{HeartbeatMs: -1}
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			rs = core.New(prog, plain).Run()
+			if d := time.Since(t0); r == 0 || d < serial {
+				serial = d
+			}
+			t0 = time.Now()
+			if _, _, err := distRun(prog.Name, resolver, workers, plain, false); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: distributed run: %v\n", prog.Name, err)
+				os.Exit(1)
+			}
+			if d := time.Since(t0); r == 0 || d < distT {
+				distT = d
+			}
+		}
+
+		// Instrumented pair with an injected mid-lease worker kill: the
+		// equivalence and protocol-counter source.
+		obsOpts := core.Options{Observe: true, HeartbeatMs: -1, LeaseTTLMs: 100}
+		obsSerial := core.New(prog, obsOpts).Run()
+		obsDist, _, err := distRun(prog.Name, resolver, workers, obsOpts, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: instrumented distributed run: %v\n", prog.Name, err)
+			os.Exit(1)
+		}
+		match := distMatch(obsSerial, obsDist)
+
+		b := distBench{
+			Name:       prog.Name,
+			Executions: rs.Executions,
+			Scenarios:  rs.Scenarios,
+			SerialNs:   serial.Nanoseconds(),
+			DistNs:     distT.Nanoseconds(),
+			Speedup:    float64(serial.Nanoseconds()) / float64(max(distT.Nanoseconds(), 1)),
+			Match:      match,
+			Metrics:    obsDist.Metrics,
+		}
+		if m := obsDist.Metrics; m != nil {
+			b.RPCs = m.RPCs
+			b.LeasesGranted = m.LeasesGranted
+			b.LeasesExpired = m.LeasesExpired
+			b.LeaseRequeues = m.LeaseRequeues
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-12s  %7d  %10s  %10s  %7.1fx  %5d  %8d  %6v\n",
+			trimName(b.Name), b.Executions, serial.Round(1e5), distT.Round(1e5),
+			b.Speedup, b.RPCs, b.LeaseRequeues, match)
+		if !match {
+			fmt.Fprintf(os.Stderr, "%s: distributed exploration diverged from serial\n", prog.Name)
+			os.Exit(1)
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}

@@ -36,6 +36,15 @@
 // sets, failure points, completion), and the scenario counts — unpruned,
 // logical, physical — are written as JSON (BENCH_por.json).
 //
+// With -dist, it instead benchmarks the distributed exploration service: every
+// Figure 14 workload is explored serially and through a coordinator plus
+// -workers worker processes running in-process over the netsim fabric (full
+// wire codec, lease/commit protocol, and merge — only real network latency is
+// excluded). An instrumented pair — with one worker killed mid-lease so its
+// subtree is requeued on TTL expiry — is cross-checked for bit-identical
+// results, and the measurements plus the coordinator's RPC, lease, and requeue
+// counts are written as JSON (BENCH_dist.json).
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 //
 // Usage:
@@ -45,6 +54,7 @@
 //	jaaru-perf -snapshots BENCH_snapshot.json [-reps R] [-scale N]
 //	jaaru-perf -memlayout BENCH_memlayout.json [-baseline OLD.json] [-reps R] [-scale N]
 //	jaaru-perf -por BENCH_por.json [-reps R] [-scale N]
+//	jaaru-perf -dist BENCH_dist.json [-workers N] [-reps R] [-scale N]
 package main
 
 import (
@@ -474,6 +484,7 @@ func main() {
 	snapshots := flag.String("snapshots", "", "benchmark the snapshot engine and write the JSON report to this file")
 	memlayout := flag.String("memlayout", "", "benchmark allocation cost per workload and write the JSON report to this file")
 	por := flag.String("por", "", "benchmark the partial-order reduction layer and write the JSON report to this file")
+	dst := flag.String("dist", "", "benchmark distributed exploration over an in-process fabric and write the JSON report to this file")
 	baseline := flag.String("baseline", "", "prior -memlayout report to diff and cross-check against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -496,6 +507,10 @@ func main() {
 	}
 	if *por != "" {
 		runPORBench(*por, *reps, *scale)
+		return
+	}
+	if *dst != "" {
+		runDistBench(*dst, *workers, *reps, *scale)
 		return
 	}
 

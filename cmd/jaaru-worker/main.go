@@ -1,0 +1,84 @@
+// Command jaaru-worker is one member of a distributed-exploration fleet: it
+// claims choice-prefix leases from a jaaru-server coordinator, explores them
+// with the ordinary checker, and streams back donated splits plus cumulative
+// stats (internal/dist).
+//
+// Usage:
+//
+//	jaaru-worker -coordinator http://host:8080 [-name w1] [-commit-every N]
+//
+// Benchmarks are resolved locally through internal/benchlist from the spec
+// in each lease, so the worker binary must be built from the same tree as
+// the server. The worker exits cleanly when the coordinator (started with
+// -shutdown-when-done) releases the fleet, and exits with an error when the
+// coordinator stays unreachable past its retry budget.
+//
+// SIGINT/SIGTERM drain gracefully: the current lease finishes with a final
+// commit of the progress so far, no further leases are claimed, and the
+// process exits — nothing is lost and nothing has to wait for a lease TTL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"jaaru/internal/benchlist"
+	"jaaru/internal/core"
+	"jaaru/internal/dist"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8080")
+	name := flag.String("name", "", "worker name in coordinator accounting (default: hostname-pid)")
+	commitEvery := flag.Int("commit-every", 0, "scenarios between commits (0: the runner default); lower = tighter re-execution window after a crash")
+	flag.Parse()
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "jaaru-worker: -coordinator is required")
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w, err := dist.NewWorker(dist.WorkerConfig{
+		Name:        *name,
+		BaseURL:     *coordinator,
+		Resolve:     resolve,
+		CommitEvery: *commitEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "jaaru-worker: draining (finishing current lease)")
+		w.Drain()
+	}()
+
+	fmt.Fprintf(os.Stderr, "jaaru-worker %s: polling %s\n", *name, *coordinator)
+	if err := w.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func resolve(spec dist.ProgSpec) (core.Program, error) {
+	b := benchlist.Find(spec.Bench)
+	if b == nil {
+		return core.Program{}, fmt.Errorf("unknown benchmark %q", spec.Bench)
+	}
+	n := spec.N
+	if n == 0 {
+		n = 6
+	}
+	return b.Build(n, spec.Buggy), nil
+}

@@ -112,6 +112,54 @@ func (ch *chooser) choose(kind choiceKind, n int) int {
 	return 0
 }
 
+// seedClaim installs a claimed branch with explicit per-point exploration
+// limits and optional POR memos — the general form of seed used by
+// distributed exploration. A frozen prefix is the special case
+// limits[i] == idx+1; a residual claim requeued after a lease expiry carries
+// idx < limit[i] <= n at points whose unexplored siblings the dead worker
+// still owned, and the claimant resumes exactly there: the current vector is
+// replayed as the first scenario, then advance walks the remaining siblings.
+// Memos let the claimant's porPruneSweep re-clamp failure decisions whose
+// crash state was already published without re-deriving the fingerprint.
+func (ch *chooser) seedClaim(prefix []choicePoint, limits []int, memos []*failMemo) {
+	ch.points = append(ch.points[:0], prefix...)
+	ch.limit = ch.limit[:0]
+	ch.aux = ch.aux[:0]
+	for i, p := range prefix {
+		lim := p.idx + 1
+		if limits != nil {
+			lim = limits[i]
+		}
+		ch.limit = append(ch.limit, lim)
+		var m *failMemo
+		if memos != nil {
+			m = memos[i]
+		}
+		ch.aux = append(ch.aux, m)
+	}
+	ch.cursor = 0
+}
+
+// claimSnapshot exports the chooser's current claim — points, limits and POR
+// memos — as the residual a lease commit publishes: re-seeding the snapshot
+// with seedClaim and exploring covers exactly the work this chooser has not
+// yet visited (the current vector and every remaining in-limit sibling).
+// Limits are exported verbatim: donation lowers must stay lowered (the
+// donated subtrees were pushed), and POR clamps must stay clamped (their
+// analytic delta is part of the same commit's cumulative stats, so a
+// claimant re-applying it would double-count).
+func (ch *chooser) claimSnapshot() (points []choicePoint, limits []int, memos []*failMemo) {
+	points = append([]choicePoint(nil), ch.points...)
+	limits = append([]int(nil), ch.limit...)
+	for _, m := range ch.aux {
+		if m != nil {
+			memos = append([]*failMemo(nil), ch.aux...)
+			break
+		}
+	}
+	return points, limits, memos
+}
+
 // advance backtracks depth-first: exhausted trailing points are popped, the
 // deepest unexhausted point advances to its next option. It reports false
 // when the whole (claimed) space has been explored.

@@ -150,6 +150,25 @@ type Options struct {
 	// under witness replay so recorded choice vectors keep their shape.
 	POR int
 
+	// LeaseTTLMs is the distributed-exploration lease time-to-live in
+	// milliseconds (internal/dist): a worker that neither commits nor
+	// heartbeats within the TTL is presumed dead and its uncommitted
+	// subtree is requeued. Default 30000; a negative value disables expiry
+	// (normalized to the sentinel -1: leases never time out — useful for
+	// deterministic tests and debugging stopped workers).
+	LeaseTTLMs int
+
+	// HeartbeatMs is the interval at which a distributed worker renews its
+	// lease between commits (internal/dist). Default 2000; a negative value
+	// disables heartbeats (normalized to the sentinel -1: only commits
+	// renew the lease).
+	HeartbeatMs int
+
+	// CoordinatorURL is the base URL of the jaaru-server coordinator a
+	// jaaru-worker process reports to. Empty (the zero value is its own
+	// sentinel) means no coordinator: exploration runs in-process.
+	CoordinatorURL string
+
 	// Observe enables the observability layer: per-worker lock-free metric
 	// shards (internal/obs) aggregated into Result.Metrics. Off by default;
 	// when off every instrumentation hook is a nil check.
@@ -223,6 +242,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.LeaseTTLMs == 0 {
+		o.LeaseTTLMs = 30000
+	}
+	if o.LeaseTTLMs < 0 {
+		o.LeaseTTLMs = -1
+	}
+	if o.HeartbeatMs == 0 {
+		o.HeartbeatMs = 2000
+	}
+	if o.HeartbeatMs < 0 {
+		o.HeartbeatMs = -1
 	}
 	return o
 }

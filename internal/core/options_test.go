@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -45,6 +46,57 @@ func TestWithDefaultsIdempotent(t *testing.T) {
 	}
 	if n := (Options{Snapshots: -5}).withDefaults().Snapshots; n != -1 {
 		t.Errorf("disabled Snapshots normalized to %d, want the sentinel -1", n)
+	}
+	if n := (Options{LeaseTTLMs: -9}).withDefaults().LeaseTTLMs; n != -1 {
+		t.Errorf("disabled LeaseTTLMs normalized to %d, want the sentinel -1", n)
+	}
+	if n := (Options{HeartbeatMs: -9}).withDefaults().HeartbeatMs; n != -1 {
+		t.Errorf("disabled HeartbeatMs normalized to %d, want the sentinel -1", n)
+	}
+}
+
+// TestWithDefaultsIdempotentEveryField sweeps every Options field by
+// reflection — zero, default-ish, and the negative sentinel probes for
+// numeric fields — so a newly added field (the lease TTL and heartbeat
+// interval were the latest) cannot ship a non-idempotent normalization
+// unnoticed: the hand-maintained case list above can lag the struct, this
+// sweep cannot.
+func TestWithDefaultsIdempotentEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	check := func(label string, o Options) {
+		t.Helper()
+		once := o.withDefaults()
+		twice := once.withDefaults()
+		if once != twice {
+			t.Errorf("%s: withDefaults not idempotent:\n once: %+v\ntwice: %+v", label, once, twice)
+		}
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		field := typ.Field(i)
+		probes := []reflect.Value{}
+		switch field.Type.Kind() {
+		case reflect.Int, reflect.Int64:
+			for _, v := range []int64{0, 1, 2, -1, -7} {
+				probes = append(probes, reflect.ValueOf(v).Convert(field.Type))
+			}
+		case reflect.Uint64:
+			for _, v := range []uint64{0, 1, RootSize, 1 << 24} {
+				probes = append(probes, reflect.ValueOf(v).Convert(field.Type))
+			}
+		case reflect.Bool:
+			probes = append(probes, reflect.ValueOf(true), reflect.ValueOf(false))
+		case reflect.String:
+			probes = append(probes, reflect.ValueOf(""), reflect.ValueOf("http://localhost:1"))
+		case reflect.Interface:
+			continue // EventTrace: not normalized, not comparable via !=
+		default:
+			t.Fatalf("Options.%s has kind %v: teach this sweep how to probe it", field.Name, field.Type.Kind())
+		}
+		for _, p := range probes {
+			var o Options
+			reflect.ValueOf(&o).Elem().Field(i).Set(p)
+			check(fmt.Sprintf("%s=%v", field.Name, p.Interface()), o)
+		}
 	}
 }
 

@@ -68,12 +68,19 @@ func newFrontier(lowMark int, reg *obs.Registry) *frontier {
 	return f
 }
 
-// push publishes branches and accounts for them as pending work.
+// push publishes branches and accounts for them as pending work. Branches
+// pushed after a stop are dropped: pop would never hand them out, and
+// counting them as pending would leave the frontier unable to report the
+// tree as drained (pending can otherwise never return to zero).
 func (f *frontier) push(bs []branch) {
 	if len(bs) == 0 {
 		return
 	}
 	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
 	f.items = append(f.items, bs...)
 	f.pending += len(bs)
 	depth := len(f.items)
@@ -86,6 +93,17 @@ func (f *frontier) push(bs []branch) {
 // pop claims a branch, blocking while the queue is empty but other workers
 // still hold claims that may yet donate work. It returns false when
 // exploration is over: the tree is exhausted or a stop was requested.
+//
+// Liveness audit (small trees at high worker counts): a blocked popper is
+// woken by exactly three events — push (new work), finish reaching
+// pending == 0 (tree drained), and stop. The worker holding the last
+// unsplit branch either donates (push wakes the waiters) or retires the
+// claim via finish; since finish broadcasts precisely when pending hits
+// zero, the queue-empty/pending-positive wait can never outlive the last
+// claim, regardless of how lowMark compares to the tree size. The low
+// watermark only modulates donation eagerness: a 2-scenario tree under
+// Workers=8 keeps seven workers parked until the single holder donates its
+// one sibling or drains the tree (see TestParallelSmallTreeManyWorkers).
 func (f *frontier) pop() (branch, bool) {
 	f.mu.Lock()
 	for {
@@ -188,7 +206,11 @@ func (s *sharedCaps) admit() bool {
 	return true
 }
 
-// noteBug registers a distinct bug key and fires the bug caps.
+// noteBug registers a distinct bug key and fires the bug caps. Dedup by
+// canonical key happens before any cap accounting: two workers reporting
+// the same bug in the same stop window contribute one entry to the MaxBugs
+// count and fire StopAtFirstBug once, and the merged Result carries one
+// report with summed Count (see TestSharedCapsConcurrentSameBug).
 func (s *sharedCaps) noteBug(key string) {
 	s.mu.Lock()
 	if _, ok := s.keys[key]; !ok {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -274,5 +275,83 @@ func TestWorkersDefaultsToSerial(t *testing.T) {
 	res := New(parallelTreeProgram(), Options{Workers: -1}).Run()
 	if !res.Complete {
 		t.Error("GOMAXPROCS exploration incomplete")
+	}
+}
+
+// ---- distributed-era regression tests ----------------------------------------
+
+// TestParallelSmallTreeManyWorkers: many more workers than scenarios. The
+// frontier's refill path (pop's hungry/lowMark interplay) must not stall
+// when the tree is exhausted before most workers ever receive a branch: pop
+// blocks only while claims are outstanding (pending > 0) and every consumer
+// is released by the final finish broadcast. Regression test for the
+// small-tree liveness audit documented on frontier.pop.
+func TestParallelSmallTreeManyWorkers(t *testing.T) {
+	prog := Program{
+		Name: "litmus-tiny",
+		Run: func(c *Context) {
+			r := c.Root()
+			c.Store64(r, 1)
+			c.Clflush(r, 8)
+		},
+		Recover: func(c *Context) { _ = c.Load64(c.Root()) },
+	}
+	serial := New(prog, Options{}).Run()
+	if serial.Scenarios > 4 {
+		t.Fatalf("litmus workload grew to %d scenarios; this test needs workers >> scenarios", serial.Scenarios)
+	}
+	// The stall this guards against was timing-dependent: iterate to give
+	// the 8-worker pool many chances to race pop/finish/stop.
+	for i := 0; i < 50; i++ {
+		par := New(prog, Options{Workers: 8}).Run()
+		assertSameExploration(t, fmt.Sprintf("iter %d", i), serial, par)
+	}
+}
+
+// TestSharedCapsConcurrentSameBug: the same canonical bug key reported
+// concurrently by many workers counts once — toward MaxBugs and toward the
+// StopAtFirstBug trigger — because noteBug dedupes by key before any cap
+// accounting. Run under -race: this is the contract documented on noteBug
+// and mirrored by the distributed coordinator's commit handler.
+func TestSharedCapsConcurrentSameBug(t *testing.T) {
+	caps := newSharedCaps(Options{StopAtFirstBug: true}.withDefaults(), newFrontier(0, nil))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				caps.noteBug("assert:same-key")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(caps.keys); n != 1 {
+		t.Errorf("concurrent same-key reports left %d keys, want 1", n)
+	}
+	if !caps.stopped.Load() {
+		t.Error("StopAtFirstBug did not request a stop")
+	}
+
+	// Duplicates must not inflate the MaxBugs count either: 16×200 reports
+	// of one key stay one bug, below a cap of 2; the second distinct key
+	// reaches it.
+	caps = newSharedCaps(Options{MaxBugs: 2}.withDefaults(), newFrontier(0, nil))
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				caps.noteBug("assert:first")
+			}
+		}()
+	}
+	wg.Wait()
+	if caps.stopped.Load() {
+		t.Fatal("duplicate bug keys counted toward MaxBugs")
+	}
+	caps.noteBug("assert:second")
+	if !caps.stopped.Load() {
+		t.Error("MaxBugs = 2 did not stop at the second distinct bug")
 	}
 }

@@ -87,6 +87,14 @@ func (c *Checker) porElides(cands []pmem.Candidate) bool {
 type porSeen struct {
 	mu sync.RWMutex
 	m  map[uint64]*porDelta
+	// log records publication order, making the seen-set an append-only
+	// publication log: distributed workers drain entries past a version
+	// cursor and ship them to the coordinator, which republishes them to
+	// other workers. Absorbing a foreign delta is safe even when its
+	// publisher died mid-lease — a porDelta is a pure function of the
+	// fingerprinted state, not of who explored it (the isomorphism argument
+	// above), so deltas from abandoned leases stay valid.
+	log []uint64
 }
 
 func newPorSeen() *porSeen { return &porSeen{m: make(map[uint64]*porDelta)} }
@@ -105,8 +113,29 @@ func (ps *porSeen) publish(fp uint64, d *porDelta) {
 	ps.mu.Lock()
 	if _, ok := ps.m[fp]; !ok {
 		ps.m[fp] = d
+		ps.log = append(ps.log, fp)
 	}
 	ps.mu.Unlock()
+}
+
+// logLen returns the current publication-log version (entries published).
+func (ps *porSeen) logLen() int {
+	ps.mu.RLock()
+	n := len(ps.log)
+	ps.mu.RUnlock()
+	return n
+}
+
+// entriesSince returns the (fingerprint, delta) pairs published at log
+// positions from..len(log), in publication order.
+func (ps *porSeen) entriesSince(from int) (fps []uint64, deltas []*porDelta) {
+	ps.mu.RLock()
+	for _, fp := range ps.log[min(from, len(ps.log)):] {
+		fps = append(fps, fp)
+		deltas = append(deltas, ps.m[fp])
+	}
+	ps.mu.RUnlock()
+	return fps, deltas
 }
 
 // failMemo is the per-failure-point memo the chooser carries alongside each

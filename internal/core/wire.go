@@ -1,0 +1,718 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jaaru/internal/obs"
+)
+
+// Wire codec for distributed exploration (internal/dist). A choice prefix is
+// a self-contained, serializable unit of work — the property the whole
+// checker is built on — so the distributed protocol is small: claims (branch
+// prefixes with exploration limits), cumulative per-lease stats deltas, and
+// POR seen-set publication entries, all as plain JSON-marshalable structs.
+//
+// The commit protocol is designed so that lease expiry and idempotent
+// re-execution are exact:
+//
+//   - A worker never commits per scenario; it commits its lease's
+//     *cumulative* WireStats, which the coordinator stores per lease,
+//     replacing the previous commit (retry-safe by construction: applying
+//     the same cumulative snapshot twice is a no-op).
+//   - Every non-final commit carries a residual WireClaim: the chooser state
+//     right after advancing past the last committed scenario. Cumulative
+//     stats up to a commit plus a full exploration of its residual (minus
+//     donated splits, which travel in the same atomic commit) covers the
+//     original claim exactly once.
+//   - On lease expiry the coordinator keeps the last committed cumulative
+//     stats and requeues the last residual; work after the last commit was
+//     never committed, so its re-execution by the next claimant neither
+//     loses nor double-counts anything.
+//
+// POR clamps interact with residuals subtly but safely: when porPruneSweep
+// clamps a fail decision (limit 2 -> 1) it applies the published delta to
+// the worker's local stats, and the next commit ships both the lowered limit
+// and the applied delta together, atomically. A claimant of the residual
+// therefore never re-applies a committed clamp; clamps applied after the
+// last commit die with the lease and are re-derived by the claimant.
+
+// WirePoint is one recorded nondeterministic decision in wire form.
+type WirePoint struct {
+	Kind string `json:"kind"` // "fail" | "rf" | "evict"
+	N    int    `json:"n"`
+	Idx  int    `json:"idx"`
+}
+
+// WireMemo is a failure-decision POR memo in wire form: the canonical
+// fingerprint of the crash state at the point, plus the prefix cost
+// (steps and cleared canonical counters) of reaching it from scenario start.
+// Memos are an optimization — a claim without them is explored physically
+// with identical results — so decoders tolerate their absence.
+type WireMemo struct {
+	FP    uint64  `json:"fp"`
+	Steps int64   `json:"steps"`
+	Vec   []int64 `json:"vec,omitempty"`
+}
+
+// WireClaim is a unit of leased work: a choice prefix with per-point
+// exploration limits. Limits == nil means a frozen prefix (every point fixed
+// at its recorded option — the shape of donated splits); a residual claim
+// carries Idx < Limits[i] <= N at points whose siblings remain unexplored.
+type WireClaim struct {
+	Points []WirePoint `json:"points,omitempty"`
+	Limits []int       `json:"limits,omitempty"`
+	Memos  []*WireMemo `json:"memos,omitempty"`
+}
+
+func kindName(k choiceKind) string { return k.String() }
+
+func kindFromName(s string) (choiceKind, bool) {
+	switch s {
+	case "fail":
+		return chooseFail, true
+	case "rf":
+		return chooseReadFrom, true
+	case "evict":
+		return chooseEvict, true
+	}
+	return 0, false
+}
+
+func encodePoints(pts []choicePoint) []WirePoint {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]WirePoint, len(pts))
+	for i, p := range pts {
+		out[i] = WirePoint{Kind: kindName(p.kind), N: p.n, Idx: p.idx}
+	}
+	return out
+}
+
+func compilePoints(wps []WirePoint) ([]choicePoint, error) {
+	if len(wps) == 0 {
+		return nil, nil
+	}
+	out := make([]choicePoint, len(wps))
+	for i, wp := range wps {
+		k, ok := kindFromName(wp.Kind)
+		if !ok {
+			return nil, fmt.Errorf("point %d: unknown kind %q", i, wp.Kind)
+		}
+		if wp.N <= 0 || wp.Idx < 0 || wp.Idx >= wp.N {
+			return nil, fmt.Errorf("point %d: idx %d out of range [0,%d)", i, wp.Idx, wp.N)
+		}
+		out[i] = choicePoint{kind: k, n: wp.N, idx: wp.Idx}
+	}
+	return out, nil
+}
+
+// encodeClaim serializes a (points, limits, memos) chooser claim.
+func encodeClaim(pts []choicePoint, limits []int, memos []*failMemo) WireClaim {
+	w := WireClaim{Points: encodePoints(pts)}
+	if limits != nil {
+		w.Limits = append([]int(nil), limits...)
+	}
+	for _, m := range memos {
+		if m == nil {
+			continue
+		}
+		w.Memos = make([]*WireMemo, len(memos))
+		for i, mm := range memos {
+			if mm == nil {
+				continue
+			}
+			wm := &WireMemo{FP: mm.fp, Steps: mm.steps}
+			if vec := vecToSlice(mm.vec); !allZero(vec) {
+				wm.Vec = vec
+			}
+			w.Memos[i] = wm
+		}
+		break
+	}
+	return w
+}
+
+// encodeFrozenClaim serializes a donated branch prefix (every point frozen).
+func encodeFrozenClaim(pts []choicePoint) WireClaim {
+	return WireClaim{Points: encodePoints(pts)}
+}
+
+// compile validates the claim and lowers it to chooser form.
+func (w WireClaim) compile() (pts []choicePoint, limits []int, memos []*failMemo, err error) {
+	pts, err = compilePoints(w.Points)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if w.Limits != nil {
+		if len(w.Limits) != len(w.Points) {
+			return nil, nil, nil, fmt.Errorf("claim has %d limits for %d points", len(w.Limits), len(w.Points))
+		}
+		limits = append([]int(nil), w.Limits...)
+		for i, lim := range limits {
+			if lim <= pts[i].idx || lim > pts[i].n {
+				return nil, nil, nil, fmt.Errorf("point %d: limit %d out of range (%d,%d]", i, lim, pts[i].idx, pts[i].n)
+			}
+		}
+	}
+	if w.Memos != nil {
+		if len(w.Memos) != len(w.Points) {
+			return nil, nil, nil, fmt.Errorf("claim has %d memos for %d points", len(w.Memos), len(w.Points))
+		}
+		memos = make([]*failMemo, len(w.Memos))
+		for i, wm := range w.Memos {
+			if wm == nil {
+				continue
+			}
+			if pts[i].kind != chooseFail {
+				return nil, nil, nil, fmt.Errorf("point %d: memo on non-fail point", i)
+			}
+			m := &failMemo{fp: wm.FP, steps: wm.Steps}
+			if wm.Vec != nil {
+				vec, ok := vecFromSlice(wm.Vec)
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("point %d: memo vec has %d counters", i, len(wm.Vec))
+				}
+				m.vec = vec
+			}
+			memos[i] = m
+		}
+	}
+	return pts, limits, memos, nil
+}
+
+// Validate reports whether the claim is well-formed (decodable).
+func (w WireClaim) Validate() error {
+	_, _, _, err := w.compile()
+	return err
+}
+
+// WireBug is a BugReport in wire form, including the replay vector and trace
+// so the coordinator's merged result supports Replay/Witness/Minimize.
+type WireBug struct {
+	Type      int         `json:"type"`
+	Message   string      `json:"message"`
+	Execution int         `json:"execution"`
+	Scenario  int         `json:"scenario"`
+	Count     int         `json:"count"`
+	Choices   string      `json:"choices"`
+	Trace     []TraceOp   `json:"trace,omitempty"`
+	Replay    []WirePoint `json:"replay,omitempty"`
+}
+
+// WireObs is one collector shard in wire form: dense counter and peak
+// vectors (index = obs.Counter / obs.Peak).
+type WireObs struct {
+	Counters []int64 `json:"counters,omitempty"`
+	Peaks    []int64 `json:"peaks,omitempty"`
+}
+
+// WireStats is a lease's cumulative exploration stats: everything the
+// coordinator's deterministic merge consumes. Commits replace the lease's
+// previous WireStats wholesale, which is what makes retries and duplicate
+// deliveries idempotent.
+type WireStats struct {
+	Scenarios  int         `json:"scenarios"`
+	ExecsPost  int         `json:"execs_post"`
+	FpointsPre int         `json:"fpoints_pre"`
+	Steps      int64       `json:"steps"`
+	MaxRF      int         `json:"max_rf"`
+	NewPoints  [3]int      `json:"new_points"`
+	Truncated  bool        `json:"truncated,omitempty"`
+	Bugs       []WireBug   `json:"bugs,omitempty"`
+	MultiRF    []MultiRF   `json:"multi_rf,omitempty"`
+	PerfIssues []PerfIssue `json:"perf_issues,omitempty"`
+	Obs        *WireObs    `json:"obs,omitempty"`
+}
+
+// BugKeys returns the canonical dedup key of every bug in the stats — the
+// coordinator's cap accounting dedupes on these before counting.
+func (ws *WireStats) BugKeys() []string {
+	keys := make([]string, 0, len(ws.Bugs))
+	for i := range ws.Bugs {
+		b := BugReport{Type: BugType(ws.Bugs[i].Type), Message: ws.Bugs[i].Message}
+		keys = append(keys, b.key())
+	}
+	return keys
+}
+
+func vecToSlice(v obs.CounterVec) []int64 {
+	out := make([]int64, len(v))
+	copy(out, v[:])
+	return out
+}
+
+func vecFromSlice(s []int64) (obs.CounterVec, bool) {
+	var v obs.CounterVec
+	if len(s) != len(v) {
+		return v, false
+	}
+	copy(v[:], s)
+	return v, true
+}
+
+func allZero(s []int64) bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// exportWireStats snapshots the checker's cumulative stats (and its
+// observability shard, when attached) as a WireStats. Map-backed findings
+// are emitted in sorted key order so payloads are deterministic.
+func (c *Checker) exportWireStats() *WireStats {
+	c.foldChooserStats()
+	ws := &WireStats{
+		Scenarios:  c.scenarios,
+		ExecsPost:  c.execsPost,
+		FpointsPre: c.fpointsPre,
+		Steps:      c.totalSteps,
+		MaxRF:      c.maxRF,
+		NewPoints:  c.newPoints,
+		Truncated:  c.truncated,
+	}
+	for _, b := range c.bugs {
+		ws.Bugs = append(ws.Bugs, WireBug{
+			Type:      int(b.Type),
+			Message:   b.Message,
+			Execution: b.Execution,
+			Scenario:  b.Scenario,
+			Count:     b.Count,
+			Choices:   b.Choices,
+			Trace:     b.Trace,
+			Replay:    encodePoints(b.replay),
+		})
+	}
+	for _, m := range c.multiRF {
+		cm := *m
+		cm.Values = append([]string(nil), m.Values...)
+		ws.MultiRF = append(ws.MultiRF, cm)
+	}
+	sort.Slice(ws.MultiRF, func(i, j int) bool { return ws.MultiRF[i].Loc < ws.MultiRF[j].Loc })
+	for _, p := range c.perfIssues {
+		ws.PerfIssues = append(ws.PerfIssues, *p)
+	}
+	sort.Slice(ws.PerfIssues, func(i, j int) bool {
+		a, b := &ws.PerfIssues[i], &ws.PerfIssues[j]
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		return a.Kind < b.Kind
+	})
+	if c.col != nil {
+		ws.Obs = &WireObs{Counters: vecToSlice(c.col.Counters()), Peaks: c.col.PeakValues()}
+	}
+	return ws
+}
+
+// compileStats lowers a WireStats into a mergeable stats value.
+func compileStats(ws *WireStats) (*stats, error) {
+	var s stats
+	s.initStats()
+	s.scenarios = ws.Scenarios
+	s.execsPost = ws.ExecsPost
+	s.fpointsPre = ws.FpointsPre
+	s.totalSteps = ws.Steps
+	s.maxRF = ws.MaxRF
+	s.newPoints = ws.NewPoints
+	s.truncated = ws.Truncated
+	for i := range ws.Bugs {
+		wb := &ws.Bugs[i]
+		replay, err := compilePoints(wb.Replay)
+		if err != nil {
+			return nil, fmt.Errorf("bug %d replay: %v", i, err)
+		}
+		s.mergeBug(&BugReport{
+			Type:      BugType(wb.Type),
+			Message:   wb.Message,
+			Execution: wb.Execution,
+			Scenario:  wb.Scenario,
+			Count:     wb.Count,
+			Choices:   wb.Choices,
+			Trace:     wb.Trace,
+			replay:    replay,
+		})
+	}
+	for i := range ws.MultiRF {
+		m := ws.MultiRF[i]
+		m.Values = append([]string(nil), ws.MultiRF[i].Values...)
+		s.mergeMultiRF(m.Loc, &m)
+	}
+	for i := range ws.PerfIssues {
+		p := ws.PerfIssues[i]
+		key := perfKey(p.Kind, p.Loc)
+		if ex, ok := s.perfIssues[key]; ok {
+			ex.Count += p.Count
+			if p.Line < ex.Line {
+				ex.Line = p.Line
+			}
+		} else {
+			s.perfIssues[key] = &p
+		}
+	}
+	return &s, nil
+}
+
+// ---- POR publication log ---------------------------------------------------
+
+// WirePorBug is one distinct bug of a published subtree delta.
+type WirePorBug struct {
+	Type    int         `json:"type"`
+	Message string      `json:"message"`
+	Exec    int         `json:"exec"`
+	Count   int         `json:"count"`
+	Rel     string      `json:"rel"`
+	Suffix  []WirePoint `json:"suffix,omitempty"`
+	Trace   []TraceOp   `json:"trace,omitempty"`
+}
+
+// WirePorPerf / WirePorMulti carry a subtree's perf-issue and flagged-load
+// deltas (count plus the owner's representative).
+type WirePorPerf struct {
+	Count int       `json:"count"`
+	Issue PerfIssue `json:"issue"`
+}
+
+type WirePorMulti struct {
+	Count int     `json:"count"`
+	Multi MultiRF `json:"multi"`
+}
+
+// WirePorDelta is a published recovery-subtree record in wire form.
+type WirePorDelta struct {
+	Scenarios int            `json:"scenarios"`
+	Execs     int            `json:"execs"`
+	Steps     int64          `json:"steps"`
+	MaxRF     int            `json:"max_rf"`
+	MaxRel    int            `json:"max_rel"`
+	NewPoints [3]int         `json:"new_points"`
+	Replayed  int64          `json:"replayed"`
+	Fresh     int64          `json:"fresh"`
+	Vec       []int64        `json:"vec,omitempty"`
+	Bugs      []WirePorBug   `json:"bugs,omitempty"`
+	Perf      []WirePorPerf  `json:"perf,omitempty"`
+	Multi     []WirePorMulti `json:"multi,omitempty"`
+}
+
+// WirePorEntry is one entry of the POR seen-set publication log.
+type WirePorEntry struct {
+	FP    uint64       `json:"fp"`
+	Delta WirePorDelta `json:"delta"`
+}
+
+func encodePorDelta(d *porDelta) WirePorDelta {
+	wd := WirePorDelta{
+		Scenarios: d.scenarios,
+		Execs:     d.execs,
+		Steps:     d.steps,
+		MaxRF:     d.maxRF,
+		MaxRel:    d.maxRel,
+		NewPoints: d.newPoints,
+		Replayed:  d.replayed,
+		Fresh:     d.fresh,
+	}
+	if vec := vecToSlice(d.vec); !allZero(vec) {
+		wd.Vec = vec
+	}
+	for _, b := range d.bugs {
+		wd.Bugs = append(wd.Bugs, WirePorBug{
+			Type:    int(b.typ),
+			Message: b.msg,
+			Exec:    b.exec,
+			Count:   b.count,
+			Rel:     b.rel,
+			Suffix:  encodePoints(b.suffix),
+			Trace:   b.trace,
+		})
+	}
+	for _, p := range d.perf {
+		wd.Perf = append(wd.Perf, WirePorPerf{Count: p.count, Issue: p.issue})
+	}
+	for _, m := range d.multi {
+		cm := m.multi
+		cm.Values = append([]string(nil), m.multi.Values...)
+		wd.Multi = append(wd.Multi, WirePorMulti{Count: m.count, Multi: cm})
+	}
+	return wd
+}
+
+func compilePorDelta(wd *WirePorDelta) (*porDelta, error) {
+	d := &porDelta{
+		scenarios: wd.Scenarios,
+		execs:     wd.Execs,
+		steps:     wd.Steps,
+		maxRF:     wd.MaxRF,
+		maxRel:    wd.MaxRel,
+		newPoints: wd.NewPoints,
+		replayed:  wd.Replayed,
+		fresh:     wd.Fresh,
+	}
+	if wd.Vec != nil {
+		vec, ok := vecFromSlice(wd.Vec)
+		if !ok {
+			return nil, fmt.Errorf("por delta vec has %d counters", len(wd.Vec))
+		}
+		d.vec = vec
+	}
+	for i := range wd.Bugs {
+		wb := &wd.Bugs[i]
+		suffix, err := compilePoints(wb.Suffix)
+		if err != nil {
+			return nil, fmt.Errorf("por bug %d suffix: %v", i, err)
+		}
+		d.bugs = append(d.bugs, porBug{
+			typ:    BugType(wb.Type),
+			msg:    wb.Message,
+			exec:   wb.Exec,
+			count:  wb.Count,
+			rel:    wb.Rel,
+			suffix: suffix,
+			trace:  wb.Trace,
+		})
+	}
+	for i := range wd.Perf {
+		wp := wd.Perf[i]
+		d.perf = append(d.perf, porPerfDelta{
+			key:   perfKey(wp.Issue.Kind, wp.Issue.Loc),
+			count: wp.Count,
+			issue: wp.Issue,
+		})
+	}
+	for i := range wd.Multi {
+		wm := wd.Multi[i]
+		cm := wm.Multi
+		cm.Values = append([]string(nil), wm.Multi.Values...)
+		d.multi = append(d.multi, porMultiDelta{key: cm.Loc, count: wm.Count, multi: cm})
+	}
+	return d, nil
+}
+
+// ---- Worker side: LeaseRunner ----------------------------------------------
+
+// LeaseSink is the worker's view of the coordinator, implemented by
+// internal/dist over HTTP (and by the in-process test harness directly).
+// All three methods may reflect stale coordinator state — Hungry and Stopped
+// are cooperative hints, and the exactness of the protocol rests entirely on
+// Commit's atomicity at the coordinator.
+type LeaseSink interface {
+	// Hungry reports whether the coordinator wants donated splits.
+	Hungry() bool
+	// Stopped reports whether a global cap or stop request ended the run.
+	Stopped() bool
+	// Commit atomically publishes the lease's progress: donated splits, the
+	// residual claim covering all work not in cum, and the lease's
+	// cumulative stats. final marks lease completion (residual must be nil).
+	// A non-nil error abandons the lease (its uncommitted tail is requeued
+	// by the coordinator's expiry sweep).
+	Commit(splits []WireClaim, residual *WireClaim, cum *WireStats, final bool) error
+}
+
+// LeaseRunner executes leases against a guest program: the worker-process
+// analog of the in-process workerLoop. Each lease runs on a fresh private
+// Checker; the POR seen-set mirror persists across leases and syncs with the
+// coordinator's publication log through DrainPor/AbsorbPor.
+type LeaseRunner struct {
+	prog Program
+	opts Options
+	seen *porSeen
+	// commitEvery bounds scenarios between non-final commits (default 16;
+	// lower it for tighter lease-expiry windows, at more RPC traffic).
+	commitEvery int
+}
+
+// NewLeaseRunner prepares a runner for prog. Worker-irrelevant options are
+// normalized away exactly as newWorker does for in-process workers.
+func NewLeaseRunner(prog Program, opts Options) *LeaseRunner {
+	o := opts.withDefaults()
+	o.Workers = 1
+	o.EventTrace = nil
+	lr := &LeaseRunner{prog: prog, opts: o, commitEvery: 16}
+	if o.POR > 0 {
+		lr.seen = newPorSeen()
+	}
+	return lr
+}
+
+// SetCommitEvery overrides the scenarios-per-commit cadence (min 1).
+func (lr *LeaseRunner) SetCommitEvery(n int) {
+	if n >= 1 {
+		lr.commitEvery = n
+	}
+}
+
+// PorVersion returns the local publication-log length — the cursor DrainPor
+// advances past.
+func (lr *LeaseRunner) PorVersion() int {
+	if lr.seen == nil {
+		return 0
+	}
+	return lr.seen.logLen()
+}
+
+// DrainPor returns locally published POR entries at log positions >= from.
+func (lr *LeaseRunner) DrainPor(from int) []WirePorEntry {
+	if lr.seen == nil {
+		return nil
+	}
+	fps, deltas := lr.seen.entriesSince(from)
+	out := make([]WirePorEntry, 0, len(fps))
+	for i, fp := range fps {
+		out = append(out, WirePorEntry{FP: fp, Delta: encodePorDelta(deltas[i])})
+	}
+	return out
+}
+
+// AbsorbPor installs coordinator-published POR entries into the local mirror
+// (first publisher wins, so re-deliveries are no-ops).
+func (lr *LeaseRunner) AbsorbPor(entries []WirePorEntry) error {
+	if lr.seen == nil {
+		return nil
+	}
+	for i := range entries {
+		d, err := compilePorDelta(&entries[i].Delta)
+		if err != nil {
+			return err
+		}
+		lr.seen.publish(entries[i].FP, d)
+	}
+	return nil
+}
+
+// RunLease explores one claimed subtree to completion, committing progress
+// through the sink. It mirrors exploreBranch, with the frontier and caps
+// replaced by the coordinator behind the sink.
+func (lr *LeaseRunner) RunLease(claim WireClaim, sink LeaseSink) error {
+	pts, limits, memos, err := claim.compile()
+	if err != nil {
+		return err
+	}
+	c := New(lr.prog, lr.opts)
+	if lr.seen != nil {
+		c.porSeenSet = lr.seen
+	}
+	c.chooser.seedClaim(pts, limits, memos)
+	sinceCommit := 0
+	for {
+		if sink.Stopped() {
+			c.porAbandon()
+			return sink.Commit(nil, nil, c.exportWireStats(), true)
+		}
+		c.scenarios++
+		if !c.runScenarioGuarded(pts) {
+			// Engine panic: the subtree is unreliable. recordEngineBug marked
+			// the stats truncated; retire the lease so the coordinator's
+			// result reports the truncation instead of requeueing the claim
+			// into the same panic forever.
+			return sink.Commit(nil, nil, c.exportWireStats(), true)
+		}
+		var splits []WireClaim
+		if sink.Hungry() {
+			// One donation round per scenario: Hungry is a stale hint
+			// refreshed by the commit below, unlike the in-process loop
+			// which can re-consult the live frontier.
+			bs := c.chooser.splitOff()
+			if len(bs) > 0 {
+				c.porCancelBelow(len(bs[0].points))
+				for _, b := range bs {
+					splits = append(splits, encodeFrozenClaim(b.points))
+				}
+			}
+		}
+		if !c.chooser.advance() {
+			c.porFlush()
+			return sink.Commit(splits, nil, c.exportWireStats(), true)
+		}
+		sinceCommit++
+		if len(splits) > 0 || sinceCommit >= lr.commitEvery {
+			sinceCommit = 0
+			rp, rl, rm := c.chooser.claimSnapshot()
+			residual := encodeClaim(rp, rl, rm)
+			if err := sink.Commit(splits, &residual, c.exportWireStats(), false); err != nil {
+				c.porAbandon()
+				return err
+			}
+		}
+	}
+}
+
+// ---- Coordinator side: MergeAcc --------------------------------------------
+
+// MergeAcc accumulates retired leases' WireStats into one deterministic
+// Result — the coordinator side of distributed exploration. It reuses the
+// exact stats.merge the in-process parallel driver uses, so a complete
+// distributed run is bit-identical to the serial reference by the same
+// argument: every operation is order-insensitive, and buildResult's
+// canonical sorts finish the job.
+type MergeAcc struct {
+	ck    *Checker
+	start time.Time
+}
+
+// NewMergeAcc prepares an accumulator for prog. Set opts.Observe to collect
+// merged Metrics from the workers' shipped shards.
+func NewMergeAcc(prog Program, opts Options) *MergeAcc {
+	o := opts.withDefaults()
+	return &MergeAcc{ck: New(prog, o), start: time.Now()}
+}
+
+// Options returns the accumulator's normalized options (the job's canonical
+// configuration, shipped to workers verbatim).
+func (a *MergeAcc) Options() Options { return a.ck.opts }
+
+// Observability exposes the accumulator's metrics registry (nil unless
+// Observe was set) so the coordinator can record lease/RPC traffic into the
+// same snapshot the merged Metrics come from.
+func (a *MergeAcc) Observability() *obs.Registry { return a.ck.reg }
+
+// Absorb folds one retired lease's cumulative stats into the aggregate.
+// Call exactly once per retired lease (the last committed WireStats).
+func (a *MergeAcc) Absorb(ws *WireStats) error {
+	s, err := compileStats(ws)
+	if err != nil {
+		return err
+	}
+	a.ck.stats.merge(s)
+	if ws.Obs != nil && a.ck.reg != nil {
+		vec, ok := vecFromSlice(ws.Obs.Counters)
+		if !ok {
+			return fmt.Errorf("obs counters: got %d values", len(ws.Obs.Counters))
+		}
+		col := a.ck.reg.NewShard()
+		col.AddCounters(vec)
+		col.RaisePeaks(ws.Obs.Peaks)
+	}
+	return nil
+}
+
+// AbsorbPorEntry validates one publication-log entry (the coordinator stores
+// entries in wire form; validation at ingest keeps the log well-formed).
+func AbsorbPorEntry(e *WirePorEntry) error {
+	_, err := compilePorDelta(&e.Delta)
+	return err
+}
+
+// SetWorkers records the fleet size in the merged metrics (non-canonical,
+// like the in-process driver's).
+func (a *MergeAcc) SetWorkers(n int) {
+	if a.ck.reg != nil {
+		a.ck.reg.SetWorkers(n)
+	}
+}
+
+// BuildResult assembles the merged Result. complete reports whether the
+// frontier drained with no cap hit; worker-side truncation (engine errors)
+// is already folded into the merged stats.
+func (a *MergeAcc) BuildResult(complete bool) *Result {
+	res := a.ck.buildResult(a.start, complete)
+	// Same trim as runParallel: concurrent discoveries can overshoot MaxBugs
+	// before the cooperative stop lands.
+	if !a.ck.opts.StopAtFirstBug && len(res.Bugs) > a.ck.opts.MaxBugs {
+		res.Bugs = res.Bugs[:a.ck.opts.MaxBugs]
+	}
+	return res
+}

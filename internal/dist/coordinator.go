@@ -1,0 +1,508 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"jaaru/internal/core"
+	"jaaru/internal/obs"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Resolve materializes submitted ProgSpecs (required).
+	Resolve Resolver
+	// LowMark is the queue length below which the coordinator asks workers
+	// to donate splits; 0 means 2× the number of distinct workers seen
+	// (mirroring the in-process frontier's 2×Workers watermark).
+	LowMark int
+	// Now is the clock leases are measured against (default time.Now).
+	// Tests inject a fake clock to drive TTL expiry deterministically.
+	Now func() time.Time
+	// ShutdownWhenDone releases the fleet: once at least one job was
+	// submitted and every job is done, lease requests answer
+	// StatusShutdown instead of StatusIdle. Used by the in-process test
+	// harness and batch runs; a long-running service leaves it false.
+	ShutdownWhenDone bool
+	// RetryMs is the poll-again hint on idle lease responses (default 200).
+	RetryMs int
+}
+
+// lease is one granted unit of work.
+type lease struct {
+	id    string
+	token string
+	job   *job
+	// claim is the unexplored remainder this lease is responsible for: the
+	// granted claim before the first commit, the latest residual after.
+	// It is exactly what expiry requeues.
+	claim core.WireClaim
+	// cum is the latest committed cumulative stats (nil before the first
+	// commit). It is folded into the job exactly once, when the lease
+	// retires — by final commit or by expiry.
+	cum *core.WireStats
+	seq int64
+	// deadline is the expiry instant, zero when the job's TTL is disabled.
+	deadline time.Time
+}
+
+// job is one submitted workload and everything needed to merge its result.
+type job struct {
+	id   string
+	spec ProgSpec
+	opts core.Options
+	acc  *core.MergeAcc
+
+	queued  []core.WireClaim
+	leases  map[string]*lease
+	workers map[string]struct{}
+
+	stopped bool // a cap fired: wind down cooperatively
+	capHit  bool
+
+	retiredScen int                 // scenarios in absorbed (retired) stats
+	bugKeys     map[string]struct{} // distinct canonical bug keys seen
+
+	porLog   []core.WirePorEntry
+	porIndex map[uint64]struct{}
+
+	result *core.Result
+}
+
+func (j *job) reg() *obs.Registry { return j.acc.Observability() }
+
+func (j *job) done() bool { return j.result != nil }
+
+// scenarioTotal is the global scenario count the caps are enforced against:
+// retired stats plus the latest cumulative commit of every active lease.
+func (j *job) scenarioTotal() int {
+	n := j.retiredScen
+	for _, l := range j.leases {
+		if l.cum != nil {
+			n += l.cum.Scenarios
+		}
+	}
+	return n
+}
+
+// Coordinator owns the global frontier, caps, and POR publication log of
+// every submitted job, and serves the lease protocol over HTTP. All methods
+// are safe for concurrent use; it implements http.Handler.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	workers   map[string]struct{}
+	submitted bool
+	nextJob   int
+	nextLease int
+	nextToken int
+}
+
+// NewCoordinator builds a coordinator; cfg.Resolve is required.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Resolve == nil {
+		return nil, fmt.Errorf("dist: Config.Resolve is required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.RetryMs <= 0 {
+		cfg.RetryMs = 200
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		workers: make(map[string]struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobStatus)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/commit", c.handleCommit)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", c.handleHeartbeat)
+	c.mux = mux
+	return c, nil
+}
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// ---- job lifecycle ----------------------------------------------------------
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := readJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	prog, err := c.cfg.Resolve(req.Spec)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	acc := core.NewMergeAcc(prog, req.Opts)
+	c.mu.Lock()
+	c.nextJob++
+	j := &job{
+		id:       fmt.Sprintf("j%d", c.nextJob),
+		spec:     req.Spec,
+		opts:     acc.Options(),
+		acc:      acc,
+		queued:   []core.WireClaim{{}}, // the root prefix: the whole tree
+		leases:   make(map[string]*lease),
+		workers:  make(map[string]struct{}),
+		bugKeys:  make(map[string]struct{}),
+		porIndex: make(map[uint64]struct{}),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.submitted = true
+	j.reg().NoteRPC()
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, JobResponse{ID: j.id})
+}
+
+func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.sweepLocked()
+	j, ok := c.jobs[r.PathValue("id")]
+	var st JobStatus
+	if ok {
+		j.reg().NoteRPC()
+		st = JobStatus{ID: j.id, State: JobRunning}
+		if j.done() {
+			st.State = JobDone
+			st.Result = j.result
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ---- lease protocol ---------------------------------------------------------
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := readJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	if req.Worker != "" {
+		c.workers[req.Worker] = struct{}{}
+	}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.done() || j.stopped || len(j.queued) == 0 {
+			continue
+		}
+		// LIFO, like the in-process frontier: deepest prefixes first keeps
+		// claims near the workers' warm subtrees.
+		claim := j.queued[len(j.queued)-1]
+		j.queued = j.queued[:len(j.queued)-1]
+		c.nextLease++
+		c.nextToken++
+		l := &lease{
+			// Tokens fence stale workers from expired leases; they are not
+			// an authentication mechanism (see docs/ALGORITHM.md).
+			id:    fmt.Sprintf("l%d", c.nextLease),
+			token: fmt.Sprintf("t%d", c.nextToken),
+			job:   j,
+			claim: claim,
+		}
+		ttl := j.opts.LeaseTTLMs
+		if ttl > 0 {
+			l.deadline = c.cfg.Now().Add(time.Duration(ttl) * time.Millisecond)
+		}
+		j.leases[l.id] = l
+		if req.Worker != "" {
+			j.workers[req.Worker] = struct{}{}
+		}
+		j.reg().NoteRPC()
+		j.reg().NoteLease()
+		j.reg().NoteClaim(len(j.queued))
+		resp := LeaseResponse{
+			Status: StatusGranted,
+			Lease: &Lease{
+				ID:    l.id,
+				Token: l.token,
+				JobID: j.id,
+				Spec:  j.spec,
+				Opts:  j.opts,
+				Claim: claim,
+				TTLMs: ttl,
+			},
+			Hungry:     c.hungryLocked(j),
+			PorVersion: len(j.porLog),
+		}
+		// Ship the publication-log suffix the worker is missing. The cursor
+		// only applies when the worker guessed the job it would be assigned;
+		// otherwise it replays the log from the start (absorb is idempotent).
+		from := 0
+		if req.JobID == j.id {
+			from = min(req.PorVersion, len(j.porLog))
+		}
+		resp.Por = append([]core.WirePorEntry(nil), j.porLog[from:]...)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if c.cfg.ShutdownWhenDone && c.submitted && c.allDoneLocked() {
+		writeJSON(w, http.StatusOK, LeaseResponse{Status: StatusShutdown})
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseResponse{Status: StatusIdle, RetryMs: c.cfg.RetryMs})
+}
+
+func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if err := readJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	l := c.findLeaseLocked(r.PathValue("id"), req.Token)
+	if l == nil {
+		// Expired (or never granted): the residual is already requeued, and
+		// everything since the worker's last applied commit will be
+		// re-executed by the next claimant — the worker must abandon.
+		writeJSON(w, http.StatusConflict, CommitResponse{Stale: true})
+		return
+	}
+	j := l.job
+	j.reg().NoteRPC()
+	if req.Seq <= l.seq {
+		// Duplicate delivery of an applied commit (retry after a lost
+		// response): acknowledge without re-applying anything.
+		writeJSON(w, http.StatusOK, c.commitAckLocked(j, req.PorVersion, len(j.porLog)))
+		return
+	}
+	if req.Cum == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"commit without cumulative stats"})
+		return
+	}
+	if !req.Final && req.Residual == nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"non-final commit without residual"})
+		return
+	}
+	// Ingest POR entries before snapshotting the response window, so the
+	// reply's Por slice excludes this commit's own contributions.
+	logBefore := len(j.porLog)
+	for i := range req.Por {
+		e := req.Por[i]
+		if _, seen := j.porIndex[e.FP]; seen {
+			continue
+		}
+		if err := core.AbsorbPorEntry(&e); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		j.porIndex[e.FP] = struct{}{}
+		j.porLog = append(j.porLog, e)
+	}
+	l.seq = req.Seq
+	l.cum = req.Cum
+	if len(req.Splits) > 0 && !j.stopped {
+		// Splits and the residual travel in one atomic commit, so the
+		// donated subtrees are accounted exactly once: the residual's
+		// limits were already lowered past them by splitOff.
+		j.queued = append(j.queued, req.Splits...)
+		j.reg().NotePush(len(req.Splits), len(j.queued))
+		j.reg().NoteDonation(len(req.Splits))
+	}
+	if req.Final {
+		c.retireLeaseLocked(l)
+	} else {
+		l.claim = *req.Residual
+		if ttl := j.opts.LeaseTTLMs; ttl > 0 {
+			l.deadline = c.cfg.Now().Add(time.Duration(ttl) * time.Millisecond)
+		}
+	}
+	// Cooperative caps, on the same thresholds the in-process sharedCaps
+	// enforces. Bug keys dedupe canonically before any cap accounting, so
+	// the same bug reported by two workers in one stop window counts once.
+	for _, key := range req.Cum.BugKeys() {
+		if _, ok := j.bugKeys[key]; ok {
+			continue
+		}
+		j.bugKeys[key] = struct{}{}
+		if j.opts.StopAtFirstBug || len(j.bugKeys) >= j.opts.MaxBugs {
+			c.stopJobLocked(j)
+		}
+	}
+	if j.scenarioTotal() >= j.opts.MaxScenarios {
+		c.stopJobLocked(j)
+	}
+	c.maybeFinishLocked(j)
+	writeJSON(w, http.StatusOK, c.commitAckLocked(j, req.PorVersion, logBefore))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := readJSON(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	l := c.findLeaseLocked(r.PathValue("id"), req.Token)
+	if l == nil {
+		writeJSON(w, http.StatusConflict, HeartbeatResponse{Stale: true})
+		return
+	}
+	l.job.reg().NoteRPC()
+	if ttl := l.job.opts.LeaseTTLMs; ttl > 0 {
+		l.deadline = c.cfg.Now().Add(time.Duration(ttl) * time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Stopped: l.job.stopped})
+}
+
+// ---- internals --------------------------------------------------------------
+
+func (c *Coordinator) findLeaseLocked(id, token string) *lease {
+	for _, j := range c.jobs {
+		if l, ok := j.leases[id]; ok && l.token == token {
+			return l
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) commitAckLocked(j *job, porFrom, porTo int) CommitResponse {
+	porFrom = min(porFrom, porTo)
+	return CommitResponse{
+		Stopped:    j.stopped,
+		Hungry:     c.hungryLocked(j),
+		Por:        append([]core.WirePorEntry(nil), j.porLog[porFrom:porTo]...),
+		PorVersion: len(j.porLog),
+	}
+}
+
+func (c *Coordinator) hungryLocked(j *job) bool {
+	if j.stopped || j.done() {
+		return false
+	}
+	lowMark := c.cfg.LowMark
+	if lowMark <= 0 {
+		lowMark = 2 * max(1, len(c.workers))
+	}
+	return len(j.queued) < lowMark
+}
+
+// sweepLocked expires overdue leases: the last committed cumulative stats
+// are kept (retired) and the last residual requeued, so the subtree the
+// dead worker still owned is re-executed exactly once by a future claimant.
+func (c *Coordinator) sweepLocked() {
+	now := c.cfg.Now()
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.done() {
+			continue
+		}
+		for lid, l := range j.leases {
+			if l.deadline.IsZero() || !now.After(l.deadline) {
+				continue
+			}
+			if l.cum != nil {
+				j.retiredScen += l.cum.Scenarios
+				// Absorb errors cannot happen here: the commit that carried
+				// this cum validated it on ingest (compile errors would have
+				// been rejected with 400).
+				_ = j.acc.Absorb(l.cum)
+			}
+			delete(j.leases, lid)
+			requeued := false
+			if !j.stopped {
+				j.queued = append(j.queued, l.claim)
+				requeued = true
+			}
+			j.reg().NoteLeaseExpired(requeued)
+			j.reg().Emit("lease_expired", "lease", lid, "requeued", requeued)
+		}
+		c.maybeFinishLocked(j)
+	}
+}
+
+func (c *Coordinator) stopJobLocked(j *job) {
+	if !j.stopped {
+		j.stopped = true
+		j.capHit = true
+	}
+}
+
+func (c *Coordinator) retireLeaseLocked(l *lease) {
+	j := l.job
+	if l.cum != nil {
+		j.retiredScen += l.cum.Scenarios
+		_ = j.acc.Absorb(l.cum)
+	}
+	delete(j.leases, l.id)
+}
+
+// maybeFinishLocked builds the merged result once the job's frontier has
+// drained: no queued claims and no active leases (a stopped job finishes as
+// soon as its in-flight leases retire; its queued claims are discarded, the
+// cap already marked the exploration incomplete).
+func (c *Coordinator) maybeFinishLocked(j *job) {
+	if j.done() || len(j.leases) != 0 {
+		return
+	}
+	if !j.stopped && len(j.queued) != 0 {
+		return
+	}
+	j.queued = nil
+	j.acc.SetWorkers(len(j.workers))
+	j.result = j.acc.BuildResult(!j.capHit)
+}
+
+func (c *Coordinator) allDoneLocked() bool {
+	for _, j := range c.jobs {
+		if !j.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- http plumbing ----------------------------------------------------------
+
+const maxBodyBytes = 64 << 20
+
+func readJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("read body: %v", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("decode body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf)
+}

@@ -1,0 +1,173 @@
+// Package dist distributes Jaaru's state-space exploration across
+// processes: a coordinator (jaaru-server) owns the global branch frontier,
+// the shared caps, and the POR seen-set publication log, and workers
+// (jaaru-worker) claim choice-prefix leases over HTTP, explore them with
+// the ordinary core.Checker via core.LeaseRunner, and stream back donated
+// splits plus cumulative order-insensitive stats.
+//
+// The protocol is built so that worker death is a non-event for
+// correctness:
+//
+//   - Commits are cumulative, not incremental. Every commit carries the
+//     lease's full WireStats since the lease started; the coordinator
+//     stores only the latest (by sequence number) per lease and folds it
+//     into the merged result exactly once, when the lease retires. A
+//     retried or duplicated commit replaces state with identical state.
+//   - Every non-final commit carries the residual claim: the exact
+//     unexplored remainder of the lease at that commit. When a lease's TTL
+//     expires the coordinator keeps the last committed stats and requeues
+//     the last residual — work since the last commit was never committed,
+//     so re-executing it on another worker neither loses nor double-counts
+//     anything.
+//   - Lease tokens fence zombies: a commit bearing a stale token is
+//     rejected, so a worker that outlives its own lease expiry cannot race
+//     the residual's new claimant.
+//
+// A complete distributed run therefore merges to a Result bit-identical to
+// the serial reference, by the same argument as the in-process parallel
+// driver (order-insensitive merge + canonical sorts) — including runs where
+// workers were killed mid-lease.
+package dist
+
+import (
+	"jaaru/internal/core"
+)
+
+// ProgSpec names a guest workload in wire form. The coordinator and the
+// workers resolve it independently through a Resolver (the binaries use
+// internal/benchlist), so guest code never crosses the wire.
+type ProgSpec struct {
+	Bench string `json:"bench"`
+	N     int    `json:"n,omitempty"`
+	Buggy bool   `json:"buggy,omitempty"`
+}
+
+// Resolver materializes a guest program from its wire spec.
+type Resolver func(ProgSpec) (core.Program, error)
+
+// JobRequest submits a workload: POST /v1/jobs.
+type JobRequest struct {
+	Spec ProgSpec     `json:"spec"`
+	Opts core.Options `json:"opts"`
+}
+
+// JobResponse acknowledges a submitted job.
+type JobResponse struct {
+	ID string `json:"id"`
+}
+
+// Job states reported by GET /v1/jobs/{id}.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// JobStatus is the poll response: GET /v1/jobs/{id}. Result is set once
+// State is JobDone; bug witnesses are reachable through Result.Bugs.
+type JobStatus struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Lease-request outcomes.
+const (
+	// StatusGranted carries a lease in LeaseResponse.Lease.
+	StatusGranted = "granted"
+	// StatusIdle means no claimable work right now; poll again after
+	// LeaseResponse.RetryMs.
+	StatusIdle = "idle"
+	// StatusShutdown tells the worker to exit: every submitted job is done
+	// and the coordinator was configured to release its fleet.
+	StatusShutdown = "shutdown"
+)
+
+// LeaseRequest asks for work: POST /v1/lease. PorVersion is the worker's
+// cursor into the named job's POR publication log (0 when the worker has
+// not seen the job before); the response ships the entries the worker is
+// missing.
+type LeaseRequest struct {
+	Worker     string `json:"worker"`
+	JobID      string `json:"job_id,omitempty"`
+	PorVersion int    `json:"por_version,omitempty"`
+}
+
+// Lease describes one granted unit of work.
+type Lease struct {
+	ID    string         `json:"id"`
+	Token string         `json:"token"`
+	JobID string         `json:"job_id"`
+	Spec  ProgSpec       `json:"spec"`
+	Opts  core.Options   `json:"opts"`
+	Claim core.WireClaim `json:"claim"`
+	// TTLMs echoes the job's lease TTL (-1: leases never expire).
+	TTLMs int `json:"ttl_ms"`
+}
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status  string `json:"status"`
+	RetryMs int    `json:"retry_ms,omitempty"`
+	Lease   *Lease `json:"lease,omitempty"`
+	// Hungry reports whether the coordinator's queue is low (donate splits).
+	Hungry bool `json:"hungry,omitempty"`
+	// Por / PorVersion ship the publication-log entries the worker's cursor
+	// was missing, and the new cursor.
+	Por        []core.WirePorEntry `json:"por,omitempty"`
+	PorVersion int                 `json:"por_version,omitempty"`
+}
+
+// CommitRequest publishes lease progress: POST /v1/leases/{id}/commit.
+// Seq starts at 1 and increases by 1 per commit of the lease; the
+// coordinator ignores (but acknowledges) sequence numbers it has already
+// applied, making delivery retries safe.
+type CommitRequest struct {
+	Token string `json:"token"`
+	Seq   int64  `json:"seq"`
+	// Splits are donated branch prefixes (frozen claims) for the frontier.
+	Splits []core.WireClaim `json:"splits,omitempty"`
+	// Residual is the unexplored remainder of the lease as of this commit;
+	// nil on a final commit.
+	Residual *core.WireClaim `json:"residual,omitempty"`
+	// Cum is the lease's cumulative stats since it was granted.
+	Cum *core.WireStats `json:"cum"`
+	// Final retires the lease: its subtree is fully explored (or abandoned
+	// after an engine error, marked by Cum.Truncated).
+	Final bool `json:"final,omitempty"`
+	// Por / PorVersion ship newly published local POR entries and the
+	// worker's cursor into the coordinator log.
+	Por        []core.WirePorEntry `json:"por,omitempty"`
+	PorVersion int                 `json:"por_version,omitempty"`
+}
+
+// CommitResponse acknowledges a commit.
+type CommitResponse struct {
+	// Stale reports a dead token: the lease expired (or was never granted)
+	// and the worker must abandon it without retrying.
+	Stale bool `json:"stale,omitempty"`
+	// Stopped tells the worker a global cap ended the job: finish with a
+	// final commit instead of exploring further.
+	Stopped bool `json:"stopped,omitempty"`
+	Hungry  bool `json:"hungry,omitempty"`
+	// Por / PorVersion ship coordinator-log entries the worker was missing
+	// (excluding the ones this very commit contributed).
+	Por        []core.WirePorEntry `json:"por,omitempty"`
+	PorVersion int                 `json:"por_version,omitempty"`
+}
+
+// HeartbeatRequest renews a lease between commits:
+// POST /v1/leases/{id}/heartbeat.
+type HeartbeatRequest struct {
+	Token string `json:"token"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	Stale   bool `json:"stale,omitempty"`
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// errorResponse is the JSON body of non-2xx replies.
+type errorResponse struct {
+	Error string `json:"error"`
+}

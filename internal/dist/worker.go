@@ -1,0 +1,361 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jaaru/internal/core"
+)
+
+// Doer is the transport a Worker speaks through: http.Client satisfies it,
+// and the netsim fabric provides a deterministic in-process implementation
+// with injected faults.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator accounting/events.
+	Name string
+	// BaseURL is the coordinator's base URL (e.g. "http://host:8080").
+	BaseURL string
+	// Client is the transport (default http.DefaultClient).
+	Client Doer
+	// Resolve materializes job ProgSpecs (required).
+	Resolve Resolver
+	// MaxRetries bounds transport-level retries per RPC (default 4).
+	MaxRetries int
+	// Backoff is the base retry/poll delay, doubled per attempt
+	// (default 100ms).
+	Backoff time.Duration
+	// Sleep is the delay hook (default time.Sleep); tests inject a no-op
+	// to keep fault-injection runs fast and deterministic.
+	Sleep func(time.Duration)
+	// CommitEvery bounds scenarios between non-final commits (0: the
+	// core.LeaseRunner default). Lower values tighten the re-execution
+	// window after a crash at the cost of more RPC traffic.
+	CommitEvery int
+}
+
+// Worker claims leases from a coordinator and explores them with
+// core.LeaseRunner until the coordinator shuts the fleet down, Drain is
+// called, or the transport fails permanently.
+type Worker struct {
+	cfg      WorkerConfig
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	runners map[string]*jobRunner
+}
+
+// jobRunner is the per-job state a worker keeps across leases: the runner
+// (whose POR mirror persists, so one lease's pruning helps the next) and
+// the cursor into the coordinator's publication log.
+type jobRunner struct {
+	lr *core.LeaseRunner
+	// drained is the local publication-log cursor: entries below it have
+	// been shipped to (or came from) the coordinator.
+	drained int
+	// coordSeen is the cursor into the coordinator's log.
+	coordSeen int
+}
+
+// NewWorker builds a worker; cfg.Resolve and cfg.BaseURL are required.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Resolve == nil {
+		return nil, fmt.Errorf("dist: WorkerConfig.Resolve is required")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("dist: WorkerConfig.BaseURL is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Worker{cfg: cfg, runners: make(map[string]*jobRunner)}, nil
+}
+
+// Drain requests a graceful stop: the current lease finishes with a final
+// commit (its subtree committed or residual left for expiry requeue is
+// avoided entirely — Stopped short-circuits the lease loop, which commits
+// the progress so far and retires the lease), and no further leases are
+// claimed. Safe to call from a signal handler goroutine.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Run is the worker main loop. It returns nil on coordinator-initiated
+// shutdown or drain, and an error when the coordinator became unreachable
+// (transport retries exhausted).
+func (w *Worker) Run() error {
+	var lastJob string
+	for !w.draining.Load() {
+		req := LeaseRequest{Worker: w.cfg.Name}
+		if jr := w.runner(lastJob); jr != nil {
+			req.JobID = lastJob
+			req.PorVersion = jr.coordSeen
+		}
+		var resp LeaseResponse
+		if err := w.post("/v1/lease", &req, &resp, nil); err != nil {
+			return fmt.Errorf("lease request: %w", err)
+		}
+		switch resp.Status {
+		case StatusShutdown:
+			return nil
+		case StatusIdle:
+			d := w.cfg.Backoff
+			if resp.RetryMs > 0 {
+				d = time.Duration(resp.RetryMs) * time.Millisecond
+			}
+			w.cfg.Sleep(d)
+			continue
+		case StatusGranted:
+		default:
+			return fmt.Errorf("lease request: unknown status %q", resp.Status)
+		}
+		lastJob = resp.Lease.JobID
+		if err := w.runLease(resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runner returns the cached per-job runner (nil when absent).
+func (w *Worker) runner(jobID string) *jobRunner {
+	if jobID == "" {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runners[jobID]
+}
+
+func (w *Worker) ensureRunner(l *Lease) (*jobRunner, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if jr, ok := w.runners[l.JobID]; ok {
+		return jr, nil
+	}
+	prog, err := w.cfg.Resolve(l.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", l.Spec.Bench, err)
+	}
+	lr := core.NewLeaseRunner(prog, l.Opts)
+	if w.cfg.CommitEvery > 0 {
+		lr.SetCommitEvery(w.cfg.CommitEvery)
+	}
+	jr := &jobRunner{lr: lr}
+	w.runners[l.JobID] = jr
+	return jr, nil
+}
+
+// errStale marks an abandoned lease (token fenced off after expiry): the
+// worker drops the lease and moves on — the coordinator already requeued
+// its remainder.
+var errStale = fmt.Errorf("lease expired under us")
+
+func (w *Worker) runLease(grant LeaseResponse) error {
+	l := grant.Lease
+	jr, err := w.ensureRunner(l)
+	if err != nil {
+		return err
+	}
+	if err := jr.lr.AbsorbPor(grant.Por); err != nil {
+		return fmt.Errorf("absorb por: %w", err)
+	}
+	jr.coordSeen = grant.PorVersion
+	jr.drained = jr.lr.PorVersion()
+
+	sink := &leaseSink{w: w, jr: jr, lease: l, hungry: grant.Hungry}
+	var hb *heartbeater
+	if l.Opts.HeartbeatMs > 0 {
+		hb = startHeartbeat(w, sink, l)
+	}
+	err = jr.lr.RunLease(l.Claim, sink)
+	if hb != nil {
+		hb.stop()
+	}
+	if err == errStale {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lease %s: %w", l.ID, err)
+	}
+	return nil
+}
+
+// leaseSink adapts the commit protocol to core.LeaseSink. Hungry/Stopped
+// reflect the latest coordinator response (stale between commits — that is
+// the protocol's contract; exactness rests on Commit alone).
+type leaseSink struct {
+	w     *Worker
+	jr    *jobRunner
+	lease *Lease
+
+	mu      sync.Mutex // guards hungry/stopped against the heartbeater
+	hungry  bool
+	stopped bool
+	seq     int64
+}
+
+func (s *leaseSink) Hungry() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hungry
+}
+
+func (s *leaseSink) Stopped() bool {
+	if s.w.draining.Load() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+func (s *leaseSink) noteStopped() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+func (s *leaseSink) Commit(splits []core.WireClaim, residual *core.WireClaim, cum *core.WireStats, final bool) error {
+	s.seq++
+	req := CommitRequest{
+		Token:      s.lease.Token,
+		Seq:        s.seq,
+		Splits:     splits,
+		Residual:   residual,
+		Cum:        cum,
+		Final:      final,
+		Por:        s.jr.lr.DrainPor(s.jr.drained),
+		PorVersion: s.jr.coordSeen,
+	}
+	s.jr.drained = s.jr.lr.PorVersion()
+	var resp CommitResponse
+	stale := false
+	err := s.w.post("/v1/leases/"+s.lease.ID+"/commit", &req, &resp, &stale)
+	if err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
+	if stale || resp.Stale {
+		return errStale
+	}
+	s.mu.Lock()
+	s.hungry = resp.Hungry
+	s.stopped = s.stopped || resp.Stopped
+	s.mu.Unlock()
+	if err := s.jr.lr.AbsorbPor(resp.Por); err != nil {
+		return fmt.Errorf("absorb por: %w", err)
+	}
+	s.jr.coordSeen = resp.PorVersion
+	s.jr.drained = s.jr.lr.PorVersion()
+	return nil
+}
+
+// heartbeater renews the lease between commits so long scenarios do not
+// trip the TTL.
+type heartbeater struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startHeartbeat(w *Worker, s *leaseSink, l *Lease) *heartbeater {
+	hb := &heartbeater{done: make(chan struct{})}
+	interval := time.Duration(l.Opts.HeartbeatMs) * time.Millisecond
+	hb.wg.Add(1)
+	go func() {
+		defer hb.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hb.done:
+				return
+			case <-t.C:
+			}
+			req := HeartbeatRequest{Token: l.Token}
+			var resp HeartbeatResponse
+			stale := false
+			// Heartbeat failures are advisory: the commit path is the
+			// authority, and a genuinely dead coordinator fails there with
+			// its own bounded retries.
+			if err := w.post("/v1/leases/"+l.ID+"/heartbeat", &req, &resp, &stale); err != nil {
+				continue
+			}
+			if resp.Stopped {
+				s.noteStopped()
+			}
+		}
+	}()
+	return hb
+}
+
+func (hb *heartbeater) stop() {
+	close(hb.done)
+	hb.wg.Wait()
+}
+
+// post sends one JSON RPC with bounded retry and exponential backoff on
+// transport errors and 5xx responses. A 409 sets *conflict (when provided)
+// instead of erroring, so callers can distinguish fenced leases from a
+// dead coordinator.
+func (w *Worker) post(path string, body, out any, conflict *bool) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	backoff := w.cfg.Backoff
+	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			w.cfg.Sleep(backoff)
+			backoff *= 2
+		}
+		req, err := http.NewRequest(http.MethodPost, w.cfg.BaseURL+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return json.Unmarshal(data, out)
+		case resp.StatusCode == http.StatusConflict && conflict != nil:
+			*conflict = true
+			return json.Unmarshal(data, out)
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+			continue
+		default:
+			var e errorResponse
+			_ = json.Unmarshal(data, &e)
+			return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, e.Error)
+		}
+	}
+	return fmt.Errorf("%s: retries exhausted: %w", path, lastErr)
+}

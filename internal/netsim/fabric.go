@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+)
+
+// Fabric is the distributed-exploration analog of this package's recorded
+// client traces: a deterministic in-process HTTP transport. Worker peers
+// talk to an http.Handler (the dist coordinator) through per-peer clients
+// whose faults — transient failures, dropped replies, partitions, and
+// permanent kills — are injected by the test instead of arising from a real
+// network, so the whole coordinator/worker path runs reproducibly inside
+// go test.
+//
+// Every request is served synchronously on the caller's goroutine via an
+// httptest recorder; there are no real sockets, timers, or buffers, so the
+// only nondeterminism left in a fabric-backed distributed run is goroutine
+// scheduling — which the dist protocol's order-insensitive merge absorbs.
+type Fabric struct {
+	handler http.Handler
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+type peerState struct {
+	// requests counts attempts by this peer, including faulted ones.
+	requests int
+	// killAfter kills the peer permanently after that many successful
+	// requests (0: never).
+	killAfter int
+	dead      bool
+	// failNext fails the next n requests before they reach the handler
+	// (transient outage; the peer recovers afterwards).
+	failNext int
+	// dropNext lets the next n requests reach the handler but drops the
+	// responses (exercises retry idempotency on the receiver).
+	dropNext int
+	// partitioned fails every request until healed.
+	partitioned bool
+}
+
+// NewFabric wraps a handler (typically a dist.Coordinator) in a
+// deterministic transport.
+func NewFabric(h http.Handler) *Fabric {
+	return &Fabric{handler: h, peers: make(map[string]*peerState)}
+}
+
+func (f *Fabric) peer(name string) *peerState {
+	p, ok := f.peers[name]
+	if !ok {
+		p = &peerState{}
+		f.peers[name] = p
+	}
+	return p
+}
+
+// KillAfter kills peer permanently after its next n successful requests —
+// the "worker dies mid-lease" fault. n = 0 kills immediately.
+func (f *Fabric) KillAfter(peer string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.peer(peer)
+	if n <= 0 {
+		p.dead = true
+		return
+	}
+	p.killAfter = p.requests + n
+}
+
+// FailNext makes peer's next n requests fail in transit (before reaching
+// the handler); the peer recovers afterwards.
+func (f *Fabric) FailNext(peer string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peer(peer).failNext = n
+}
+
+// DropReplies lets peer's next n requests reach the handler but loses the
+// responses — the fault that forces duplicate commit deliveries.
+func (f *Fabric) DropReplies(peer string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peer(peer).dropNext = n
+}
+
+// Partition isolates (or heals) a peer.
+func (f *Fabric) Partition(peer string, isolated bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peer(peer).partitioned = isolated
+}
+
+// Requests reports how many requests the peer has attempted.
+func (f *Fabric) Requests(peer string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peer(peer).requests
+}
+
+// Client returns the transport for one named peer. It satisfies the dist
+// package's Doer interface.
+func (f *Fabric) Client(peer string) *FabricClient {
+	return &FabricClient{fabric: f, peer: peer}
+}
+
+// FabricClient is one peer's view of the fabric.
+type FabricClient struct {
+	fabric *Fabric
+	peer   string
+}
+
+// Do serves the request through the fabric, applying the peer's injected
+// faults.
+func (c *FabricClient) Do(req *http.Request) (*http.Response, error) {
+	f := c.fabric
+	f.mu.Lock()
+	p := f.peer(c.peer)
+	p.requests++
+	switch {
+	case p.dead:
+		f.mu.Unlock()
+		return nil, fmt.Errorf("netsim: peer %s is dead", c.peer)
+	case p.partitioned:
+		f.mu.Unlock()
+		return nil, fmt.Errorf("netsim: peer %s is partitioned", c.peer)
+	case p.failNext > 0:
+		p.failNext--
+		f.mu.Unlock()
+		return nil, fmt.Errorf("netsim: injected transit failure for %s", c.peer)
+	}
+	drop := false
+	if p.dropNext > 0 {
+		p.dropNext--
+		drop = true
+	}
+	if p.killAfter > 0 && p.requests >= p.killAfter {
+		p.dead = true
+	}
+	f.mu.Unlock()
+
+	rec := httptest.NewRecorder()
+	f.handler.ServeHTTP(rec, req)
+	if drop {
+		return nil, fmt.Errorf("netsim: reply dropped for %s", c.peer)
+	}
+	return rec.Result(), nil
+}

@@ -185,6 +185,36 @@ func (c *Collector) AddCounters(v CounterVec) {
 	}
 }
 
+// PeakValues reads the collector's peak high-water marks as a dense slice
+// (index = Peak) for wire serialization; nil on a nil collector.
+func (c *Collector) PeakValues() []int64 {
+	if c == nil {
+		return nil
+	}
+	out := make([]int64, numPeaks)
+	for p := range out {
+		out[p] = c.peaks[p].Load()
+	}
+	return out
+}
+
+// RaisePeaks folds wire peak values into the collector by max (the same
+// merge rule Snapshot applies across shards). Extra values are ignored so
+// older senders stay compatible.
+func (c *Collector) RaisePeaks(vals []int64) {
+	if c == nil {
+		return
+	}
+	for p, v := range vals {
+		if p >= int(numPeaks) {
+			break
+		}
+		if v > 0 {
+			c.raisePeak(Peak(p), v)
+		}
+	}
+}
+
 func (c *Collector) raisePeak(p Peak, v int64) {
 	g := &c.peaks[p]
 	for {
@@ -212,6 +242,12 @@ type Registry struct {
 	frontierPushed  atomic.Int64
 	frontierClaimed atomic.Int64
 	donations       atomic.Int64
+
+	// Distributed-exploration traffic (internal/dist coordinator).
+	leasesGranted atomic.Int64
+	leasesExpired atomic.Int64
+	leaseRequeues atomic.Int64
+	rpcs          atomic.Int64
 }
 
 // NewRegistry returns a registry; a non-nil events writer receives the
@@ -280,6 +316,32 @@ func (r *Registry) NoteClaim(depth int) {
 func (r *Registry) NoteDonation(n int) {
 	if r != nil {
 		r.donations.Add(int64(n))
+	}
+}
+
+// NoteLease records one lease granted to a distributed worker.
+func (r *Registry) NoteLease() {
+	if r != nil {
+		r.leasesGranted.Add(1)
+	}
+}
+
+// NoteLeaseExpired records an expired lease whose residual subtree was
+// requeued (requeued=true) or discarded because it was already complete.
+func (r *Registry) NoteLeaseExpired(requeued bool) {
+	if r == nil {
+		return
+	}
+	r.leasesExpired.Add(1)
+	if requeued {
+		r.leaseRequeues.Add(1)
+	}
+}
+
+// NoteRPC records one coordinator RPC handled.
+func (r *Registry) NoteRPC() {
+	if r != nil {
+		r.rpcs.Add(1)
 	}
 }
 
@@ -357,6 +419,10 @@ func (r *Registry) Snapshot() Metrics {
 	m.Donations = r.donations.Load()
 	m.MaxFrontierLen = r.frontierPeak.Load()
 	m.Workers = r.workers.Load()
+	m.LeasesGranted = r.leasesGranted.Load()
+	m.LeasesExpired = r.leasesExpired.Load()
+	m.LeaseRequeues = r.leaseRequeues.Load()
+	m.RPCs = r.rpcs.Load()
 	if r.events != nil {
 		m.Events = r.events.count.Load()
 	}
@@ -441,6 +507,13 @@ type Metrics struct {
 	MaxFrontierLen  int64 `json:"max_frontier_len,omitempty"`
 	Workers         int64 `json:"workers,omitempty"`
 
+	// Distributed exploration (coordinator-side; depends on fleet timing
+	// and fault injection, zeroed by Canonical).
+	LeasesGranted int64 `json:"leases_granted,omitempty"`
+	LeasesExpired int64 `json:"leases_expired,omitempty"`
+	LeaseRequeues int64 `json:"lease_requeues,omitempty"`
+	RPCs          int64 `json:"rpcs,omitempty"`
+
 	// Events emitted to the JSONL stream, if one was attached.
 	Events int64 `json:"events,omitempty"`
 }
@@ -457,5 +530,6 @@ func (m Metrics) Canonical() Metrics {
 	m.SnapshotCaptures, m.SnapshotRestores = 0, 0
 	m.SnapshotRestoreNs, m.MaxSnapshotBytes = 0, 0
 	m.ScenariosPruned, m.FingerprintHits, m.FingerprintMisses = 0, 0, 0
+	m.LeasesGranted, m.LeasesExpired, m.LeaseRequeues, m.RPCs = 0, 0, 0, 0
 	return m
 }
