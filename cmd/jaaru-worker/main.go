@@ -13,9 +13,11 @@
 // -shutdown-when-done) releases the fleet, and exits with an error when the
 // coordinator stays unreachable past its retry budget.
 //
-// SIGINT/SIGTERM drain gracefully: the current lease finishes with a final
-// commit of the progress so far, no further leases are claimed, and the
-// process exits — nothing is lost and nothing has to wait for a lease TTL.
+// SIGINT/SIGTERM drain gracefully: the current lease is released — the
+// progress so far is committed and the unexplored remainder handed back to
+// the coordinator, which requeues it for another claimant — no further
+// leases are claimed, and the process exits. Nothing is lost and nothing
+// has to wait for a lease TTL.
 package main
 
 import (
@@ -60,7 +62,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "jaaru-worker: draining (finishing current lease)")
+		fmt.Fprintln(os.Stderr, "jaaru-worker: draining (releasing current lease)")
 		w.Drain()
 	}()
 

@@ -227,6 +227,28 @@ type WireStats struct {
 	Obs        *WireObs    `json:"obs,omitempty"`
 }
 
+// Validate reports whether the stats are well-formed (mergeable): counts
+// non-negative, bug replay vectors decodable, obs counter vector the right
+// width. The coordinator calls it at commit ingest, so a version-skewed or
+// buggy worker is rejected with a client error instead of its stats being
+// silently dropped from the merged result at retire time.
+func (ws *WireStats) Validate() error {
+	if ws.Scenarios < 0 || ws.ExecsPost < 0 || ws.FpointsPre < 0 {
+		return fmt.Errorf("negative counts (scenarios %d, execs %d, fpoints %d)",
+			ws.Scenarios, ws.ExecsPost, ws.FpointsPre)
+	}
+	if _, err := compileStats(ws); err != nil {
+		return err
+	}
+	if ws.Obs != nil {
+		if _, ok := vecFromSlice(ws.Obs.Counters); !ok {
+			var want obs.CounterVec
+			return fmt.Errorf("obs counters: got %d values, want %d", len(ws.Obs.Counters), len(want))
+		}
+	}
+	return nil
+}
+
 // BugKeys returns the canonical dedup key of every bug in the stats — the
 // coordinator's cap accounting dedupes on these before counting.
 func (ws *WireStats) BugKeys() []string {
@@ -502,13 +524,22 @@ func compilePorDelta(wd *WirePorDelta) (*porDelta, error) {
 type LeaseSink interface {
 	// Hungry reports whether the coordinator wants donated splits.
 	Hungry() bool
-	// Stopped reports whether a global cap or stop request ended the run.
+	// Stopped reports whether a global cap or stop request ended the run:
+	// the lease's remainder is dead work and is discarded.
 	Stopped() bool
+	// Draining reports a local graceful-stop request (SIGTERM): the lease
+	// is released — progress so far is committed and the unexplored
+	// residual handed back for another claimant — so, unlike Stopped,
+	// nothing is discarded.
+	Draining() bool
 	// Commit atomically publishes the lease's progress: donated splits, the
 	// residual claim covering all work not in cum, and the lease's
-	// cumulative stats. final marks lease completion (residual must be nil).
-	// A non-nil error abandons the lease (its uncommitted tail is requeued
-	// by the coordinator's expiry sweep).
+	// cumulative stats. final retires the lease; a final commit with a nil
+	// residual marks the subtree fully explored (or dead under Stopped),
+	// while a final commit with a residual *releases* the lease, asking the
+	// coordinator to requeue the remainder. A non-nil error abandons the
+	// lease (its uncommitted tail is requeued by the coordinator's expiry
+	// sweep).
 	Commit(splits []WireClaim, residual *WireClaim, cum *WireStats, final bool) error
 }
 
@@ -601,6 +632,17 @@ func (lr *LeaseRunner) RunLease(claim WireClaim, sink LeaseSink) error {
 		if sink.Stopped() {
 			c.porAbandon()
 			return sink.Commit(nil, nil, c.exportWireStats(), true)
+		}
+		if sink.Draining() {
+			// Graceful drain: release the lease instead of discarding its
+			// remainder. The residual snapshot covers exactly the unexplored
+			// work, so committing it final hands the subtree back to the
+			// coordinator's frontier immediately — no TTL expiry needed (and
+			// none may ever come when leases are configured not to expire).
+			c.porAbandon()
+			rp, rl, rm := c.chooser.claimSnapshot()
+			residual := encodeClaim(rp, rl, rm)
+			return sink.Commit(nil, &residual, c.exportWireStats(), true)
 		}
 		c.scenarios++
 		if !c.runScenarioGuarded(pts) {

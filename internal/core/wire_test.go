@@ -248,3 +248,27 @@ func TestWireStatsCompileMergesLikeParallel(t *testing.T) {
 		t.Errorf("multiRF/perf = %d/%d entries, want 1/1", len(s.multiRF), len(s.perfIssues))
 	}
 }
+
+// TestWireStatsValidateRejectsMalformed: the coordinator validates every
+// commit's cumulative stats at ingest; Validate must catch each class of
+// malformation its later unchecked Absorb would otherwise swallow.
+func TestWireStatsValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		ws   WireStats
+	}{
+		{"negative scenarios", WireStats{Scenarios: -1}},
+		{"negative execs", WireStats{ExecsPost: -2}},
+		{"bad replay point", WireStats{Bugs: []WireBug{{Replay: []WirePoint{{Kind: "coin", N: 2}}}}}},
+		{"obs counter width", WireStats{Obs: &WireObs{Counters: []int64{1, 2}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.ws.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed stats", tc.name)
+		}
+	}
+	good := WireStats{Scenarios: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid stats rejected: %v", err)
+	}
+}

@@ -255,7 +255,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		// otherwise it replays the log from the start (absorb is idempotent).
 		from := 0
 		if req.JobID == j.id {
-			from = min(req.PorVersion, len(j.porLog))
+			// Clamp both ends: a negative cursor (malformed request) must
+			// not slice-panic, it just replays the whole log.
+			from = min(max(0, req.PorVersion), len(j.porLog))
 		}
 		resp.Por = append([]core.WirePorEntry(nil), j.porLog[from:]...)
 		writeJSON(w, http.StatusOK, resp)
@@ -301,6 +303,27 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"non-final commit without residual"})
 		return
 	}
+	// Validate the whole payload before mutating any state, so a malformed
+	// commit (version-skewed or buggy worker) is rejected atomically: the
+	// cum is what sweepLocked/retireLeaseLocked later absorb without an
+	// error path, and the claims are granted verbatim to future workers —
+	// a bad one accepted here would crash-loop every claimant.
+	if err := req.Cum.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("cum: %v", err)})
+		return
+	}
+	if req.Residual != nil {
+		if err := req.Residual.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("residual: %v", err)})
+			return
+		}
+	}
+	for i := range req.Splits {
+		if err := req.Splits[i].Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("split %d: %v", i, err)})
+			return
+		}
+	}
 	// Ingest POR entries before snapshotting the response window, so the
 	// reply's Por slice excludes this commit's own contributions.
 	logBefore := len(j.porLog)
@@ -327,6 +350,20 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 		j.reg().NoteDonation(len(req.Splits))
 	}
 	if req.Final {
+		if req.Residual != nil {
+			// Final commit with a residual: the lease is *released* (worker
+			// drain), not complete. Requeue the remainder exactly as TTL
+			// expiry would — immediately, so nothing waits for (or depends
+			// on) an expiry that may never come when TTLs are disabled.
+			requeued := false
+			if !j.stopped {
+				j.queued = append(j.queued, *req.Residual)
+				j.reg().NotePush(1, len(j.queued))
+				requeued = true
+			}
+			j.reg().NoteLeaseReleased(requeued)
+			j.reg().Emit("lease_released", "lease", l.id, "requeued", requeued)
+		}
 		c.retireLeaseLocked(l)
 	} else {
 		l.claim = *req.Residual
@@ -386,7 +423,7 @@ func (c *Coordinator) findLeaseLocked(id, token string) *lease {
 }
 
 func (c *Coordinator) commitAckLocked(j *job, porFrom, porTo int) CommitResponse {
-	porFrom = min(porFrom, porTo)
+	porFrom = min(max(0, porFrom), porTo)
 	return CommitResponse{
 		Stopped:    j.stopped,
 		Hungry:     c.hungryLocked(j),
@@ -422,9 +459,9 @@ func (c *Coordinator) sweepLocked() {
 			}
 			if l.cum != nil {
 				j.retiredScen += l.cum.Scenarios
-				// Absorb errors cannot happen here: the commit that carried
-				// this cum validated it on ingest (compile errors would have
-				// been rejected with 400).
+				// Absorb errors cannot happen here: handleCommit ran
+				// WireStats.Validate on this cum at ingest, which covers
+				// every Absorb error path (malformed payloads got 400).
 				_ = j.acc.Absorb(l.cum)
 			}
 			delete(j.leases, lid)
@@ -451,6 +488,7 @@ func (c *Coordinator) retireLeaseLocked(l *lease) {
 	j := l.job
 	if l.cum != nil {
 		j.retiredScen += l.cum.Scenarios
+		// Validated at commit ingest (see sweepLocked); cannot error.
 		_ = j.acc.Absorb(l.cum)
 	}
 	delete(j.leases, l.id)

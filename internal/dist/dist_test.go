@@ -479,6 +479,153 @@ func TestDistributedDrain(t *testing.T) {
 	assertSameResult(t, "drain", serial, h.result(id))
 }
 
+// drainAfterCommits triggers the worker's own Drain after the n-th
+// successful commit round-trip, so the drain lands mid-lease with
+// unexplored work remaining.
+type drainAfterCommits struct {
+	inner Doer
+	drain func()
+	left  int
+}
+
+func (d *drainAfterCommits) Do(req *http.Request) (*http.Response, error) {
+	resp, err := d.inner.Do(req)
+	if err == nil && strings.HasSuffix(req.URL.Path, "/commit") {
+		if d.left--; d.left == 0 {
+			d.drain()
+		}
+	}
+	return resp, err
+}
+
+// TestDistributedDrainMidLease: a worker drained mid-lease must *release*
+// its lease — commit the progress so far and hand the unexplored remainder
+// back for immediate requeue (no TTL expiry involved) — so a second worker
+// can finish the job and the merge stays bit-identical to serial.
+func TestDistributedDrainMidLease(t *testing.T) {
+	for _, bench := range []string{"tree", "bugs"} {
+		t.Run(bench, func(t *testing.T) {
+			serial := serialReference(t, bench, distOpts())
+			h := newHarness(t)
+			id := h.submit(bench, distOpts())
+
+			// w1 claims the root, commits every scenario, and receives the
+			// drain signal after its third commit — mid-lease, with most of
+			// the subtree still unexplored.
+			trigger := &drainAfterCommits{inner: h.fabric.Client("w1"), left: 3}
+			w1, err := NewWorker(WorkerConfig{
+				Name:        "w1",
+				BaseURL:     "http://coordinator",
+				Client:      trigger,
+				Resolve:     testResolver,
+				MaxRetries:  2,
+				Backoff:     time.Microsecond,
+				Sleep:       func(time.Duration) {},
+				CommitEvery: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trigger.drain = w1.Drain
+			if err := w1.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The release must leave the job running with the remainder
+			// queued — not spuriously "done" with scenarios missing.
+			var st JobStatus
+			if code := h.rpc("GET", "/v1/jobs/"+id, nil, &st); code != http.StatusOK {
+				t.Fatalf("job status: HTTP %d", code)
+			}
+			if st.State != JobRunning {
+				t.Fatalf("job after mid-lease drain: state %q, want %q (residual requeued)", st.State, JobRunning)
+			}
+
+			if err := h.worker("w2", 4).Run(); err != nil {
+				t.Fatal(err)
+			}
+			res := h.result(id)
+			assertSameResult(t, bench, serial, res)
+			if res.Metrics.LeasesReleased < 1 {
+				t.Errorf("LeasesReleased = %d, want >= 1", res.Metrics.LeasesReleased)
+			}
+			if res.Metrics.LeaseRequeues < 1 {
+				t.Errorf("LeaseRequeues = %d, want >= 1 (the drained worker's remainder)", res.Metrics.LeaseRequeues)
+			}
+			if res.Metrics.LeasesExpired != 0 {
+				t.Errorf("LeasesExpired = %d, want 0 (release must not ride on TTL expiry)", res.Metrics.LeasesExpired)
+			}
+		})
+	}
+}
+
+// TestCommitRejectsMalformedPayloads: a version-skewed or buggy worker's
+// commit must be rejected atomically with 400 — malformed cumulative stats
+// would otherwise be silently dropped from the merge at retire time, and a
+// malformed split or residual would be granted verbatim to a future worker
+// and crash-loop the fleet. The lease survives to accept a corrected commit.
+func TestCommitRejectsMalformedPayloads(t *testing.T) {
+	h := newHarness(t)
+	h.submit("tree", distOpts())
+	var grant LeaseResponse
+	if code := h.rpc("POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &grant); code != http.StatusOK || grant.Status != StatusGranted {
+		t.Fatalf("lease: HTTP %d status %q", code, grant.Status)
+	}
+	lease := grant.Lease
+	badPoint := core.WirePoint{Kind: "coin", N: 2, Idx: 0}
+	cases := []struct {
+		name string
+		req  CommitRequest
+	}{
+		{"bad bug replay in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Cum: &core.WireStats{Bugs: []core.WireBug{{Message: "x", Replay: []core.WirePoint{badPoint}}}}}},
+		{"bad obs counters in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Cum: &core.WireStats{Obs: &core.WireObs{Counters: []int64{1}}}}},
+		{"negative scenarios in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Cum: &core.WireStats{Scenarios: -3}}},
+		{"bad split", CommitRequest{Token: lease.Token, Seq: 1, Residual: &core.WireClaim{},
+			Cum: &core.WireStats{},
+			Splits: []core.WireClaim{{Points: []core.WirePoint{badPoint}}}}},
+		{"bad residual", CommitRequest{Token: lease.Token, Seq: 1, Cum: &core.WireStats{},
+			Residual: &core.WireClaim{Points: []core.WirePoint{{Kind: "rf", N: 2, Idx: 5}}}}},
+	}
+	for _, tc := range cases {
+		var resp CommitResponse
+		if code := h.rpc("POST", "/v1/leases/"+lease.ID+"/commit", tc.req, &resp); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, code)
+		}
+	}
+	// The rejected commits must not have consumed the sequence number or
+	// killed the lease: a well-formed final commit still lands.
+	var resp CommitResponse
+	if code := h.rpc("POST", "/v1/leases/"+lease.ID+"/commit", CommitRequest{
+		Token: lease.Token, Seq: 1, Final: true, Cum: &core.WireStats{},
+	}, &resp); code != http.StatusOK {
+		t.Errorf("valid commit after rejections: HTTP %d, want 200", code)
+	}
+}
+
+// TestNegativePorVersionClamped: a negative publication-log cursor in a
+// lease or commit request must be clamped (replaying the whole log), not
+// slice-panic the handler.
+func TestNegativePorVersionClamped(t *testing.T) {
+	h := newHarness(t)
+	id := h.submit("tree", distOpts())
+	var grant LeaseResponse
+	code := h.rpc("POST", "/v1/lease", LeaseRequest{Worker: "w1", JobID: id, PorVersion: -7}, &grant)
+	if code != http.StatusOK || grant.Status != StatusGranted {
+		t.Fatalf("lease with negative cursor: HTTP %d status %q", code, grant.Status)
+	}
+	var resp CommitResponse
+	code = h.rpc("POST", "/v1/leases/"+grant.Lease.ID+"/commit", CommitRequest{
+		Token: grant.Lease.Token, Seq: 1, Residual: &core.WireClaim{},
+		Cum: &core.WireStats{}, PorVersion: -7,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("commit with negative cursor: HTTP %d", code)
+	}
+}
+
 // TestCoordinatorRejectsStaleCommit: a zombie worker whose lease expired
 // must be fenced with 409 so it cannot double-commit against the requeued
 // residual.

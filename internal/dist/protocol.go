@@ -22,6 +22,10 @@
 //   - Lease tokens fence zombies: a commit bearing a stale token is
 //     rejected, so a worker that outlives its own lease expiry cannot race
 //     the residual's new claimant.
+//   - A draining worker (SIGTERM) releases its lease: its last commit is
+//     final but carries the unexplored residual, which the coordinator
+//     requeues immediately — graceful shutdown loses nothing and never
+//     waits for (or depends on) a TTL expiry.
 //
 // A complete distributed run therefore merges to a Result bit-identical to
 // the serial reference, by the same argument as the in-process parallel
@@ -126,13 +130,16 @@ type CommitRequest struct {
 	Seq   int64  `json:"seq"`
 	// Splits are donated branch prefixes (frozen claims) for the frontier.
 	Splits []core.WireClaim `json:"splits,omitempty"`
-	// Residual is the unexplored remainder of the lease as of this commit;
-	// nil on a final commit.
+	// Residual is the unexplored remainder of the lease as of this commit.
+	// Required on non-final commits. On a final commit a nil residual means
+	// the subtree is fully explored; a non-nil one *releases* the lease (a
+	// draining worker handing back its remainder for immediate requeue).
 	Residual *core.WireClaim `json:"residual,omitempty"`
 	// Cum is the lease's cumulative stats since it was granted.
 	Cum *core.WireStats `json:"cum"`
 	// Final retires the lease: its subtree is fully explored (or abandoned
-	// after an engine error, marked by Cum.Truncated).
+	// after an engine error, marked by Cum.Truncated), or — with a residual
+	// attached — released by a draining worker.
 	Final bool `json:"final,omitempty"`
 	// Por / PorVersion ship newly published local POR entries and the
 	// worker's cursor into the coordinator log.

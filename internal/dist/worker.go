@@ -90,11 +90,11 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return &Worker{cfg: cfg, runners: make(map[string]*jobRunner)}, nil
 }
 
-// Drain requests a graceful stop: the current lease finishes with a final
-// commit (its subtree committed or residual left for expiry requeue is
-// avoided entirely — Stopped short-circuits the lease loop, which commits
-// the progress so far and retires the lease), and no further leases are
-// claimed. Safe to call from a signal handler goroutine.
+// Drain requests a graceful stop: the current lease is *released* — the
+// progress so far is committed and the unexplored residual handed back to
+// the coordinator, which requeues it for another claimant immediately, so
+// nothing is lost and nothing waits for a lease TTL — and no further leases
+// are claimed. Safe to call from a signal handler goroutine.
 func (w *Worker) Drain() { w.draining.Store(true) }
 
 // Run is the worker main loop. It returns nil on coordinator-initiated
@@ -219,13 +219,15 @@ func (s *leaseSink) Hungry() bool {
 }
 
 func (s *leaseSink) Stopped() bool {
-	if s.w.draining.Load() {
-		return true
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stopped
 }
+
+// Draining reflects the worker-local graceful stop, distinct from Stopped:
+// a drained lease releases its residual back to the coordinator, a stopped
+// one discards it (the job is over).
+func (s *leaseSink) Draining() bool { return s.w.draining.Load() }
 
 func (s *leaseSink) noteStopped() {
 	s.mu.Lock()

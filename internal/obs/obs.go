@@ -244,10 +244,11 @@ type Registry struct {
 	donations       atomic.Int64
 
 	// Distributed-exploration traffic (internal/dist coordinator).
-	leasesGranted atomic.Int64
-	leasesExpired atomic.Int64
-	leaseRequeues atomic.Int64
-	rpcs          atomic.Int64
+	leasesGranted  atomic.Int64
+	leasesExpired  atomic.Int64
+	leasesReleased atomic.Int64
+	leaseRequeues  atomic.Int64
+	rpcs           atomic.Int64
 }
 
 // NewRegistry returns a registry; a non-nil events writer receives the
@@ -338,6 +339,19 @@ func (r *Registry) NoteLeaseExpired(requeued bool) {
 	}
 }
 
+// NoteLeaseReleased records a lease relinquished mid-subtree by a draining
+// worker, whose residual was requeued (requeued=false when the job had
+// already stopped and the residual was discarded).
+func (r *Registry) NoteLeaseReleased(requeued bool) {
+	if r == nil {
+		return
+	}
+	r.leasesReleased.Add(1)
+	if requeued {
+		r.leaseRequeues.Add(1)
+	}
+}
+
 // NoteRPC records one coordinator RPC handled.
 func (r *Registry) NoteRPC() {
 	if r != nil {
@@ -421,6 +435,7 @@ func (r *Registry) Snapshot() Metrics {
 	m.Workers = r.workers.Load()
 	m.LeasesGranted = r.leasesGranted.Load()
 	m.LeasesExpired = r.leasesExpired.Load()
+	m.LeasesReleased = r.leasesReleased.Load()
 	m.LeaseRequeues = r.leaseRequeues.Load()
 	m.RPCs = r.rpcs.Load()
 	if r.events != nil {
@@ -509,10 +524,11 @@ type Metrics struct {
 
 	// Distributed exploration (coordinator-side; depends on fleet timing
 	// and fault injection, zeroed by Canonical).
-	LeasesGranted int64 `json:"leases_granted,omitempty"`
-	LeasesExpired int64 `json:"leases_expired,omitempty"`
-	LeaseRequeues int64 `json:"lease_requeues,omitempty"`
-	RPCs          int64 `json:"rpcs,omitempty"`
+	LeasesGranted  int64 `json:"leases_granted,omitempty"`
+	LeasesExpired  int64 `json:"leases_expired,omitempty"`
+	LeasesReleased int64 `json:"leases_released,omitempty"`
+	LeaseRequeues  int64 `json:"lease_requeues,omitempty"`
+	RPCs           int64 `json:"rpcs,omitempty"`
 
 	// Events emitted to the JSONL stream, if one was attached.
 	Events int64 `json:"events,omitempty"`
@@ -530,6 +546,7 @@ func (m Metrics) Canonical() Metrics {
 	m.SnapshotCaptures, m.SnapshotRestores = 0, 0
 	m.SnapshotRestoreNs, m.MaxSnapshotBytes = 0, 0
 	m.ScenariosPruned, m.FingerprintHits, m.FingerprintMisses = 0, 0, 0
-	m.LeasesGranted, m.LeasesExpired, m.LeaseRequeues, m.RPCs = 0, 0, 0, 0
+	m.LeasesGranted, m.LeasesExpired, m.LeasesReleased = 0, 0, 0
+	m.LeaseRequeues, m.RPCs = 0, 0
 	return m
 }
