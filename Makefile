@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout bench-por bench-dist clean
+.PHONY: all build test vet race verify explain-smoke bench bench-mem bench-parallel bench-snapshot bench-memlayout bench-por bench-dist bench-replay clean
 
 all: verify
 
@@ -31,6 +31,7 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/tso/
 	$(GO) test -race ./internal/dist/ ./internal/netsim/
 	$(GO) test -race -run 'TestSnapshotEquivalence|TestPOREquivalence' .
+	$(GO) test -race -run 'TestChoiceSnapshotEquivalence' ./internal/benchlist/
 
 # Allocation-regression gates: the testing.AllocsPerRun pins that keep the
 # paged-layout hot path (guest ops, scenario reset, journal mark/rewind)
@@ -69,6 +70,13 @@ bench-por:
 # results. Exits nonzero on any serial/distributed mismatch.
 bench-dist:
 	$(GO) run ./cmd/jaaru-perf -dist BENCH_dist.json
+
+# Regenerate the choice-point snapshot stack report (BENCH_replay.json):
+# full replay vs the failure-point engine alone vs the default stack, per
+# update-heavy workload. Exits nonzero on any result mismatch or if the
+# gated RECIPE rows fall below 2x wall clock / 5x replayed-step reduction.
+bench-replay:
+	$(GO) run ./cmd/jaaru-perf -replay BENCH_replay.json
 
 # Regenerate the paged-memory-layout report (BENCH_memlayout.json). Pass
 # BASELINE=<old.json> to compute allocation/speedup deltas against a run

@@ -45,6 +45,15 @@
 // results, and the measurements plus the coordinator's RPC, lease, and requeue
 // counts are written as JSON (BENCH_dist.json).
 //
+// With -replay, it instead benchmarks the choice-point snapshot stack: the
+// update-heavy RECIPE workloads (plus two crash-consistent PMDK structures)
+// are explored under full replay (no snapshots), the failure-point engine
+// alone (-choice-snapshots=false), and the default stack. All three runs are
+// cross-checked for bit-identical results, wall-clock speedups and the
+// deterministic replayed-choice-step reduction (obs.ReplaySteps) are gated
+// at 2x/5x on the RECIPE update rows, and the measurements are written as
+// JSON (BENCH_replay.json).
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 //
 // Usage:
@@ -55,6 +64,7 @@
 //	jaaru-perf -memlayout BENCH_memlayout.json [-baseline OLD.json] [-reps R] [-scale N]
 //	jaaru-perf -por BENCH_por.json [-reps R] [-scale N]
 //	jaaru-perf -dist BENCH_dist.json [-workers N] [-reps R] [-scale N]
+//	jaaru-perf -replay BENCH_replay.json [-reps R] [-scale N]
 package main
 
 import (
@@ -485,6 +495,7 @@ func main() {
 	memlayout := flag.String("memlayout", "", "benchmark allocation cost per workload and write the JSON report to this file")
 	por := flag.String("por", "", "benchmark the partial-order reduction layer and write the JSON report to this file")
 	dst := flag.String("dist", "", "benchmark distributed exploration over an in-process fabric and write the JSON report to this file")
+	replay := flag.String("replay", "", "benchmark the choice-point snapshot stack against full replay and write the JSON report to this file")
 	baseline := flag.String("baseline", "", "prior -memlayout report to diff and cross-check against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -511,6 +522,10 @@ func main() {
 	}
 	if *dst != "" {
 		runDistBench(*dst, *workers, *reps, *scale)
+		return
+	}
+	if *replay != "" {
+		runReplayBench(*replay, *reps, *scale)
 		return
 	}
 

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jaaru/internal/core"
+	"jaaru/internal/obs"
+	"jaaru/internal/pmdk"
+	"jaaru/internal/recipe"
+)
+
+// replayBench is one benchmark row of the -replay report: the same workload
+// explored under three restore engines —
+//
+//	replay: no snapshots at all (Snapshots=-1); every scenario re-runs the
+//	        guest from the start and replays its whole choice prefix,
+//	fp:     the failure-point snapshot engine alone (-choice-snapshots=false,
+//	        the escape hatch), which removes pre-failure re-execution but
+//	        still replays post-failure recovery prefixes live,
+//	stack:  the default — failure-point engine plus the choice-point
+//	        snapshot stack, which fast-forwards recovery prefixes too.
+type replayBench struct {
+	Name       string `json:"name"`
+	Executions int    `json:"executions"`
+	Scenarios  int    `json:"scenarios"`
+	// Best-of-reps wall-clock exploration time per engine.
+	ReplayNs int64 `json:"replay_ns"`
+	FpNs     int64 `json:"fp_ns"`
+	StackNs  int64 `json:"stack_ns"`
+	// SpeedupVsReplay = replay/stack (the headline; gated at >=2x on the
+	// update-heavy RECIPE rows); SpeedupVsFp = fp/stack (the stack's
+	// marginal contribution over the failure-point engine).
+	SpeedupVsReplay float64 `json:"speedup_vs_replay"`
+	SpeedupVsFp     float64 `json:"speedup_vs_fp"`
+	// Physically replayed choice steps per engine (obs.ReplaySteps: guest
+	// steps executed while the chooser was consuming a recorded prefix),
+	// from instrumented runs. StepReduction = full/stack, gated at >=5x on
+	// the update-heavy RECIPE rows; it is counter-based and deterministic,
+	// unlike the wall-clock columns.
+	ReplayStepsFull  int64   `json:"replay_steps_full"`
+	ReplayStepsFp    int64   `json:"replay_steps_fp"`
+	ReplayStepsStack int64   `json:"replay_steps_stack"`
+	StepReduction    float64 `json:"step_reduction"`
+	// ChoiceRestores / ReplayStepsSaved are the stack run's own accounting
+	// of what it skipped.
+	ChoiceRestores   int64 `json:"choice_restores"`
+	ReplayStepsSaved int64 `json:"replay_steps_saved"`
+	// Match records the equivalence check: all three engines produced
+	// bit-identical explorations (Result fields and canonical observability
+	// counters).
+	Match bool `json:"match"`
+	// Metrics is the observability snapshot of the instrumented stack run,
+	// for CI tracking.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
+}
+
+type replayReport struct {
+	Scale      int           `json:"scale"`
+	Reps       int           `json:"reps"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Note       string        `json:"note"`
+	Benchmarks []replayBench `json:"benchmarks"`
+}
+
+// replayWorkloads is the -replay benchmark set: the update-heavy RECIPE
+// workloads at replay-heavy configurations (the gated rows — more keys and
+// rounds than the -por tuple, so recovery prefixes are re-replayed hundreds
+// of times without snapshots and the engines separate from timer noise)
+// plus two crash-consistent PMDK structures for engine coverage on
+// transactional redo/undo code.
+func replayWorkloads(scale int) []core.Program {
+	return []core.Program{
+		recipe.CCEHUpdateWorkload(8, 30*scale),
+		recipe.CLHTUpdateWorkload(16, 16*scale),
+		pmdk.BTreeWorkload(5*scale, pmdk.CreateBugs{}, pmdk.BTreeBugs{}),
+		pmdk.HashmapTXWorkload(4*scale, pmdk.HashmapTXBugs{}),
+	}
+}
+
+// gatedReplayRow reports whether a workload is held to the acceptance
+// thresholds (>=2x wall clock vs full replay, >=5x replayed-step reduction).
+func gatedReplayRow(name string) bool {
+	return name == "recipe/CCEH-update" || name == "recipe/P-CLHT-update"
+}
+
+// runReplayBench measures every workload under the three engines (best of
+// reps, interleaved), cross-checks bit-identical results, enforces the
+// update-heavy RECIPE thresholds, and writes the JSON report.
+func runReplayBench(path string, reps, scale int) {
+	rep := replayReport{
+		Scale:      scale,
+		Reps:       reps,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note: "replay = no snapshots, fp = -choice-snapshots=false (failure-point " +
+			"engine only), stack = default; speedup_vs_replay and step_reduction " +
+			"are gated at 2x/5x on the update-heavy RECIPE rows; step counts are " +
+			"deterministic (obs.ReplaySteps), wall clock is best-of-reps",
+	}
+	fmt.Printf("Choice-point snapshot stack: replay vs fp-only vs stack (best of %d)\n", reps)
+	fmt.Printf("%-16s  %9s  %9s  %9s  %8s  %7s  %8s  %6s\n",
+		"Benchmark", "Replay", "Fp", "Stack", "vsReplay", "vsFp", "StepRed", "Match")
+	fmt.Println("--------------------------------------------------------------------------------------")
+
+	for _, prog := range replayWorkloads(scale) {
+		var tReplay, tFp, tStack time.Duration
+		var rReplay, rFp, rStack *core.Result
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			rReplay = core.New(prog, core.Options{Snapshots: -1, ChoiceSnapshots: -1}).Run()
+			if d := time.Since(t0); r == 0 || d < tReplay {
+				tReplay = d
+			}
+			t0 = time.Now()
+			rFp = core.New(prog, core.Options{ChoiceSnapshots: -1}).Run()
+			if d := time.Since(t0); r == 0 || d < tFp {
+				tFp = d
+			}
+			t0 = time.Now()
+			rStack = core.New(prog, core.Options{}).Run()
+			if d := time.Since(t0); r == 0 || d < tStack {
+				tStack = d
+			}
+		}
+		obsReplay := core.New(prog, core.Options{Snapshots: -1, ChoiceSnapshots: -1, Observe: true}).Run()
+		obsFp := core.New(prog, core.Options{ChoiceSnapshots: -1, Observe: true}).Run()
+		obsStack := core.New(prog, core.Options{Observe: true}).Run()
+		match := resultsEqual(rReplay, rStack) && resultsEqual(rFp, rStack) &&
+			resultsEqual(obsReplay, obsStack) && resultsEqual(obsFp, obsStack) &&
+			obsReplay.Metrics.Canonical() == obsStack.Metrics.Canonical() &&
+			obsFp.Metrics.Canonical() == obsStack.Metrics.Canonical()
+		b := replayBench{
+			Name:             prog.Name,
+			Executions:       rStack.Executions,
+			Scenarios:        rStack.Scenarios,
+			ReplayNs:         tReplay.Nanoseconds(),
+			FpNs:             tFp.Nanoseconds(),
+			StackNs:          tStack.Nanoseconds(),
+			SpeedupVsReplay:  float64(tReplay) / float64(tStack),
+			SpeedupVsFp:      float64(tFp) / float64(tStack),
+			ReplayStepsFull:  obsReplay.Metrics.ReplaySteps,
+			ReplayStepsFp:    obsFp.Metrics.ReplaySteps,
+			ReplayStepsStack: obsStack.Metrics.ReplaySteps,
+			StepReduction: float64(obsReplay.Metrics.ReplaySteps) /
+				float64(max(obsStack.Metrics.ReplaySteps, 1)),
+			ChoiceRestores:   obsStack.Metrics.ChoiceRestores,
+			ReplayStepsSaved: obsStack.Metrics.ReplayStepsSaved,
+			Match:            match,
+			Metrics:          obsStack.Metrics,
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		fmt.Printf("%-16s  %9s  %9s  %9s  %7.2fx  %6.2fx  %7.1fx  %6v\n",
+			trimName(b.Name), tReplay.Round(1e5), tFp.Round(1e5), tStack.Round(1e5),
+			b.SpeedupVsReplay, b.SpeedupVsFp, b.StepReduction, match)
+		if !match {
+			fmt.Fprintf(os.Stderr, "%s: snapshot-stack exploration diverged from replay reference\n", prog.Name)
+			os.Exit(1)
+		}
+		if gatedReplayRow(prog.Name) {
+			if b.SpeedupVsReplay < 2 {
+				fmt.Fprintf(os.Stderr, "%s: speedup vs full replay %.2fx below the 2x gate\n",
+					prog.Name, b.SpeedupVsReplay)
+				os.Exit(1)
+			}
+			if b.StepReduction < 5 {
+				fmt.Fprintf(os.Stderr, "%s: replayed-step reduction %.1fx below the 5x gate\n",
+					prog.Name, b.StepReduction)
+				os.Exit(1)
+			}
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(out, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}

@@ -47,6 +47,7 @@ func main() {
 	witness := flag.Bool("witness", false, "replay the first bug and print its annotated forensics witness (see also jaaru-explain)")
 	workers := flag.Int("workers", 1, "parallel exploration workers (-1 = GOMAXPROCS); results are identical to -workers 1")
 	snapshots := flag.Bool("snapshots", true, "amortize pre-failure execution via the snapshot engine; results are identical either way")
+	choiceSnapshots := flag.Bool("choice-snapshots", true, "amortize post-failure replay via the choice-point snapshot stack; results are identical either way")
 	por := flag.Bool("por", true, "prune equivalent scenarios via partial-order reduction; results are identical either way")
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
@@ -88,6 +89,9 @@ func main() {
 	}
 	if !*snapshots {
 		opts.Snapshots = -1
+	}
+	if !*choiceSnapshots {
+		opts.ChoiceSnapshots = -1
 	}
 	if !*por {
 		opts.POR = -1
@@ -210,7 +214,9 @@ func metricsBlock(m *obs.Metrics) string {
 		{Key: "rf candidates (total)", Value: m.RFCandidates},
 		{Key: "rf candidates (max)", Value: m.MaxRFCandidates},
 		{Key: "choices replayed", Value: m.ChoicesReplayed},
+		{Key: "choices restored", Value: m.ChoicesRestored},
 		{Key: "choices fresh", Value: m.ChoicesFresh},
+		{Key: "replayed guest steps", Value: m.ReplaySteps},
 		{Key: "choice depth (max)", Value: m.MaxChoiceDepth},
 		{Key: "store-buffer evictions", Value: m.SBEvictions},
 		{Key: "flush-buffer writebacks", Value: m.FBWritebacks},
@@ -223,6 +229,14 @@ func metricsBlock(m *obs.Metrics) string {
 			report.KV{Key: "snapshots restored", Value: m.SnapshotRestores},
 			report.KV{Key: "snapshot restore time", Value: dur(m.SnapshotRestoreNs)},
 			report.KV{Key: "snapshot bytes (max)", Value: m.MaxSnapshotBytes})
+	}
+	if m.ChoiceSnapCaptures > 0 {
+		kvs = append(kvs,
+			report.KV{Key: "choice snapshots captured", Value: m.ChoiceSnapCaptures},
+			report.KV{Key: "choice snapshots restored", Value: m.ChoiceRestores},
+			report.KV{Key: "choice restore time", Value: dur(m.ChoiceRestoreNs)},
+			report.KV{Key: "replay steps saved", Value: m.ReplayStepsSaved},
+			report.KV{Key: "refinements skipped", Value: m.RefinementsSkipped})
 	}
 	if m.RFElisions > 0 || m.FingerprintHits > 0 || m.FingerprintMisses > 0 {
 		kvs = append(kvs,

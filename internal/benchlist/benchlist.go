@@ -89,6 +89,16 @@ func All() []Benchmark {
 		{"cceh", "RECIPE CCEH (extendible hashing)", func(n int, buggy bool) core.Program {
 			return recipe.CCEHWorkload(n, recipe.CCEHBugs{NoSegmentFlush: buggy})
 		}},
+		// The update-heavy variants rewrite the same slots in place for 2n
+		// rounds: the recurring crash states exercise POR's fingerprint sweep
+		// and the choice-point snapshot stack. No seeded-bug variant exists,
+		// so -buggy is ignored.
+		{"cceh-update", "RECIPE CCEH update-heavy (in-place slot rewrites)", func(n int, _ bool) core.Program {
+			return recipe.CCEHUpdateWorkload(3, 2*n)
+		}},
+		{"clht-update", "RECIPE P-CLHT update-heavy (in-place slot rewrites)", func(n int, _ bool) core.Program {
+			return recipe.CLHTUpdateWorkload(3, 2*n)
+		}},
 		{"fastfair", "RECIPE FAST_FAIR (B-link tree)", func(n int, buggy bool) core.Program {
 			return recipe.FastFairWorkload(n, recipe.FFBugs{NoHeaderFlush: buggy})
 		}},

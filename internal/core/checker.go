@@ -69,8 +69,13 @@ type Checker struct {
 	dirty     bool                   // stores evicted since the last considered failure point
 	preDone   bool                   // pre-failure execution ran to completion in this scenario
 	steps     int                    // ops in the current execution
-	observers []func(pmem.Addr, pmem.Candidate)
-	snapshot  func(fpIndex int) // Yat instrumentation hook
+	// replaySteps counts the subset of steps executed while the chooser was
+	// still replaying a recorded decision prefix — the physical replay cost
+	// (obs.ReplaySteps), kept as a plain field so op() pays one compare and
+	// an increment, flushed with the segment's step total.
+	replaySteps int
+	observers   []func(pmem.Addr, pmem.Candidate)
+	snapshot    func(fpIndex int) // Yat instrumentation hook
 
 	// Observability (nil unless Options.Observe/EventTrace): reg is the
 	// registry shared across workers, col this checker's private shard,
@@ -112,6 +117,22 @@ type Checker struct {
 	snapBaseSteps int64
 	scenPerf      map[string]*PerfIssue
 	scenMulti     map[string]*MultiRF
+
+	// Choice-point snapshot stack state (snapshot.go). snapFree pools
+	// retired snapEntry values so the warmed capture/restore cycle allocates
+	// nothing; chsnapActive latches per-scenario eligibility of the
+	// choice-point stack; segLogs holds one value log per post-failure
+	// execution depth (index ID-1), recording everything a fast-forward
+	// replay must feed back to the guest; ffwd is the in-flight fast-forward
+	// replay, if any.
+	// segLog caches &segLogs[Top().ID-1] while a post-failure segment is in
+	// flight (nil otherwise) so the per-byte noteSegEvent hot path is a single
+	// pointer check.
+	snapFree     []*snapEntry
+	chsnapActive bool
+	segLogs      [][]segEvent
+	segLog       *[]segEvent
+	ffwd         ffwdState
 
 	// Partial-order-reduction state (por.go). porSeenSet is the fingerprint
 	// seen-set, shared across workers; porOpen the stack of subtree records
@@ -392,6 +413,16 @@ func (c *Checker) resetScenario() {
 func (c *Checker) pushExecution() {
 	c.stack.Push()
 	clear(c.lastStore)
+	if c.chsnapActive {
+		// A fresh value log for the new recovery segment (backing storage
+		// reused across scenarios).
+		id := c.stack.Top().ID
+		for len(c.segLogs) < id {
+			c.segLogs = append(c.segLogs, nil)
+		}
+		c.segLogs[id-1] = c.segLogs[id-1][:0]
+		c.segLog = &c.segLogs[id-1]
+	}
 }
 
 // runScenario executes one complete failure scenario: the pre-failure
@@ -411,11 +442,25 @@ func (c *Checker) runScenario() {
 	defer func() { c.porNoteDepth(len(c.chooser.points)) }()
 	c.beginSnapScenario()
 
-	var crashed bool
+	var crashed, resumedMid bool
 	if s := c.usableSnapshot(); s != nil {
 		// The recorded choice prefix crashes at (or completes to) a captured
 		// state: restore it instead of re-executing the guest from scratch.
-		crashed = c.restoreSnapshot(s)
+		if s.kind == choiceSnap {
+			// Resume mid-recovery-segment at the captured choice point via
+			// fast-forward replay (snapshot.go).
+			resumedMid = true
+			crashed = c.restoreChoiceSnap(s)
+			if c.ffwd.active {
+				// The segment ended before the replay reached its capture
+				// point: the guest diverged from the recorded value log.
+				c.ffwd = ffwdState{}
+				panic(engineError{
+					"choice-snapshot fast-forward never reached its capture point"})
+			}
+		} else {
+			crashed = c.restoreSnapshot(s)
+		}
 	} else {
 		c.resetScenario()
 		// A full run always starts over on a fresh Stack, so any cached
@@ -437,6 +482,13 @@ func (c *Checker) runScenario() {
 		}
 	}
 	if !crashed {
+		// A resumed recovery segment that ran to completion (or ended with a
+		// bug) finishes the scenario: the end-of-run failure point below
+		// belongs to the pre-failure execution only.
+		if resumedMid {
+			c.bugEndedSegment = false
+			return
+		}
 		// Segment ended due to a bug, or there is nothing to recover.
 		if c.opts.MaxFailures < 0 || c.prog.Recover == nil || c.bugEndedSegment {
 			c.bugEndedSegment = false
@@ -485,6 +537,7 @@ func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
 	}
 	main := c.sched.reset(c.opts.SBCapacity, schedRNG)
 	c.steps = 0
+	c.replaySteps = 0
 	c.dirty = false
 
 	if c.col != nil {
@@ -502,6 +555,7 @@ func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
 		defer func() {
 			c.col.Add(phase, time.Since(t0).Nanoseconds())
 			c.col.Add(obs.Steps, int64(c.steps))
+			c.col.Add(obs.ReplaySteps, int64(c.replaySteps))
 		}()
 	}
 
@@ -654,10 +708,18 @@ func (c *Checker) BeforeFlushEffect(kind tso.EntryKind, addr pmem.Addr, loc stri
 
 // ---- Load path (Figures 9 & 10) ------------------------------------------
 
-// loadByte resolves one byte of a load: store-buffer bypass, then the
+// loadByte resolves one byte of a load. first marks the operation's leading
+// byte: the choice-point snapshot stack captures only there, so the value log
+// (snapshot.go) stays whole-operation and a fast-forward arrival always lands
+// on an operation boundary.
+func (c *Checker) loadByte(t *thread, a pmem.Addr, first bool) byte {
+	return c.resolveByte(t, a, first)
+}
+
+// resolveByte resolves one byte of a load: store-buffer bypass, then the
 // current execution's cache, then the lazily enumerated pre-failure
 // candidates with constraint refinement.
-func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
+func (c *Checker) resolveByte(t *thread, a pmem.Addr, first bool) byte {
 	if v, ok := t.ts.Lookup(a); ok {
 		c.col.Inc(obs.LoadSBHits)
 		return v
@@ -668,6 +730,19 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 	}
 	c.rfScratch = c.stack.ReadPreFailureInto(a, c.rfScratch[:0])
 	cands := c.rfScratch
+	multi := len(cands) > 1
+	// porElides is a pure predicate over the candidate set; it is hoisted
+	// here so the capture below covers exactly the real (non-elided) choice
+	// points the chooser will consume.
+	elide := multi && c.porElides(cands)
+	if multi && !elide && first {
+		// Captured before any of this load's own accounting: the arrival of
+		// a fast-forward replay re-executes the load live and charges its
+		// counters exactly once. Choices at non-leading bytes go uncaptured
+		// (a restore targeting them resumes from the nearest shallower entry
+		// and replays forward), keeping captures on operation boundaries.
+		c.captureChoiceSnap()
+	}
 	if c.col != nil {
 		c.col.Inc(obs.LoadRefinements)
 		c.col.Add(obs.RFCandidates, int64(len(cands)))
@@ -681,14 +756,14 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 		c.wrec.openLoad = wres
 	}
 	idx := 0
-	if len(cands) > 1 {
+	if multi {
 		if len(cands) > c.maxRF {
 			c.maxRF = len(cands)
 		}
 		if c.opts.FlagMultiRF {
 			c.flagMultiRF(a, cands)
 		}
-		if c.porElides(cands) {
+		if elide {
 			// Every candidate carries the same value: the sibling read-from
 			// branches commute. No choice point, and no DoRead refinement —
 			// the unrefined interval keeps this single branch the exact
@@ -704,7 +779,9 @@ func (c *Checker) loadByte(t *thread, a pmem.Addr) byte {
 		c.wrecDecision()
 	}
 	chosen := cands[idx]
-	c.stack.DoRead(a, chosen)
+	if c.stack.DoRead(a, chosen) {
+		c.col.Inc(obs.RefinementsSkipped)
+	}
 	if wres != nil {
 		c.wrec.finishLoad(wres, chosen)
 		c.wrec.openLoad = nil

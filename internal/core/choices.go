@@ -64,6 +64,14 @@ type chooser struct {
 	// exploration statistics for Result.
 	newPoints [3]int
 
+	// stable is the number of leading points guaranteed unchanged since the
+	// snapshot machinery last validated its entries against this vector
+	// (usableSnapshot resets it to MaxInt after a scan): advance only flips
+	// the deepest surviving index, and choose only appends, so a snapshot
+	// whose depth is <= stable still prefix-matches without comparing.
+	// Accumulated as a min so multiple mutations between scans compose.
+	stable int
+
 	// col is the owning checker's observability shard (nil when disabled).
 	col *obs.Collector
 }
@@ -84,6 +92,7 @@ func (ch *chooser) seed(prefix []choicePoint) {
 		ch.aux = append(ch.aux, nil)
 	}
 	ch.cursor = 0
+	ch.stable = 0
 }
 
 // choose returns the option index for the next nondeterministic point, which
@@ -138,6 +147,7 @@ func (ch *chooser) seedClaim(prefix []choicePoint, limits []int, memos []*failMe
 		ch.aux = append(ch.aux, m)
 	}
 	ch.cursor = 0
+	ch.stable = 0
 }
 
 // claimSnapshot exports the chooser's current claim — points, limits and POR
@@ -169,6 +179,9 @@ func (ch *chooser) advance() bool {
 		top := &ch.points[i]
 		if top.idx+1 < ch.limit[i] {
 			top.idx++
+			if i < ch.stable {
+				ch.stable = i
+			}
 			return true
 		}
 		ch.points = ch.points[:i]

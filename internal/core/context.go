@@ -42,6 +42,9 @@ func (c *Context) op() {
 	}
 	ck.steps++
 	ck.totalSteps++
+	if ck.chooser.cursor < len(ck.chooser.points) {
+		ck.replaySteps++
+	}
 	if ck.wrec != nil {
 		// Operation numbering for the forensics recorder: counted here, not
 		// derived from the traced-op list, so untraced operations (Spawn,
@@ -111,12 +114,21 @@ func (c *Context) evictionPolicy() {
 // across the failures of a scenario and never reused, so recovery code can
 // follow pointers persisted before a failure.
 func (c *Context) Alloc(size, align uint64) Addr {
+	if c.ck.ffwd.active {
+		// Fast-forward replay: the allocator was truncated to the capture
+		// high-water mark, which already covers this allocation — feed the
+		// recorded address instead of re-advancing (snapshot.go).
+		a := c.ck.ffwdAlloc()
+		c.yield()
+		return a
+	}
 	c.op()
 	a, ok := c.ck.alloc.Alloc(size, align)
 	if !ok {
 		panic(guestFault{typ: BugExplicit,
 			msg: fmt.Sprintf("pool exhausted allocating %d bytes at %s", size, guestLocation())})
 	}
+	c.ck.noteSegEvent(evAlloc, a)
 	c.ck.traceOp(c.th.id, "alloc", a, int(size), 0)
 	c.yield()
 	return a
@@ -133,11 +145,27 @@ func (c *Context) Root() Addr { return PoolBase }
 
 // PoolLimit returns the exclusive upper bound of currently allocated pool
 // memory.
-func (c *Context) PoolLimit() Addr { return c.ck.alloc.HighWater() }
+func (c *Context) PoolLimit() Addr {
+	if c.ck.ffwd.active {
+		// Fast-forward replay: the live allocator already reflects the whole
+		// prefix, so the momentary value the guest observed is fed back.
+		return c.ck.ffwdLimit()
+	}
+	a := c.ck.alloc.HighWater()
+	c.ck.noteSegEvent(evLimit, a)
+	return a
+}
 
 // ---- Stores ----------------------------------------------------------------
 
 func (c *Context) store(a Addr, size int, v uint64) {
+	if c.ck.ffwd.active {
+		// Fast-forward replay: the store's effect is part of the captured
+		// state installed at arrival; only the scheduler turn is taken so
+		// the interleaving replays exactly (snapshot.go).
+		c.yield()
+		return
+	}
 	c.op()
 	c.checkRange(a, uint64(size), "store")
 	c.ck.traceOp(c.th.id, "store", a, size, v)
@@ -178,13 +206,30 @@ func (c *Context) Memset(a Addr, v byte, n uint64) {
 // ---- Loads -----------------------------------------------------------------
 
 func (c *Context) load(a Addr, size int) uint64 {
+	ck := c.ck
+	if ck.ffwd.active {
+		// Fast-forward replay: whole operations are fed from the segment's
+		// value log. The capture point is the leading byte of a load; when
+		// the cursor reaches it, ffwdLoad installs the arrival state and
+		// resolves that operation live, and the trace entry plus the whole
+		// suffix of the segment execute normally. A load fed pre-arrival
+		// skips its step/trace accounting — both are covered by the restored
+		// deltas — but still takes its scheduler turn.
+		v, live := ck.ffwdLoad(c.th, a, size)
+		if live {
+			ck.traceOp(c.th.id, "load", a, size, v)
+		}
+		c.yield()
+		return v
+	}
 	c.op()
 	c.checkRange(a, uint64(size), "load")
 	var v uint64
 	for i := 0; i < size; i++ {
-		v |= uint64(c.ck.loadByte(c.th, a+Addr(i))) << (8 * uint(i))
+		v |= uint64(ck.loadByte(c.th, a+Addr(i), i == 0)) << (8 * uint(i))
 	}
-	c.ck.traceOp(c.th.id, "load", a, size, v)
+	ck.noteSegLoad(a, size, v)
+	ck.traceOp(c.th.id, "load", a, size, v)
 	c.yield()
 	return v
 }
@@ -218,6 +263,10 @@ func (c *Context) LoadBytes(a Addr, n uint64) []byte {
 // Clflush issues a clflush for every cache line of [a, a+size): strongly
 // ordered with stores (it enters the store buffer like a store).
 func (c *Context) Clflush(a Addr, size uint64) {
+	if c.ck.ffwd.active {
+		pmem.Lines(a, size, func(line Addr) { c.yield() })
+		return
+	}
 	loc := c.perfLoc()
 	pmem.Lines(a, size, func(line Addr) {
 		c.op()
@@ -231,6 +280,10 @@ func (c *Context) Clflush(a Addr, size uint64) {
 // Clflushopt issues a clflushopt for every cache line of [a, a+size):
 // weakly ordered, taking effect at the next sfence/mfence/locked RMW.
 func (c *Context) Clflushopt(a Addr, size uint64) {
+	if c.ck.ffwd.active {
+		pmem.Lines(a, size, func(line Addr) { c.yield() })
+		return
+	}
 	loc := c.perfLoc()
 	pmem.Lines(a, size, func(line Addr) {
 		c.op()
@@ -246,6 +299,10 @@ func (c *Context) Clwb(a Addr, size uint64) { c.Clflushopt(a, size) }
 
 // Sfence issues a store fence, ordering prior clflushopt writebacks.
 func (c *Context) Sfence() {
+	if c.ck.ffwd.active {
+		c.yield()
+		return
+	}
 	c.op()
 	c.ck.traceOp(c.th.id, "sfence", 0, 0, 0)
 	c.th.ts.Push(c.ck, tso.Entry{Kind: tso.SFence, Loc: c.perfLoc(), Op: c.ck.wrecOp()})
@@ -265,6 +322,10 @@ func (c *Context) perfLoc() string {
 // Mfence issues a full memory fence: drains the store buffer and applies
 // pending clflushopt writebacks.
 func (c *Context) Mfence() {
+	if c.ck.ffwd.active {
+		c.yield()
+		return
+	}
 	c.op()
 	c.ck.traceOp(c.th.id, "mfence", 0, 0, 0)
 	c.th.ts.Mfence(c.ck)
@@ -283,13 +344,36 @@ func (c *Context) Persist(a Addr, size uint64) {
 // rmw executes fn atomically with full fence semantics: locked RMW
 // instructions behave as mfence; load; store; mfence (§4).
 func (c *Context) rmw(a Addr, size int, fn func(old uint64) (uint64, bool)) uint64 {
+	ck := c.ck
+	if ck.ffwd.active {
+		// Fast-forward replay. The leading Mfence's effect is already part
+		// of the captured state (the capture point, if inside this rmw, came
+		// after it), so it is skipped. An arrival at the rmw's read resumes
+		// live: the write and trailing fence execute for real. A pure
+		// fast-forwarded rmw still calls fn — guest closures may carry
+		// host-side state — but discards the write.
+		old, live := ck.ffwdLoad(c.th, a, size)
+		if live {
+			if nv, write := fn(old); write {
+				ck.traceOp(c.th.id, "rmw", a, size, nv)
+				c.th.ts.Push(ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: nv, Op: ck.wrecOp()})
+			}
+			c.th.ts.Mfence(ck)
+			c.yield()
+			return old
+		}
+		fn(old)
+		c.yield()
+		return old
+	}
 	c.op()
 	c.checkRange(a, uint64(size), "rmw")
 	c.th.ts.Mfence(c.ck)
 	var old uint64
 	for i := 0; i < size; i++ {
-		old |= uint64(c.ck.loadByte(c.th, a+Addr(i))) << (8 * uint(i))
+		old |= uint64(c.ck.loadByte(c.th, a+Addr(i), i == 0)) << (8 * uint(i))
 	}
+	c.ck.noteSegLoad(a, size, old)
 	if nv, write := fn(old); write {
 		c.ck.traceOp(c.th.id, "rmw", a, size, nv)
 		c.th.ts.Push(c.ck, tso.Entry{Kind: tso.Store, Addr: a, Size: size, Val: nv, Op: c.ck.wrecOp()})
@@ -328,7 +412,12 @@ type ThreadHandle struct {
 // deterministically (round-robin, one operation per turn); Jaaru controls
 // but does not exhaustively explore schedules.
 func (c *Context) Spawn(fn func(*Context)) *ThreadHandle {
-	c.op()
+	if !c.ck.ffwd.active {
+		// Spawns replay for real during fast-forward (the thread structure
+		// must exist for the arrival's TSO restore); only the step accounting
+		// is covered by the restored deltas.
+		c.op()
+	}
 	ck := c.ck
 	t := ck.sched.spawn(ck.opts.SBCapacity)
 	go func() {
@@ -365,6 +454,14 @@ func (c *Context) Spawn(fn func(*Context)) *ThreadHandle {
 // the time Join returns (its flush buffer has not — clflushopt writebacks
 // still require a fence).
 func (h *ThreadHandle) Join(c *Context) {
+	if c.ck.ffwd.active {
+		// The join's synchronization replays for real (it orders the
+		// deterministic schedule); the drain is skipped — fast-forwarded
+		// store buffers are empty until the arrival installs them.
+		c.ck.sched.join(c.th, h.t)
+		c.yield()
+		return
+	}
 	c.op()
 	c.ck.sched.join(c.th, h.t)
 	h.t.ts.DrainSB(c.ck)

@@ -133,6 +133,21 @@ type Options struct {
 	// EvictRandom, instrumented or replayed runs).
 	Snapshots int
 
+	// ChoiceSnapshots controls the choice-point snapshot stack
+	// (snapshot.go): in addition to the per-failure-point snapshots above,
+	// the checker captures an incremental snapshot at each post-failure
+	// read-from choice point along the current DFS path, so advancing to
+	// the next sibling of a deep choice restores O(state touched since
+	// that choice) instead of replaying the whole post-failure prefix. On
+	// by default (0 is normalized to 1); a negative value disables the
+	// stack (normalized to the sentinel -1: sibling scenarios replay their
+	// prefix through the chooser as before). Results are bit-identical
+	// either way, including the canonical observability counters; the
+	// split between replayed and restored choices is reported through the
+	// non-canonical choices_restored metric. The stack rides on the same
+	// eligibility gates as Snapshots and is inert when Snapshots < 0.
+	ChoiceSnapshots int
+
 	// POR controls the persistency-aware partial-order-reduction layer
 	// (por.go): single-valued read-from elision collapses choice points
 	// whose candidate stores all carry the same value (no subsequent load
@@ -230,6 +245,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Snapshots < 0 {
 		o.Snapshots = -1
+	}
+	if o.ChoiceSnapshots == 0 {
+		o.ChoiceSnapshots = 1
+	}
+	if o.ChoiceSnapshots < 0 {
+		o.ChoiceSnapshots = -1
 	}
 	if o.POR == 0 {
 		o.POR = 1

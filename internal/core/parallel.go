@@ -354,9 +354,11 @@ func (c *Checker) runScenarioGuarded(prefix []choicePoint) (ok bool) {
 			panic(r)
 		}
 		// The panic may have left the shared scenario stack mid-mutation;
-		// discard any snapshots referencing it so the next claim starts
-		// from a clean full run, and void any open subtree records — their
-		// statistics are unreliable.
+		// disarm any in-flight fast-forward replay, discard any snapshots
+		// referencing the stack so the next claim starts from a clean full
+		// run, and void any open subtree records — their statistics are
+		// unreliable.
+		c.ffwd = ffwdState{}
 		c.dropSnaps()
 		c.porAbandon()
 		c.recordEngineBug(e, prefix)

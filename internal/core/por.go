@@ -232,7 +232,10 @@ func porClearPrefixDependent(v *obs.CounterVec) {
 		obs.PreFailureNs, obs.PostFailureNs, obs.ReplayNs,
 		obs.ChoicesReplayed, obs.ChoicesFresh,
 		obs.SnapshotCaptures, obs.SnapshotRestores, obs.SnapshotRestoreNs,
-		obs.ScenariosPruned, obs.FingerprintHits, obs.FingerprintMisses)
+		obs.ScenariosPruned, obs.FingerprintHits, obs.FingerprintMisses,
+		obs.ChoicesRestored, obs.ChoiceSnapCaptures, obs.ChoiceRestores,
+		obs.ChoiceRestoreNs, obs.ReplayStepsSaved, obs.RefinementsSkipped,
+		obs.ReplaySteps)
 }
 
 // porFpEligible reports whether post-failure state fingerprinting can run
@@ -327,6 +330,12 @@ func (c *Checker) porPruneSweep() {
 			continue
 		}
 		ch.limit[i] = 1
+		// A clamp rewrites the subtree below point i out of the schedule;
+		// any choice snapshot captured under the excised branch must not
+		// survive to satisfy a later restore (see chsnapExciseBelow — with
+		// the clamp landing on the un-flipped branch the excision is a
+		// defensive no-op, but the invariant is cheap to enforce).
+		c.chsnapExciseBelow(i)
 		if c.porFPHook != nil {
 			c.porFPHook(m.fp, true)
 		}

@@ -120,6 +120,18 @@ func (s *scheduler) checkCrash() {
 // t's turn again (or a crash unwinds it). With a single thread it is a crash
 // check only.
 func (s *scheduler) yield(t *thread) {
+	// Fast path: with a single thread there is no turn to hand over. The
+	// unlocked reads are safe for the same reason as in Context.op — the
+	// thread list is only ever appended to by the running thread (Spawn),
+	// which with one thread is this goroutine, and every writer of crashed
+	// is either this goroutine (maybeFail) or a child-thread trampoline,
+	// which does not exist while the list has one entry.
+	if len(s.threads) == 1 {
+		if s.crashed {
+			panic(crashSignal{})
+		}
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.checkCrash()

@@ -162,3 +162,78 @@ func TestSnapshotCaptureDepthGuard(t *testing.T) {
 		t.Errorf("SnapshotCaptures = %d, want 2", got)
 	}
 }
+
+// TestChoiceSnapshotPushPopAllocs is the hot-path allocation gate: once the
+// entry pool and the chooser's slices are warm, a full choice-snapshot
+// push (captureChoiceSnap) plus the stale-prefix pop back into the pool
+// (usableSnapshot) must not allocate.
+func TestChoiceSnapshotPushPopAllocs(t *testing.T) {
+	c := New(snapProgram(&obsSet{}), Options{})
+	c.stack = pmem.NewStack()
+	c.stack.EnableJournal()
+	c.stack.Push() // post-failure execution: Top().ID == 1
+	c.snapActive = true
+	c.chsnapActive = true
+	c.segLogs = append(c.segLogs[:0], nil)
+	pts := []choicePoint{
+		{kind: chooseFail, n: 2, idx: 1},
+		{kind: chooseReadFrom, n: 3, idx: 0},
+	}
+	cycle := func() {
+		c.chooser.points = append(c.chooser.points[:0], pts...)
+		c.chooser.cursor = 2
+		c.captureChoiceSnap()
+		if len(c.snaps) != 1 {
+			t.Fatalf("capture did not push: %d entries", len(c.snaps))
+		}
+		// Backtrack away from the captured prefix: the deepest recorded
+		// decision flips, the entry goes stale, and the scan pools it.
+		c.chooser.points[1].idx = 1
+		c.chooser.stable = 1
+		if s := c.usableSnapshot(); s != nil {
+			t.Fatalf("stale entry survived as %+v", s)
+		}
+		if len(c.snaps) != 0 {
+			t.Fatalf("pop left %d entries", len(c.snaps))
+		}
+	}
+	cycle() // warm the pool and every reused slice
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Errorf("warmed choice-snapshot push/pop allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestChoiceSnapExciseBelow: when porPruneSweep clamps point i, every stack
+// entry whose prefix took the now-excised branch at i must be dropped, while
+// entries on the surviving branch (or too shallow to cover i) stay cached.
+func TestChoiceSnapExciseBelow(t *testing.T) {
+	c := New(snapProgram(&obsSet{}), Options{})
+	c.stack = pmem.NewStack()
+	c.stack.EnableJournal()
+	mk := func(depth int, idxAt1 int) *snapEntry {
+		pts := []choicePoint{
+			{kind: chooseFail, n: 2, idx: 1},
+			{kind: chooseFail, n: 2, idx: idxAt1},
+			{kind: chooseReadFrom, n: 2, idx: 0},
+		}
+		return &snapEntry{kind: choiceSnap, depth: depth, prefix: pts[:depth],
+			mark: c.stack.Mark()}
+	}
+	c.chooser.points = []choicePoint{
+		{kind: chooseFail, n: 2, idx: 1},
+		{kind: chooseFail, n: 2, idx: 0}, // live path: point 1 not taken
+		{kind: chooseReadFrom, n: 2, idx: 0},
+	}
+	// Shallow entry (does not cover point 1), covered entry on the live
+	// branch, and a deeper entry whose prefix took the excised branch.
+	c.snaps = []*snapEntry{mk(1, 0), mk(2, 0), mk(3, 1)}
+	c.chsnapExciseBelow(1)
+	if len(c.snaps) != 2 {
+		t.Fatalf("excision kept %d entries, want 2", len(c.snaps))
+	}
+	for _, s := range c.snaps {
+		if s.depth > 1 && s.prefix[1].idx != 0 {
+			t.Errorf("entry at depth %d still hangs off the excised branch", s.depth)
+		}
+	}
+}

@@ -59,6 +59,16 @@ func (r *traceRing) snapshot() []TraceOp {
 	return out
 }
 
+// snapshotInto is snapshot appending into a caller-provided buffer (the
+// snapshot-entry free list reuses it, so a warmed capture allocates nothing).
+func (r *traceRing) snapshotInto(out []TraceOp) []TraceOp {
+	if !r.full {
+		return append(out, r.buf[:r.next]...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
 // restore rewinds the ring to hold exactly the given operations (a prior
 // snapshot of length <= len(buf)), oldest-first — used when a scenario
 // resumes from a captured snapshot instead of re-running its prefix.

@@ -156,9 +156,9 @@ func TestWireGoldenFixture(t *testing.T) {
 	memos[2] = &failMemo{fp: 0xfeedface, steps: 321, vec: vec}
 
 	fixture := struct {
-		Claim  WireClaim     `json:"claim"`
-		Frozen WireClaim     `json:"frozen"`
-		Stats  WireStats     `json:"stats"`
+		Claim  WireClaim      `json:"claim"`
+		Frozen WireClaim      `json:"frozen"`
+		Stats  WireStats      `json:"stats"`
 		Por    []WirePorEntry `json:"por"`
 	}{
 		Claim:  encodeClaim(pts, limits, memos),

@@ -374,6 +374,46 @@ func TestDistributedWorkerKilledMidLease(t *testing.T) {
 	}
 }
 
+// TestChoiceSnapshotEquivalenceKilledWorker crosses the choice-point
+// snapshot stack with distribution and fault injection: the serial reference
+// runs with the stack disabled (pure replay semantics), the fleet runs with
+// it enabled, the root-lease worker is killed mid-lease so its residual is
+// requeued after TTL expiry — and the merged result must still be
+// bit-identical, canonical metrics included.
+func TestChoiceSnapshotEquivalenceKilledWorker(t *testing.T) {
+	for _, bench := range []string{"tree", "bugs"} {
+		t.Run(bench, func(t *testing.T) {
+			refOpts := distOpts()
+			refOpts.ChoiceSnapshots = -1
+			serial := serialReference(t, bench, refOpts)
+
+			onOpts := distOpts()
+			onOpts.ChoiceSnapshots = 1
+			h := newHarness(t)
+			id := h.submit(bench, onOpts)
+
+			w3 := h.worker("w3", 1)
+			h.fabric.KillAfter("w3", 4)
+			if err := w3.Run(); err == nil {
+				t.Fatal("killed worker exited cleanly; expected transport failure")
+			}
+			h.clock.Advance(61 * time.Second)
+
+			errs := runWorkers(h.worker("w1", 4), h.worker("w2", 4))
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("worker %d: %v", i+1, err)
+				}
+			}
+			res := h.result(id)
+			assertSameResult(t, bench, serial, res)
+			if res.Metrics.LeaseRequeues < 1 {
+				t.Errorf("LeaseRequeues = %d, want >= 1 (the killed worker's subtree)", res.Metrics.LeaseRequeues)
+			}
+		})
+	}
+}
+
 // commitReplyDropper drops the replies of the first n commit requests after
 // the coordinator has applied them, forcing the worker to redeliver the same
 // sequence numbers. (The fabric's positional DropReplies would also drop
@@ -584,7 +624,7 @@ func TestCommitRejectsMalformedPayloads(t *testing.T) {
 		{"negative scenarios in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
 			Cum: &core.WireStats{Scenarios: -3}}},
 		{"bad split", CommitRequest{Token: lease.Token, Seq: 1, Residual: &core.WireClaim{},
-			Cum: &core.WireStats{},
+			Cum:    &core.WireStats{},
 			Splits: []core.WireClaim{{Points: []core.WirePoint{badPoint}}}}},
 		{"bad residual", CommitRequest{Token: lease.Token, Seq: 1, Cum: &core.WireStats{},
 			Residual: &core.WireClaim{Points: []core.WirePoint{{Kind: "rf", N: 2, Idx: 5}}}}},

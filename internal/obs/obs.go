@@ -80,6 +80,35 @@ const (
 	ScenariosPruned
 	FingerprintHits
 	FingerprintMisses
+	// ChoicesRestored counts the subset of ChoicesReplayed decisions that
+	// were satisfied by a snapshot restore (failure-point or choice-point)
+	// instead of live re-execution. Restores still accumulate into
+	// ChoicesReplayed — the partition-independent total — so this counter
+	// splits, never changes, that total: the Metrics report shows
+	// choices_replayed minus choices_restored as the live replay count.
+	ChoicesRestored
+	// ChoiceSnapCaptures / ChoiceRestores count choice-point snapshot-stack
+	// activity: post-failure choice points captured along the DFS path, and
+	// scenarios that resumed from one (restoring O(delta) state and
+	// fast-forwarding the recovery segment) instead of replaying the whole
+	// post-failure prefix. ChoiceRestoreNs is the wall-clock time spent in
+	// those restores; ReplayStepsSaved sums the guest steps the skipped
+	// prefixes would have re-executed.
+	ChoiceSnapCaptures
+	ChoiceRestores
+	ChoiceRestoreNs
+	ReplayStepsSaved
+	// RefinementsSkipped counts post-failure load bytes whose Figure-10
+	// interval refinement was skipped because the chosen line's refinement
+	// epoch was unchanged since an identical refinement of the same
+	// interval (the walk is idempotent, so repeating it is pure cost).
+	RefinementsSkipped
+	// ReplaySteps counts guest steps physically executed while the chooser
+	// was still replaying a recorded decision prefix (cursor behind the
+	// vector) — the cost the snapshot engines exist to avoid. Fast-forwarded
+	// operations skip step accounting entirely, so a restored prefix
+	// contributes nothing here. Engine-dependent; zeroed by Canonical.
+	ReplaySteps
 
 	numCounters
 )
@@ -412,7 +441,12 @@ func (r *Registry) Snapshot() Metrics {
 	m.LoadCacheHits = counts[LoadCacheHits]
 	m.LoadRefinements = counts[LoadRefinements]
 	m.RFCandidates = counts[RFCandidates]
-	m.ChoicesReplayed = counts[ChoicesReplayed]
+	// Report restore-satisfied decisions separately from live replays:
+	// internally restores accumulate into ChoicesReplayed (keeping the
+	// partition-independent total that the delta accounting and POR math
+	// rely on), and the split is applied here at the reporting edge.
+	m.ChoicesReplayed = counts[ChoicesReplayed] - counts[ChoicesRestored]
+	m.ChoicesRestored = counts[ChoicesRestored]
 	m.ChoicesFresh = counts[ChoicesFresh]
 	m.SBEvictions = counts[SBEvictions]
 	m.FBWritebacks = counts[FBWritebacks]
@@ -423,6 +457,12 @@ func (r *Registry) Snapshot() Metrics {
 	m.ScenariosPruned = counts[ScenariosPruned]
 	m.FingerprintHits = counts[FingerprintHits]
 	m.FingerprintMisses = counts[FingerprintMisses]
+	m.ChoiceSnapCaptures = counts[ChoiceSnapCaptures]
+	m.ChoiceRestores = counts[ChoiceRestores]
+	m.ChoiceRestoreNs = counts[ChoiceRestoreNs]
+	m.ReplayStepsSaved = counts[ReplayStepsSaved]
+	m.RefinementsSkipped = counts[RefinementsSkipped]
+	m.ReplaySteps = counts[ReplaySteps]
 	m.MaxSnapshotBytes = peaks[PeakSnapshotBytes]
 	m.MaxRFCandidates = peaks[PeakRFCandidates]
 	m.MaxChoiceDepth = peaks[PeakChoiceDepth]
@@ -488,8 +528,13 @@ type Metrics struct {
 	RFCandidates    int64 `json:"rf_candidates"`
 	MaxRFCandidates int64 `json:"max_rf_candidates"`
 
-	// Choice stack (partition-independent).
+	// Choice stack. ChoicesReplayed here is the *live* replay count;
+	// ChoicesRestored is the decisions satisfied by snapshot restores
+	// (failure-point or choice-point). Their sum is partition-independent;
+	// the split depends on the snapshot engines and is re-folded by
+	// Canonical.
 	ChoicesReplayed int64 `json:"choices_replayed"`
+	ChoicesRestored int64 `json:"choices_restored,omitempty"`
 	ChoicesFresh    int64 `json:"choices_fresh"`
 	MaxChoiceDepth  int64 `json:"max_choice_depth"`
 
@@ -505,6 +550,22 @@ type Metrics struct {
 	SnapshotRestores  int64 `json:"snapshot_restores,omitempty"`
 	SnapshotRestoreNs int64 `json:"snapshot_restore_ns,omitempty"`
 	MaxSnapshotBytes  int64 `json:"max_snapshot_bytes,omitempty"`
+
+	// Choice-point snapshot stack (depends on Options.ChoiceSnapshots and
+	// on partitioning; zeroed by Canonical). RefinementsSkipped is likewise
+	// non-canonical: restores change which loads execute live.
+	ChoiceSnapCaptures int64 `json:"choice_snap_captures,omitempty"`
+	ChoiceRestores     int64 `json:"choice_restores,omitempty"`
+	ChoiceRestoreNs    int64 `json:"choice_restore_ns,omitempty"`
+	ReplayStepsSaved   int64 `json:"replay_steps_saved,omitempty"`
+	RefinementsSkipped int64 `json:"refinements_skipped,omitempty"`
+	// ReplaySteps is the physical cost of replay: guest steps executed while
+	// the chooser was still consuming a recorded prefix. The full-replay
+	// engine re-runs every prefix, the failure-point engine re-runs recovery
+	// prefixes, the choice-point stack fast-forwards them (ffwd operations
+	// skip step accounting), so this is the counter BENCH_replay.json's
+	// step-reduction column is built from.
+	ReplaySteps int64 `json:"replay_steps,omitempty"`
 
 	// Partial-order reduction. RFElisions is a deterministic property of
 	// the candidate sets and stays canonical; the fingerprint seen-set
@@ -545,6 +606,12 @@ func (m Metrics) Canonical() Metrics {
 	m.MaxFrontierLen, m.Workers, m.Events = 0, 0, 0
 	m.SnapshotCaptures, m.SnapshotRestores = 0, 0
 	m.SnapshotRestoreNs, m.MaxSnapshotBytes = 0, 0
+	// Fold restore-satisfied decisions back into the replay total: the sum
+	// is what is partition- and engine-independent.
+	m.ChoicesReplayed += m.ChoicesRestored
+	m.ChoicesRestored = 0
+	m.ChoiceSnapCaptures, m.ChoiceRestores, m.ChoiceRestoreNs = 0, 0, 0
+	m.ReplayStepsSaved, m.RefinementsSkipped, m.ReplaySteps = 0, 0, 0
 	m.ScenariosPruned, m.FingerprintHits, m.FingerprintMisses = 0, 0, 0
 	m.LeasesGranted, m.LeasesExpired, m.LeasesReleased = 0, 0, 0
 	m.LeaseRequeues, m.RPCs = 0, 0

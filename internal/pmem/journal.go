@@ -97,6 +97,9 @@ func (s *Stack) Rewind(m Mark) {
 		u.e.recountDirty(u.rec)
 	}
 	s.rewindScratch = surviving[:0]
+	// Intervals (and possibly the execution range) moved: refinement memos
+	// recorded against the pre-rewind state must stop matching.
+	s.refEpoch++
 }
 
 // FlushLine applies a flush effect (clflush or a buffered writeback) to the
@@ -126,6 +129,7 @@ func (s *Stack) raiseBegin(kind IntervalEventKind, e *Execution, a Addr, v Seq) 
 	if s.journaling {
 		s.ivlog = append(s.ivlog, ivUndo{e: e, rec: lr, old: lr.iv})
 	}
+	s.refEpoch++
 	before := lr.iv
 	lr.iv.Begin = v
 	lr.fpOK = false
@@ -151,6 +155,7 @@ func (s *Stack) lowerEnd(kind IntervalEventKind, e *Execution, a Addr, v Seq) {
 	if s.journaling {
 		s.ivlog = append(s.ivlog, ivUndo{e: e, rec: lr, old: lr.iv})
 	}
+	s.refEpoch++
 	before := lr.iv
 	lr.iv.End = v
 	lr.fpOK = false

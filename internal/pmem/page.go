@@ -50,9 +50,16 @@ type node struct {
 }
 
 // slot is the per-byte queue header: 1-based arena indices of the oldest and
-// newest store to the byte (0 = no stores).
+// newest store to the byte (0 = no stores), plus the refinement memo —
+// refSeq/refEpoch record the last completed DoRead walk that chose this
+// byte's store at refSeq, so a repeat of the identical choice while the
+// stack's refinement epoch is unchanged is skipped as a proven no-op (see
+// Stack.DoRead). refEpoch == 0 (pooled pages come back zeroed) never
+// matches a live epoch, which starts at 1.
 type slot struct {
 	head, tail int32
+	refSeq     Seq
+	refEpoch   uint64
 }
 
 // lineRec is the per-cache-line record: the most-recent-writeback interval
@@ -94,7 +101,7 @@ func NewPool() *Pool { return &Pool{} }
 // NewStack returns a stack containing only the pre-failure execution, drawing
 // its state from the pool.
 func (p *Pool) NewStack() *Stack {
-	s := &Stack{pool: p}
+	s := &Stack{pool: p, refEpoch: 1}
 	s.execs = append(s.execs, p.getExec(0))
 	return s
 }
@@ -115,6 +122,11 @@ func (p *Pool) Recycle(s *Stack) *Stack {
 	s.ivlog = s.ivlog[:0]
 	s.journaling = false
 	s.tracer = nil
+	// Restart the refinement-memo epoch: released pages are zeroed, so any
+	// page surviving in a *different* stack carries refEpoch values from its
+	// old life — but pools are single-owner and stacks draw pages only from
+	// their own pool, so epoch 1 with zeroed pages is a clean slate.
+	s.refEpoch = 1
 	return s
 }
 

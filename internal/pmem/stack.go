@@ -21,6 +21,14 @@ type Stack struct {
 	// lines into before recounting their dirty stores.
 	rewindScratch []ivUndo
 
+	// refEpoch versions the inputs of the DoRead refinement walk: it is
+	// bumped by every effective interval mutation, every Push (the walk's
+	// execution range changes), and every Rewind. A lineRec memo stamped
+	// with the current epoch proves a repeated refinement of the same
+	// ⟨addr, seq⟩ would be a no-op. Starts at 1 so zeroed pooled pages
+	// (refEpoch 0) never match.
+	refEpoch uint64
+
 	// tracer, when non-nil, receives every effective interval mutation with
 	// its provenance — the forensics hook behind per-cache-line persistence
 	// timelines. Nil (the default) keeps the zero-overhead path.
@@ -82,6 +90,9 @@ func (s *Stack) Prev(e *Execution) *Execution {
 func (s *Stack) Push() *Execution {
 	e := s.pool.getExec(len(s.execs))
 	s.execs = append(s.execs, e)
+	// The refinement walk ranges over execs below the top; a new top
+	// extends that range, so prior walk memos no longer cover it.
+	s.refEpoch++
 	return e
 }
 
@@ -135,12 +146,35 @@ func (s *Stack) ReadPreFailureInto(a Addr, out []Candidate) []Candidate {
 // after the model checker selects candidate c for a load of byte address a
 // (Figure 10, DoRead / UpdateRanges). If the chosen store is from the current
 // execution there is nothing to refine.
-func (s *Stack) DoRead(a Addr, c Candidate) {
+//
+// skipped reports that the whole refinement walk was proven redundant by the
+// epoch memo and elided: a previous DoRead chose the same ⟨addr, seq⟩ of the
+// same execution, and since then no interval moved, no execution was pushed,
+// and no rewind happened (refEpoch unchanged) — so every execution the walk
+// would visit is frozen below the top and the idempotent refinement would
+// move nothing. Update-heavy recovery code re-reading the same recovered
+// word makes this the common case.
+func (s *Stack) DoRead(a Addr, c Candidate) (skipped bool) {
 	top := s.Top()
 	if c.Exec == top.ID {
-		return
+		return false
+	}
+	// The memo lives on the chosen execution's slot for byte a (InitialExec
+	// candidates memoize on execution 0; their Seq 0 cannot collide with a
+	// real exec-0 store, whose Seq is >= 1).
+	memoExec := c.Exec
+	if memoExec < 0 {
+		memoExec = 0
+	}
+	sl := &s.execs[memoExec].ensurePage(a).slots[a&pageMask]
+	if sl.refEpoch == s.refEpoch && sl.refSeq == c.Seq {
+		return true
 	}
 	s.updateRanges(top.ID-1, a, c)
+	// Stamp with the post-walk epoch: the walk's own effective mutations
+	// bumped it, and repeating the walk now would be ineffective.
+	sl.refSeq, sl.refEpoch = c.Seq, s.refEpoch
+	return false
 }
 
 // updateRanges walks the executions from execID down to the chosen one

@@ -187,6 +187,47 @@ func (t *ThreadState) SBLen() int { return len(t.sb) - t.sbHead }
 // FBLen reports the number of buffered flush-buffer entries.
 func (t *ThreadState) FBLen() int { return len(t.fb) }
 
+// Snapshot is a deep copy of one thread's buffering state, captured by
+// CaptureInto and reapplied by RestoreFrom. The checker's choice-point
+// snapshot stack stores one per guest thread; the backing slices are reused
+// across captures so a warmed capture/restore cycle allocates nothing.
+type Snapshot struct {
+	sb      []Entry
+	fb      []fbEntry
+	tSfence pmem.Seq
+	// tLine is captured as parallel key/value slices; RestoreFrom rebuilds
+	// the map, so the (nondeterministic) capture iteration order is
+	// irrelevant to the restored state.
+	lineK []pmem.Addr
+	lineV []pmem.Seq
+}
+
+// CaptureInto records t's complete buffering state into s, reusing s's
+// backing storage.
+func (t *ThreadState) CaptureInto(s *Snapshot) {
+	s.sb = append(s.sb[:0], t.sb[t.sbHead:]...)
+	s.fb = append(s.fb[:0], t.fb...)
+	s.tSfence = t.tSfence
+	s.lineK = s.lineK[:0]
+	s.lineV = s.lineV[:0]
+	for k, v := range t.tLine {
+		s.lineK = append(s.lineK, k)
+		s.lineV = append(s.lineV, v)
+	}
+}
+
+// RestoreFrom rewinds t to exactly the state s captured.
+func (t *ThreadState) RestoreFrom(s *Snapshot) {
+	t.sb = append(t.sb[:0], s.sb...)
+	t.sbHead = 0
+	t.fb = append(t.fb[:0], s.fb...)
+	t.tSfence = s.tSfence
+	clear(t.tLine)
+	for i, k := range s.lineK {
+		t.tLine[k] = s.lineV[i]
+	}
+}
+
 // Push inserts an operation into the store buffer (Figure 7: Exec_Store,
 // Exec_CLFLUSH, Exec_CLFLUSHOPT, Exec_SFENCE). For clflushopt the entry is
 // stamped with σcurr at execution time. If the buffer is at capacity the
