@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mustReport(t *testing.T, raw string) checkReport {
+	t.Helper()
+	var rep checkReport
+	if err := json.Unmarshal([]byte(raw), &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCompareReports(t *testing.T) {
+	base := mustReport(t, `{"benchmarks":[
+		{"name":"cceh","match":true,"wall_ns":1000000},
+		{"name":"part","match":true,"wall_ns":2000000},
+		{"name":"clht","match":true,"wall_ns":3000000}]}`)
+
+	// Identical report: clean.
+	if fails := compareReports("t", base, base, 0.20); len(fails) != 0 {
+		t.Errorf("identical reports should pass, got %v", fails)
+	}
+
+	// Faster rows and rows new to the fresh report are fine.
+	ok := mustReport(t, `{"benchmarks":[
+		{"name":"cceh","match":true,"wall_ns":500000},
+		{"name":"part","match":true,"wall_ns":2300000},
+		{"name":"clht","match":true,"wall_ns":3000000},
+		{"name":"newrow","match":true,"wall_ns":9000000}]}`)
+	if fails := compareReports("t", ok, base, 0.20); len(fails) != 0 {
+		t.Errorf("faster/new rows should pass, got %v", fails)
+	}
+
+	// match=false, a >20% regression, and a lost row each fail.
+	bad := mustReport(t, `{"benchmarks":[
+		{"name":"cceh","match":false,"wall_ns":1000000},
+		{"name":"part","match":true,"wall_ns":2500000}]}`)
+	fails := compareReports("t", bad, base, 0.20)
+	if len(fails) != 3 {
+		t.Fatalf("want 3 failures, got %d: %v", len(fails), fails)
+	}
+	for _, want := range []string{"cceh: match=false", "part: wall_ns regressed 25%", "clht: row missing"} {
+		found := false
+		for _, f := range fails {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures missing %q: %v", want, fails)
+		}
+	}
+
+	// A regression exactly at the tolerance boundary passes; tolerance is
+	// configurable.
+	edge := mustReport(t, `{"benchmarks":[
+		{"name":"cceh","match":true,"wall_ns":1200000},
+		{"name":"part","match":true,"wall_ns":2000000},
+		{"name":"clht","match":true,"wall_ns":3000000}]}`)
+	if fails := compareReports("t", edge, base, 0.20); len(fails) != 0 {
+		t.Errorf("at-tolerance row should pass, got %v", fails)
+	}
+	if fails := compareReports("t", edge, base, 0.10); len(fails) != 1 {
+		t.Errorf("tighter tolerance should fail the 20%% row, got %v", fails)
+	}
+
+	// Mode-specific wall-clock keys are compared when present (a -dist row).
+	dbase := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1000000,"serial_ns":500000}]}`)
+	dbad := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1500000,"serial_ns":500000}]}`)
+	if fails := compareReports("t", dbad, dbase, 0.20); len(fails) != 1 || !strings.Contains(fails[0], "dist_ns") {
+		t.Errorf("dist_ns regression not caught: %v", fails)
+	}
+}

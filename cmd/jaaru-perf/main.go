@@ -54,6 +54,14 @@
 // at 2x/5x on the RECIPE update rows, and the measurements are written as
 // JSON (BENCH_replay.json).
 //
+// Every BENCH mode embeds the machine-readable observability metrics block of
+// an instrumented run in each row, so CI can track any counter over time, and
+// -check is the comparator those reports feed: it diffs a freshly generated
+// BENCH_*.json against the committed baseline (-baseline) and fails on any
+// row with match=false, any row lost from the baseline, or any wall-clock
+// field that regressed beyond -tolerance (default 20%) — `make bench-check`
+// runs it for every mode.
+//
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran.
 //
 // Usage:
@@ -65,6 +73,7 @@
 //	jaaru-perf -por BENCH_por.json [-reps R] [-scale N]
 //	jaaru-perf -dist BENCH_dist.json [-workers N] [-reps R] [-scale N]
 //	jaaru-perf -replay BENCH_replay.json [-reps R] [-scale N]
+//	jaaru-perf -check FRESH.json -baseline COMMITTED.json [-tolerance F]
 package main
 
 import (
@@ -496,7 +505,9 @@ func main() {
 	por := flag.String("por", "", "benchmark the partial-order reduction layer and write the JSON report to this file")
 	dst := flag.String("dist", "", "benchmark distributed exploration over an in-process fabric and write the JSON report to this file")
 	replay := flag.String("replay", "", "benchmark the choice-point snapshot stack against full replay and write the JSON report to this file")
-	baseline := flag.String("baseline", "", "prior -memlayout report to diff and cross-check against")
+	check := flag.String("check", "", "compare this freshly generated BENCH report against -baseline and fail on match=false, lost rows, or wall-clock regressions")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional wall-clock regression for -check")
+	baseline := flag.String("baseline", "", "prior report to diff and cross-check against (-memlayout) or the committed report to compare with (-check)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -504,6 +515,10 @@ func main() {
 	stopProfiles := profiling.Start(*cpuprofile, *memprofile)
 	defer stopProfiles()
 
+	if *check != "" {
+		runCheck(*check, *baseline, *tolerance)
+		return
+	}
 	if *parallel != "" {
 		runParallelBench(*parallel, *workers, *reps, *scale)
 		return

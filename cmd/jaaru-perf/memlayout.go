@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jaaru/internal/core"
+	"jaaru/internal/obs"
 )
 
 // memlayoutBench is one benchmark row of the -memlayout report: wall-clock
@@ -35,6 +36,10 @@ type memlayoutBench struct {
 	// baseline it reports the run completed (and is re-checked when the
 	// report is later used as a baseline).
 	Match bool `json:"match"`
+	// Metrics is the observability snapshot of an instrumented extra run
+	// (cross-checked against the timed runs), for CI tracking — the same
+	// machine-readable counter block every other BENCH mode carries.
+	Metrics *obs.Metrics `json:"metrics,omitempty"`
 }
 
 type memlayoutReport struct {
@@ -117,6 +122,11 @@ func runMemlayoutBench(path, baselinePath string, reps, scale int) {
 			fmt.Fprintf(os.Stderr, "%s: measured run diverged from timed run\n", prog.Name)
 			os.Exit(1)
 		}
+		obsRes := core.New(prog, core.Options{Observe: true}).Run()
+		if !resultsEqual(res, obsRes) {
+			fmt.Fprintf(os.Stderr, "%s: instrumented run diverged from timed run\n", prog.Name)
+			os.Exit(1)
+		}
 		execs := max(res.Executions, 1)
 		b := memlayoutBench{
 			Name:          trimName(prog.Name),
@@ -129,6 +139,7 @@ func runMemlayoutBench(path, baselinePath string, reps, scale int) {
 			AllocsPerExec: float64(mallocs) / float64(execs),
 			BytesPerExec:  float64(bytes) / float64(execs),
 			Match:         true,
+			Metrics:       obsRes.Metrics,
 		}
 		delta := "-"
 		if br := baseRow(b.Name); br != nil {

@@ -13,6 +13,13 @@
 //	    -d '{"spec":{"bench":"figure2","buggy":true},"opts":{"Observe":true}}'
 //	curl localhost:8080/v1/jobs/j1
 //
+// Fleet telemetry is served from the same listener: GET /metrics is a
+// Prometheus-text scrape (one labeled series per job, including live
+// phase-latency histograms), and GET /v1/status is the JSON fleet view
+// jaaru-top renders (per-job scenarios/sec, frontier depth, active leases,
+// latency quantiles, ETA). -addr :0 binds an ephemeral port and prints the
+// actual address, which is what the scrape smoke test drives.
+//
 // Jobs resolve benchmark names through internal/benchlist, the same registry
 // the jaaru CLI uses; workers resolve the identical spec on their side, so
 // no guest code ever crosses the wire. A complete distributed run returns a
@@ -28,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,7 +63,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: coord}
+	// Listen explicitly (rather than ListenAndServe) so an ephemeral-port
+	// bind (-addr :0) can report the address a scraper should target.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Handler: coord}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -68,8 +84,8 @@ func main() {
 		srv.Shutdown(ctx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "jaaru-server: listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	fmt.Fprintf(os.Stderr, "jaaru-server: listening on %s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,124 @@
+// Command jaaru-top is the live fleet profiler: it polls a jaaru telemetry
+// endpoint's GET /v1/status — the coordinator (jaaru-server), a standalone
+// checker run (jaaru -listen), or a worker (jaaru-worker -listen) — and
+// renders per-job progress plus phase-latency quantiles: top(1) for an
+// exploration fleet.
+//
+// Usage:
+//
+//	jaaru-top -server http://host:8080            one snapshot, then exit
+//	jaaru-top -server http://host:8080 -watch 2s  refresh until interrupted
+//
+// Each job row shows scenarios against the MaxScenarios goal, the live
+// scenarios/sec rate, the ETA to the goal (an upper bound: complete
+// explorations finish earlier), frontier depth, active leases, workers, and
+// distinct bugs; the indented lines below a row are that job's per-phase
+// latency distributions (p50/p99/max from the mergeable histograms the
+// workers ship with every commit).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"jaaru/internal/telemetry"
+)
+
+func main() {
+	server := flag.String("server", "", "telemetry base URL (required), e.g. http://host:8080")
+	watch := flag.Duration("watch", 0, "refresh at this interval instead of printing one snapshot")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+	flag.Parse()
+
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "jaaru-top: -server is required")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	for {
+		st, err := fetchStatus(client, *server)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jaaru-top: %v\n", err)
+			if *watch <= 0 {
+				os.Exit(1)
+			}
+		} else {
+			if *watch > 0 {
+				fmt.Print("\033[H\033[2J") // clear screen between refreshes
+			}
+			fmt.Print(render(st))
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+	}
+}
+
+// fetchStatus polls one /v1/status snapshot.
+func fetchStatus(c *http.Client, base string) (telemetry.Status, error) {
+	var st telemetry.Status
+	resp, err := c.Get(strings.TrimSuffix(base, "/") + "/v1/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /v1/status: HTTP %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("decode /v1/status: %v", err)
+	}
+	return st, nil
+}
+
+// render formats one status snapshot as the fleet table: one row per job,
+// with that job's per-phase latency quantiles indented beneath it.
+func render(st telemetry.Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  up %s\n", st.Service,
+		time.Duration(st.UptimeSec*float64(time.Second)).Round(100*time.Millisecond))
+	if len(st.Jobs) == 0 {
+		b.WriteString("no jobs\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9s %9s %9s %7s %8s %5s\n",
+		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS")
+	for _, j := range st.Jobs {
+		scen := fmt.Sprintf("%d", j.Scenarios)
+		if j.Goal > 0 {
+			scen = fmt.Sprintf("%d/%d", j.Scenarios, j.Goal)
+		}
+		eta := "-"
+		if j.ETASec > 0 {
+			eta = time.Duration(j.ETASec * float64(time.Second)).Round(time.Second).String()
+		}
+		fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9.1f %9s %9d %7d %8d %5d\n",
+			j.ID, j.Bench, j.State, scen, j.Rate, eta,
+			j.FrontierLen, j.ActiveLeases, j.Workers, j.Bugs)
+		timers := make([]string, 0, len(j.Latency))
+		for name := range j.Latency {
+			timers = append(timers, name)
+		}
+		sort.Strings(timers)
+		for _, name := range timers {
+			q := j.Latency[name]
+			fmt.Fprintf(&b, "       %-17s n=%-9d p50=%-11s p99=%-11s max=%s\n",
+				name, q.Count, durNs(q.P50Ns), durNs(q.P99Ns), durNs(q.MaxNs))
+		}
+	}
+	return b.String()
+}
+
+func durNs(ns int64) string { return time.Duration(ns).String() }

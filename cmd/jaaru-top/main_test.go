@@ -1,0 +1,83 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jaaru/internal/telemetry"
+)
+
+func fixedStatus() telemetry.Status {
+	return telemetry.Status{
+		Service:   "jaaru-coordinator",
+		UptimeSec: 12.5,
+		Jobs: []telemetry.JobStatus{
+			{
+				ID: "j1", Bench: "figure2", State: "running",
+				Scenarios: 40, Goal: 100, Rate: 8.0, ETASec: 7.5,
+				FrontierLen: 3, ActiveLeases: 2, Workers: 2, Bugs: 1,
+				Latency: map[string]telemetry.Quantiles{
+					"pre_failure": {Count: 41, MeanNs: 1500, P50Ns: 1024, P99Ns: 4096, MaxNs: 8192},
+					"lease_claim": {Count: 5, MeanNs: 2_000_000, P50Ns: 2_000_000, P99Ns: 2_000_000, MaxNs: 2_000_000},
+				},
+			},
+			{ID: "j2", Bench: "btree", State: "done", Scenarios: 17, Rate: 0},
+		},
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := render(fixedStatus())
+	for _, want := range []string{
+		"jaaru-coordinator  up 12.5s",
+		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS",
+		"j1", "figure2", "running", "40/100", "8.0", "8s", // 7.5s rounds to 8s
+		"j2", "btree", "done",
+		"lease_claim", "pre_failure", "p50=1.024µs", "p99=4.096µs", "max=8.192µs", "n=41",
+		"p50=2ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	// Latency lines are sorted by timer name: lease_claim before pre_failure.
+	if strings.Index(out, "lease_claim") > strings.Index(out, "pre_failure") {
+		t.Errorf("latency lines not sorted by timer name:\n%s", out)
+	}
+	// j2 has no goal and zero rate: the scenario cell is bare and ETA is "-".
+	j2 := out[strings.Index(out, "j2"):]
+	line := j2[:strings.IndexByte(j2, '\n')]
+	if !strings.Contains(line, " 17 ") || !strings.Contains(line, " - ") {
+		t.Errorf("done-job row want bare scenarios and '-' eta, got %q", line)
+	}
+}
+
+func TestRenderNoJobs(t *testing.T) {
+	out := render(telemetry.Status{Service: "jaaru", UptimeSec: 1})
+	if !strings.Contains(out, "no jobs") {
+		t.Errorf("empty status should render 'no jobs', got %q", out)
+	}
+}
+
+func TestFetchStatus(t *testing.T) {
+	srv := httptest.NewServer(telemetry.StatusHandler(fixedStatus))
+	defer srv.Close()
+
+	st, err := fetchStatus(srv.Client(), srv.URL+"/") // trailing slash is trimmed
+	if err != nil {
+		t.Fatalf("fetchStatus: %v", err)
+	}
+	if st.Service != "jaaru-coordinator" || len(st.Jobs) != 2 || st.Jobs[0].Latency["pre_failure"].Count != 41 {
+		t.Errorf("fetchStatus round-trip mismatch: %+v", st)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	defer bad.Close()
+	if _, err := fetchStatus(bad.Client(), bad.URL); err == nil {
+		t.Error("fetchStatus should fail on HTTP 404")
+	}
+}

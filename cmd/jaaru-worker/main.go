@@ -6,6 +6,13 @@
 // Usage:
 //
 //	jaaru-worker -coordinator http://host:8080 [-name w1] [-commit-every N]
+//	            [-listen ADDR]
+//
+// -listen serves the worker's own telemetry — GET /metrics and GET
+// /v1/status with the lease-claim and commit RPC round-trip latency
+// histograms — so a fleet dashboard can tell a slow coordinator link from a
+// slow exploration (exploration counters travel in the commits and are
+// served by the coordinator's endpoints).
 //
 // Benchmarks are resolved locally through internal/benchlist from the spec
 // in each lease, so the worker binary must be built from the same tree as
@@ -23,6 +30,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,12 +39,15 @@ import (
 	"jaaru/internal/benchlist"
 	"jaaru/internal/core"
 	"jaaru/internal/dist"
+	"jaaru/internal/obs"
+	"jaaru/internal/telemetry"
 )
 
 func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8080")
 	name := flag.String("name", "", "worker name in coordinator accounting (default: hostname-pid)")
 	commitEvery := flag.Int("commit-every", 0, "scenarios between commits (0: the runner default); lower = tighter re-execution window after a crash")
+	listen := flag.String("listen", "", "serve worker telemetry (GET /metrics, GET /v1/status) on this address (:0 picks an ephemeral port)")
 	flag.Parse()
 
 	if *coordinator == "" {
@@ -47,11 +59,24 @@ func main() {
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	var reg *obs.Registry
+	if *listen != "" {
+		reg = obs.NewRegistry(nil)
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "jaaru-worker %s: telemetry on http://%s\n", *name, ln.Addr())
+		go http.Serve(ln, telemetry.RegistryMux("jaaru-worker", reg, nil))
+	}
+
 	w, err := dist.NewWorker(dist.WorkerConfig{
 		Name:        *name,
 		BaseURL:     *coordinator,
 		Resolve:     resolve,
 		CommitEvery: *commitEvery,
+		Registry:    reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -6,7 +6,7 @@
 //
 //	jaaru -list
 //	jaaru [-buggy] [-n N] [-multirf] [-failures K] [-trace] <benchmark>
-//	jaaru [-metrics] [-trace-out FILE] [-progress DUR] <benchmark>
+//	jaaru [-metrics] [-trace-out FILE] [-progress DUR] [-listen ADDR] <benchmark>
 //
 // Benchmarks: the six RECIPE structures (cceh, fastfair, part, bwtree,
 // clht, masstree), the five PMDK examples (btree, ctree, rbtree,
@@ -15,7 +15,9 @@
 //
 // -metrics prints the observability counter block after the summary;
 // -trace-out streams the JSONL event trace to a file; -progress prints a
-// live scenarios/sec line to stderr while the exploration runs. All three
+// live scenarios/sec + ETA line to stderr while the exploration runs;
+// -listen serves live GET /metrics (Prometheus text) and GET /v1/status
+// (the JSON view jaaru-top renders) while the run is in flight. All of them
 // leave the exploration itself untouched — the counters are accumulated
 // independently of the Result fields, so the two always cross-check.
 package main
@@ -24,6 +26,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -32,6 +36,7 @@ import (
 	"jaaru/internal/obs"
 	"jaaru/internal/profiling"
 	"jaaru/internal/report"
+	"jaaru/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +57,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect and print the observability counter block")
 	traceOut := flag.String("trace-out", "", "write the JSONL event trace to this file (implies -metrics)")
 	progress := flag.Duration("progress", 0, "print a live progress line to stderr at this interval (implies -metrics)")
+	listen := flag.String("listen", "", "serve live GET /metrics and GET /v1/status on this address while the exploration runs (implies -metrics; :0 picks an ephemeral port)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -99,7 +105,7 @@ func main() {
 	if *trace {
 		opts.TraceLen = 128
 	}
-	opts.Observe = *metrics || *progress > 0
+	opts.Observe = *metrics || *progress > 0 || *listen != ""
 
 	var traceFile *os.File
 	var traceBuf *bufio.Writer
@@ -116,6 +122,19 @@ func main() {
 
 	prog := chosen.Build(*n, *buggy)
 	ck := core.New(prog, opts)
+
+	if *listen != "" {
+		reg := ck.Observability()
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listening on %s: %v\n", *listen, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "jaaru: telemetry on http://%s\n", ln.Addr())
+		go http.Serve(ln, telemetry.RegistryMux("jaaru", reg, func() []telemetry.JobStatus {
+			return []telemetry.JobStatus{telemetry.RegistryJob(name, reg)}
+		}))
+	}
 
 	var stopProgress chan struct{}
 	if *progress > 0 {

@@ -544,16 +544,18 @@ func (c *Checker) runSegment(fn func(*Context)) (crashed bool) {
 		// Registered before the teardown defer, so it runs after teardown
 		// (LIFO) and sees the segment's final step count. Phase selection
 		// happens now: the execution stack grows before recovery segments.
-		phase := obs.PreFailureNs
+		phase, timer := obs.PreFailureNs, obs.TimerPreFailure
 		switch {
 		case c.replaySegment:
-			phase = obs.ReplayNs
+			phase, timer = obs.ReplayNs, obs.TimerReplay
 		case c.stack.Top().ID > 0:
-			phase = obs.PostFailureNs
+			phase, timer = obs.PostFailureNs, obs.TimerPostFailure
 		}
 		t0 := time.Now()
 		defer func() {
-			c.col.Add(phase, time.Since(t0).Nanoseconds())
+			ns := time.Since(t0).Nanoseconds()
+			c.col.Add(phase, ns)
+			c.col.Observe(timer, ns)
 			c.col.Add(obs.Steps, int64(c.steps))
 			c.col.Add(obs.ReplaySteps, int64(c.replaySteps))
 		}()
@@ -727,6 +729,15 @@ func (c *Checker) resolveByte(t *thread, a pmem.Addr, first bool) byte {
 	if bs, ok := c.stack.Top().Newest(a); ok {
 		c.col.Inc(obs.LoadCacheHits)
 		return bs.Val
+	}
+	if c.col != nil {
+		// Per-byte refinement latency: candidate enumeration through value
+		// selection (all exit paths, including elision). Wall-clock, so it
+		// feeds only the non-canonical TimerRefinement histogram.
+		t0 := time.Now()
+		defer func() {
+			c.col.Observe(obs.TimerRefinement, time.Since(t0).Nanoseconds())
+		}()
 	}
 	c.rfScratch = c.stack.ReadPreFailureInto(a, c.rfScratch[:0])
 	cands := c.rfScratch

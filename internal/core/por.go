@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"jaaru/internal/obs"
 	"jaaru/internal/pmem"
@@ -275,10 +276,18 @@ func (c *Checker) porBeginScenario() {
 // numbers cancel), salted with the allocator high-water mark and crash-stack
 // depth — the exact inputs the recovery subtree is a function of.
 func (c *Checker) porStateFingerprint() uint64 {
+	var t0 time.Time
+	if c.col != nil {
+		t0 = time.Now()
+	}
 	h := pmem.FingerprintSeed
 	h = (h ^ uint64(c.alloc.HighWater())) * 0x100000001b3
 	h = (h ^ uint64(c.stack.Depth())) * 0x100000001b3
-	return c.stack.Fingerprint(h)
+	fp := c.stack.Fingerprint(h)
+	if c.col != nil {
+		c.col.Observe(obs.TimerFingerprint, time.Since(t0).Nanoseconds())
+	}
+	return fp
 }
 
 // porNoteFailPoint memoizes a freshly created failure decision point (called

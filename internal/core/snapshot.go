@@ -451,7 +451,9 @@ func (c *Checker) restoreSnapshot(s *snapEntry) (crashed bool) {
 		// choices_restored (and folded back for the canonical comparison).
 		c.col.Add(obs.ChoicesRestored, int64(cursor))
 		c.col.Inc(obs.SnapshotRestores)
-		c.col.Add(obs.SnapshotRestoreNs, time.Since(t0).Nanoseconds())
+		ns := time.Since(t0).Nanoseconds()
+		c.col.Add(obs.SnapshotRestoreNs, ns)
+		c.col.Observe(obs.TimerSnapshotRestore, ns)
 	}
 	return s.kind == fpSnap
 }
@@ -596,7 +598,9 @@ func (c *Checker) restoreChoiceSnap(s *snapEntry) (crashed bool) {
 		c.col.Add(obs.ChoicesRestored, int64(s.depth))
 		c.col.Inc(obs.ChoiceRestores)
 		c.col.Add(obs.ReplayStepsSaved, s.stepsDelta-int64(s.segSteps))
-		c.col.Add(obs.ChoiceRestoreNs, time.Since(t0).Nanoseconds())
+		ns := time.Since(t0).Nanoseconds()
+		c.col.Add(obs.ChoiceRestoreNs, ns)
+		c.col.Observe(obs.TimerChoiceRestore, ns)
 	}
 	// Truncate the segment's value log to the capture point: the resumed
 	// live suffix appends its own events from here, and any deeper captures

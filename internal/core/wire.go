@@ -203,10 +203,108 @@ type WireBug struct {
 }
 
 // WireObs is one collector shard in wire form: dense counter and peak
-// vectors (index = obs.Counter / obs.Peak).
+// vectors (index = obs.Counter / obs.Peak), plus the shard's latency
+// histograms in sparse form.
 type WireObs struct {
-	Counters []int64 `json:"counters,omitempty"`
-	Peaks    []int64 `json:"peaks,omitempty"`
+	Counters []int64    `json:"counters,omitempty"`
+	Peaks    []int64    `json:"peaks,omitempty"`
+	Hists    []WireHist `json:"hists,omitempty"`
+}
+
+// WireHist is one timer histogram in sparse wire form: only populated
+// buckets ship, as ascending [bucket index, count] pairs against the fixed
+// layout of obs.Histogram. The fold at the coordinator is bucket-wise
+// addition, so duplicate delivery of a cumulative commit stays idempotent
+// (commits replace the lease's previous WireStats wholesale before any fold
+// happens at retire time).
+type WireHist struct {
+	Timer   int        `json:"timer"`
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// encodeHists converts a shard's histogram snapshots to sparse wire form,
+// skipping empty timers.
+func encodeHists(v obs.HistVec) []WireHist {
+	var out []WireHist
+	for t := range v {
+		s := v[t]
+		if s.Count == 0 {
+			continue
+		}
+		wh := WireHist{Timer: t, Count: s.Count, Sum: s.Sum}
+		for i, n := range s.Counts {
+			if n != 0 {
+				wh.Buckets = append(wh.Buckets, [2]int64{int64(i), n})
+			}
+		}
+		out = append(out, wh)
+	}
+	return out
+}
+
+// validate checks one wire histogram's shape: timer and bucket indexes in
+// range, ascending buckets, positive per-bucket counts that sum to Count.
+func (h *WireHist) validate() error {
+	if h.Timer < 0 || h.Timer >= obs.NumTimers {
+		return fmt.Errorf("hist timer %d out of range [0,%d)", h.Timer, obs.NumTimers)
+	}
+	if h.Count < 0 || h.Sum < 0 {
+		return fmt.Errorf("hist %s: negative count/sum (%d/%d)", obs.Timer(h.Timer), h.Count, h.Sum)
+	}
+	prev, total := int64(-1), int64(0)
+	for _, b := range h.Buckets {
+		idx, n := b[0], b[1]
+		if idx <= prev || idx >= int64(obs.NumHistBuckets) {
+			return fmt.Errorf("hist %s: bucket index %d out of order or range", obs.Timer(h.Timer), idx)
+		}
+		if n <= 0 {
+			return fmt.Errorf("hist %s: bucket %d has non-positive count %d", obs.Timer(h.Timer), idx, n)
+		}
+		prev, total = idx, total+n
+	}
+	if total != h.Count {
+		return fmt.Errorf("hist %s: bucket counts sum to %d, want count %d", obs.Timer(h.Timer), total, h.Count)
+	}
+	return nil
+}
+
+// snapshot expands the sparse wire form back into a mergeable snapshot.
+func (h *WireHist) snapshot() obs.HistSnapshot {
+	s := obs.HistSnapshot{Count: h.Count, Sum: h.Sum}
+	if n := len(h.Buckets); n > 0 {
+		s.Counts = make([]int64, h.Buckets[n-1][0]+1)
+		for _, b := range h.Buckets {
+			s.Counts[b[0]] = b[1]
+		}
+	}
+	return s
+}
+
+// DecodeWireObs expands a commit's shipped observability shard into counter
+// and histogram form, skipping malformed entries (callers on the live path
+// tolerate partial data; the authoritative fold at retire time re-validates).
+// The dist coordinator's /metrics and /v1/status views use it to overlay
+// every active lease's latest cumulative commit onto the merged registry
+// snapshot without mutating the registry — Absorb still happens exactly
+// once, when the lease retires.
+func DecodeWireObs(wo *WireObs) (obs.CounterVec, obs.HistVec) {
+	var cv obs.CounterVec
+	var hv obs.HistVec
+	if wo == nil {
+		return cv, hv
+	}
+	if v, ok := vecFromSlice(wo.Counters); ok {
+		cv = v
+	}
+	for i := range wo.Hists {
+		h := &wo.Hists[i]
+		if h.validate() == nil {
+			hv[h.Timer] = hv[h.Timer].Merge(h.snapshot())
+		}
+	}
+	return cv, hv
 }
 
 // WireStats is a lease's cumulative exploration stats: everything the
@@ -244,6 +342,11 @@ func (ws *WireStats) Validate() error {
 		if _, ok := vecFromSlice(ws.Obs.Counters); !ok {
 			var want obs.CounterVec
 			return fmt.Errorf("obs counters: got %d values, want %d", len(ws.Obs.Counters), len(want))
+		}
+		for i := range ws.Obs.Hists {
+			if err := ws.Obs.Hists[i].validate(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -327,7 +430,11 @@ func (c *Checker) exportWireStats() *WireStats {
 		return a.Kind < b.Kind
 	})
 	if c.col != nil {
-		ws.Obs = &WireObs{Counters: vecToSlice(c.col.Counters()), Peaks: c.col.PeakValues()}
+		ws.Obs = &WireObs{
+			Counters: vecToSlice(c.col.Counters()),
+			Peaks:    c.col.PeakValues(),
+			Hists:    encodeHists(c.col.HistSnapshots()),
+		}
 	}
 	return ws
 }
@@ -727,6 +834,13 @@ func (a *MergeAcc) Absorb(ws *WireStats) error {
 		col := a.ck.reg.NewShard()
 		col.AddCounters(vec)
 		col.RaisePeaks(ws.Obs.Peaks)
+		for i := range ws.Obs.Hists {
+			h := &ws.Obs.Hists[i]
+			if err := h.validate(); err != nil {
+				return err
+			}
+			col.AddHist(obs.Timer(h.Timer), h.snapshot())
+		}
 	}
 	return nil
 }

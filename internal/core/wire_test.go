@@ -181,7 +181,14 @@ func TestWireGoldenFixture(t *testing.T) {
 			}},
 			MultiRF:    []MultiRF{{Loc: "probe.go:12", Count: 2, Values: []string{"7", "9"}}},
 			PerfIssues: []PerfIssue{{Kind: PerfRedundantFlush, Loc: "probe.go:20", Count: 1}},
-			Obs:        &WireObs{Counters: []int64{7, 7}, Peaks: []int64{2}},
+			Obs: &WireObs{Counters: []int64{7, 7}, Peaks: []int64{2},
+				Hists: []WireHist{{
+					Timer: int(obs.TimerPreFailure), Count: 2, Sum: 300,
+					Buckets: [][2]int64{
+						{int64(obs.HistBucketIndex(100)), 1},
+						{int64(obs.HistBucketIndex(200)), 1},
+					},
+				}}},
 		},
 		Por: []WirePorEntry{{
 			FP: 0xabcdef12,
@@ -261,6 +268,16 @@ func TestWireStatsValidateRejectsMalformed(t *testing.T) {
 		{"negative execs", WireStats{ExecsPost: -2}},
 		{"bad replay point", WireStats{Bugs: []WireBug{{Replay: []WirePoint{{Kind: "coin", N: 2}}}}}},
 		{"obs counter width", WireStats{Obs: &WireObs{Counters: []int64{1, 2}}}},
+		{"hist timer range", WireStats{Obs: &WireObs{Counters: make([]int64, obs.NumCounters),
+			Hists: []WireHist{{Timer: obs.NumTimers, Count: 0}}}}},
+		{"hist bucket order", WireStats{Obs: &WireObs{Counters: make([]int64, obs.NumCounters),
+			Hists: []WireHist{{Timer: 0, Count: 2, Buckets: [][2]int64{{5, 1}, {5, 1}}}}}}},
+		{"hist bucket range", WireStats{Obs: &WireObs{Counters: make([]int64, obs.NumCounters),
+			Hists: []WireHist{{Timer: 0, Count: 1, Buckets: [][2]int64{{int64(obs.NumHistBuckets), 1}}}}}}},
+		{"hist count mismatch", WireStats{Obs: &WireObs{Counters: make([]int64, obs.NumCounters),
+			Hists: []WireHist{{Timer: 0, Count: 3, Buckets: [][2]int64{{5, 1}}}}}}},
+		{"hist negative bucket count", WireStats{Obs: &WireObs{Counters: make([]int64, obs.NumCounters),
+			Hists: []WireHist{{Timer: 0, Count: -1, Buckets: [][2]int64{{5, -1}}}}}}},
 	}
 	for _, tc := range cases {
 		if err := tc.ws.Validate(); err == nil {

@@ -10,6 +10,7 @@ import (
 
 	"jaaru/internal/core"
 	"jaaru/internal/obs"
+	"jaaru/internal/telemetry"
 )
 
 // Config parameterizes a Coordinator.
@@ -64,8 +65,13 @@ type job struct {
 	stopped bool // a cap fired: wind down cooperatively
 	capHit  bool
 
-	retiredScen int                 // scenarios in absorbed (retired) stats
-	bugKeys     map[string]struct{} // distinct canonical bug keys seen
+	// start is the submission instant (cfg.Now), the baseline the live
+	// scenarios/sec rate and ETA are measured against.
+	start time.Time
+
+	retiredScen  int                 // scenarios in absorbed (retired) stats
+	retiredExecs int                 // post-failure executions in retired stats
+	bugKeys      map[string]struct{} // distinct canonical bug keys seen
 
 	porLog   []core.WirePorEntry
 	porIndex map[uint64]struct{}
@@ -96,6 +102,8 @@ type Coordinator struct {
 	cfg Config
 	mux *http.ServeMux
 
+	start time.Time
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []string
@@ -119,6 +127,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:     cfg,
+		start:   cfg.Now(),
 		jobs:    make(map[string]*job),
 		workers: make(map[string]struct{}),
 	}
@@ -128,6 +137,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/leases/{id}/commit", c.handleCommit)
 	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", c.handleHeartbeat)
+	mux.Handle("GET /metrics", telemetry.MetricsHandler(c.telemetrySeries))
+	mux.Handle("GET /v1/status", telemetry.StatusHandler(c.status))
 	c.mux = mux
 	return c, nil
 }
@@ -157,6 +168,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec:     req.Spec,
 		opts:     acc.Options(),
 		acc:      acc,
+		start:    c.cfg.Now(),
 		queued:   []core.WireClaim{{}}, // the root prefix: the whole tree
 		leases:   make(map[string]*lease),
 		workers:  make(map[string]struct{}),
@@ -167,6 +179,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c.order = append(c.order, j.id)
 	c.submitted = true
 	j.reg().NoteRPC()
+	j.reg().SetGoal(int64(j.opts.MaxScenarios))
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, JobResponse{ID: j.id})
 }
@@ -459,6 +472,7 @@ func (c *Coordinator) sweepLocked() {
 			}
 			if l.cum != nil {
 				j.retiredScen += l.cum.Scenarios
+				j.retiredExecs += l.cum.ExecsPost
 				// Absorb errors cannot happen here: handleCommit ran
 				// WireStats.Validate on this cum at ingest, which covers
 				// every Absorb error path (malformed payloads got 400).
@@ -488,6 +502,7 @@ func (c *Coordinator) retireLeaseLocked(l *lease) {
 	j := l.job
 	if l.cum != nil {
 		j.retiredScen += l.cum.Scenarios
+		j.retiredExecs += l.cum.ExecsPost
 		// Validated at commit ingest (see sweepLocked); cannot error.
 		_ = j.acc.Absorb(l.cum)
 	}
@@ -517,6 +532,102 @@ func (c *Coordinator) allDoneLocked() bool {
 		}
 	}
 	return true
+}
+
+// ---- telemetry --------------------------------------------------------------
+
+// jobViewLocked builds the live telemetry view of one job: the merged
+// (retired) registry snapshot overlaid with every active lease's latest
+// cumulative commit, so a scrape mid-run sees current progress, not just
+// progress as of the last lease retire. The overlay is read-only — the
+// authoritative fold (MergeAcc.Absorb) still happens exactly once per lease,
+// at retire — and histogram/timing data stays outside the canonical result
+// by construction (see obs.Timer).
+func (c *Coordinator) jobViewLocked(j *job) (obs.Metrics, obs.HistVec, telemetry.JobStatus) {
+	reg := j.reg()
+	m := reg.Snapshot()
+	hv := reg.Histograms()
+	scen := int64(j.retiredScen)
+	execs := int64(j.retiredExecs)
+	for _, l := range j.leases {
+		if l.cum == nil {
+			continue
+		}
+		scen += int64(l.cum.Scenarios)
+		execs += int64(l.cum.ExecsPost)
+		if l.cum.Obs != nil {
+			cv, lh := core.DecodeWireObs(l.cum.Obs)
+			m = m.AddVec(cv)
+			hv = hv.Merge(lh)
+		}
+	}
+
+	state := "running"
+	switch {
+	case j.done():
+		state = "done"
+	case j.stopped:
+		state = "stopping"
+	}
+	elapsed := c.cfg.Now().Sub(j.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(scen) / elapsed
+	}
+	goal := int64(j.opts.MaxScenarios)
+	st := telemetry.JobStatus{
+		ID:           j.id,
+		Bench:        j.spec.Bench,
+		State:        state,
+		Scenarios:    scen,
+		Goal:         goal,
+		Rate:         rate,
+		ETASec:       telemetry.ETASec(scen, goal, rate),
+		FrontierLen:  int64(len(j.queued)),
+		MaxDepth:     m.MaxChoiceDepth,
+		ActiveLeases: len(j.leases),
+		Workers:      int64(len(j.workers)),
+		Bugs:         len(j.bugKeys),
+		Latency:      telemetry.LatencyMap(hv),
+	}
+	if execs > 0 {
+		st.Executions = execs + 1 // the shared pre-failure execution
+	}
+	return m, hv, st
+}
+
+// telemetrySeries is the GET /metrics source: one labeled series per job, in
+// submission order.
+func (c *Coordinator) telemetrySeries() []telemetry.Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	out := make([]telemetry.Series, 0, len(c.order))
+	for _, id := range c.order {
+		m, hv, _ := c.jobViewLocked(c.jobs[id])
+		out = append(out, telemetry.Series{
+			Labels:  []telemetry.Label{{Name: "job", Value: id}},
+			Metrics: m,
+			Hists:   hv,
+		})
+	}
+	return out
+}
+
+// status is the GET /v1/status source: one JobStatus row per job.
+func (c *Coordinator) status() telemetry.Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	st := telemetry.Status{
+		Service:   "jaaru-coordinator",
+		UptimeSec: c.cfg.Now().Sub(c.start).Seconds(),
+	}
+	for _, id := range c.order {
+		_, _, js := c.jobViewLocked(c.jobs[id])
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
 }
 
 // ---- http plumbing ----------------------------------------------------------

@@ -83,37 +83,16 @@ func testResolver(spec ProgSpec) (core.Program, error) {
 
 // ---- harness ----------------------------------------------------------------
 
-type fakeClock struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func newFakeClock() *fakeClock {
-	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
-}
-
-func (c *fakeClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *fakeClock) Advance(d time.Duration) {
-	c.mu.Lock()
-	c.t = c.t.Add(d)
-	c.mu.Unlock()
-}
-
 type harness struct {
 	t      *testing.T
 	coord  *Coordinator
 	fabric *netsim.Fabric
-	clock  *fakeClock
+	clock  *netsim.Clock
 }
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
-	clock := newFakeClock()
+	clock := netsim.NewClock()
 	coord, err := NewCoordinator(Config{
 		Resolve:          testResolver,
 		Now:              clock.Now,
@@ -122,7 +101,9 @@ func newHarness(t *testing.T) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &harness{t: t, coord: coord, fabric: netsim.NewFabric(coord), clock: clock}
+	fabric := netsim.NewFabric(coord)
+	fabric.SetClock(clock)
+	return &harness{t: t, coord: coord, fabric: fabric, clock: clock}
 }
 
 // rpc drives the job API through the fabric, as an external client would.

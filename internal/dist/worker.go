@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jaaru/internal/core"
+	"jaaru/internal/obs"
 )
 
 // Doer is the transport a Worker speaks through: http.Client satisfies it,
@@ -42,6 +43,15 @@ type WorkerConfig struct {
 	// core.LeaseRunner default). Lower values tighten the re-execution
 	// window after a crash at the cost of more RPC traffic.
 	CommitEvery int
+	// Registry receives worker-local telemetry: lease-claim and commit RPC
+	// round-trip latency histograms (obs.TimerLeaseClaim/TimerLeaseCommit).
+	// Nil disables collection entirely — the hooks degrade to nil-receiver
+	// checks, like every obs hook.
+	Registry *obs.Registry
+	// Now is the clock RPC latencies are measured against (default
+	// time.Now). Tests inject netsim's fake clock, so injected per-hop
+	// fabric latency lands in exact histogram buckets.
+	Now func() time.Time
 }
 
 // Worker claims leases from a coordinator and explores them with
@@ -50,6 +60,9 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg      WorkerConfig
 	draining atomic.Bool
+	// col is the worker's RPC-latency shard of cfg.Registry (nil when no
+	// registry is configured; all Observe calls are nil-safe).
+	col *obs.Collector
 
 	mu      sync.Mutex
 	runners map[string]*jobRunner
@@ -87,7 +100,34 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Worker{cfg: cfg, runners: make(map[string]*jobRunner)}, nil
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Worker{
+		cfg:     cfg,
+		col:     cfg.Registry.NewShard(), // nil registry -> nil shard
+		runners: make(map[string]*jobRunner),
+	}, nil
+}
+
+// Observability exposes the worker's telemetry registry (nil unless
+// WorkerConfig.Registry was set), so the worker binary can serve its own
+// /metrics and /v1/status endpoints.
+func (w *Worker) Observability() *obs.Registry { return w.cfg.Registry }
+
+// timedPost wraps post, recording the successful round trip's latency into
+// timer t. Failed round trips (retries exhausted) are not recorded: the
+// histogram measures the cost of RPCs that happened, not the backoff policy.
+func (w *Worker) timedPost(t obs.Timer, path string, body, out any, conflict *bool) error {
+	if w.col == nil {
+		return w.post(path, body, out, conflict)
+	}
+	t0 := w.cfg.Now()
+	err := w.post(path, body, out, conflict)
+	if err == nil {
+		w.col.Observe(t, w.cfg.Now().Sub(t0).Nanoseconds())
+	}
+	return err
 }
 
 // Drain requests a graceful stop: the current lease is *released* — the
@@ -109,7 +149,7 @@ func (w *Worker) Run() error {
 			req.PorVersion = jr.coordSeen
 		}
 		var resp LeaseResponse
-		if err := w.post("/v1/lease", &req, &resp, nil); err != nil {
+		if err := w.timedPost(obs.TimerLeaseClaim, "/v1/lease", &req, &resp, nil); err != nil {
 			return fmt.Errorf("lease request: %w", err)
 		}
 		switch resp.Status {
@@ -250,7 +290,7 @@ func (s *leaseSink) Commit(splits []core.WireClaim, residual *core.WireClaim, cu
 	s.jr.drained = s.jr.lr.PorVersion()
 	var resp CommitResponse
 	stale := false
-	err := s.w.post("/v1/leases/"+s.lease.ID+"/commit", &req, &resp, &stale)
+	err := s.w.timedPost(obs.TimerLeaseCommit, "/v1/leases/"+s.lease.ID+"/commit", &req, &resp, &stale)
 	if err != nil {
 		return fmt.Errorf("commit: %w", err)
 	}

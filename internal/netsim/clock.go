@@ -1,0 +1,42 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the package's deterministic fake clock: a mutex-protected instant
+// advanced only by explicit Advance calls (never by wall time), so fabric
+// tests can drive lease TTL expiry, heartbeat windows, and injected RPC
+// latency with exact, race-free arithmetic. Pass Now as the coordinator's
+// Config.Now and the worker's WorkerConfig.Now, and install the clock on the
+// Fabric with SetClock so per-hop latency (SetLatency) advances the same
+// timeline the protocol reads.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock returns a clock pinned to a fixed, arbitrary epoch. The absolute
+// value is irrelevant — only differences matter to the protocols under test —
+// but keeping it constant makes logged timestamps reproducible.
+func NewClock() *Clock {
+	return &Clock{t: time.Unix(1_700_000_000, 0)}
+}
+
+// Now reads the current instant.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"time"
 )
 
 // Fabric is the distributed-exploration analog of this package's recorded
@@ -24,6 +25,7 @@ type Fabric struct {
 
 	mu    sync.Mutex
 	peers map[string]*peerState
+	clock *Clock
 }
 
 type peerState struct {
@@ -41,6 +43,11 @@ type peerState struct {
 	dropNext int
 	// partitioned fails every request until healed.
 	partitioned bool
+	// latency is the injected one-way hop delay: the fabric clock advances
+	// by latency before the handler runs (request hop) and again after it
+	// returns (reply hop), so a successful round trip costs exactly
+	// 2*latency on the fake timeline. Requires a clock via SetClock.
+	latency time.Duration
 }
 
 // NewFabric wraps a handler (typically a dist.Coordinator) in a
@@ -85,6 +92,26 @@ func (f *Fabric) DropReplies(peer string, n int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.peer(peer).dropNext = n
+}
+
+// SetClock installs the fake clock that per-hop latency advances. The same
+// clock should drive the coordinator's and workers' Now, so injected network
+// delay is visible to lease TTLs and to RPC round-trip timing.
+func (f *Fabric) SetClock(c *Clock) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = c
+}
+
+// SetLatency injects a deterministic one-way hop delay for peer: every
+// successful request advances the fabric clock by d on the way in and d on
+// the way out (dropped replies still pay both hops — the handler ran and the
+// reply was lost in transit; transit failures pay none). A zero d removes
+// the delay. No-op timing-wise until SetClock installs a clock.
+func (f *Fabric) SetLatency(peer string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.peer(peer).latency = d
 }
 
 // Partition isolates (or heals) a peer.
@@ -140,10 +167,17 @@ func (c *FabricClient) Do(req *http.Request) (*http.Response, error) {
 	if p.killAfter > 0 && p.requests >= p.killAfter {
 		p.dead = true
 	}
+	clock, latency := f.clock, p.latency
 	f.mu.Unlock()
 
+	if clock != nil {
+		clock.Advance(latency) // request hop
+	}
 	rec := httptest.NewRecorder()
 	f.handler.ServeHTTP(rec, req)
+	if clock != nil {
+		clock.Advance(latency) // reply hop (paid even when the reply drops)
+	}
 	if drop {
 		return nil, fmt.Errorf("netsim: reply dropped for %s", c.peer)
 	}

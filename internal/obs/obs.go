@@ -21,6 +21,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,55 @@ const (
 	numCounters
 )
 
+// NumCounters is the exported width of the counter space, for wire
+// validation and exhaustiveness tests.
+const NumCounters = int(numCounters)
+
+// counterNames maps each Counter to its snake_case wire/exposition name —
+// the same vocabulary the Metrics JSON tags use. A counter whose name ends
+// in "_ns" is wall-clock and therefore non-canonical by convention;
+// TestCanonicalZeroesEveryTimingCounter enforces that convention by
+// reflection, so a future timing counter cannot silently leak into the
+// determinism gates.
+var counterNames = [numCounters]string{
+	Scenarios:          "scenarios",
+	ExecutionsPost:     "executions_post",
+	Steps:              "steps",
+	PreFailureNs:       "pre_failure_ns",
+	PostFailureNs:      "post_failure_ns",
+	ReplayNs:           "replay_ns",
+	LoadSBHits:         "load_sb_hits",
+	LoadCacheHits:      "load_cache_hits",
+	LoadRefinements:    "load_refinements",
+	RFCandidates:       "rf_candidates",
+	ChoicesReplayed:    "choices_replayed",
+	ChoicesFresh:       "choices_fresh",
+	SBEvictions:        "sb_evictions",
+	FBWritebacks:       "fb_writebacks",
+	SnapshotCaptures:   "snapshot_captures",
+	SnapshotRestores:   "snapshot_restores",
+	SnapshotRestoreNs:  "snapshot_restore_ns",
+	RFElisions:         "rf_elisions",
+	ScenariosPruned:    "scenarios_pruned",
+	FingerprintHits:    "fingerprint_hits",
+	FingerprintMisses:  "fingerprint_misses",
+	ChoicesRestored:    "choices_restored",
+	ChoiceSnapCaptures: "choice_snap_captures",
+	ChoiceRestores:     "choice_restores",
+	ChoiceRestoreNs:    "choice_restore_ns",
+	ReplayStepsSaved:   "replay_steps_saved",
+	RefinementsSkipped: "refinements_skipped",
+	ReplaySteps:        "replay_steps",
+}
+
+// String returns the counter's snake_case exposition name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
 // Peak indexes the high-water marks of a Collector shard (merged by max).
 type Peak int
 
@@ -133,6 +183,75 @@ const (
 	numPeaks
 )
 
+// Timer indexes the per-phase latency histograms of a Collector shard. Each
+// timer is one Histogram (histogram.go): the checker records individual
+// phase durations in nanoseconds alongside the summed *Ns counters above, so
+// the exposition layer can serve latency distributions and quantiles, not
+// just totals. All timing data is wall-clock and therefore non-canonical:
+// histograms live outside Metrics and outside CounterVec, so they can never
+// enter the bit-identical equivalence comparisons or the snapshot/POR delta
+// machinery.
+type Timer int
+
+const (
+	// TimerPreFailure / TimerPostFailure / TimerReplay are per-segment guest
+	// execution latencies, split by the same phase rule as the *Ns counters.
+	TimerPreFailure Timer = iota
+	TimerPostFailure
+	TimerReplay
+	// TimerSnapshotRestore / TimerChoiceRestore are per-restore latencies of
+	// the failure-point snapshot engine and the choice-point snapshot stack.
+	TimerSnapshotRestore
+	TimerChoiceRestore
+	// TimerFingerprint is the per-call latency of the POR crash-state
+	// fingerprint walk.
+	TimerFingerprint
+	// TimerRefinement is the per-load-byte latency of the constraint
+	// refinement path (candidate choice plus the Figure-10 interval walk).
+	TimerRefinement
+	// TimerLeaseClaim / TimerLeaseCommit are distributed-worker RPC
+	// round-trip latencies against the coordinator.
+	TimerLeaseClaim
+	TimerLeaseCommit
+
+	numTimers
+)
+
+// NumTimers is the exported width of the timer space, for wire validation.
+const NumTimers = int(numTimers)
+
+var timerNames = [numTimers]string{
+	TimerPreFailure:      "pre_failure",
+	TimerPostFailure:     "post_failure",
+	TimerReplay:          "replay",
+	TimerSnapshotRestore: "snapshot_restore",
+	TimerChoiceRestore:   "choice_restore",
+	TimerFingerprint:     "fingerprint",
+	TimerRefinement:      "refinement",
+	TimerLeaseClaim:      "lease_claim",
+	TimerLeaseCommit:     "lease_commit",
+}
+
+// String returns the timer's snake_case exposition name.
+func (t Timer) String() string {
+	if t < 0 || t >= numTimers {
+		return fmt.Sprintf("timer(%d)", int(t))
+	}
+	return timerNames[t]
+}
+
+// HistVec is one merged snapshot of every timer histogram, indexed by Timer.
+type HistVec [NumTimers]HistSnapshot
+
+// Merge returns the timer-wise merge of v and o.
+func (v HistVec) Merge(o HistVec) HistVec {
+	var out HistVec
+	for t := range out {
+		out[t] = v[t].Merge(o[t])
+	}
+	return out
+}
+
 // Collector is one worker's private metrics shard. All methods are safe on
 // a nil receiver — the disabled fast path is a single nil check — and safe
 // for the single-writer / concurrent-reader pattern the registry uses (the
@@ -140,6 +259,7 @@ const (
 type Collector struct {
 	counts [numCounters]atomic.Int64
 	peaks  [numPeaks]atomic.Int64
+	hists  [numTimers]Histogram
 }
 
 // Add accumulates n into counter k.
@@ -165,6 +285,43 @@ func (c *Collector) NotePeak(p Peak, v int64) {
 		return
 	}
 	c.raisePeak(p, v)
+}
+
+// Observe records one duration (nanoseconds) into timer t's histogram.
+func (c *Collector) Observe(t Timer, ns int64) {
+	if c == nil {
+		return
+	}
+	c.hists[t].Observe(ns)
+}
+
+// HistSnapshot reads one timer's histogram (zero value on nil).
+func (c *Collector) HistSnapshot(t Timer) HistSnapshot {
+	if c == nil {
+		return HistSnapshot{}
+	}
+	return c.hists[t].Snapshot()
+}
+
+// HistSnapshots reads every timer histogram (zero value on nil).
+func (c *Collector) HistSnapshots() HistVec {
+	var v HistVec
+	if c == nil {
+		return v
+	}
+	for t := range v {
+		v[t] = c.hists[t].Snapshot()
+	}
+	return v
+}
+
+// AddHist folds a wire-shipped histogram snapshot into timer t — the merge
+// the distributed coordinator applies when absorbing a retired lease's shard.
+func (c *Collector) AddHist(t Timer, s HistSnapshot) {
+	if c == nil || t < 0 || t >= numTimers {
+		return
+	}
+	c.hists[t].AddSnapshot(s)
 }
 
 // CounterVec is a plain (non-atomic) snapshot of one Collector's summed
@@ -418,7 +575,7 @@ func (r *Registry) Snapshot() Metrics {
 	r.mu.Lock()
 	shards := append([]*Collector(nil), r.shards...)
 	r.mu.Unlock()
-	var counts [numCounters]int64
+	var counts CounterVec
 	var peaks [numPeaks]int64
 	for _, s := range shards {
 		for k := range counts {
@@ -430,39 +587,7 @@ func (r *Registry) Snapshot() Metrics {
 			}
 		}
 	}
-	m.Scenarios = counts[Scenarios]
-	m.ExecutionsPost = counts[ExecutionsPost]
-	m.Executions = m.ExecutionsPost + 1 // the shared pre-failure execution
-	m.Steps = counts[Steps]
-	m.PreFailureNs = counts[PreFailureNs]
-	m.PostFailureNs = counts[PostFailureNs]
-	m.ReplayNs = counts[ReplayNs]
-	m.LoadSBHits = counts[LoadSBHits]
-	m.LoadCacheHits = counts[LoadCacheHits]
-	m.LoadRefinements = counts[LoadRefinements]
-	m.RFCandidates = counts[RFCandidates]
-	// Report restore-satisfied decisions separately from live replays:
-	// internally restores accumulate into ChoicesReplayed (keeping the
-	// partition-independent total that the delta accounting and POR math
-	// rely on), and the split is applied here at the reporting edge.
-	m.ChoicesReplayed = counts[ChoicesReplayed] - counts[ChoicesRestored]
-	m.ChoicesRestored = counts[ChoicesRestored]
-	m.ChoicesFresh = counts[ChoicesFresh]
-	m.SBEvictions = counts[SBEvictions]
-	m.FBWritebacks = counts[FBWritebacks]
-	m.SnapshotCaptures = counts[SnapshotCaptures]
-	m.SnapshotRestores = counts[SnapshotRestores]
-	m.SnapshotRestoreNs = counts[SnapshotRestoreNs]
-	m.RFElisions = counts[RFElisions]
-	m.ScenariosPruned = counts[ScenariosPruned]
-	m.FingerprintHits = counts[FingerprintHits]
-	m.FingerprintMisses = counts[FingerprintMisses]
-	m.ChoiceSnapCaptures = counts[ChoiceSnapCaptures]
-	m.ChoiceRestores = counts[ChoiceRestores]
-	m.ChoiceRestoreNs = counts[ChoiceRestoreNs]
-	m.ReplayStepsSaved = counts[ReplayStepsSaved]
-	m.RefinementsSkipped = counts[RefinementsSkipped]
-	m.ReplaySteps = counts[ReplaySteps]
+	m = m.AddVec(counts)
 	m.MaxSnapshotBytes = peaks[PeakSnapshotBytes]
 	m.MaxRFCandidates = peaks[PeakRFCandidates]
 	m.MaxChoiceDepth = peaks[PeakChoiceDepth]
@@ -484,26 +609,81 @@ func (r *Registry) Snapshot() Metrics {
 	return m
 }
 
-// Progress renders a one-line live status: scenarios explored, rate,
-// executions, frontier depth, and — when a MaxScenarios goal is set — the
-// ETA to that cap (an upper bound: full explorations finish earlier).
+// Histograms merges every shard's timer histograms — the latency-
+// distribution counterpart of Snapshot. Like Snapshot it is safe to call
+// mid-run; the bucket-wise merge is order-insensitive, so a mid-run view is
+// a consistent partial distribution and the final view is exact.
+func (r *Registry) Histograms() HistVec {
+	var v HistVec
+	if r == nil {
+		return v
+	}
+	r.mu.Lock()
+	shards := append([]*Collector(nil), r.shards...)
+	r.mu.Unlock()
+	for _, s := range shards {
+		v = v.Merge(s.HistSnapshots())
+	}
+	return v
+}
+
+// Uptime reports time elapsed since the registry was created (zero on nil).
+func (r *Registry) Uptime() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// Goal reports the scenario cap recorded by SetGoal (0 when unset or nil).
+func (r *Registry) Goal() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.goal.Load()
+}
+
+// FrontierLen reports the live frontier queue length gauge.
+func (r *Registry) FrontierLen() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.frontierLen.Load()
+}
+
+// Progress renders a one-line live status: scenarios explored, percent of
+// goal, rate, executions, frontier depth, and — when a MaxScenarios goal is
+// set — the ETA to that cap (an upper bound: full explorations finish
+// earlier).
 func (r *Registry) Progress() string {
 	if r == nil {
 		return ""
 	}
-	m := r.Snapshot()
-	elapsed := time.Since(r.start).Seconds()
+	return FormatProgress(r.Snapshot(), r.frontierLen.Load(), r.goal.Load(),
+		time.Since(r.start))
+}
+
+// FormatProgress is the pure formatting core of Progress, split out so the
+// rendering is testable with fixed inputs. goal <= 0 means no scenario cap
+// was set; elapsed <= 0 suppresses the rate and ETA.
+func FormatProgress(m Metrics, frontier, goal int64, elapsed time.Duration) string {
 	rate := 0.0
-	if elapsed > 0 {
-		rate = float64(m.Scenarios) / elapsed
+	if sec := elapsed.Seconds(); sec > 0 {
+		rate = float64(m.Scenarios) / sec
 	}
-	s := fmt.Sprintf("%d scenarios (%.0f/s), %d executions, frontier %d",
-		m.Scenarios, rate, m.Executions, r.frontierLen.Load())
-	if goal := r.goal.Load(); goal > 0 && rate > 0 && m.Scenarios < goal {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios", m.Scenarios)
+	if goal > 0 {
+		fmt.Fprintf(&b, " (%d%%, %.0f/s)", m.Scenarios*100/goal, rate)
+	} else {
+		fmt.Fprintf(&b, " (%.0f/s)", rate)
+	}
+	fmt.Fprintf(&b, ", %d executions, frontier %d", m.Executions, frontier)
+	if goal > 0 && rate > 0 && m.Scenarios < goal {
 		eta := time.Duration(float64(goal-m.Scenarios) / rate * float64(time.Second))
-		s += fmt.Sprintf(", <=%s to MaxScenarios", eta.Round(time.Second))
+		fmt.Fprintf(&b, ", <=%s to MaxScenarios", eta.Round(time.Second))
 	}
-	return s
+	return b.String()
 }
 
 // Metrics is one merged snapshot of the registry. All fields are plain
@@ -593,6 +773,48 @@ type Metrics struct {
 
 	// Events emitted to the JSONL stream, if one was attached.
 	Events int64 `json:"events,omitempty"`
+}
+
+// AddVec folds a raw counter vector into the snapshot, applying the same
+// reporting rules as Registry.Snapshot: restore-satisfied decisions are
+// reported separately from live replays (internally restores accumulate into
+// ChoicesReplayed — the partition-independent total — and the split happens
+// here, at the reporting edge), and Executions is recomputed as
+// ExecutionsPost plus the shared pre-failure execution. The distributed
+// coordinator uses it to overlay active leases' latest cumulative commits
+// onto the merged (retired) snapshot for the live /metrics and /v1/status
+// views; nothing about the overlay feeds back into the registry.
+func (m Metrics) AddVec(v CounterVec) Metrics {
+	m.Scenarios += v[Scenarios]
+	m.ExecutionsPost += v[ExecutionsPost]
+	m.Executions = m.ExecutionsPost + 1 // the shared pre-failure execution
+	m.Steps += v[Steps]
+	m.PreFailureNs += v[PreFailureNs]
+	m.PostFailureNs += v[PostFailureNs]
+	m.ReplayNs += v[ReplayNs]
+	m.LoadSBHits += v[LoadSBHits]
+	m.LoadCacheHits += v[LoadCacheHits]
+	m.LoadRefinements += v[LoadRefinements]
+	m.RFCandidates += v[RFCandidates]
+	m.ChoicesReplayed += v[ChoicesReplayed] - v[ChoicesRestored]
+	m.ChoicesRestored += v[ChoicesRestored]
+	m.ChoicesFresh += v[ChoicesFresh]
+	m.SBEvictions += v[SBEvictions]
+	m.FBWritebacks += v[FBWritebacks]
+	m.SnapshotCaptures += v[SnapshotCaptures]
+	m.SnapshotRestores += v[SnapshotRestores]
+	m.SnapshotRestoreNs += v[SnapshotRestoreNs]
+	m.RFElisions += v[RFElisions]
+	m.ScenariosPruned += v[ScenariosPruned]
+	m.FingerprintHits += v[FingerprintHits]
+	m.FingerprintMisses += v[FingerprintMisses]
+	m.ChoiceSnapCaptures += v[ChoiceSnapCaptures]
+	m.ChoiceRestores += v[ChoiceRestores]
+	m.ChoiceRestoreNs += v[ChoiceRestoreNs]
+	m.ReplayStepsSaved += v[ReplayStepsSaved]
+	m.RefinementsSkipped += v[RefinementsSkipped]
+	m.ReplaySteps += v[ReplaySteps]
+	return m
 }
 
 // Canonical returns a copy with the fields that legitimately differ from

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Nil receivers are the disabled fast path: every hook must be a no-op.
@@ -161,5 +163,138 @@ func TestProgressMentionsGoal(t *testing.T) {
 	out := r.Progress()
 	if !strings.Contains(out, "5 scenarios") || !strings.Contains(out, "MaxScenarios") {
 		t.Fatalf("Progress = %q", out)
+	}
+}
+
+// FormatProgress is pinned with fixed inputs: percent-of-goal, rate, and ETA
+// must all appear (and degrade gracefully without a goal or elapsed time).
+func TestFormatProgress(t *testing.T) {
+	m := Metrics{Scenarios: 250, Executions: 501}
+	got := FormatProgress(m, 7, 1000, 10*time.Second)
+	want := "250 scenarios (25%, 25/s), 501 executions, frontier 7, <=30s to MaxScenarios"
+	if got != want {
+		t.Errorf("with goal:\ngot  %q\nwant %q", got, want)
+	}
+
+	got = FormatProgress(m, 7, 0, 10*time.Second)
+	want = "250 scenarios (25/s), 501 executions, frontier 7"
+	if got != want {
+		t.Errorf("no goal:\ngot  %q\nwant %q", got, want)
+	}
+
+	// At or past the goal the ETA clause drops.
+	got = FormatProgress(Metrics{Scenarios: 1000, Executions: 2001}, 0, 1000, 4*time.Second)
+	want = "1000 scenarios (100%, 250/s), 2001 executions, frontier 0"
+	if got != want {
+		t.Errorf("at goal:\ngot  %q\nwant %q", got, want)
+	}
+
+	// Zero elapsed: no rate, no ETA division.
+	got = FormatProgress(m, 0, 1000, 0)
+	want = "250 scenarios (25%, 0/s), 501 executions, frontier 0"
+	if got != want {
+		t.Errorf("zero elapsed:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+// Exhaustiveness gate (reflection): Metrics must stay a flat struct of int64
+// fields — that is what makes two snapshots comparable with == in every
+// equivalence suite — and every wall-clock field (json tag ending "_ns")
+// must be zeroed by Canonical. A future timing counter that is added to
+// Metrics without a Canonical entry fails here, not in a flaky determinism
+// suite three layers up.
+func TestCanonicalZeroesEveryTimingCounter(t *testing.T) {
+	typ := reflect.TypeOf(Metrics{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			t.Errorf("Metrics.%s is %s; histograms and other non-int64 state must live outside Metrics", f.Name, f.Type)
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag == "" {
+			t.Errorf("Metrics.%s has no json tag", f.Name)
+		}
+		if !strings.HasSuffix(tag, "_ns") {
+			continue
+		}
+		var m Metrics
+		reflect.ValueOf(&m).Elem().Field(i).SetInt(12345)
+		if got := m.Canonical(); got != (Metrics{}) {
+			t.Errorf("Canonical leaves timing field %s visible: %+v", f.Name, got)
+		}
+	}
+}
+
+// The same gate at the counter layer: feeding 1 into any "_ns" counter (via
+// a real shard) must not change the canonical snapshot, and every counter
+// must have an exposition name.
+func TestCanonicalZeroesEveryTimingCounterViaShard(t *testing.T) {
+	baseline := (&Registry{}).Snapshot().Canonical()
+	seen := map[string]bool{}
+	for k := Counter(0); int(k) < NumCounters; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "counter(") {
+			t.Errorf("counter %d has no exposition name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+		if !strings.HasSuffix(name, "_ns") {
+			continue
+		}
+		r := NewRegistry(nil)
+		r.NewShard().Add(k, 1)
+		if got := r.Snapshot().Canonical(); got != baseline {
+			t.Errorf("counter %s leaks into Canonical: %+v", name, got)
+		}
+	}
+	for tm := Timer(0); int(tm) < NumTimers; tm++ {
+		if name := tm.String(); name == "" || strings.HasPrefix(name, "timer(") {
+			t.Errorf("timer %d has no exposition name", tm)
+		}
+	}
+	// Timer histograms live entirely outside Metrics: observing must not
+	// change any snapshot at all, canonical or not.
+	r := NewRegistry(nil)
+	r.NewShard().Observe(TimerPreFailure, 123456)
+	if got, want := r.Snapshot(), (&Registry{}).Snapshot(); got != want {
+		t.Errorf("histogram observation leaked into Metrics: %+v", got)
+	}
+	if h := r.Histograms()[TimerPreFailure]; h.Count != 1 {
+		t.Errorf("histogram lost the observation: %+v", h)
+	}
+}
+
+// Registry.Histograms merges shards bucket-wise, and the collector hooks are
+// nil-safe like every other hook.
+func TestRegistryHistograms(t *testing.T) {
+	var nc *Collector
+	nc.Observe(TimerReplay, 5)
+	if s := nc.HistSnapshots(); s[TimerReplay].Count != 0 {
+		t.Fatalf("nil collector HistSnapshots = %+v", s)
+	}
+	nc.AddHist(TimerReplay, HistSnapshot{Count: 1})
+	var nr *Registry
+	if v := nr.Histograms(); v[TimerReplay].Count != 0 {
+		t.Fatalf("nil registry Histograms = %+v", v)
+	}
+	if nr.Goal() != 0 || nr.FrontierLen() != 0 || nr.Uptime() != 0 {
+		t.Fatal("nil registry accessors not zero")
+	}
+
+	r := NewRegistry(nil)
+	a, b := r.NewShard(), r.NewShard()
+	a.Observe(TimerLeaseClaim, 100)
+	a.Observe(TimerLeaseClaim, 200)
+	b.Observe(TimerLeaseClaim, 300)
+	b.Observe(TimerFingerprint, 50)
+	v := r.Histograms()
+	if v[TimerLeaseClaim].Count != 3 || v[TimerLeaseClaim].Sum != 600 {
+		t.Fatalf("lease_claim merge = %+v", v[TimerLeaseClaim])
+	}
+	if v[TimerFingerprint].Count != 1 {
+		t.Fatalf("fingerprint merge = %+v", v[TimerFingerprint])
 	}
 }

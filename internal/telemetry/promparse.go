@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition parses and validates a Prometheus text-format (0.0.4)
+// scrape body. It is deliberately small — the subset WriteMetrics emits and
+// real Prometheus servers require — but strict within that subset:
+//
+//   - sample lines must be `name[{label="value",...}] value`
+//   - metric and label names must match the Prometheus grammar
+//   - a family's `# TYPE` line must precede its samples and appear once
+//   - duplicate samples (same name + label set) are rejected
+//   - every histogram family is checked for coherence: per label set, `le`
+//     bounds strictly increase, bucket counts are cumulative, the `+Inf`
+//     bucket exists and equals `_count`, and `_sum` is present
+//
+// The scrape smoke tests use it to prove /metrics emits what a real scraper
+// could ingest.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var samples []Sample
+	types := map[string]string{}    // family -> type
+	familySeen := map[string]bool{} // family has emitted samples
+	sampleSeen := map[string]bool{} // name + rendered labels
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 || !validMetricName(fields[2]) {
+					return nil, fmt.Errorf("line %d: malformed %s comment: %s", lineNo, fields[1], line)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return nil, fmt.Errorf("line %d: TYPE needs exactly one type: %s", lineNo, line)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					if _, dup := types[fields[2]]; dup {
+						return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, fields[2])
+					}
+					if familySeen[fields[2]] {
+						return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, fields[2])
+					}
+					types[fields[2]] = fields[3]
+				}
+			}
+			continue // other comments are ignored per the format
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		key := s.Name + renderLabels(s.Labels)
+		if sampleSeen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		sampleSeen[key] = true
+		familySeen[familyOf(s.Name, types)] = true
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := validateHistograms(samples, types); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// familyOf maps a sample name to its TYPE family: histogram samples carry
+// _bucket/_sum/_count suffixes on the family name.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("no value: %s", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set: %s", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=': %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !validLabelName(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value after %s", name)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					return fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[i] {
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %s", rest[i], name)
+				}
+			} else {
+				val.WriteByte(c)
+			}
+			i++
+		}
+		if _, dup := into[name]; dup {
+			return fmt.Errorf("duplicate label %s", name)
+		}
+		into[name] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces a canonical string form of a label set (sorted), for
+// dedup keys and histogram grouping.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type histGroup struct {
+	les       []float64
+	cumCounts []float64
+	hasSum    bool
+	count     float64
+	hasCount  bool
+}
+
+func validateHistograms(samples []Sample, types map[string]string) error {
+	groups := map[string]*histGroup{}
+	group := func(family string, labels map[string]string) *histGroup {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := family + renderLabels(rest)
+		g, ok := groups[key]
+		if !ok {
+			g = &histGroup{}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range samples {
+		family := familyOf(s.Name, types)
+		if types[family] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram bucket %s without le label", s.Name)
+			}
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", family, leStr)
+				}
+				le = v
+			}
+			g := group(family, s.Labels)
+			g.les = append(g.les, le)
+			g.cumCounts = append(g.cumCounts, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			group(family, s.Labels).hasSum = true
+		case strings.HasSuffix(s.Name, "_count"):
+			g := group(family, s.Labels)
+			g.hasCount = true
+			g.count = s.Value
+		}
+	}
+	for key, g := range groups {
+		if !g.hasSum || !g.hasCount {
+			return fmt.Errorf("histogram %s: missing _sum or _count", key)
+		}
+		if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not increasing", key)
+			}
+			if g.cumCounts[i] < g.cumCounts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", key)
+			}
+		}
+		if g.cumCounts[len(g.cumCounts)-1] != g.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v",
+				key, g.cumCounts[len(g.cumCounts)-1], g.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+// Package telemetry is the fleet-exposition layer on top of internal/obs:
+// it renders merged Metrics snapshots and timer histograms as
+// Prometheus-text-format scrape responses (prom.go), serves the JSON
+// /v1/status fleet view (status types below), and carries the small
+// exposition parser the scrape tests validate responses with (promparse.go).
+//
+// The layer is strictly read-only over obs: nothing here feeds back into the
+// checker, and nothing here touches Metrics.Canonical — timing data stays
+// non-canonical by construction, because histograms never enter Metrics at
+// all (see obs.Timer).
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"jaaru/internal/obs"
+)
+
+// Status is the JSON body of GET /v1/status: one service-level envelope plus
+// a row per job (the standalone checker and the worker expose exactly one
+// row; the coordinator exposes one per submitted job).
+type Status struct {
+	Service   string      `json:"service"`
+	UptimeSec float64     `json:"uptime_sec"`
+	Jobs      []JobStatus `json:"jobs,omitempty"`
+}
+
+// JobStatus is the live per-job progress view. Scenario counts are exact at
+// the instant of the snapshot (the coordinator folds retired leases plus
+// every active lease's last commit); rate and ETA are derived from them.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Bench string `json:"bench,omitempty"`
+	State string `json:"state"`
+
+	Scenarios  int64   `json:"scenarios"`
+	Executions int64   `json:"executions,omitempty"`
+	Goal       int64   `json:"goal,omitempty"`
+	Rate       float64 `json:"scenarios_per_sec"`
+	// ETASec estimates seconds to the MaxScenarios goal at the current rate
+	// (an upper bound: full explorations finish earlier). Omitted when no
+	// goal is set, the rate is zero, or the goal is already reached.
+	ETASec float64 `json:"eta_sec,omitempty"`
+
+	FrontierLen  int64 `json:"frontier_len"`
+	MaxDepth     int64 `json:"max_choice_depth,omitempty"`
+	ActiveLeases int   `json:"active_leases,omitempty"`
+	Workers      int64 `json:"workers,omitempty"`
+	Bugs         int   `json:"bugs,omitempty"`
+
+	// Latency maps timer name -> quantiles of that phase's histogram, for
+	// every timer that has recorded at least one observation.
+	Latency map[string]Quantiles `json:"latency,omitempty"`
+}
+
+// Quantiles summarizes one latency histogram in nanoseconds. Quantile values
+// are bucket upper bounds: overestimates by at most the bucket's 6.25%
+// relative width.
+type Quantiles struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// QuantilesFrom summarizes one histogram snapshot.
+func QuantilesFrom(h obs.HistSnapshot) Quantiles {
+	return Quantiles{
+		Count:  h.Count,
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Quantile(1),
+	}
+}
+
+// LatencyMap summarizes every populated timer histogram, keyed by timer
+// name; nil when no timer has data.
+func LatencyMap(v obs.HistVec) map[string]Quantiles {
+	var out map[string]Quantiles
+	for t := range v {
+		if v[t].Count == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]Quantiles)
+		}
+		out[obs.Timer(t).String()] = QuantilesFrom(v[t])
+	}
+	return out
+}
+
+// ETASec derives the eta_sec field: seconds until scenarios reaches goal at
+// rate, or 0 (omitted) when unknown.
+func ETASec(scenarios, goal int64, rate float64) float64 {
+	if goal <= 0 || rate <= 0 || scenarios >= goal {
+		return 0
+	}
+	return float64(goal-scenarios) / rate
+}
+
+// RegistryJob summarizes one live registry as a single status row — the
+// /v1/status shape of the standalone checker, whose whole exploration is one
+// registry (the coordinator builds richer rows from per-job lease state).
+func RegistryJob(id string, reg *obs.Registry) JobStatus {
+	m := reg.Snapshot()
+	elapsed := reg.Uptime().Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(m.Scenarios) / elapsed
+	}
+	goal := reg.Goal()
+	return JobStatus{
+		ID:          id,
+		State:       "running",
+		Scenarios:   m.Scenarios,
+		Executions:  m.Executions,
+		Goal:        goal,
+		Rate:        rate,
+		ETASec:      ETASec(m.Scenarios, goal, rate),
+		FrontierLen: reg.FrontierLen(),
+		MaxDepth:    m.MaxChoiceDepth,
+		Workers:     m.Workers,
+		Latency:     LatencyMap(reg.Histograms()),
+	}
+}
+
+// RegistryMux builds the standard single-registry exposition mux: the
+// GET /metrics and GET /v1/status endpoints of a service whose telemetry
+// lives in one obs.Registry — the standalone checker and the worker. jobs,
+// when non-nil, supplies the status rows at serve time.
+func RegistryMux(service string, reg *obs.Registry, jobs func() []JobStatus) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(func() []Series {
+		return []Series{{Metrics: reg.Snapshot(), Hists: reg.Histograms()}}
+	}))
+	mux.Handle("GET /v1/status", StatusHandler(func() Status {
+		st := Status{Service: service, UptimeSec: reg.Uptime().Seconds()}
+		if jobs != nil {
+			st.Jobs = jobs()
+		}
+		return st
+	}))
+	return mux
+}
+
+// StatusHandler serves fn's Status as JSON — the GET /v1/status endpoint.
+func StatusHandler(fn func() Status) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fn())
+	})
+}
+
+// MetricsHandler serves fn's series in Prometheus text format — the
+// GET /metrics endpoint.
+func MetricsHandler(fn func() []Series) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, fn()...)
+	})
+}
