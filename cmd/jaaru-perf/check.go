@@ -53,12 +53,35 @@ func compareReports(label string, fresh, base checkReport, tol float64) []string
 					label, name, k, 100*(fw/bw-1), bw, fw, 100*tol))
 			}
 		}
+		// dist-overhead-ratio (dist_ns/serial_ns) is machine-speed
+		// independent: serial and dist run on the same host in the same
+		// invocation, so a ratio regression is protocol overhead creeping
+		// back (chattier commits, bigger frames, coordinator contention) no
+		// matter how fast the hardware is.
+		if fr, ok := overheadRatio(r); ok {
+			if brr, ok := overheadRatio(br); ok && fr > brr*(1+tol) {
+				fails = append(fails, fmt.Sprintf(
+					"%s: %s: dist-overhead-ratio regressed %.0f%% (%.2fx -> %.2fx, tolerance %.0f%%)",
+					label, name, 100*(fr/brr-1), brr, fr, 100*tol))
+			}
+		}
 	}
 	for name := range baseRows {
 		fails = append(fails, fmt.Sprintf("%s: %s: row missing from fresh report", label, name))
 	}
 	sort.Strings(fails)
 	return fails
+}
+
+// overheadRatio extracts dist_ns/serial_ns from a -dist report row; rows of
+// the other report modes lack the keys and are skipped.
+func overheadRatio(row map[string]any) (float64, bool) {
+	d, dok := row["dist_ns"].(float64)
+	s, sok := row["serial_ns"].(float64)
+	if !dok || !sok || s <= 0 {
+		return 0, false
+	}
+	return d / s, true
 }
 
 // runCheck is the -check mode: compare a fresh BENCH report against the

@@ -69,10 +69,44 @@ func TestCompareReports(t *testing.T) {
 		t.Errorf("tighter tolerance should fail the 20%% row, got %v", fails)
 	}
 
-	// Mode-specific wall-clock keys are compared when present (a -dist row).
+	// Mode-specific wall-clock keys are compared when present (a -dist row);
+	// a dist_ns regression with flat serial_ns also moves the overhead ratio,
+	// so both checks fire.
 	dbase := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1000000,"serial_ns":500000}]}`)
 	dbad := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1500000,"serial_ns":500000}]}`)
-	if fails := compareReports("t", dbad, dbase, 0.20); len(fails) != 1 || !strings.Contains(fails[0], "dist_ns") {
-		t.Errorf("dist_ns regression not caught: %v", fails)
+	fails = compareReports("t", dbad, dbase, 0.20)
+	if len(fails) != 2 || !strings.Contains(fails[0], "dist-overhead-ratio") || !strings.Contains(fails[1], "dist_ns") {
+		t.Errorf("dist_ns + overhead-ratio regression not caught: %v", fails)
+	}
+}
+
+// TestCompareReportsOverheadRatio: the dist-overhead-ratio gate catches
+// protocol overhead creeping back even when raw wall clocks stay inside the
+// tolerance — e.g. a faster machine hiding a chattier protocol.
+func TestCompareReportsOverheadRatio(t *testing.T) {
+	base := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1200000,"serial_ns":1000000}]}`)
+
+	// dist_ns up only 4% — but serial got faster too, so the ratio jumped
+	// ~30%: the protocol is relatively more expensive. Must fail.
+	drift := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1250000,"serial_ns":800000}]}`)
+	fails := compareReports("t", drift, base, 0.20)
+	if len(fails) != 1 || !strings.Contains(fails[0], "dist-overhead-ratio") {
+		t.Errorf("hidden ratio regression not caught: %v", fails)
+	}
+
+	// A uniformly slower machine (both numbers up 50%) keeps the ratio flat
+	// and must pass the ratio gate (the wall-clock gate is tolerance-bound
+	// and covered above).
+	slower := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"dist_ns":1800000,"serial_ns":1500000}]}`)
+	for _, f := range compareReports("t", slower, base, 0.60) {
+		if strings.Contains(f, "dist-overhead-ratio") {
+			t.Errorf("flat ratio flagged as regression: %v", f)
+		}
+	}
+
+	// Rows without the dist keys (other report modes) are skipped entirely.
+	other := mustReport(t, `{"benchmarks":[{"name":"cceh","match":true,"wall_ns":1000000}]}`)
+	if fails := compareReports("t", other, other, 0.20); len(fails) != 0 {
+		t.Errorf("non-dist rows should skip the ratio gate, got %v", fails)
 	}
 }

@@ -32,6 +32,13 @@ type distBench struct {
 	LeasesGranted int64 `json:"leases_granted"`
 	LeasesExpired int64 `json:"leases_expired"`
 	LeaseRequeues int64 `json:"lease_requeues"`
+	// RPCsPerScenario is RPCs normalized by the instrumented run's scenario
+	// count: the protocol-overhead figure adaptive lease sizing and commit
+	// pipelining exist to shrink, independent of workload size.
+	RPCsPerScenario float64 `json:"rpcs_per_scenario"`
+	// WireBytes is the netsim fabric's total byte count (both directions,
+	// every peer) for the instrumented run — the codec-v2 footprint gauge.
+	WireBytes int64 `json:"wire_bytes"`
 	// Match records the distributed-equivalence check: the instrumented
 	// coordinator-merged result (with the injected worker kill) was
 	// bit-identical to the instrumented serial reference — Result fields,
@@ -54,13 +61,14 @@ type distReport struct {
 }
 
 // distRun explores one workload through a fresh in-process coordinator +
-// worker fleet over the netsim fabric and returns the merged result. When
-// killOne is set, the first worker is killed mid-lease and the fleet only
-// proceeds after its lease TTL expires, exercising the requeue path.
-func distRun(bench string, resolver dist.Resolver, workers int, opts core.Options, killOne bool) (*core.Result, *core.Result, error) {
+// worker fleet over the netsim fabric and returns the merged result plus the
+// fabric's total wire bytes (both directions, all peers). When killOne is
+// set, the first worker is killed mid-lease and the fleet only proceeds
+// after its lease TTL expires, exercising the requeue path.
+func distRun(bench string, resolver dist.Resolver, workers int, opts core.Options, killOne bool) (*core.Result, int64, error) {
 	coord, err := dist.NewCoordinator(dist.Config{Resolve: resolver, ShutdownWhenDone: true})
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 	fab := netsim.NewFabric(coord)
 	rpc := func(method, path string, body, out any) error {
@@ -88,10 +96,10 @@ func distRun(bench string, resolver dist.Resolver, workers int, opts core.Option
 
 	var job dist.JobResponse
 	if err := rpc("POST", "/v1/jobs", dist.JobRequest{Spec: dist.ProgSpec{Bench: bench}, Opts: opts}, &job); err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 
-	mkWorker := func(name string) (*dist.Worker, error) {
+	mkWorker := func(name string, commitEvery int) (*dist.Worker, error) {
 		return dist.NewWorker(dist.WorkerConfig{
 			Name:       name,
 			BaseURL:    "http://coordinator",
@@ -101,9 +109,10 @@ func distRun(bench string, resolver dist.Resolver, workers int, opts core.Option
 			Backoff:    time.Millisecond,
 			// Cap idle-poll sleeps: over the in-process fabric the
 			// coordinator's production RetryMs would dwarf the measured
-			// exploration time with pure sleeping.
-			Sleep:       func(d time.Duration) { time.Sleep(min(d, time.Millisecond)) },
-			CommitEvery: 4,
+			// exploration time with pure sleeping, and even a 1ms cap is a
+			// visible shutdown-detection tail on millisecond-scale workloads.
+			Sleep:       func(d time.Duration) { time.Sleep(min(d, 200*time.Microsecond)) },
+			CommitEvery: commitEvery,
 		})
 	}
 
@@ -111,10 +120,12 @@ func distRun(bench string, resolver dist.Resolver, workers int, opts core.Option
 	if killOne && workers > 1 {
 		// The doomed worker claims the root lease, survives the grant plus a
 		// few commits, then its transport dies; its residual subtree is
-		// requeued once the TTL (set by the caller's opts) expires.
-		w, err := mkWorker("doomed")
+		// requeued once the TTL (set by the caller's opts) expires. It
+		// commits every scenario so the kill budget is spent mid-lease even
+		// on workloads the adaptive cadence would retire in one commit.
+		w, err := mkWorker("doomed", 1)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 		fab.KillAfter("doomed", 4)
 		if err := w.Run(); err == nil {
@@ -129,27 +140,29 @@ func distRun(bench string, resolver dist.Resolver, workers int, opts core.Option
 	errs := make(chan error, workers)
 	live := 0
 	for i := first; i < workers; i++ {
-		w, err := mkWorker(fmt.Sprintf("w%d", i+1))
+		// 0 = adapt the commit cadence to the observed scenario rate,
+		// exactly what a production fleet runs with.
+		w, err := mkWorker(fmt.Sprintf("w%d", i+1), 0)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 		live++
 		go func() { errs <- w.Run() }()
 	}
 	for i := 0; i < live; i++ {
 		if err := <-errs; err != nil {
-			return nil, nil, err
+			return nil, 0, err
 		}
 	}
 
 	var st dist.JobStatus
 	if err := rpc("GET", "/v1/jobs/"+job.ID, nil, &st); err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
 	if st.State != dist.JobDone {
-		return nil, nil, fmt.Errorf("job %s not done after fleet shutdown", job.ID)
+		return nil, 0, fmt.Errorf("job %s not done after fleet shutdown", job.ID)
 	}
-	return st.Result, nil, nil
+	return st.Result, fab.TotalBytes(), nil
 }
 
 // distMatch is the bit-identical cross-check between a serial reference and
@@ -214,9 +227,9 @@ func runDistBench(path string, workers, reps, scale int) {
 
 	fmt.Printf("Distributed exploration: serial vs %d workers over netsim (best of %d, %d CPU)\n",
 		workers, reps, rep.NumCPU)
-	fmt.Printf("%-12s  %7s  %10s  %10s  %8s  %5s  %8s  %6s\n",
-		"Benchmark", "#JExec.", "Serial", "Dist", "Speedup", "RPCs", "Requeues", "Match")
-	fmt.Println("-----------------------------------------------------------------------------")
+	fmt.Printf("%-12s  %7s  %10s  %10s  %8s  %5s  %6s  %9s  %8s  %6s\n",
+		"Benchmark", "#JExec.", "Serial", "Dist", "Speedup", "RPCs", "RPC/Sc", "WireBytes", "Requeues", "Match")
+	fmt.Println("---------------------------------------------------------------------------------------------")
 
 	for _, prog := range progs {
 		var serial, distT time.Duration
@@ -242,7 +255,7 @@ func runDistBench(path string, workers, reps, scale int) {
 		// equivalence and protocol-counter source.
 		obsOpts := core.Options{Observe: true, HeartbeatMs: -1, LeaseTTLMs: 100}
 		obsSerial := core.New(prog, obsOpts).Run()
-		obsDist, _, err := distRun(prog.Name, resolver, workers, obsOpts, true)
+		obsDist, wireBytes, err := distRun(prog.Name, resolver, workers, obsOpts, true)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: instrumented distributed run: %v\n", prog.Name, err)
 			os.Exit(1)
@@ -256,6 +269,7 @@ func runDistBench(path string, workers, reps, scale int) {
 			SerialNs:   serial.Nanoseconds(),
 			DistNs:     distT.Nanoseconds(),
 			Speedup:    float64(serial.Nanoseconds()) / float64(max(distT.Nanoseconds(), 1)),
+			WireBytes:  wireBytes,
 			Match:      match,
 			Metrics:    obsDist.Metrics,
 		}
@@ -264,11 +278,12 @@ func runDistBench(path string, workers, reps, scale int) {
 			b.LeasesGranted = m.LeasesGranted
 			b.LeasesExpired = m.LeasesExpired
 			b.LeaseRequeues = m.LeaseRequeues
+			b.RPCsPerScenario = float64(m.RPCs) / float64(max(obsDist.Scenarios, 1))
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
-		fmt.Printf("%-12s  %7d  %10s  %10s  %7.1fx  %5d  %8d  %6v\n",
+		fmt.Printf("%-12s  %7d  %10s  %10s  %7.1fx  %5d  %6.2f  %9d  %8d  %6v\n",
 			trimName(b.Name), b.Executions, serial.Round(1e5), distT.Round(1e5),
-			b.Speedup, b.RPCs, b.LeaseRequeues, match)
+			b.Speedup, b.RPCs, b.RPCsPerScenario, b.WireBytes, b.LeaseRequeues, match)
 		if !match {
 			fmt.Fprintf(os.Stderr, "%s: distributed exploration diverged from serial\n", prog.Name)
 			os.Exit(1)

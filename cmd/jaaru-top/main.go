@@ -11,8 +11,10 @@
 //
 // Each job row shows scenarios against the MaxScenarios goal, the live
 // scenarios/sec rate, the ETA to the goal (an upper bound: complete
-// explorations finish earlier), frontier depth, active leases, workers, and
-// distinct bugs; the indented lines below a row are that job's per-phase
+// explorations finish earlier), frontier depth, active leases, workers,
+// distinct bugs, the lease protocol's wire bytes in each direction, and the
+// average scenarios per absorbed delta commit (wire columns render "-" for
+// in-process runs); the indented lines below a row are that job's per-phase
 // latency distributions (p50/p99/max from the mergeable histograms the
 // workers ship with every commit).
 package main
@@ -93,8 +95,8 @@ func render(st telemetry.Status) string {
 		b.WriteString("no jobs\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9s %9s %9s %7s %8s %5s\n",
-		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS")
+	fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9s %9s %9s %7s %8s %5s %13s %6s\n",
+		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS", "WIRE TX/RX", "BATCH")
 	for _, j := range st.Jobs {
 		scen := fmt.Sprintf("%d", j.Scenarios)
 		if j.Goal > 0 {
@@ -104,9 +106,18 @@ func render(st telemetry.Status) string {
 		if j.ETASec > 0 {
 			eta = time.Duration(j.ETASec * float64(time.Second)).Round(time.Second).String()
 		}
-		fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9.1f %9s %9d %7d %8d %5d\n",
+		// Wire-level columns are zero for in-process runs; render them as "-"
+		// so a standalone checker's table stays clean.
+		wire, batch := "-", "-"
+		if j.BytesTx > 0 || j.BytesRx > 0 {
+			wire = humanBytes(j.BytesTx) + "/" + humanBytes(j.BytesRx)
+		}
+		if j.CommitBatch > 0 {
+			batch = fmt.Sprintf("%d", j.CommitBatch)
+		}
+		fmt.Fprintf(&b, "%-6s %-12s %-9s %16s %9.1f %9s %9d %7d %8d %5d %13s %6s\n",
 			j.ID, j.Bench, j.State, scen, j.Rate, eta,
-			j.FrontierLen, j.ActiveLeases, j.Workers, j.Bugs)
+			j.FrontierLen, j.ActiveLeases, j.Workers, j.Bugs, wire, batch)
 		timers := make([]string, 0, len(j.Latency))
 		for name := range j.Latency {
 			timers = append(timers, name)
@@ -122,3 +133,17 @@ func render(st telemetry.Status) string {
 }
 
 func durNs(ns int64) string { return time.Duration(ns).String() }
+
+// humanBytes renders a byte count compactly (B/KB/MB/GB, one decimal).
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

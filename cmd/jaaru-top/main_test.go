@@ -18,6 +18,7 @@ func fixedStatus() telemetry.Status {
 				ID: "j1", Bench: "figure2", State: "running",
 				Scenarios: 40, Goal: 100, Rate: 8.0, ETASec: 7.5,
 				FrontierLen: 3, ActiveLeases: 2, Workers: 2, Bugs: 1,
+				BytesTx: 3 << 20, BytesRx: 512, CommitBatch: 24,
 				Latency: map[string]telemetry.Quantiles{
 					"pre_failure": {Count: 41, MeanNs: 1500, P50Ns: 1024, P99Ns: 4096, MaxNs: 8192},
 					"lease_claim": {Count: 5, MeanNs: 2_000_000, P50Ns: 2_000_000, P99Ns: 2_000_000, MaxNs: 2_000_000},
@@ -32,8 +33,9 @@ func TestRenderTable(t *testing.T) {
 	out := render(fixedStatus())
 	for _, want := range []string{
 		"jaaru-coordinator  up 12.5s",
-		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS",
+		"JOB", "BENCH", "STATE", "SCENARIOS", "RATE/S", "ETA", "FRONTIER", "LEASES", "WORKERS", "BUGS", "WIRE TX/RX", "BATCH",
 		"j1", "figure2", "running", "40/100", "8.0", "8s", // 7.5s rounds to 8s
+		"3.0MB/512B", " 24",
 		"j2", "btree", "done",
 		"lease_claim", "pre_failure", "p50=1.024µs", "p99=4.096µs", "max=8.192µs", "n=41",
 		"p50=2ms",

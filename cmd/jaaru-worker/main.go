@@ -6,7 +6,12 @@
 // Usage:
 //
 //	jaaru-worker -coordinator http://host:8080 [-name w1] [-commit-every N]
-//	            [-listen ADDR]
+//	            [-codec v1|v2] [-listen ADDR]
+//
+// The wire codec is negotiated per connection by default: requests start in
+// JSON advertising binary v2 via Accept, and the worker upgrades the moment
+// the coordinator answers in v2 (downgrading transparently against an older
+// coordinator). -codec v1 pins JSON; -codec v2 starts binary immediately.
 //
 // -listen serves the worker's own telemetry — GET /metrics and GET
 // /v1/status with the lease-claim and commit RPC round-trip latency
@@ -46,7 +51,8 @@ import (
 func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8080")
 	name := flag.String("name", "", "worker name in coordinator accounting (default: hostname-pid)")
-	commitEvery := flag.Int("commit-every", 0, "scenarios between commits (0: the runner default); lower = tighter re-execution window after a crash")
+	commitEvery := flag.Int("commit-every", 0, "scenarios between commits (0: adapt to the observed scenario rate); lower = tighter re-execution window after a crash")
+	codec := flag.String("codec", "", `wire codec: "" negotiates binary v2 with fallback (default), "v1" pins JSON, "v2" starts binary immediately`)
 	listen := flag.String("listen", "", "serve worker telemetry (GET /metrics, GET /v1/status) on this address (:0 picks an ephemeral port)")
 	flag.Parse()
 
@@ -76,6 +82,7 @@ func main() {
 		BaseURL:     *coordinator,
 		Resolve:     resolve,
 		CommitEvery: *commitEvery,
+		Codec:       *codec,
 		Registry:    reg,
 	})
 	if err != nil {

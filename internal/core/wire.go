@@ -11,25 +11,37 @@ import (
 // Wire codec for distributed exploration (internal/dist). A choice prefix is
 // a self-contained, serializable unit of work — the property the whole
 // checker is built on — so the distributed protocol is small: claims (branch
-// prefixes with exploration limits), cumulative per-lease stats deltas, and
-// POR seen-set publication entries, all as plain JSON-marshalable structs.
+// prefixes with exploration limits), per-lease stats deltas, and POR
+// seen-set publication entries. The structs are JSON-marshalable (wire
+// codec v1, the frozen fallback) and carry a binary codec v2 (wirev2.go)
+// that internal/dist negotiates per connection.
 //
 // The commit protocol is designed so that lease expiry and idempotent
 // re-execution are exact:
 //
-//   - A worker never commits per scenario; it commits its lease's
-//     *cumulative* WireStats, which the coordinator stores per lease,
-//     replacing the previous commit (retry-safe by construction: applying
-//     the same cumulative snapshot twice is a no-op).
-//   - Every non-final commit carries a residual WireClaim: the chooser state
-//     right after advancing past the last committed scenario. Cumulative
-//     stats up to a commit plus a full exploration of its residual (minus
-//     donated splits, which travel in the same atomic commit) covers the
-//     original claim exactly once.
-//   - On lease expiry the coordinator keeps the last committed cumulative
-//     stats and requeues the last residual; work after the last commit was
-//     never committed, so its re-execution by the next claimant neither
-//     loses nor double-counts anything.
+//   - A worker never commits per scenario; it commits *deltas* — the
+//     difference between the lease's cumulative WireStats now and at its
+//     previous commit (DiffWireStats). Absorption is seq-gated: the
+//     coordinator folds a delta into the merged aggregate only when the
+//     commit's sequence number advances the lease's, so a retried or
+//     duplicated delivery is acknowledged without being applied twice.
+//     Summed over the absorbed deltas this reconstructs the cumulative
+//     stats exactly: counts diff and re-sum; maxima (FpointsPre, MaxRF,
+//     obs peaks) and the Truncated flag ship cumulatively and re-join
+//     idempotently; keyed findings (bugs, flagged loads, perf issues) ship
+//     their count growth with the current canonical representative, whose
+//     within-worker updates follow the same semilattice join the merge
+//     applies, so joining every delta's representative equals joining the
+//     final cumulative one.
+//   - Every non-final commit carries residual WireClaims: the chooser state
+//     right after advancing past the last committed scenario, plus any
+//     still-untouched claims of the lease's batch. Committed deltas plus a
+//     full exploration of the residuals (minus donated splits, which travel
+//     in the same atomic commit) cover the original claims exactly once.
+//   - On lease expiry the coordinator keeps the already-absorbed deltas and
+//     requeues the last residuals; work after the last commit was never
+//     committed, so its re-execution by the next claimant neither loses nor
+//     double-counts anything.
 //
 // POR clamps interact with residuals subtly but safely: when porPruneSweep
 // clamps a fail decision (limit 2 -> 1) it applies the published delta to
@@ -214,9 +226,9 @@ type WireObs struct {
 // WireHist is one timer histogram in sparse wire form: only populated
 // buckets ship, as ascending [bucket index, count] pairs against the fixed
 // layout of obs.Histogram. The fold at the coordinator is bucket-wise
-// addition, so duplicate delivery of a cumulative commit stays idempotent
-// (commits replace the lease's previous WireStats wholesale before any fold
-// happens at retire time).
+// addition; delta commits ship only the bucket growth since the lease's
+// previous commit, and seq-gated absorption keeps duplicate deliveries
+// from being added twice.
 type WireHist struct {
 	Timer   int        `json:"timer"`
 	Count   int64      `json:"count"`
@@ -282,34 +294,11 @@ func (h *WireHist) snapshot() obs.HistSnapshot {
 	return s
 }
 
-// DecodeWireObs expands a commit's shipped observability shard into counter
-// and histogram form, skipping malformed entries (callers on the live path
-// tolerate partial data; the authoritative fold at retire time re-validates).
-// The dist coordinator's /metrics and /v1/status views use it to overlay
-// every active lease's latest cumulative commit onto the merged registry
-// snapshot without mutating the registry — Absorb still happens exactly
-// once, when the lease retires.
-func DecodeWireObs(wo *WireObs) (obs.CounterVec, obs.HistVec) {
-	var cv obs.CounterVec
-	var hv obs.HistVec
-	if wo == nil {
-		return cv, hv
-	}
-	if v, ok := vecFromSlice(wo.Counters); ok {
-		cv = v
-	}
-	for i := range wo.Hists {
-		h := &wo.Hists[i]
-		if h.validate() == nil {
-			hv[h.Timer] = hv[h.Timer].Merge(h.snapshot())
-		}
-	}
-	return cv, hv
-}
-
-// WireStats is a lease's cumulative exploration stats: everything the
-// coordinator's deterministic merge consumes. Commits replace the lease's
-// previous WireStats wholesale, which is what makes retries and duplicate
+// WireStats is a batch of exploration stats: everything the coordinator's
+// deterministic merge consumes. A worker exports its lease's *cumulative*
+// stats (exportWireStats) and ships the *delta* against its previous commit
+// (DiffWireStats); the coordinator absorbs each delta exactly once, gated
+// by the commit sequence number, which is what makes retries and duplicate
 // deliveries idempotent.
 type WireStats struct {
 	Scenarios  int         `json:"scenarios"`
@@ -487,6 +476,131 @@ func compileStats(ws *WireStats) (*stats, error) {
 	return &s, nil
 }
 
+// ---- Delta commits ----------------------------------------------------------
+
+// DiffWireStats returns the delta between two cumulative snapshots of the
+// same lease: what changed since prev (the previously committed snapshot;
+// nil means "everything", the first commit's baseline). The delta is built
+// so that absorbing every delta of a lease in sequence through the ordinary
+// merge reproduces exactly the state absorbing the final cumulative
+// snapshot once would have:
+//
+//   - Summed quantities (scenarios, executions, steps, new points, obs
+//     counters, histogram buckets) ship as differences — valid because every
+//     one of them is nondecreasing within a worker.
+//   - Max-joined quantities (FpointsPre, MaxRF, obs peaks) and the OR-joined
+//     Truncated flag ship cumulatively; re-joining them per delta is
+//     idempotent.
+//   - Keyed findings (bugs by type+message, flagged loads by location, perf
+//     issues by kind+location) ship only when their count grew, carrying the
+//     count growth plus the *current* canonical representative. The
+//     within-worker record paths (recordBug, flagMultiRF, recordPerfIssue)
+//     update representatives with the same semilattice join the merge
+//     applies and only alongside a count increment, so joining each delta's
+//     representative converges to the final cumulative representative.
+func DiffWireStats(cur, prev *WireStats) *WireStats {
+	if prev == nil {
+		return cur
+	}
+	d := &WireStats{
+		Scenarios:  cur.Scenarios - prev.Scenarios,
+		ExecsPost:  cur.ExecsPost - prev.ExecsPost,
+		FpointsPre: cur.FpointsPre,
+		Steps:      cur.Steps - prev.Steps,
+		MaxRF:      cur.MaxRF,
+		Truncated:  cur.Truncated,
+	}
+	for k := range cur.NewPoints {
+		d.NewPoints[k] = cur.NewPoints[k] - prev.NewPoints[k]
+	}
+	prevBugs := make(map[string]int, len(prev.Bugs))
+	for i := range prev.Bugs {
+		b := &prev.Bugs[i]
+		prevBugs[fmt.Sprintf("%d|%s", b.Type, b.Message)] = b.Count
+	}
+	for i := range cur.Bugs {
+		b := cur.Bugs[i]
+		if grown := b.Count - prevBugs[fmt.Sprintf("%d|%s", b.Type, b.Message)]; grown > 0 {
+			b.Count = grown
+			d.Bugs = append(d.Bugs, b)
+		}
+	}
+	prevMulti := make(map[string]int, len(prev.MultiRF))
+	for i := range prev.MultiRF {
+		prevMulti[prev.MultiRF[i].Loc] = prev.MultiRF[i].Count
+	}
+	for i := range cur.MultiRF {
+		m := cur.MultiRF[i]
+		if grown := m.Count - prevMulti[m.Loc]; grown > 0 {
+			m.Count = grown
+			m.Values = append([]string(nil), m.Values...)
+			d.MultiRF = append(d.MultiRF, m)
+		}
+	}
+	prevPerf := make(map[string]int, len(prev.PerfIssues))
+	for i := range prev.PerfIssues {
+		p := &prev.PerfIssues[i]
+		prevPerf[perfKey(p.Kind, p.Loc)] = p.Count
+	}
+	for i := range cur.PerfIssues {
+		p := cur.PerfIssues[i]
+		if grown := p.Count - prevPerf[perfKey(p.Kind, p.Loc)]; grown > 0 {
+			p.Count = grown
+			d.PerfIssues = append(d.PerfIssues, p)
+		}
+	}
+	if cur.Obs != nil {
+		d.Obs = diffWireObs(cur.Obs, prev.Obs)
+	}
+	return d
+}
+
+// diffWireObs diffs two cumulative shard snapshots: counter and histogram
+// growth ships as differences, peaks ship cumulatively (max-join).
+func diffWireObs(cur, prev *WireObs) *WireObs {
+	if prev == nil {
+		return cur
+	}
+	out := &WireObs{
+		Counters: make([]int64, len(cur.Counters)),
+		Peaks:    append([]int64(nil), cur.Peaks...),
+	}
+	for i, v := range cur.Counters {
+		if i < len(prev.Counters) {
+			v -= prev.Counters[i]
+		}
+		out.Counters[i] = v
+	}
+	prevH := make(map[int]*WireHist, len(prev.Hists))
+	for i := range prev.Hists {
+		prevH[prev.Hists[i].Timer] = &prev.Hists[i]
+	}
+	for i := range cur.Hists {
+		h := cur.Hists[i]
+		p := prevH[h.Timer]
+		if p == nil {
+			h.Buckets = append([][2]int64(nil), h.Buckets...)
+			out.Hists = append(out.Hists, h)
+			continue
+		}
+		if h.Count == p.Count {
+			continue // no new samples in this timer
+		}
+		dh := WireHist{Timer: h.Timer, Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+		pb := make(map[int64]int64, len(p.Buckets))
+		for _, b := range p.Buckets {
+			pb[b[0]] = b[1]
+		}
+		for _, b := range h.Buckets {
+			if n := b[1] - pb[b[0]]; n > 0 {
+				dh.Buckets = append(dh.Buckets, [2]int64{b[0], n})
+			}
+		}
+		out.Hists = append(out.Hists, dh)
+	}
+	return out
+}
+
 // ---- POR publication log ---------------------------------------------------
 
 // WirePorBug is one distinct bug of a published subtree delta.
@@ -640,14 +754,18 @@ type LeaseSink interface {
 	// nothing is discarded.
 	Draining() bool
 	// Commit atomically publishes the lease's progress: donated splits, the
-	// residual claim covering all work not in cum, and the lease's
-	// cumulative stats. final retires the lease; a final commit with a nil
-	// residual marks the subtree fully explored (or dead under Stopped),
-	// while a final commit with a residual *releases* the lease, asking the
-	// coordinator to requeue the remainder. A non-nil error abandons the
-	// lease (its uncommitted tail is requeued by the coordinator's expiry
-	// sweep).
-	Commit(splits []WireClaim, residual *WireClaim, cum *WireStats, final bool) error
+	// residual claims covering all work not yet committed (the current
+	// claim's snapshot plus any untouched claims of the batch), and the
+	// stats delta since the previous commit (DiffWireStats). final retires
+	// the lease; a final commit with no residuals marks the batch fully
+	// explored (or dead under Stopped), while a final commit with residuals
+	// *releases* the lease, asking the coordinator to requeue the
+	// remainder. A non-nil error abandons the lease (its uncommitted tail
+	// is requeued by the coordinator's expiry sweep). Implementations may
+	// pipeline non-final commits — RunLease never depends on a non-final
+	// ack before exploring further — but a final Commit must not return
+	// until the coordinator acknowledged it.
+	Commit(splits []WireClaim, residuals []WireClaim, delta *WireStats, final bool) error
 }
 
 // LeaseRunner executes leases against a guest program: the worker-process
@@ -721,77 +839,116 @@ func (lr *LeaseRunner) AbsorbPor(entries []WirePorEntry) error {
 	return nil
 }
 
-// RunLease explores one claimed subtree to completion, committing progress
-// through the sink. It mirrors exploreBranch, with the frontier and caps
-// replaced by the coordinator behind the sink.
-func (lr *LeaseRunner) RunLease(claim WireClaim, sink LeaseSink) error {
-	pts, limits, memos, err := claim.compile()
-	if err != nil {
-		return err
+// RunLease explores a batch of claimed subtrees to completion on one
+// private Checker, committing progress through the sink as seq-ordered
+// deltas. It mirrors the in-process workerLoop — which likewise reuses one
+// checker across claimed branches, re-seeding the chooser per branch — with
+// the frontier and caps replaced by the coordinator behind the sink.
+func (lr *LeaseRunner) RunLease(claims []WireClaim, sink LeaseSink) error {
+	type compiledClaim struct {
+		pts    []choicePoint
+		limits []int
+		memos  []*failMemo
+	}
+	comp := make([]compiledClaim, len(claims))
+	for i := range claims {
+		pts, limits, memos, err := claims[i].compile()
+		if err != nil {
+			return err
+		}
+		comp[i] = compiledClaim{pts, limits, memos}
 	}
 	c := New(lr.prog, lr.opts)
 	if lr.seen != nil {
 		c.porSeenSet = lr.seen
 	}
-	c.chooser.seedClaim(pts, limits, memos)
+	// Every commit ships the delta against the previously committed
+	// cumulative snapshot; the first commit's baseline is empty.
+	var prevStats *WireStats
+	commit := func(splits, residuals []WireClaim, final bool) error {
+		cur := c.exportWireStats()
+		if err := sink.Commit(splits, residuals, DiffWireStats(cur, prevStats), final); err != nil {
+			return err
+		}
+		prevStats = cur
+		return nil
+	}
 	sinceCommit := 0
-	for {
-		if sink.Stopped() {
-			c.porAbandon()
-			return sink.Commit(nil, nil, c.exportWireStats(), true)
-		}
-		if sink.Draining() {
-			// Graceful drain: release the lease instead of discarding its
-			// remainder. The residual snapshot covers exactly the unexplored
-			// work, so committing it final hands the subtree back to the
-			// coordinator's frontier immediately — no TTL expiry needed (and
-			// none may ever come when leases are configured not to expire).
-			c.porAbandon()
-			rp, rl, rm := c.chooser.claimSnapshot()
-			residual := encodeClaim(rp, rl, rm)
-			return sink.Commit(nil, &residual, c.exportWireStats(), true)
-		}
-		c.scenarios++
-		if !c.runScenarioGuarded(pts) {
-			// Engine panic: the subtree is unreliable. recordEngineBug marked
-			// the stats truncated; retire the lease so the coordinator's
-			// result reports the truncation instead of requeueing the claim
-			// into the same panic forever.
-			return sink.Commit(nil, nil, c.exportWireStats(), true)
-		}
-		var splits []WireClaim
-		if sink.Hungry() {
-			// One donation round per scenario: Hungry is a stale hint
-			// refreshed by the commit below, unlike the in-process loop
-			// which can re-consult the live frontier.
-			bs := c.chooser.splitOff()
-			if len(bs) > 0 {
-				c.porCancelBelow(len(bs[0].points))
-				for _, b := range bs {
-					splits = append(splits, encodeFrozenClaim(b.points))
+	for ci := range comp {
+		cl := comp[ci]
+		pending := claims[ci+1:] // untouched claims, owed back in residuals
+		c.chooser.seedClaim(cl.pts, cl.limits, cl.memos)
+		for claimDone := false; !claimDone; {
+			if sink.Stopped() {
+				c.porAbandon()
+				return commit(nil, nil, true)
+			}
+			if sink.Draining() {
+				// Graceful drain: release the lease instead of discarding its
+				// remainder. The residual snapshot plus the untouched claims
+				// cover exactly the unexplored work, so committing them final
+				// hands the batch back to the coordinator's frontier
+				// immediately — no TTL expiry needed (and none may ever come
+				// when leases are configured not to expire).
+				c.porAbandon()
+				rp, rl, rm := c.chooser.claimSnapshot()
+				return commit(nil, append([]WireClaim{encodeClaim(rp, rl, rm)}, pending...), true)
+			}
+			c.scenarios++
+			if !c.runScenarioGuarded(cl.pts) {
+				// Engine panic: this claim's subtree is unreliable.
+				// recordEngineBug marked the stats truncated; drop the claim's
+				// remainder (requeueing it would crash-loop every future
+				// claimant) and move on to the untouched rest of the batch,
+				// exactly as exploreBranch returns the in-process worker to
+				// its loop.
+				break
+			}
+			var splits []WireClaim
+			if sink.Hungry() {
+				// One donation round per scenario: Hungry is a stale hint
+				// refreshed by the commit below, unlike the in-process loop
+				// which can re-consult the live frontier.
+				bs := c.chooser.splitOff()
+				if len(bs) > 0 {
+					c.porCancelBelow(len(bs[0].points))
+					for _, b := range bs {
+						splits = append(splits, encodeFrozenClaim(b.points))
+					}
+				}
+			}
+			claimDone = !c.chooser.advance()
+			if claimDone {
+				c.porFlush()
+				if ci == len(comp)-1 {
+					return commit(splits, nil, true)
+				}
+			}
+			sinceCommit++
+			if len(splits) > 0 || sinceCommit >= lr.commitEvery {
+				sinceCommit = 0
+				var residuals []WireClaim
+				if !claimDone {
+					rp, rl, rm := c.chooser.claimSnapshot()
+					residuals = []WireClaim{encodeClaim(rp, rl, rm)}
+				}
+				residuals = append(residuals, pending...)
+				if err := commit(splits, residuals, false); err != nil {
+					c.porAbandon()
+					return err
 				}
 			}
 		}
-		if !c.chooser.advance() {
-			c.porFlush()
-			return sink.Commit(splits, nil, c.exportWireStats(), true)
-		}
-		sinceCommit++
-		if len(splits) > 0 || sinceCommit >= lr.commitEvery {
-			sinceCommit = 0
-			rp, rl, rm := c.chooser.claimSnapshot()
-			residual := encodeClaim(rp, rl, rm)
-			if err := sink.Commit(splits, &residual, c.exportWireStats(), false); err != nil {
-				c.porAbandon()
-				return err
-			}
-		}
 	}
+	// Reached only when the batch ended without a terminal commit inside the
+	// loop: the last claim hit an engine panic (or the batch was empty).
+	// Retire the lease so the coordinator's result reports the truncation.
+	return commit(nil, nil, true)
 }
 
 // ---- Coordinator side: MergeAcc --------------------------------------------
 
-// MergeAcc accumulates retired leases' WireStats into one deterministic
+// MergeAcc accumulates committed WireStats deltas into one deterministic
 // Result — the coordinator side of distributed exploration. It reuses the
 // exact stats.merge the in-process parallel driver uses, so a complete
 // distributed run is bit-identical to the serial reference by the same
@@ -800,6 +957,11 @@ func (lr *LeaseRunner) RunLease(claim WireClaim, sink LeaseSink) error {
 type MergeAcc struct {
 	ck    *Checker
 	start time.Time
+	// col is the single persistent observability shard every absorbed
+	// delta's counters fold into (lazily created; nil when not observing).
+	// One shard instead of one per Absorb keeps delta commits from growing
+	// the registry's shard list without bound.
+	col *obs.Collector
 }
 
 // NewMergeAcc prepares an accumulator for prog. Set opts.Observe to collect
@@ -818,8 +980,9 @@ func (a *MergeAcc) Options() Options { return a.ck.opts }
 // same snapshot the merged Metrics come from.
 func (a *MergeAcc) Observability() *obs.Registry { return a.ck.reg }
 
-// Absorb folds one retired lease's cumulative stats into the aggregate.
-// Call exactly once per retired lease (the last committed WireStats).
+// Absorb folds one committed stats delta into the aggregate. Call exactly
+// once per applied commit (the coordinator gates calls on the lease's
+// advancing sequence number, so retried deliveries are not double-counted).
 func (a *MergeAcc) Absorb(ws *WireStats) error {
 	s, err := compileStats(ws)
 	if err != nil {
@@ -831,15 +994,17 @@ func (a *MergeAcc) Absorb(ws *WireStats) error {
 		if !ok {
 			return fmt.Errorf("obs counters: got %d values", len(ws.Obs.Counters))
 		}
-		col := a.ck.reg.NewShard()
-		col.AddCounters(vec)
-		col.RaisePeaks(ws.Obs.Peaks)
+		if a.col == nil {
+			a.col = a.ck.reg.NewShard()
+		}
+		a.col.AddCounters(vec)
+		a.col.RaisePeaks(ws.Obs.Peaks)
 		for i := range ws.Obs.Hists {
 			h := &ws.Obs.Hists[i]
 			if err := h.validate(); err != nil {
 				return err
 			}
-			col.AddHist(obs.Timer(h.Timer), h.snapshot())
+			a.col.AddHist(obs.Timer(h.Timer), h.snapshot())
 		}
 	}
 	return nil

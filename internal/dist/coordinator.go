@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,8 +19,11 @@ type Config struct {
 	// Resolve materializes submitted ProgSpecs (required).
 	Resolve Resolver
 	// LowMark is the queue length below which the coordinator asks workers
-	// to donate splits; 0 means 2× the number of distinct workers seen
-	// (mirroring the in-process frontier's 2×Workers watermark).
+	// to donate splits; 0 means the queue must feed every currently starving
+	// worker (one whose latest lease poll found nothing). A fixed watermark
+	// keeps a busy fleet permanently "hungry" on small frontiers, and every
+	// hungry scenario costs a donation commit — starvation is the signal
+	// that actually means a worker is idle.
 	LowMark int
 	// Now is the clock leases are measured against (default time.Now).
 	// Tests inject a fake clock to drive TTL expiry deterministically.
@@ -31,6 +35,17 @@ type Config struct {
 	ShutdownWhenDone bool
 	// RetryMs is the poll-again hint on idle lease responses (default 200).
 	RetryMs int
+	// TargetLeaseScenarios sizes lease batches adaptively: the coordinator
+	// grants enough claims per lease that, at the observed scenarios-per-
+	// claim rate, one lease covers about this many scenarios (default 32).
+	TargetLeaseScenarios int
+	// MaxLeaseBatch caps the claims granted per lease regardless of the
+	// observed rate (default 16), bounding the work lost to a worker death.
+	MaxLeaseBatch int
+	// DisableWireV2 pins the coordinator to JSON responses even for workers
+	// that advertise codec v2 (mixed-fleet rollbacks and the v1-coordinator
+	// interop tests).
+	DisableWireV2 bool
 }
 
 // lease is one granted unit of work.
@@ -38,15 +53,12 @@ type lease struct {
 	id    string
 	token string
 	job   *job
-	// claim is the unexplored remainder this lease is responsible for: the
-	// granted claim before the first commit, the latest residual after.
-	// It is exactly what expiry requeues.
-	claim core.WireClaim
-	// cum is the latest committed cumulative stats (nil before the first
-	// commit). It is folded into the job exactly once, when the lease
-	// retires — by final commit or by expiry.
-	cum *core.WireStats
-	seq int64
+	// claims is the unexplored remainder this lease is responsible for: the
+	// granted batch before the first commit, the latest residuals after.
+	// It is exactly what expiry requeues. Committed deltas were absorbed as
+	// they arrived (seq-gated), so expiry has no stats to fold.
+	claims []core.WireClaim
+	seq    int64
 	// deadline is the expiry instant, zero when the job's TTL is disabled.
 	deadline time.Time
 }
@@ -69,9 +81,10 @@ type job struct {
 	// scenarios/sec rate and ETA are measured against.
 	start time.Time
 
-	retiredScen  int                 // scenarios in absorbed (retired) stats
-	retiredExecs int                 // post-failure executions in retired stats
-	bugKeys      map[string]struct{} // distinct canonical bug keys seen
+	absorbedScen  int                 // scenarios in absorbed delta commits
+	absorbedExecs int                 // post-failure executions, same source
+	claimsGranted int                 // claims handed out, for batch sizing
+	bugKeys       map[string]struct{} // distinct canonical bug keys seen
 
 	porLog   []core.WirePorEntry
 	porIndex map[uint64]struct{}
@@ -83,18 +96,6 @@ func (j *job) reg() *obs.Registry { return j.acc.Observability() }
 
 func (j *job) done() bool { return j.result != nil }
 
-// scenarioTotal is the global scenario count the caps are enforced against:
-// retired stats plus the latest cumulative commit of every active lease.
-func (j *job) scenarioTotal() int {
-	n := j.retiredScen
-	for _, l := range j.leases {
-		if l.cum != nil {
-			n += l.cum.Scenarios
-		}
-	}
-	return n
-}
-
 // Coordinator owns the global frontier, caps, and POR publication log of
 // every submitted job, and serves the lease protocol over HTTP. All methods
 // are safe for concurrent use; it implements http.Handler.
@@ -104,10 +105,15 @@ type Coordinator struct {
 
 	start time.Time
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string
-	workers   map[string]struct{}
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	workers map[string]struct{}
+	// starving holds workers whose latest lease poll found nothing; a grant
+	// removes them. It is the default hunger signal: donations are solicited
+	// only while the queue cannot feed every idle worker, so a busy fleet on
+	// a small frontier is not milked for a split on every scenario.
+	starving  map[string]struct{}
 	submitted bool
 	nextJob   int
 	nextLease int
@@ -125,11 +131,18 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.RetryMs <= 0 {
 		cfg.RetryMs = 200
 	}
+	if cfg.TargetLeaseScenarios <= 0 {
+		cfg.TargetLeaseScenarios = 32
+	}
+	if cfg.MaxLeaseBatch <= 0 {
+		cfg.MaxLeaseBatch = 16
+	}
 	c := &Coordinator{
-		cfg:     cfg,
-		start:   cfg.Now(),
-		jobs:    make(map[string]*job),
-		workers: make(map[string]struct{}),
+		cfg:      cfg,
+		start:    cfg.Now(),
+		jobs:     make(map[string]*job),
+		workers:  make(map[string]struct{}),
+		starving: make(map[string]struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
@@ -208,13 +221,14 @@ func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // ---- lease protocol ---------------------------------------------------------
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	v2 := c.wantsV2(r)
 	var req LeaseRequest
-	if err := readJSON(r, &req); err != nil {
+	rx, err := readRequest(r, &req)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.sweepLocked()
 	if req.Worker != "" {
 		c.workers[req.Worker] = struct{}{}
@@ -225,18 +239,25 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		// LIFO, like the in-process frontier: deepest prefixes first keeps
-		// claims near the workers' warm subtrees.
-		claim := j.queued[len(j.queued)-1]
-		j.queued = j.queued[:len(j.queued)-1]
+		// claims near the workers' warm subtrees. The batch size adapts to
+		// the observed scenarios-per-claim rate (batchSizeLocked).
+		k := c.batchSizeLocked(j)
+		claims := make([]core.WireClaim, k)
+		for i := range claims {
+			claims[i] = j.queued[len(j.queued)-1]
+			j.queued = j.queued[:len(j.queued)-1]
+			j.reg().NoteClaim(len(j.queued))
+		}
+		j.claimsGranted += k
 		c.nextLease++
 		c.nextToken++
 		l := &lease{
 			// Tokens fence stale workers from expired leases; they are not
 			// an authentication mechanism (see docs/ALGORITHM.md).
-			id:    fmt.Sprintf("l%d", c.nextLease),
-			token: fmt.Sprintf("t%d", c.nextToken),
-			job:   j,
-			claim: claim,
+			id:     fmt.Sprintf("l%d", c.nextLease),
+			token:  fmt.Sprintf("t%d", c.nextToken),
+			job:    j,
+			claims: claims,
 		}
 		ttl := j.opts.LeaseTTLMs
 		if ttl > 0 {
@@ -245,20 +266,21 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		j.leases[l.id] = l
 		if req.Worker != "" {
 			j.workers[req.Worker] = struct{}{}
+			delete(c.starving, req.Worker)
 		}
-		j.reg().NoteRPC()
-		j.reg().NoteLease()
-		j.reg().NoteClaim(len(j.queued))
+		reg := j.reg()
+		reg.NoteRPC()
+		reg.NoteLease()
 		resp := LeaseResponse{
 			Status: StatusGranted,
 			Lease: &Lease{
-				ID:    l.id,
-				Token: l.token,
-				JobID: j.id,
-				Spec:  j.spec,
-				Opts:  j.opts,
-				Claim: claim,
-				TTLMs: ttl,
+				ID:     l.id,
+				Token:  l.token,
+				JobID:  j.id,
+				Spec:   j.spec,
+				Opts:   j.opts,
+				Claims: claims,
+				TTLMs:  ttl,
 			},
 			Hungry:     c.hungryLocked(j),
 			PorVersion: len(j.porLog),
@@ -273,67 +295,97 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			from = min(max(0, req.PorVersion), len(j.porLog))
 		}
 		resp.Por = append([]core.WirePorEntry(nil), j.porLog[from:]...)
-		writeJSON(w, http.StatusOK, resp)
+		c.mu.Unlock()
+		writeResp(w, http.StatusOK, &resp, v2, reg, rx)
 		return
 	}
-	if c.cfg.ShutdownWhenDone && c.submitted && c.allDoneLocked() {
-		writeJSON(w, http.StatusOK, LeaseResponse{Status: StatusShutdown})
+	shutdown := c.cfg.ShutdownWhenDone && c.submitted && c.allDoneLocked()
+	if req.Worker != "" && !shutdown {
+		c.starving[req.Worker] = struct{}{}
+	}
+	c.mu.Unlock()
+	if shutdown {
+		writeResp(w, http.StatusOK, &LeaseResponse{Status: StatusShutdown}, v2, nil, rx)
 		return
 	}
-	writeJSON(w, http.StatusOK, LeaseResponse{Status: StatusIdle, RetryMs: c.cfg.RetryMs})
+	writeResp(w, http.StatusOK, &LeaseResponse{Status: StatusIdle, RetryMs: c.cfg.RetryMs}, v2, nil, rx)
+}
+
+// batchSizeLocked sizes one lease grant: enough claims that, at the job's
+// observed scenarios-per-claim rate, the lease covers about
+// TargetLeaseScenarios scenarios before its final commit. Purely
+// counter-based (no clocks), so runs are reproducible.
+func (c *Coordinator) batchSizeLocked(j *job) int {
+	perClaim := 1
+	if j.claimsGranted > 0 {
+		perClaim = max(1, j.absorbedScen/j.claimsGranted)
+	}
+	k := max(1, c.cfg.TargetLeaseScenarios/perClaim)
+	return min(k, c.cfg.MaxLeaseBatch, len(j.queued))
 }
 
 func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
+	v2 := c.wantsV2(r)
 	var req CommitRequest
-	if err := readJSON(r, &req); err != nil {
+	rx, err := readRequest(r, &req)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.sweepLocked()
 	l := c.findLeaseLocked(r.PathValue("id"), req.Token)
 	if l == nil {
-		// Expired (or never granted): the residual is already requeued, and
-		// everything since the worker's last applied commit will be
+		// Expired (or never granted): the residuals are already requeued,
+		// and everything since the worker's last applied commit will be
 		// re-executed by the next claimant — the worker must abandon.
-		writeJSON(w, http.StatusConflict, CommitResponse{Stale: true})
+		c.mu.Unlock()
+		writeResp(w, http.StatusConflict, &CommitResponse{Stale: true}, v2, nil, rx)
 		return
 	}
 	j := l.job
-	j.reg().NoteRPC()
+	reg := j.reg()
+	reg.NoteRPC()
 	if req.Seq <= l.seq {
 		// Duplicate delivery of an applied commit (retry after a lost
-		// response): acknowledge without re-applying anything.
-		writeJSON(w, http.StatusOK, c.commitAckLocked(j, req.PorVersion, len(j.porLog)))
-		return
-	}
-	if req.Cum == nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"commit without cumulative stats"})
-		return
-	}
-	if !req.Final && req.Residual == nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{"non-final commit without residual"})
+		// response): acknowledge without re-absorbing anything. This gate is
+		// what keeps the incremental payloads idempotent.
+		ack := c.commitAckLocked(j, req.PorVersion, len(j.porLog))
+		c.mu.Unlock()
+		writeResp(w, http.StatusOK, &ack, v2, reg, rx)
 		return
 	}
 	// Validate the whole payload before mutating any state, so a malformed
 	// commit (version-skewed or buggy worker) is rejected atomically: the
-	// cum is what sweepLocked/retireLeaseLocked later absorb without an
-	// error path, and the claims are granted verbatim to future workers —
-	// a bad one accepted here would crash-loop every claimant.
-	if err := req.Cum.Validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("cum: %v", err)})
+	// delta feeds MergeAcc.Absorb below without an error path, and the
+	// claims are granted verbatim to future workers — a bad one accepted
+	// here would crash-loop every claimant. Rejections are always JSON so a
+	// version-skewed peer can read them.
+	fail := func(code int, msg string) {
+		c.mu.Unlock()
+		writeJSON(w, code, errorResponse{msg})
+	}
+	if req.Delta == nil {
+		fail(http.StatusBadRequest, "commit without delta stats")
 		return
 	}
-	if req.Residual != nil {
-		if err := req.Residual.Validate(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("residual: %v", err)})
+	if !req.Final && len(req.Residuals) == 0 {
+		fail(http.StatusBadRequest, "non-final commit without residuals")
+		return
+	}
+	if err := req.Delta.Validate(); err != nil {
+		fail(http.StatusBadRequest, fmt.Sprintf("delta: %v", err))
+		return
+	}
+	for i := range req.Residuals {
+		if err := req.Residuals[i].Validate(); err != nil {
+			fail(http.StatusBadRequest, fmt.Sprintf("residual %d: %v", i, err))
 			return
 		}
 	}
 	for i := range req.Splits {
 		if err := req.Splits[i].Validate(); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("split %d: %v", i, err)})
+			fail(http.StatusBadRequest, fmt.Sprintf("split %d: %v", i, err))
 			return
 		}
 	}
@@ -346,40 +398,48 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if err := core.AbsorbPorEntry(&e); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		j.porIndex[e.FP] = struct{}{}
 		j.porLog = append(j.porLog, e)
 	}
 	l.seq = req.Seq
-	l.cum = req.Cum
+	// Absorb the delta immediately: with seq-gated deltas there is nothing
+	// to fold at retire or expiry, and the live telemetry view is simply
+	// the registry (no per-lease overlay).
+	j.absorbedScen += req.Delta.Scenarios
+	j.absorbedExecs += req.Delta.ExecsPost
+	// Absorb errors cannot happen here: Validate above covers every Absorb
+	// error path (malformed payloads got 400 before any mutation).
+	_ = j.acc.Absorb(req.Delta)
+	reg.NoteCommitBatch(int64(req.Delta.Scenarios))
 	if len(req.Splits) > 0 && !j.stopped {
-		// Splits and the residual travel in one atomic commit, so the
-		// donated subtrees are accounted exactly once: the residual's
+		// Splits and the residuals travel in one atomic commit, so the
+		// donated subtrees are accounted exactly once: the residuals'
 		// limits were already lowered past them by splitOff.
 		j.queued = append(j.queued, req.Splits...)
-		j.reg().NotePush(len(req.Splits), len(j.queued))
-		j.reg().NoteDonation(len(req.Splits))
+		reg.NotePush(len(req.Splits), len(j.queued))
+		reg.NoteDonation(len(req.Splits))
 	}
 	if req.Final {
-		if req.Residual != nil {
-			// Final commit with a residual: the lease is *released* (worker
+		if len(req.Residuals) > 0 {
+			// Final commit with residuals: the lease is *released* (worker
 			// drain), not complete. Requeue the remainder exactly as TTL
 			// expiry would — immediately, so nothing waits for (or depends
 			// on) an expiry that may never come when TTLs are disabled.
 			requeued := false
 			if !j.stopped {
-				j.queued = append(j.queued, *req.Residual)
-				j.reg().NotePush(1, len(j.queued))
+				j.queued = append(j.queued, req.Residuals...)
+				reg.NotePush(len(req.Residuals), len(j.queued))
 				requeued = true
 			}
-			j.reg().NoteLeaseReleased(requeued)
-			j.reg().Emit("lease_released", "lease", l.id, "requeued", requeued)
+			reg.NoteLeaseReleased(requeued)
+			reg.Emit("lease_released", "lease", l.id, "requeued", requeued)
 		}
-		c.retireLeaseLocked(l)
+		delete(j.leases, l.id)
 	} else {
-		l.claim = *req.Residual
+		l.claims = req.Residuals
 		if ttl := j.opts.LeaseTTLMs; ttl > 0 {
 			l.deadline = c.cfg.Now().Add(time.Duration(ttl) * time.Millisecond)
 		}
@@ -387,7 +447,9 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 	// Cooperative caps, on the same thresholds the in-process sharedCaps
 	// enforces. Bug keys dedupe canonically before any cap accounting, so
 	// the same bug reported by two workers in one stop window counts once.
-	for _, key := range req.Cum.BugKeys() {
+	// A delta carries a bug exactly when its count grew, which includes
+	// every first sighting.
+	for _, key := range req.Delta.BugKeys() {
 		if _, ok := j.bugKeys[key]; ok {
 			continue
 		}
@@ -396,32 +458,39 @@ func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
 			c.stopJobLocked(j)
 		}
 	}
-	if j.scenarioTotal() >= j.opts.MaxScenarios {
+	if j.absorbedScen >= j.opts.MaxScenarios {
 		c.stopJobLocked(j)
 	}
 	c.maybeFinishLocked(j)
-	writeJSON(w, http.StatusOK, c.commitAckLocked(j, req.PorVersion, logBefore))
+	ack := c.commitAckLocked(j, req.PorVersion, logBefore)
+	c.mu.Unlock()
+	writeResp(w, http.StatusOK, &ack, v2, reg, rx)
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	v2 := c.wantsV2(r)
 	var req HeartbeatRequest
-	if err := readJSON(r, &req); err != nil {
+	rx, err := readRequest(r, &req)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.sweepLocked()
 	l := c.findLeaseLocked(r.PathValue("id"), req.Token)
 	if l == nil {
-		writeJSON(w, http.StatusConflict, HeartbeatResponse{Stale: true})
+		c.mu.Unlock()
+		writeResp(w, http.StatusConflict, &HeartbeatResponse{Stale: true}, v2, nil, rx)
 		return
 	}
-	l.job.reg().NoteRPC()
+	reg := l.job.reg()
+	reg.NoteRPC()
 	if ttl := l.job.opts.LeaseTTLMs; ttl > 0 {
 		l.deadline = c.cfg.Now().Add(time.Duration(ttl) * time.Millisecond)
 	}
-	writeJSON(w, http.StatusOK, HeartbeatResponse{Stopped: l.job.stopped})
+	stopped := l.job.stopped
+	c.mu.Unlock()
+	writeResp(w, http.StatusOK, &HeartbeatResponse{Stopped: stopped}, v2, reg, rx)
 }
 
 // ---- internals --------------------------------------------------------------
@@ -449,16 +518,19 @@ func (c *Coordinator) hungryLocked(j *job) bool {
 	if j.stopped || j.done() {
 		return false
 	}
-	lowMark := c.cfg.LowMark
-	if lowMark <= 0 {
-		lowMark = 2 * max(1, len(c.workers))
+	if c.cfg.LowMark > 0 {
+		return len(j.queued) < c.cfg.LowMark
 	}
-	return len(j.queued) < lowMark
+	// Default: hungry only while the queue cannot feed every worker whose
+	// latest poll came up empty. Each donation costs the donor a flush
+	// commit, so hunger must mean real starvation, not a watermark.
+	return len(j.queued) < len(c.starving)
 }
 
-// sweepLocked expires overdue leases: the last committed cumulative stats
-// are kept (retired) and the last residual requeued, so the subtree the
-// dead worker still owned is re-executed exactly once by a future claimant.
+// sweepLocked expires overdue leases: everything the dead worker committed
+// was already absorbed (seq-gated deltas), so expiry just requeues the last
+// residuals — the subtree the worker still owned is re-executed exactly
+// once by a future claimant.
 func (c *Coordinator) sweepLocked() {
 	now := c.cfg.Now()
 	for _, id := range c.order {
@@ -470,18 +542,10 @@ func (c *Coordinator) sweepLocked() {
 			if l.deadline.IsZero() || !now.After(l.deadline) {
 				continue
 			}
-			if l.cum != nil {
-				j.retiredScen += l.cum.Scenarios
-				j.retiredExecs += l.cum.ExecsPost
-				// Absorb errors cannot happen here: handleCommit ran
-				// WireStats.Validate on this cum at ingest, which covers
-				// every Absorb error path (malformed payloads got 400).
-				_ = j.acc.Absorb(l.cum)
-			}
 			delete(j.leases, lid)
 			requeued := false
 			if !j.stopped {
-				j.queued = append(j.queued, l.claim)
+				j.queued = append(j.queued, l.claims...)
 				requeued = true
 			}
 			j.reg().NoteLeaseExpired(requeued)
@@ -496,17 +560,6 @@ func (c *Coordinator) stopJobLocked(j *job) {
 		j.stopped = true
 		j.capHit = true
 	}
-}
-
-func (c *Coordinator) retireLeaseLocked(l *lease) {
-	j := l.job
-	if l.cum != nil {
-		j.retiredScen += l.cum.Scenarios
-		j.retiredExecs += l.cum.ExecsPost
-		// Validated at commit ingest (see sweepLocked); cannot error.
-		_ = j.acc.Absorb(l.cum)
-	}
-	delete(j.leases, l.id)
 }
 
 // maybeFinishLocked builds the merged result once the job's frontier has
@@ -536,31 +589,17 @@ func (c *Coordinator) allDoneLocked() bool {
 
 // ---- telemetry --------------------------------------------------------------
 
-// jobViewLocked builds the live telemetry view of one job: the merged
-// (retired) registry snapshot overlaid with every active lease's latest
-// cumulative commit, so a scrape mid-run sees current progress, not just
-// progress as of the last lease retire. The overlay is read-only — the
-// authoritative fold (MergeAcc.Absorb) still happens exactly once per lease,
-// at retire — and histogram/timing data stays outside the canonical result
-// by construction (see obs.Timer).
+// jobViewLocked builds the live telemetry view of one job. Deltas are
+// absorbed into the merge accumulator the moment they commit, so the
+// registry snapshot *is* the live view — no per-lease overlay — and
+// histogram/timing data stays outside the canonical result by construction
+// (see obs.Timer).
 func (c *Coordinator) jobViewLocked(j *job) (obs.Metrics, obs.HistVec, telemetry.JobStatus) {
 	reg := j.reg()
 	m := reg.Snapshot()
 	hv := reg.Histograms()
-	scen := int64(j.retiredScen)
-	execs := int64(j.retiredExecs)
-	for _, l := range j.leases {
-		if l.cum == nil {
-			continue
-		}
-		scen += int64(l.cum.Scenarios)
-		execs += int64(l.cum.ExecsPost)
-		if l.cum.Obs != nil {
-			cv, lh := core.DecodeWireObs(l.cum.Obs)
-			m = m.AddVec(cv)
-			hv = hv.Merge(lh)
-		}
-	}
+	scen := int64(j.absorbedScen)
+	execs := int64(j.absorbedExecs)
 
 	state := "running"
 	switch {
@@ -589,6 +628,9 @@ func (c *Coordinator) jobViewLocked(j *job) (obs.Metrics, obs.HistVec, telemetry
 		Workers:      int64(len(j.workers)),
 		Bugs:         len(j.bugKeys),
 		Latency:      telemetry.LatencyMap(hv),
+		BytesTx:      m.BytesTx,
+		BytesRx:      m.BytesRx,
+		CommitBatch:  m.CommitBatchSize,
 	}
 	if execs > 0 {
 		st.Executions = execs + 1 // the shared pre-failure execution
@@ -634,6 +676,41 @@ func (c *Coordinator) status() telemetry.Status {
 
 const maxBodyBytes = 64 << 20
 
+// wantsV2 reports whether the peer sent codec v2 or advertised it via
+// Accept, and the coordinator is willing to answer in v2. Negotiation is
+// per-request: a mixed fleet has v1 and v2 exchanges interleaved on the
+// same endpoints.
+func (c *Coordinator) wantsV2(r *http.Request) bool {
+	if c.cfg.DisableWireV2 {
+		return false
+	}
+	if r.Header.Get("Content-Type") == ContentTypeWireV2 {
+		return true
+	}
+	for _, v := range r.Header.Values("Accept") {
+		if strings.Contains(v, ContentTypeWireV2) {
+			return true
+		}
+	}
+	return false
+}
+
+// readRequest decodes the request body by its declared codec and returns
+// the body size for wire accounting.
+func readRequest(r *http.Request, v any) (int, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return 0, fmt.Errorf("read body: %v", err)
+	}
+	if r.Header.Get("Content-Type") == ContentTypeWireV2 {
+		return len(body), decodeWire2(body, v)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return len(body), fmt.Errorf("decode body: %v", err)
+	}
+	return len(body), nil
+}
+
 func readJSON(r *http.Request, v any) error {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
@@ -651,7 +728,46 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ContentTypeJSON)
 	w.WriteHeader(code)
 	w.Write(buf)
+}
+
+// wire2Pool recycles encode buffers across lease/commit/heartbeat
+// responses; the lease hot path allocates nothing per response beyond what
+// the message itself forces.
+var wire2Pool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// writeResp encodes v with the negotiated codec and writes it. Call sites
+// invoke it strictly OUTSIDE the coordinator mutex — encoding under c.mu is
+// the contention bug the regression test in coordinator_lock_test.go pins.
+// reg, when non-nil, accumulates the exchange's wire bytes (tx=response,
+// rx=request) into the job's registry.
+func writeResp(w http.ResponseWriter, code int, v any, v2 bool, reg *obs.Registry, rx int) {
+	if v2 {
+		bp := wire2Pool.Get().(*[]byte)
+		enc, err := encodeWire2(*bp, v)
+		if err == nil {
+			w.Header().Set("Content-Type", ContentTypeWireV2)
+			w.WriteHeader(code)
+			w.Write(enc)
+			reg.NoteBytes(int64(len(enc)), int64(rx))
+			*bp = enc[:0]
+			wire2Pool.Put(bp)
+			return
+		}
+		wire2Pool.Put(bp)
+		// No v2 frame for this type: fall back to JSON below.
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.WriteHeader(code)
+	w.Write(buf)
+	reg.NoteBytes(int64(len(buf)), int64(rx))
 }

@@ -531,9 +531,13 @@ func TestDistributedDrainMidLease(t *testing.T) {
 			id := h.submit(bench, distOpts())
 
 			// w1 claims the root, commits every scenario, and receives the
-			// drain signal after its third commit — mid-lease, with most of
-			// the subtree still unexplored.
-			trigger := &drainAfterCommits{inner: h.fabric.Client("w1"), left: 3}
+			// drain signal after its second commit — mid-lease, with most of
+			// the subtree still unexplored. (Commits are pipelined: the drain
+			// flag set during commit N's round trip is observed by the engine
+			// no later than commit N+1's join, so triggering on the second
+			// commit guarantees the release fires before the tiny
+			// split-shrunk claim runs out.)
+			trigger := &drainAfterCommits{inner: h.fabric.Client("w1"), left: 2}
 			w1, err := NewWorker(WorkerConfig{
 				Name:        "w1",
 				BaseURL:     "http://coordinator",
@@ -581,8 +585,8 @@ func TestDistributedDrainMidLease(t *testing.T) {
 }
 
 // TestCommitRejectsMalformedPayloads: a version-skewed or buggy worker's
-// commit must be rejected atomically with 400 — malformed cumulative stats
-// would otherwise be silently dropped from the merge at retire time, and a
+// commit must be rejected atomically with 400 — malformed delta stats would
+// otherwise corrupt the merge the moment they were absorbed, and a
 // malformed split or residual would be granted verbatim to a future worker
 // and crash-loop the fleet. The lease survives to accept a corrected commit.
 func TestCommitRejectsMalformedPayloads(t *testing.T) {
@@ -598,17 +602,17 @@ func TestCommitRejectsMalformedPayloads(t *testing.T) {
 		name string
 		req  CommitRequest
 	}{
-		{"bad bug replay in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
-			Cum: &core.WireStats{Bugs: []core.WireBug{{Message: "x", Replay: []core.WirePoint{badPoint}}}}}},
-		{"bad obs counters in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
-			Cum: &core.WireStats{Obs: &core.WireObs{Counters: []int64{1}}}}},
-		{"negative scenarios in cum", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
-			Cum: &core.WireStats{Scenarios: -3}}},
-		{"bad split", CommitRequest{Token: lease.Token, Seq: 1, Residual: &core.WireClaim{},
-			Cum:    &core.WireStats{},
+		{"bad bug replay in delta", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Delta: &core.WireStats{Bugs: []core.WireBug{{Message: "x", Replay: []core.WirePoint{badPoint}}}}}},
+		{"bad obs counters in delta", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Delta: &core.WireStats{Obs: &core.WireObs{Counters: []int64{1}}}}},
+		{"negative scenarios in delta", CommitRequest{Token: lease.Token, Seq: 1, Final: true,
+			Delta: &core.WireStats{Scenarios: -3}}},
+		{"bad split", CommitRequest{Token: lease.Token, Seq: 1, Residuals: []core.WireClaim{{}},
+			Delta:  &core.WireStats{},
 			Splits: []core.WireClaim{{Points: []core.WirePoint{badPoint}}}}},
-		{"bad residual", CommitRequest{Token: lease.Token, Seq: 1, Cum: &core.WireStats{},
-			Residual: &core.WireClaim{Points: []core.WirePoint{{Kind: "rf", N: 2, Idx: 5}}}}},
+		{"bad residual", CommitRequest{Token: lease.Token, Seq: 1, Delta: &core.WireStats{},
+			Residuals: []core.WireClaim{{Points: []core.WirePoint{{Kind: "rf", N: 2, Idx: 5}}}}}},
 	}
 	for _, tc := range cases {
 		var resp CommitResponse
@@ -620,7 +624,7 @@ func TestCommitRejectsMalformedPayloads(t *testing.T) {
 	// killed the lease: a well-formed final commit still lands.
 	var resp CommitResponse
 	if code := h.rpc("POST", "/v1/leases/"+lease.ID+"/commit", CommitRequest{
-		Token: lease.Token, Seq: 1, Final: true, Cum: &core.WireStats{},
+		Token: lease.Token, Seq: 1, Final: true, Delta: &core.WireStats{},
 	}, &resp); code != http.StatusOK {
 		t.Errorf("valid commit after rejections: HTTP %d, want 200", code)
 	}
@@ -639,8 +643,8 @@ func TestNegativePorVersionClamped(t *testing.T) {
 	}
 	var resp CommitResponse
 	code = h.rpc("POST", "/v1/leases/"+grant.Lease.ID+"/commit", CommitRequest{
-		Token: grant.Lease.Token, Seq: 1, Residual: &core.WireClaim{},
-		Cum: &core.WireStats{}, PorVersion: -7,
+		Token: grant.Lease.Token, Seq: 1, Residuals: []core.WireClaim{{}},
+		Delta: &core.WireStats{}, PorVersion: -7,
 	}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("commit with negative cursor: HTTP %d", code)
@@ -662,7 +666,7 @@ func TestCoordinatorRejectsStaleCommit(t *testing.T) {
 	// The sweep runs on the next request; the zombie's token is then dead.
 	var resp CommitResponse
 	code = h.rpc("POST", "/v1/leases/"+grant.Lease.ID+"/commit", CommitRequest{
-		Token: grant.Lease.Token, Seq: 1, Final: true, Cum: &core.WireStats{},
+		Token: grant.Lease.Token, Seq: 1, Final: true, Delta: &core.WireStats{},
 	}, &resp)
 	if code != http.StatusConflict {
 		t.Fatalf("stale commit: HTTP %d, want 409", code)

@@ -1,29 +1,30 @@
 // Package dist distributes Jaaru's state-space exploration across
 // processes: a coordinator (jaaru-server) owns the global branch frontier,
 // the shared caps, and the POR seen-set publication log, and workers
-// (jaaru-worker) claim choice-prefix leases over HTTP, explore them with
-// the ordinary core.Checker via core.LeaseRunner, and stream back donated
-// splits plus cumulative order-insensitive stats.
+// (jaaru-worker) claim batches of choice-prefix leases over HTTP, explore
+// them with the ordinary core.Checker via core.LeaseRunner, and stream
+// back donated splits plus order-insensitive stat deltas.
 //
 // The protocol is built so that worker death is a non-event for
 // correctness:
 //
-//   - Commits are cumulative, not incremental. Every commit carries the
-//     lease's full WireStats since the lease started; the coordinator
-//     stores only the latest (by sequence number) per lease and folds it
-//     into the merged result exactly once, when the lease retires. A
-//     retried or duplicated commit replaces state with identical state.
-//   - Every non-final commit carries the residual claim: the exact
-//     unexplored remainder of the lease at that commit. When a lease's TTL
-//     expires the coordinator keeps the last committed stats and requeues
-//     the last residual — work since the last commit was never committed,
-//     so re-executing it on another worker neither loses nor double-counts
-//     anything.
+//   - Commits carry deltas, gated by sequence number. Every commit carries
+//     the lease's WireStats growth since the previous commit, numbered by a
+//     per-lease Seq that increases by exactly 1 per commit. The coordinator
+//     absorbs a delta into the merged result if and only if Seq advances
+//     its per-lease high-water mark; a retried or duplicated commit is
+//     acknowledged without being re-absorbed, so delivery retries are
+//     idempotent even though the payload is incremental.
+//   - Every non-final commit carries the residual claims: the exact
+//     unexplored remainder of the lease batch at that commit. When a
+//     lease's TTL expires the coordinator requeues the last residuals —
+//     work since the last commit was never committed, so re-executing it on
+//     another worker neither loses nor double-counts anything.
 //   - Lease tokens fence zombies: a commit bearing a stale token is
 //     rejected, so a worker that outlives its own lease expiry cannot race
-//     the residual's new claimant.
+//     the residuals' new claimant.
 //   - A draining worker (SIGTERM) releases its lease: its last commit is
-//     final but carries the unexplored residual, which the coordinator
+//     final but carries the unexplored residuals, which the coordinator
 //     requeues immediately — graceful shutdown loses nothing and never
 //     waits for (or depends on) a TTL expiry.
 //
@@ -31,6 +32,12 @@
 // the serial reference, by the same argument as the in-process parallel
 // driver (order-insensitive merge + canonical sorts) — including runs where
 // workers were killed mid-lease.
+//
+// Two wire codecs coexist on the same endpoints. v1 is the frozen JSON
+// encoding; v2 is a length-prefixed binary encoding (core.WireEncoder)
+// that the worker advertises via an Accept header and the coordinator
+// answers in kind, so mixed fleets interoperate: every message has the
+// same meaning under either codec and the negotiation is per-request.
 package dist
 
 import (
@@ -96,14 +103,17 @@ type LeaseRequest struct {
 	PorVersion int    `json:"por_version,omitempty"`
 }
 
-// Lease describes one granted unit of work.
+// Lease describes one granted unit of work: a batch of frontier claims the
+// worker runs sequentially on one checker. Batching is the coordinator's
+// adaptive-lease-sizing lever — cheap scenarios get bigger batches so the
+// RPC count per scenario stays bounded.
 type Lease struct {
-	ID    string         `json:"id"`
-	Token string         `json:"token"`
-	JobID string         `json:"job_id"`
-	Spec  ProgSpec       `json:"spec"`
-	Opts  core.Options   `json:"opts"`
-	Claim core.WireClaim `json:"claim"`
+	ID     string           `json:"id"`
+	Token  string           `json:"token"`
+	JobID  string           `json:"job_id"`
+	Spec   ProgSpec         `json:"spec"`
+	Opts   core.Options     `json:"opts"`
+	Claims []core.WireClaim `json:"claims"`
 	// TTLMs echoes the job's lease TTL (-1: leases never expire).
 	TTLMs int `json:"ttl_ms"`
 }
@@ -130,15 +140,18 @@ type CommitRequest struct {
 	Seq   int64  `json:"seq"`
 	// Splits are donated branch prefixes (frozen claims) for the frontier.
 	Splits []core.WireClaim `json:"splits,omitempty"`
-	// Residual is the unexplored remainder of the lease as of this commit.
-	// Required on non-final commits. On a final commit a nil residual means
-	// the subtree is fully explored; a non-nil one *releases* the lease (a
-	// draining worker handing back its remainder for immediate requeue).
-	Residual *core.WireClaim `json:"residual,omitempty"`
-	// Cum is the lease's cumulative stats since it was granted.
-	Cum *core.WireStats `json:"cum"`
-	// Final retires the lease: its subtree is fully explored (or abandoned
-	// after an engine error, marked by Cum.Truncated), or — with a residual
+	// Residuals are the unexplored remainder of the lease batch as of this
+	// commit. Required on non-final commits (the in-progress claim's frozen
+	// snapshot plus any batch claims not yet started). On a final commit an
+	// empty list means the batch is fully explored; a non-empty one
+	// *releases* the lease (a draining worker handing back its remainder for
+	// immediate requeue).
+	Residuals []core.WireClaim `json:"residuals,omitempty"`
+	// Delta is the lease's stats growth since its previous commit (the full
+	// stats on Seq 1). The coordinator absorbs it only when Seq advances.
+	Delta *core.WireStats `json:"delta"`
+	// Final retires the lease: its batch is fully explored (or abandoned
+	// after an engine error, marked by Delta.Truncated), or — with residuals
 	// attached — released by a draining worker.
 	Final bool `json:"final,omitempty"`
 	// Por / PorVersion ship newly published local POR entries and the
@@ -174,7 +187,18 @@ type HeartbeatResponse struct {
 	Stopped bool `json:"stopped,omitempty"`
 }
 
-// errorResponse is the JSON body of non-2xx replies.
+// errorResponse is the JSON body of non-2xx replies. Errors are always
+// JSON regardless of the negotiated codec, so a v1 peer can always read a
+// v2-capable peer's rejection.
 type errorResponse struct {
 	Error string `json:"error"`
 }
+
+// Wire codec content types. v1 (JSON) is the default and the fallback; v2
+// is the binary framing from codec.go. The worker advertises v2 support
+// with "Accept: application/x-jaaru-wire2" on JSON requests; once the
+// coordinator answers in v2 the worker switches its requests over.
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeWireV2 = "application/x-jaaru-wire2"
+)

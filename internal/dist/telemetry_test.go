@@ -133,12 +133,12 @@ func (s *probeSink) Hungry() bool   { return false }
 func (s *probeSink) Stopped() bool  { return false }
 func (s *probeSink) Draining() bool { return false }
 
-func (s *probeSink) Commit(splits []core.WireClaim, residual *core.WireClaim, cum *core.WireStats, final bool) error {
+func (s *probeSink) Commit(splits []core.WireClaim, residuals []core.WireClaim, delta *core.WireStats, final bool) error {
 	s.seq++
 	var resp CommitResponse
 	code := s.h.rpc("POST", "/v1/leases/"+s.lease.ID+"/commit", CommitRequest{
 		Token: s.lease.Token, Seq: s.seq,
-		Splits: splits, Residual: residual, Cum: cum, Final: final,
+		Splits: splits, Residuals: residuals, Delta: delta, Final: final,
 	}, &resp)
 	if code != http.StatusOK {
 		return fmt.Errorf("commit: HTTP %d", code)
@@ -228,7 +228,7 @@ func TestCoordinatorTelemetryMidRun(t *testing.T) {
 		}
 	}
 
-	if err := lr.RunLease(grant.Lease.Claim, sink); err != nil {
+	if err := lr.RunLease(grant.Lease.Claims, sink); err != nil {
 		t.Fatal(err)
 	}
 	if !probed {

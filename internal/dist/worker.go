@@ -21,6 +21,18 @@ type Doer interface {
 	Do(*http.Request) (*http.Response, error)
 }
 
+// Worker codec modes (WorkerConfig.Codec).
+const (
+	// CodecAuto starts in JSON, advertises v2 via Accept, and upgrades the
+	// moment the coordinator answers in v2.
+	CodecAuto = ""
+	// CodecV1 pins the frozen JSON codec (never advertises v2).
+	CodecV1 = "v1"
+	// CodecV2 starts in binary v2 immediately; a coordinator that rejects
+	// the frame with a JSON error downgrades the worker to v1 transparently.
+	CodecV2 = "v2"
+)
+
 // WorkerConfig parameterizes a Worker.
 type WorkerConfig struct {
 	// Name identifies the worker in coordinator accounting/events.
@@ -39,14 +51,19 @@ type WorkerConfig struct {
 	// Sleep is the delay hook (default time.Sleep); tests inject a no-op
 	// to keep fault-injection runs fast and deterministic.
 	Sleep func(time.Duration)
-	// CommitEvery bounds scenarios between non-final commits (0: the
-	// core.LeaseRunner default). Lower values tighten the re-execution
-	// window after a crash at the cost of more RPC traffic.
+	// CommitEvery bounds scenarios between non-final commits. 0 adapts the
+	// cadence per lease to the observed scenario rate (~50ms of exploration
+	// per commit, clamped to [16,512]); a positive value pins it. Lower
+	// values tighten the re-execution window after a crash at the cost of
+	// more RPC traffic.
 	CommitEvery int
+	// Codec selects the wire codec: CodecAuto (negotiate, the default),
+	// CodecV1, or CodecV2.
+	Codec string
 	// Registry receives worker-local telemetry: lease-claim and commit RPC
-	// round-trip latency histograms (obs.TimerLeaseClaim/TimerLeaseCommit).
-	// Nil disables collection entirely — the hooks degrade to nil-receiver
-	// checks, like every obs hook.
+	// round-trip latency histograms (obs.TimerLeaseClaim/TimerLeaseCommit)
+	// and wire-byte counts. Nil disables collection entirely — the hooks
+	// degrade to nil-receiver checks, like every obs hook.
 	Registry *obs.Registry
 	// Now is the clock RPC latencies are measured against (default
 	// time.Now). Tests inject netsim's fake clock, so injected per-hop
@@ -60,6 +77,10 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg      WorkerConfig
 	draining atomic.Bool
+	// useV2 is the current send codec. It flips up when an auto-mode worker
+	// sees a v2 response, and down when a v2 frame bounces off a v1
+	// coordinator (transparent fallback).
+	useV2 atomic.Bool
 	// col is the worker's RPC-latency shard of cfg.Registry (nil when no
 	// registry is configured; all Observe calls are nil-safe).
 	col *obs.Collector
@@ -78,6 +99,10 @@ type jobRunner struct {
 	drained int
 	// coordSeen is the cursor into the coordinator's log.
 	coordSeen int
+	// rate is the observed scenarios/sec over this job's previous leases
+	// (0 until a lease ran under a real clock); it drives the adaptive
+	// commit cadence when WorkerConfig.CommitEvery is 0.
+	rate float64
 }
 
 // NewWorker builds a worker; cfg.Resolve and cfg.BaseURL are required.
@@ -87,6 +112,11 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("dist: WorkerConfig.BaseURL is required")
+	}
+	switch cfg.Codec {
+	case CodecAuto, CodecV1, CodecV2:
+	default:
+		return nil, fmt.Errorf("dist: unknown codec %q", cfg.Codec)
 	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
@@ -103,11 +133,13 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:     cfg,
 		col:     cfg.Registry.NewShard(), // nil registry -> nil shard
 		runners: make(map[string]*jobRunner),
-	}, nil
+	}
+	w.useV2.Store(cfg.Codec == CodecV2)
+	return w, nil
 }
 
 // Observability exposes the worker's telemetry registry (nil unless
@@ -131,8 +163,8 @@ func (w *Worker) timedPost(t obs.Timer, path string, body, out any, conflict *bo
 }
 
 // Drain requests a graceful stop: the current lease is *released* — the
-// progress so far is committed and the unexplored residual handed back to
-// the coordinator, which requeues it for another claimant immediately, so
+// progress so far is committed and the unexplored residuals handed back to
+// the coordinator, which requeues them for another claimant immediately, so
 // nothing is lost and nothing waits for a lease TTL — and no further leases
 // are claimed. Safe to call from a signal handler goroutine.
 func (w *Worker) Drain() { w.draining.Store(true) }
@@ -203,6 +235,24 @@ func (w *Worker) ensureRunner(l *Lease) (*jobRunner, error) {
 	return jr, nil
 }
 
+// commitEveryFor maps an observed scenario rate to a commit cadence: about
+// 50ms of exploration per commit, clamped to [16,512]. A zero rate (first
+// lease, or a fake test clock) takes the deterministic default 32. Leases
+// that expire (ttlMs > 0) cap the budget at ttlMs/8: commits renew the
+// deadline, the rate was observed under the contention of an earlier lease,
+// and a cadence near the TTL lets an oversubscribed host expire a live
+// worker's lease between renewals.
+func commitEveryFor(rate float64, ttlMs int) int {
+	if rate <= 0 {
+		return 32
+	}
+	budget := 0.050
+	if ttlMs > 0 {
+		budget = min(budget, float64(ttlMs)/8000)
+	}
+	return min(max(int(rate*budget), 16), 512)
+}
+
 // errStale marks an abandoned lease (token fenced off after expiry): the
 // worker drops the lease and moves on — the coordinator already requeued
 // its remainder.
@@ -219,15 +269,25 @@ func (w *Worker) runLease(grant LeaseResponse) error {
 	}
 	jr.coordSeen = grant.PorVersion
 	jr.drained = jr.lr.PorVersion()
+	if w.cfg.CommitEvery == 0 {
+		jr.lr.SetCommitEvery(commitEveryFor(jr.rate, l.TTLMs))
+	}
 
 	sink := &leaseSink{w: w, jr: jr, lease: l, hungry: grant.Hungry}
 	var hb *heartbeater
 	if l.Opts.HeartbeatMs > 0 {
 		hb = startHeartbeat(w, sink, l)
 	}
-	err = jr.lr.RunLease(l.Claim, sink)
+	t0 := w.cfg.Now()
+	err = jr.lr.RunLease(l.Claims, sink)
 	if hb != nil {
 		hb.stop()
+	}
+	// RunLease always joins the pipelined commit before returning, so the
+	// sink is quiescent here; fold this lease's observed rate into the
+	// job's estimate for the next lease's commit cadence.
+	if elapsed := w.cfg.Now().Sub(t0).Seconds(); elapsed > 0 && sink.scenarios > 0 {
+		jr.rate = float64(sink.scenarios) / elapsed
 	}
 	if err == errStale {
 		return nil
@@ -241,15 +301,27 @@ func (w *Worker) runLease(grant LeaseResponse) error {
 // leaseSink adapts the commit protocol to core.LeaseSink. Hungry/Stopped
 // reflect the latest coordinator response (stale between commits — that is
 // the protocol's contract; exactness rests on Commit alone).
+//
+// Non-final commits are pipelined: Commit builds the request synchronously
+// (sequence number, POR drain, cursors) and ships it on a background
+// goroutine, so the engine explores the next scenarios while the ack is in
+// flight. The next Commit joins the in-flight send first — commits stay
+// strictly seq-ordered on the wire, and a stale/stopped ack surfaces one
+// commit late, which the protocol already tolerates (the coordinator
+// absorbs deltas seq-gated, and stop signals are cooperative).
 type leaseSink struct {
 	w     *Worker
 	jr    *jobRunner
 	lease *Lease
 
-	mu      sync.Mutex // guards hungry/stopped against the heartbeater
+	mu      sync.Mutex // guards hungry/stopped against the heartbeater and sender
 	hungry  bool
 	stopped bool
-	seq     int64
+
+	// Engine-goroutine-only state (Commit is never called concurrently).
+	seq       int64
+	inflight  chan error // pending pipelined commit (nil: none)
+	scenarios int        // sum of committed delta scenarios, for the rate estimate
 }
 
 func (s *leaseSink) Hungry() bool {
@@ -265,8 +337,8 @@ func (s *leaseSink) Stopped() bool {
 }
 
 // Draining reflects the worker-local graceful stop, distinct from Stopped:
-// a drained lease releases its residual back to the coordinator, a stopped
-// one discards it (the job is over).
+// a drained lease releases its residuals back to the coordinator, a stopped
+// one discards them (the job is over).
 func (s *leaseSink) Draining() bool { return s.w.draining.Load() }
 
 func (s *leaseSink) noteStopped() {
@@ -275,22 +347,64 @@ func (s *leaseSink) noteStopped() {
 	s.mu.Unlock()
 }
 
-func (s *leaseSink) Commit(splits []core.WireClaim, residual *core.WireClaim, cum *core.WireStats, final bool) error {
+// join waits out the pipelined commit, if any, and surfaces its error.
+func (s *leaseSink) join() error {
+	if s.inflight == nil {
+		return nil
+	}
+	err := <-s.inflight
+	s.inflight = nil
+	return err
+}
+
+func (s *leaseSink) Commit(splits []core.WireClaim, residuals []core.WireClaim, delta *core.WireStats, final bool) error {
+	if err := s.join(); err != nil {
+		return err
+	}
 	s.seq++
-	req := CommitRequest{
+	req := &CommitRequest{
 		Token:      s.lease.Token,
 		Seq:        s.seq,
 		Splits:     splits,
-		Residual:   residual,
-		Cum:        cum,
+		Residuals:  residuals,
+		Delta:      delta,
 		Final:      final,
 		Por:        s.jr.lr.DrainPor(s.jr.drained),
 		PorVersion: s.jr.coordSeen,
 	}
 	s.jr.drained = s.jr.lr.PorVersion()
+	if delta != nil {
+		s.scenarios += delta.Scenarios
+	}
+	if len(splits) > 0 {
+		// The hungry hint is stale until this commit's ack lands (one commit
+		// late under pipelining). Clear it optimistically so the engine does
+		// not donate — and flush-commit — on every scenario in between; the
+		// ack recomputes hunger after the coordinator absorbed these splits.
+		s.mu.Lock()
+		s.hungry = false
+		s.mu.Unlock()
+	}
+	if final {
+		// The final ack is the worker's proof the lease retired; never
+		// pipeline it.
+		return s.send(req)
+	}
+	ch := make(chan error, 1)
+	s.inflight = ch
+	go func() { ch <- s.send(req) }()
+	return nil
+}
+
+// send ships one commit and folds the ack into the sink. It runs on the
+// engine goroutine for final commits and on the pipeline goroutine
+// otherwise; the POR mirror it feeds (AbsorbPor) is internally locked, and
+// the jr cursors are only read again after join(), which the channel
+// orders.
+func (s *leaseSink) send(req *CommitRequest) error {
 	var resp CommitResponse
 	stale := false
-	err := s.w.timedPost(obs.TimerLeaseCommit, "/v1/leases/"+s.lease.ID+"/commit", &req, &resp, &stale)
+	err := s.w.timedPost(obs.TimerLeaseCommit, "/v1/leases/"+s.lease.ID+"/commit", req, &resp, &stale)
 	if err != nil {
 		return fmt.Errorf("commit: %w", err)
 	}
@@ -352,16 +466,42 @@ func (hb *heartbeater) stop() {
 	hb.wg.Wait()
 }
 
-// post sends one JSON RPC with bounded retry and exponential backoff on
+// encodeBody serializes one protocol envelope with the chosen codec.
+func encodeBody(body any, v2 bool) ([]byte, error) {
+	if v2 {
+		return encodeWire2(nil, body)
+	}
+	return json.Marshal(body)
+}
+
+// decodeBody parses one protocol envelope by the codec the response
+// declared.
+func decodeBody(data []byte, out any, v2 bool) error {
+	if v2 {
+		return decodeWire2(data, out)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// post sends one RPC with bounded retry and exponential backoff on
 // transport errors and 5xx responses. A 409 sets *conflict (when provided)
 // instead of erroring, so callers can distinguish fenced leases from a
 // dead coordinator.
+//
+// Codec negotiation happens here. The request goes out in the worker's
+// current codec; JSON requests advertise v2 via Accept unless the codec is
+// pinned to v1. A v2 response upgrades the worker; a non-2xx/409 JSON
+// answer to a v2 frame means the coordinator cannot parse binary (version
+// skew), so the worker downgrades and resends the same message once —
+// transparent fallback, no work lost.
 func (w *Worker) post(path string, body, out any, conflict *bool) error {
-	payload, err := json.Marshal(body)
+	v2 := w.useV2.Load()
+	payload, err := encodeBody(body, v2)
 	if err != nil {
 		return err
 	}
 	var lastErr error
+	downgraded := false
 	backoff := w.cfg.Backoff
 	for attempt := 0; attempt <= w.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -372,7 +512,14 @@ func (w *Worker) post(path string, body, out any, conflict *bool) error {
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		if v2 {
+			req.Header.Set("Content-Type", ContentTypeWireV2)
+		} else {
+			req.Header.Set("Content-Type", ContentTypeJSON)
+			if w.cfg.Codec != CodecV1 {
+				req.Header.Set("Accept", ContentTypeWireV2)
+			}
+		}
 		resp, err := w.cfg.Client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -384,14 +531,28 @@ func (w *Worker) post(path string, body, out any, conflict *bool) error {
 			lastErr = err
 			continue
 		}
+		w.cfg.Registry.NoteBytes(int64(len(payload)), int64(len(data)))
+		respV2 := resp.Header.Get("Content-Type") == ContentTypeWireV2
+		if respV2 && w.cfg.Codec != CodecV1 {
+			w.useV2.Store(true)
+		}
 		switch {
 		case resp.StatusCode == http.StatusOK:
-			return json.Unmarshal(data, out)
+			return decodeBody(data, out, respV2)
 		case resp.StatusCode == http.StatusConflict && conflict != nil:
 			*conflict = true
-			return json.Unmarshal(data, out)
+			return decodeBody(data, out, respV2)
 		case resp.StatusCode >= 500:
 			lastErr = fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+			continue
+		case v2 && !respV2 && !downgraded:
+			downgraded = true
+			v2 = false
+			w.useV2.Store(false)
+			if payload, err = encodeBody(body, false); err != nil {
+				return err
+			}
+			attempt-- // the fallback resend is not a retry
 			continue
 		default:
 			var e errorResponse

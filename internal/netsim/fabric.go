@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -48,6 +50,12 @@ type peerState struct {
 	// returns (reply hop), so a successful round trip costs exactly
 	// 2*latency on the fake timeline. Requires a clock via SetClock.
 	latency time.Duration
+	// bytesTx counts request-body bytes the peer put on the wire (requests
+	// that reached the handler; faulted-in-transit requests never left).
+	// bytesRx counts response-body bytes delivered back (dropped replies
+	// are not delivered, so they don't count).
+	bytesTx int64
+	bytesRx int64
 }
 
 // NewFabric wraps a handler (typically a dist.Coordinator) in a
@@ -128,6 +136,30 @@ func (f *Fabric) Requests(peer string) int {
 	return f.peer(peer).requests
 }
 
+// Bytes reports the peer's wire-byte totals: request-body bytes sent toward
+// the handler and response-body bytes delivered back. Both counts are exact
+// and deterministic — the fabric measures the serialized bodies on each hop,
+// so codec-level size changes (JSON vs binary) are directly observable in
+// tests and benchmarks.
+func (f *Fabric) Bytes(peer string) (tx, rx int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.peer(peer)
+	return p.bytesTx, p.bytesRx
+}
+
+// TotalBytes sums both directions across every peer — the whole fleet's wire
+// traffic.
+func (f *Fabric) TotalBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total int64
+	for _, p := range f.peers {
+		total += p.bytesTx + p.bytesRx
+	}
+	return total
+}
+
 // Client returns the transport for one named peer. It satisfies the dist
 // package's Doer interface.
 func (f *Fabric) Client(peer string) *FabricClient {
@@ -170,6 +202,19 @@ func (c *FabricClient) Do(req *http.Request) (*http.Response, error) {
 	clock, latency := f.clock, p.latency
 	f.mu.Unlock()
 
+	// Measure the request body on its way in (the handler consumes the
+	// original reader, so rewrap a copy).
+	var reqBytes int64
+	if req.Body != nil {
+		data, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("netsim: read request body for %s: %w", c.peer, err)
+		}
+		reqBytes = int64(len(data))
+		req.Body = io.NopCloser(bytes.NewReader(data))
+	}
+
 	if clock != nil {
 		clock.Advance(latency) // request hop
 	}
@@ -178,6 +223,14 @@ func (c *FabricClient) Do(req *http.Request) (*http.Response, error) {
 	if clock != nil {
 		clock.Advance(latency) // reply hop (paid even when the reply drops)
 	}
+
+	f.mu.Lock()
+	p.bytesTx += reqBytes
+	if !drop {
+		p.bytesRx += int64(rec.Body.Len())
+	}
+	f.mu.Unlock()
+
 	if drop {
 		return nil, fmt.Errorf("netsim: reply dropped for %s", c.peer)
 	}

@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// echoHandler replies with a fixed-size body and drains the request, like a
+// real coordinator endpoint would.
+func echoHandler(replySize int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write(bytes.Repeat([]byte("r"), replySize))
+	})
+}
+
+func post(t *testing.T, c *FabricClient, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://coordinator/x", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Do(req)
+}
+
+// TestFabricByteAccounting: the fabric measures serialized bodies per hop —
+// request bytes when the request reaches the handler, response bytes when
+// the reply is delivered — so wire-codec size changes are directly
+// observable in deterministic tests.
+func TestFabricByteAccounting(t *testing.T) {
+	f := NewFabric(echoHandler(40))
+	w1 := f.Client("w1")
+
+	// Two successful exchanges: 10+20 bytes out, 2*40 back.
+	for _, body := range []string{strings.Repeat("a", 10), strings.Repeat("b", 20)} {
+		resp, err := post(t, w1, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if tx, rx := f.Bytes("w1"); tx != 30 || rx != 80 {
+		t.Errorf("after 2 exchanges: tx/rx = %d/%d, want 30/80", tx, rx)
+	}
+
+	// A dropped reply still counts the request hop (the handler ran) but not
+	// the reply (never delivered).
+	f.DropReplies("w1", 1)
+	if _, err := post(t, w1, strings.Repeat("c", 5)); err == nil {
+		t.Fatal("dropped reply did not error")
+	}
+	if tx, rx := f.Bytes("w1"); tx != 35 || rx != 80 {
+		t.Errorf("after drop: tx/rx = %d/%d, want 35/80", tx, rx)
+	}
+
+	// A transit failure counts neither hop: the request never left.
+	f.FailNext("w1", 1)
+	if _, err := post(t, w1, strings.Repeat("d", 100)); err == nil {
+		t.Fatal("transit failure did not error")
+	}
+	if tx, rx := f.Bytes("w1"); tx != 35 || rx != 80 {
+		t.Errorf("after transit failure: tx/rx = %d/%d, want 35/80", tx, rx)
+	}
+
+	// Per-peer isolation and the fleet-wide total.
+	w2 := f.Client("w2")
+	resp, err := post(t, w2, strings.Repeat("e", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tx, rx := f.Bytes("w2"); tx != 7 || rx != 40 {
+		t.Errorf("w2 tx/rx = %d/%d, want 7/40", tx, rx)
+	}
+	if total := f.TotalBytes(); total != 35+80+7+40 {
+		t.Errorf("TotalBytes = %d, want %d", total, 35+80+7+40)
+	}
+}

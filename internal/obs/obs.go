@@ -435,6 +435,12 @@ type Registry struct {
 	leasesReleased atomic.Int64
 	leaseRequeues  atomic.Int64
 	rpcs           atomic.Int64
+
+	// Wire-level data-plane accounting (internal/dist, either side).
+	bytesTx         atomic.Int64
+	bytesRx         atomic.Int64
+	commitBatches   atomic.Int64
+	commitScenarios atomic.Int64
 }
 
 // NewRegistry returns a registry; a non-nil events writer receives the
@@ -545,6 +551,32 @@ func (r *Registry) NoteRPC() {
 	}
 }
 
+// NoteBytes records wire traffic: tx bytes sent and rx bytes received on
+// the distributed data plane (request plus response bodies, as counted by
+// the transport in use — the netsim fabric in-process, the HTTP client on a
+// real network).
+func (r *Registry) NoteBytes(tx, rx int64) {
+	if r == nil {
+		return
+	}
+	if tx > 0 {
+		r.bytesTx.Add(tx)
+	}
+	if rx > 0 {
+		r.bytesRx.Add(rx)
+	}
+}
+
+// NoteCommitBatch records one absorbed delta commit covering n scenarios;
+// Snapshot reports the running average as CommitBatchSize.
+func (r *Registry) NoteCommitBatch(n int64) {
+	if r == nil {
+		return
+	}
+	r.commitBatches.Add(1)
+	r.commitScenarios.Add(n)
+}
+
 // Emit appends one event to the JSONL stream, if one is attached. kv is a
 // flat key/value list; values may be ints, bools, or strings.
 func (r *Registry) Emit(ev string, kv ...any) {
@@ -603,6 +635,11 @@ func (r *Registry) Snapshot() Metrics {
 	m.LeasesReleased = r.leasesReleased.Load()
 	m.LeaseRequeues = r.leaseRequeues.Load()
 	m.RPCs = r.rpcs.Load()
+	m.BytesTx = r.bytesTx.Load()
+	m.BytesRx = r.bytesRx.Load()
+	if batches := r.commitBatches.Load(); batches > 0 {
+		m.CommitBatchSize = r.commitScenarios.Load() / batches
+	}
 	if r.events != nil {
 		m.Events = r.events.count.Load()
 	}
@@ -771,6 +808,13 @@ type Metrics struct {
 	LeaseRequeues  int64 `json:"lease_requeues,omitempty"`
 	RPCs           int64 `json:"rpcs,omitempty"`
 
+	// Wire-level data plane (depends on codec, batching, and fleet timing;
+	// zeroed by Canonical). CommitBatchSize is the average scenarios carried
+	// per absorbed delta commit.
+	BytesTx         int64 `json:"bytes_tx,omitempty"`
+	BytesRx         int64 `json:"bytes_rx,omitempty"`
+	CommitBatchSize int64 `json:"commit_batch_size,omitempty"`
+
 	// Events emitted to the JSONL stream, if one was attached.
 	Events int64 `json:"events,omitempty"`
 }
@@ -780,10 +824,7 @@ type Metrics struct {
 // reported separately from live replays (internally restores accumulate into
 // ChoicesReplayed — the partition-independent total — and the split happens
 // here, at the reporting edge), and Executions is recomputed as
-// ExecutionsPost plus the shared pre-failure execution. The distributed
-// coordinator uses it to overlay active leases' latest cumulative commits
-// onto the merged (retired) snapshot for the live /metrics and /v1/status
-// views; nothing about the overlay feeds back into the registry.
+// ExecutionsPost plus the shared pre-failure execution.
 func (m Metrics) AddVec(v CounterVec) Metrics {
 	m.Scenarios += v[Scenarios]
 	m.ExecutionsPost += v[ExecutionsPost]
@@ -837,5 +878,6 @@ func (m Metrics) Canonical() Metrics {
 	m.ScenariosPruned, m.FingerprintHits, m.FingerprintMisses = 0, 0, 0
 	m.LeasesGranted, m.LeasesExpired, m.LeasesReleased = 0, 0, 0
 	m.LeaseRequeues, m.RPCs = 0, 0
+	m.BytesTx, m.BytesRx, m.CommitBatchSize = 0, 0, 0
 	return m
 }

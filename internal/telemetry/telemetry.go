@@ -26,9 +26,9 @@ type Status struct {
 	Jobs      []JobStatus `json:"jobs,omitempty"`
 }
 
-// JobStatus is the live per-job progress view. Scenario counts are exact at
-// the instant of the snapshot (the coordinator folds retired leases plus
-// every active lease's last commit); rate and ETA are derived from them.
+// JobStatus is the live per-job progress view. Scenario counts are exact as
+// of the last absorbed delta commit (the coordinator absorbs commits the
+// moment they arrive); rate and ETA are derived from them.
 type JobStatus struct {
 	ID    string `json:"id"`
 	Bench string `json:"bench,omitempty"`
@@ -48,6 +48,13 @@ type JobStatus struct {
 	ActiveLeases int   `json:"active_leases,omitempty"`
 	Workers      int64 `json:"workers,omitempty"`
 	Bugs         int   `json:"bugs,omitempty"`
+
+	// Wire-level data plane (zero for in-process runs): bytes sent/received
+	// on the lease protocol and the average scenarios per absorbed delta
+	// commit.
+	BytesTx     int64 `json:"bytes_tx,omitempty"`
+	BytesRx     int64 `json:"bytes_rx,omitempty"`
+	CommitBatch int64 `json:"commit_batch_size,omitempty"`
 
 	// Latency maps timer name -> quantiles of that phase's histogram, for
 	// every timer that has recorded at least one observation.
